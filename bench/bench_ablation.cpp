@@ -1,0 +1,154 @@
+/// E10 (ablation) — the design choices DESIGN.md calls out, isolated:
+///   * CSE on/off in the classical pipeline (instruction count on the
+///     Ex. 2 dynamic-addressing pattern, which is full of repeated
+///     load/element-ptr computations),
+///   * circuit-level optimization on/off in the transpile route,
+///   * qubit reuse on/off (required_num_qubits for sequential workloads),
+///   * mapper topology (SWAP overhead line vs grid vs full).
+#include "circuit/generators.hpp"
+#include "circuit/mapping.hpp"
+#include "circuit/optimizer.hpp"
+#include "circuit/reuse.hpp"
+#include "ir/parser.hpp"
+#include "passes/pass.hpp"
+#include "qir/compile.hpp"
+
+#include "workloads.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace qirkit;
+
+void runPipeline(ir::Module& module, bool withCSE) {
+  passes::PassManager pm;
+  pm.add(passes::createInlinerPass());
+  pm.add(passes::createMem2RegPass());
+  pm.add(passes::createSCCPPass());
+  pm.add(passes::createConstantFoldPass());
+  if (withCSE) {
+    pm.add(passes::createCSEPass());
+  }
+  pm.add(passes::createSimplifyCFGPass());
+  pm.add(passes::createLoopUnrollPass());
+  pm.add(passes::createDCEPass());
+  pm.runToFixpoint(module);
+}
+
+/// A classical helper with heavy expression redundancy over its arguments
+/// (cannot constant-fold; only CSE can reduce it).
+std::string redundantClassicalProgram(unsigned repetitions) {
+  std::string s = "define i64 @f(i64 %a, i64 %b) {\n";
+  std::string acc = "%b";
+  for (unsigned i = 0; i < repetitions; ++i) {
+    s += "  %m" + std::to_string(i) + " = mul i64 %a, %b\n";
+    s += "  %p" + std::to_string(i) + " = add i64 %m" + std::to_string(i) +
+         ", %a\n";
+    s += "  %x" + std::to_string(i) + " = xor i64 " + acc + ", %p" +
+         std::to_string(i) + "\n";
+    acc = "%x" + std::to_string(i);
+  }
+  s += "  ret i64 " + acc + "\n}\n";
+  return s;
+}
+
+void BM_PipelineCSE(benchmark::State& state) {
+  const bool withCSE = state.range(0) != 0;
+  const std::string text = redundantClassicalProgram(64);
+  std::size_t instructions = 0;
+  for (auto _ : state) {
+    ir::Context ctx;
+    auto module = ir::parseModule(ctx, text);
+    runPipeline(*module, withCSE);
+    instructions = module->instructionCount();
+    benchmark::DoNotOptimize(instructions);
+  }
+  state.SetLabel(withCSE ? "with-cse" : "no-cse");
+  state.counters["instructions_after"] = static_cast<double>(instructions);
+}
+BENCHMARK(BM_PipelineCSE)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_CircuitOptimization(benchmark::State& state) {
+  const bool optimize = state.range(0) != 0;
+  // A workload with redundancy: QFT followed by its own gates inverted
+  // pairwise (H H etc.) plus zero rotations.
+  circuit::Circuit c = circuit::qft(6, false);
+  for (unsigned q = 0; q < 6; ++q) {
+    c.h(q);
+    c.h(q);
+    c.rz(0.0, q);
+  }
+  std::size_t gates = 0;
+  for (auto _ : state) {
+    circuit::Circuit working = c;
+    if (optimize) {
+      circuit::optimizeCircuit(working);
+    }
+    gates = working.gateCount();
+    benchmark::DoNotOptimize(working);
+  }
+  state.SetLabel(optimize ? "optimized" : "raw");
+  state.counters["gates"] = static_cast<double>(gates);
+}
+BENCHMARK(BM_CircuitOptimization)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+void BM_QubitReuse(benchmark::State& state) {
+  const bool reuse = state.range(0) != 0;
+  const auto experiments = static_cast<unsigned>(state.range(1));
+  // Sequential prepare-measure experiments: the reuse pass should collapse
+  // them onto a single hardware qubit.
+  circuit::Circuit c(experiments, experiments);
+  for (unsigned e = 0; e < experiments; ++e) {
+    c.h(e);
+    c.t(e);
+    c.measure(e, e);
+  }
+  unsigned qubits = 0;
+  for (auto _ : state) {
+    if (reuse) {
+      const circuit::ReuseResult result = circuit::reuseQubits(c);
+      qubits = result.qubitsAfter;
+      benchmark::DoNotOptimize(result);
+    } else {
+      qubits = c.numQubits();
+      benchmark::DoNotOptimize(c);
+    }
+  }
+  state.SetLabel(reuse ? "with-reuse" : "no-reuse");
+  state.counters["required_qubits"] = qubits;
+}
+BENCHMARK(BM_QubitReuse)->ArgsProduct({{0, 1}, {4, 16, 64}})->Unit(benchmark::kMicrosecond);
+
+void BM_MapperTopology(benchmark::State& state) {
+  const auto n = 8U;
+  const circuit::Circuit c =
+      circuit::decomposeToCXBasis(circuit::randomCircuit(n, 6, 7, true));
+  circuit::Target target = circuit::Target::line(n);
+  switch (state.range(0)) {
+  case 0: target = circuit::Target::line(n); break;
+  case 1: target = circuit::Target::ring(n); break;
+  case 2: target = circuit::Target::grid(2, 4); break;
+  default: target = circuit::Target::fullyConnected(n); break;
+  }
+  std::size_t swaps = 0;
+  for (auto _ : state) {
+    const circuit::MappingResult result = circuit::mapCircuit(c, target);
+    swaps = result.swapsInserted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(target.name);
+  state.counters["swaps"] = static_cast<double>(swaps);
+}
+BENCHMARK(BM_MapperTopology)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# E10: ablations of qirkit design choices\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

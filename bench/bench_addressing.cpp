@@ -1,0 +1,78 @@
+/// E5 — §IV.A, Ex. 6: static vs dynamic qubit addresses. Static addressing
+/// removes the allocation/array traffic ("the lines for allocating the
+/// qubits disappear"), shrinking the program and speeding interpretation;
+/// the runtime supports static addresses by allocating simulator qubits on
+/// the fly.
+#include "circuit/generators.hpp"
+#include "ir/parser.hpp"
+#include "runtime/runtime.hpp"
+
+#include "workloads.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace qirkit;
+
+void benchAddressing(benchmark::State& state, qir::Addressing addressing) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const std::string text =
+      bench::qirTextFor(circuit::ghz(n, true), addressing, true);
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, text);
+  std::uint64_t seed = 1;
+  runtime::RuntimeStats stats;
+  std::uint64_t interpInstructions = 0;
+  for (auto _ : state) {
+    const runtime::RunResult result = runtime::runQIRModule(*module, seed++);
+    stats = result.stats;
+    interpInstructions = result.interpStats.instructionsExecuted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["qubits"] = n;
+  state.counters["program_insts"] =
+      static_cast<double>(module->instructionCount());
+  state.counters["interp_insts"] = static_cast<double>(interpInstructions);
+  state.counters["dyn_alloc"] = static_cast<double>(stats.dynamicQubitsAllocated);
+  state.counters["onthefly_alloc"] =
+      static_cast<double>(stats.staticQubitsAllocated);
+}
+
+void BM_StaticAddressing(benchmark::State& state) {
+  benchAddressing(state, qir::Addressing::Static);
+}
+BENCHMARK(BM_StaticAddressing)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+void BM_DynamicAddressing(benchmark::State& state) {
+  benchAddressing(state, qir::Addressing::Dynamic);
+}
+BENCHMARK(BM_DynamicAddressing)->Arg(2)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# E5 (paper IV.A / Ex. 2 vs Ex. 6): static vs dynamic qubit "
+               "addressing\n";
+  for (const unsigned n : {2U, 8U, 32U}) {
+    const std::string s =
+        qirkit::bench::qirTextFor(qirkit::circuit::ghz(n, true),
+                                  qirkit::qir::Addressing::Static, true);
+    const std::string d =
+        qirkit::bench::qirTextFor(qirkit::circuit::ghz(n, true),
+                                  qirkit::qir::Addressing::Dynamic, true);
+    qirkit::ir::Context ctx;
+    const auto sm = qirkit::ir::parseModule(ctx, s);
+    const auto dm = qirkit::ir::parseModule(ctx, d, "d");
+    std::cout << "ghz-" << n << ": static " << sm->instructionCount()
+              << " instructions / " << s.size() << " chars; dynamic "
+              << dm->instructionCount() << " instructions / " << d.size()
+              << " chars\n";
+  }
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

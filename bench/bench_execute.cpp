@@ -1,0 +1,80 @@
+/// E4 — §III.C, Ex. 5: executing QIR programs. Interpreted QIR dispatching
+/// into the simulator-backed runtime vs direct circuit simulation.
+/// Expectation: the runtime route pays an interpretation overhead per gate
+/// that shrinks (relatively) as qubit count grows and kernels dominate.
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "ir/parser.hpp"
+#include "runtime/runtime.hpp"
+
+#include "workloads.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+namespace {
+
+using namespace qirkit;
+
+circuit::Circuit workload(int kind, unsigned n) {
+  return kind == 0 ? circuit::ghz(n, true) : circuit::qft(n, true);
+}
+
+const char* workloadName(int kind) { return kind == 0 ? "ghz" : "qft"; }
+
+void BM_DirectSimulation(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const auto n = static_cast<unsigned>(state.range(1));
+  const circuit::Circuit c = workload(kind, n);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::execute(c, seed++));
+  }
+  state.SetLabel(workloadName(kind));
+  state.counters["qubits"] = n;
+  state.counters["gates"] = static_cast<double>(c.gateCount());
+}
+BENCHMARK(BM_DirectSimulation)
+    ->ArgsProduct({{0, 1}, {4, 8, 12, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_InterpretedQIR(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const auto n = static_cast<unsigned>(state.range(1));
+  static std::map<std::pair<int, unsigned>, std::string> cache;
+  auto& text = cache[{kind, n}];
+  if (text.empty()) {
+    text = bench::qirTextFor(workload(kind, n), qir::Addressing::Static, true);
+  }
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, text);
+  std::uint64_t seed = 1;
+  std::uint64_t interpInstructions = 0;
+  std::uint64_t gates = 0;
+  for (auto _ : state) {
+    const runtime::RunResult result = runtime::runQIRModule(*module, seed++);
+    interpInstructions = result.interpStats.instructionsExecuted;
+    gates = result.stats.gatesApplied;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(workloadName(kind));
+  state.counters["qubits"] = n;
+  state.counters["interp_insts_per_gate"] =
+      gates > 0 ? static_cast<double>(interpInstructions) / static_cast<double>(gates)
+                : 0.0;
+}
+BENCHMARK(BM_InterpretedQIR)
+    ->ArgsProduct({{0, 1}, {4, 8, 12, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# E4 (paper III.C / Ex. 5): interpreted QIR + runtime vs "
+               "direct circuit simulation\n\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

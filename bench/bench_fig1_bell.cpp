@@ -1,0 +1,122 @@
+/// F1 — Fig. 1 / Ex. 1 / Ex. 2: the Bell-state "Hello World" in OpenQASM
+/// 2.0 and QIR. Regenerates both textual forms, checks all import routes
+/// agree, and times each representation's parse and execution.
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "ir/parser.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "qir/importer.hpp"
+#include "runtime/runtime.hpp"
+
+#include "workloads.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace qirkit;
+
+const circuit::Circuit& bell() {
+  static const circuit::Circuit c = circuit::bellPair(true);
+  return c;
+}
+
+const std::string& qasmText() {
+  static const std::string text = qasm::print(bell());
+  return text;
+}
+
+const std::string& qirTextDynamic() {
+  static const std::string text =
+      bench::qirTextFor(bell(), qir::Addressing::Dynamic, true);
+  return text;
+}
+
+const std::string& qirTextStatic() {
+  static const std::string text =
+      bench::qirTextFor(bell(), qir::Addressing::Static, true);
+  return text;
+}
+
+void BM_ParseOpenQASM(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qasm::parse(qasmText()));
+  }
+  state.counters["chars"] = static_cast<double>(qasmText().size());
+}
+BENCHMARK(BM_ParseOpenQASM);
+
+void BM_ParseQIRPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qir::importBaseProfileText(qirTextDynamic()));
+  }
+  state.counters["chars"] = static_cast<double>(qirTextDynamic().size());
+}
+BENCHMARK(BM_ParseQIRPattern);
+
+void BM_ParseQIRFullAst(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Context ctx;
+    const auto module = ir::parseModule(ctx, qirTextDynamic());
+    benchmark::DoNotOptimize(qir::importFromModule(*module));
+  }
+}
+BENCHMARK(BM_ParseQIRFullAst);
+
+void BM_ExecuteDirectCircuit(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuit::execute(bell(), seed++));
+  }
+}
+BENCHMARK(BM_ExecuteDirectCircuit);
+
+void BM_ExecuteInterpretedQIR(benchmark::State& state) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, qirTextDynamic());
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::runQIRModule(*module, seed++));
+  }
+}
+BENCHMARK(BM_ExecuteInterpretedQIR);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# F1 (paper Fig. 1): Bell state in OpenQASM 2.0 vs QIR\n";
+  std::cout << "## OpenQASM 2.0 (" << qasmText().size() << " chars)\n"
+            << qasmText() << "\n";
+  std::cout << "## QIR, dynamic addressing, Ex. 2 style ("
+            << qirTextDynamic().size() << " chars)\n";
+  std::cout << "## QIR, static addressing, Ex. 6 style (" << qirTextStatic().size()
+            << " chars)\n\n";
+
+  const auto fromQasm = qirkit::qasm::parse(qasmText());
+  const auto fromPattern = qirkit::qir::importBaseProfileText(qirTextDynamic());
+  qirkit::ir::Context ctx;
+  const auto module = qirkit::ir::parseModule(ctx, qirTextStatic());
+  const auto fromAst = qirkit::qir::importFromModule(*module);
+  std::cout << "all import routes agree: "
+            << ((fromQasm == bell() && fromPattern == bell() && fromAst == bell())
+                    ? "yes"
+                    : "NO — BUG")
+            << "\n";
+  std::map<std::string, unsigned> histogram;
+  for (unsigned shot = 0; shot < 1000; ++shot) {
+    const auto result = qirkit::circuit::execute(bell(), shot);
+    ++histogram[qirkit::circuit::bitsToString(result.bits)];
+  }
+  std::cout << "1000-shot histogram:";
+  for (const auto& [bits, count] : histogram) {
+    std::cout << " " << bits << "=" << count;
+  }
+  std::cout << "\n\n";
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

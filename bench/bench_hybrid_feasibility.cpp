@@ -1,0 +1,89 @@
+/// E7 — §IV.B: hybrid feasibility. "It must be ensured that the classical
+/// code offloaded to the quantum hardware can be executed in the required
+/// time frame to uphold the coherence of the qubits … there will always be
+/// programs that describe an infeasible execution and must be rejected."
+/// Measures analysis cost vs classical-work size and prints the
+/// accept/reject frontier for two hardware latency models.
+#include "hybrid/hybrid.hpp"
+#include "ir/parser.hpp"
+#include "qir/compile.hpp"
+
+#include "workloads.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace qirkit;
+
+void BM_CheckFeasibility(benchmark::State& state) {
+  const auto classicalOps = static_cast<unsigned>(state.range(0));
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, bench::feedbackProgram(classicalOps));
+  const hybrid::LatencyModel model = hybrid::LatencyModel::superconductingFPGA();
+  double worst = 0;
+  for (auto _ : state) {
+    const hybrid::FeasibilityReport report =
+        hybrid::checkFeasibility(*module, model, 1e9);
+    worst = report.worstPathNs;
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["classical_ops"] = classicalOps;
+  state.counters["path_ns"] = worst;
+}
+BENCHMARK(BM_CheckFeasibility)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PartitionHybrid(benchmark::State& state) {
+  const auto classicalOps = static_cast<unsigned>(state.range(0));
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, bench::feedbackProgram(classicalOps));
+  for (auto _ : state) {
+    const hybrid::PartitionReport report = hybrid::partitionHybrid(*module);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["classical_ops"] = classicalOps;
+}
+BENCHMARK(BM_PartitionHybrid)->Arg(1)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using qirkit::hybrid::LatencyModel;
+  std::cout << "# E7 (paper IV.B): classical feedback vs coherence budget\n";
+  std::cout << "accept/reject frontier (budget = 1000 ns):\n";
+  std::cout << "classical_ops | FPGA path_ns feasible | ion-CPU path_ns feasible\n";
+  for (const unsigned ops : {1U, 8U, 32U, 64U, 128U, 256U, 512U}) {
+    qirkit::ir::Context ctx;
+    const auto module =
+        qirkit::ir::parseModule(ctx, qirkit::bench::feedbackProgram(ops));
+    const auto fpga = qirkit::hybrid::checkFeasibility(
+        *module, LatencyModel::superconductingFPGA(), 1000.0);
+    const auto ion = qirkit::hybrid::checkFeasibility(
+        *module, LatencyModel::ionTrapCPU(), 1000.0);
+    std::cout << ops << " | " << fpga.worstPathNs << " "
+              << (fpga.feasible ? "yes" : "REJECT") << " | " << ion.worstPathNs
+              << " " << (ion.feasible ? "yes" : "REJECT") << "\n";
+  }
+  std::cout << "\npartition of the 64-op program:\n";
+  {
+    qirkit::ir::Context ctx;
+    const auto module =
+        qirkit::ir::parseModule(ctx, qirkit::bench::feedbackProgram(64));
+    const auto partition = qirkit::hybrid::partitionHybrid(*module);
+    for (const auto& [placement, count] : partition.counts) {
+      std::cout << "  " << qirkit::hybrid::placementName(placement) << ": " << count
+                << " instructions\n";
+    }
+  }
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// E6 — §IV.A: qubit mapping as "register allocation" for qubits. Measures
+/// mapping time and SWAP overhead for different coupling topologies, and
+/// demonstrates the rejection obligation for programs exceeding the
+/// hardware qubit count.
+#include "circuit/generators.hpp"
+#include "circuit/mapping.hpp"
+#include "circuit/optimizer.hpp"
+#include "support/source_location.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace qirkit;
+using circuit::Target;
+
+Target targetFor(int kind, unsigned n) {
+  switch (kind) {
+  case 0: return Target::line(n);
+  case 1: return Target::grid((n + 3) / 4, 4);
+  default: return Target::fullyConnected(n);
+  }
+}
+
+void BM_MapCircuit(benchmark::State& state) {
+  const int topology = static_cast<int>(state.range(0));
+  const auto n = static_cast<unsigned>(state.range(1));
+  const circuit::Circuit c =
+      circuit::decomposeToCXBasis(circuit::qft(n, true));
+  const Target target = targetFor(topology, n);
+  std::size_t swaps = 0;
+  for (auto _ : state) {
+    const circuit::MappingResult result = circuit::mapCircuit(c, target);
+    swaps = result.swapsInserted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(target.name);
+  state.counters["qubits"] = n;
+  state.counters["gates_in"] = static_cast<double>(c.gateCount());
+  state.counters["swaps"] = static_cast<double>(swaps);
+  state.counters["swap_overhead_pct"] =
+      100.0 * static_cast<double>(swaps) /
+      static_cast<double>(std::max<std::size_t>(1, c.twoQubitGateCount()));
+}
+BENCHMARK(BM_MapCircuit)
+    ->ArgsProduct({{0, 1, 2}, {4, 8, 12, 16}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MapRandomCircuit(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const circuit::Circuit c =
+      circuit::decomposeToCXBasis(circuit::randomCircuit(n, 8, 5, true));
+  const Target target = Target::line(n);
+  std::size_t swaps = 0;
+  for (auto _ : state) {
+    const circuit::MappingResult result = circuit::mapCircuit(c, target);
+    swaps = result.swapsInserted;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["qubits"] = n;
+  state.counters["swaps"] = static_cast<double>(swaps);
+}
+BENCHMARK(BM_MapRandomCircuit)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "# E6 (paper IV.A): qubit mapping = register allocation for "
+               "qubits\n";
+  // Rejection check.
+  bool rejected = false;
+  try {
+    (void)circuit::mapCircuit(qirkit::circuit::ghz(9, true),
+                              Target::grid(2, 4));
+  } catch (const qirkit::SemanticError& e) {
+    rejected = true;
+    std::cout << "9-qubit program on a 2x4 grid: rejected — " << e.what() << "\n";
+  }
+  if (!rejected) {
+    std::cout << "9-qubit program on a 2x4 grid: ACCEPTED — BUG\n";
+  }
+  std::cout << "\n";
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+/// \file workloads.hpp
+/// Shared workload builders for the benchmark harness (see DESIGN.md §4
+/// for the experiment index each bench implements).
+#pragma once
+
+#include "circuit/generators.hpp"
+#include "ir/module.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "qir/exporter.hpp"
+
+#include <string>
+
+namespace qirkit::bench {
+
+/// QIR text for a generated circuit in the given addressing mode.
+inline std::string qirTextFor(const circuit::Circuit& circuit,
+                              qir::Addressing addressing,
+                              bool recordOutput = false) {
+  ir::Context ctx;
+  qir::ExportOptions options;
+  options.addressing = addressing;
+  options.recordOutput = recordOutput;
+  const auto module = qir::exportCircuit(ctx, circuit, options);
+  return ir::printModule(*module);
+}
+
+/// The paper's Ex. 4 FOR-loop program with a parameterized bound: applies
+/// one H to qubits 0..n-1 through a classical loop (alloca/load/store
+/// form, exactly as a front end would emit it).
+inline std::string ex4LoopProgram(unsigned n) {
+  return R"(
+declare void @__quantum__qis__h__body(ptr)
+
+define void @main() #0 {
+entry:
+  %i = alloca i32, align 4
+  store i32 0, ptr %i, align 4
+  br label %for.header
+for.header:
+  %1 = load i32, ptr %i, align 4
+  %cond = icmp slt i32 %1, )" +
+         std::to_string(n) + R"(
+  br i1 %cond, label %body, label %exit
+body:
+  %2 = load i32, ptr %i, align 4
+  %q64 = sext i32 %2 to i64
+  %q = inttoptr i64 %q64 to ptr
+  call void @__quantum__qis__h__body(ptr %q)
+  %3 = load i32, ptr %i, align 4
+  %4 = add nsw i32 %3, 1
+  store i32 %4, ptr %i, align 4
+  br label %for.header
+exit:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+}
+
+/// A hybrid feedback program: measure, run `classicalOps` integer ops on
+/// the result, then conditionally apply X (the §IV.B feedback shape).
+inline std::string feedbackProgram(unsigned classicalOps) {
+  std::string s = R"(
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  %v0 = zext i1 %r to i64
+)";
+  for (unsigned i = 1; i <= classicalOps; ++i) {
+    s += "  %v" + std::to_string(i) + " = add i64 %v" + std::to_string(i - 1) +
+         ", 1\n";
+  }
+  s += "  %c = icmp sgt i64 %v" + std::to_string(classicalOps) + R"(, 0
+  br i1 %c, label %then, label %continue
+then:
+  call void @__quantum__qis__x__body(ptr null)
+  br label %continue
+continue:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+  return s;
+}
+
+/// A VQE-style hybrid program: a classical parameter loop around a small
+/// parameterized quantum kernel, all in one QIR function. The rotation
+/// angle is iteration-dependent (i * step), so unrolling materializes
+/// distinct constants.
+inline std::string variationalLoopProgram(unsigned iterations, unsigned qubits) {
+  std::string s = R"(
+declare void @__quantum__qis__ry__body(double, ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+
+define void @main() #0 {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %latch ]
+  %cond = icmp slt i64 %i, )" + std::to_string(iterations) + R"(
+  br i1 %cond, label %kernel, label %exit
+kernel:
+  %fi = sitofp i64 %i to double
+  %theta = fmul double %fi, 0.1
+)";
+  for (unsigned q = 0; q < qubits; ++q) {
+    s += "  call void @__quantum__qis__ry__body(double %theta, ptr inttoptr (i64 " +
+         std::to_string(q) + " to ptr))\n";
+  }
+  for (unsigned q = 0; q + 1 < qubits; ++q) {
+    s += "  call void @__quantum__qis__cnot__body(ptr inttoptr (i64 " +
+         std::to_string(q) + " to ptr), ptr inttoptr (i64 " + std::to_string(q + 1) +
+         " to ptr))\n";
+  }
+  s += R"(  br label %latch
+latch:
+  %i.next = add i64 %i, 1
+  br label %header
+exit:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+  return s;
+}
+
+} // namespace qirkit::bench

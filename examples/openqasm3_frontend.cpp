@@ -1,0 +1,95 @@
+/// \file openqasm3_frontend.cpp
+/// The paper's §II.B contrast, live: OpenQASM 3 "integrates classical
+/// logic and control flow into the IR", which means every OpenQASM 3 tool
+/// must reimplement loop unrolling, constant propagation, etc. QIR's
+/// answer is to lower those constructs onto LLVM-style IR and let the
+/// existing classical passes do the work.
+///
+/// This example compiles an OpenQASM 3 program with nested FOR loops and a
+/// measurement conditional into QIR, shows the classical control flow in
+/// the emitted IR, runs the stock classical pipeline (no quantum-specific
+/// loop handling anywhere), and ends with flat base/adaptive-profile QIR —
+/// which then executes on the runtime.
+#include "ir/printer.hpp"
+#include "qasm/qasm3.hpp"
+#include "qir/compile.hpp"
+#include "qir/importer.hpp"
+#include "qir/profiles.hpp"
+#include "runtime/runtime.hpp"
+
+#include <iostream>
+
+namespace {
+
+const char* kProgram = R"(OPENQASM 3;
+include "stdgates.inc";
+
+qubit[4] q;
+bit[4] c;
+
+// Layered state preparation: classical FOR loops with the loop variable
+// used in both the qubit index and the rotation angle.
+for int layer in [0:2] {
+  for int i in [0:3] {
+    ry(pi * (layer + 1) / 8) q[i];
+  }
+  for int i in [0:2] {
+    cx q[i], q[i+1];
+  }
+}
+
+// Mid-circuit measurement with feedback (adaptive profile).
+c[0] = measure q[0];
+if (c[0] == 1) {
+  x q[0];
+}
+
+for int i in [0:3] {
+  c[i] = measure q[i];
+}
+)";
+
+} // namespace
+
+int main() {
+  using namespace qirkit;
+
+  std::cout << "=== OpenQASM 3 input ===\n" << kProgram << "\n";
+
+  ir::Context ctx;
+  auto module = qasm::compileQasm3(ctx, kProgram);
+  std::cout << "=== after lowering to QIR ===\n";
+  std::cout << "blocks: " << module->entryPoint()->blocks().size()
+            << " (the FOR loops are real IR loops), instructions: "
+            << module->instructionCount() << ", profile: "
+            << qir::profileName(qir::detectProfile(*module)) << "\n\n";
+
+  const std::size_t sweeps = qir::transformDirect(*module);
+  std::cout << "=== after the stock classical pipeline (" << sweeps
+            << " sweeps) ===\n";
+  std::cout << "blocks: " << module->entryPoint()->blocks().size()
+            << ", instructions: " << module->instructionCount()
+            << ", profile: " << qir::profileName(qir::detectProfile(*module))
+            << "\n";
+  const circuit::Circuit c = qir::importFromModule(*module);
+  std::cout << "circuit view: " << c.summary() << "\n\n";
+
+  std::cout << "=== 500 shots through the runtime ===\n";
+  std::map<std::string, unsigned> histogram;
+  for (unsigned shot = 0; shot < 500; ++shot) {
+    interp::Interpreter interp(*module);
+    runtime::QuantumRuntime rt(100 + shot);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    ++histogram[rt.outputBitString()];
+  }
+  unsigned shown = 0;
+  for (const auto& [bits, count] : histogram) {
+    std::cout << "  " << bits << ": " << count << "\n";
+    if (++shown >= 8) {
+      std::cout << "  ... (" << histogram.size() - shown << " more)\n";
+      break;
+    }
+  }
+  return 0;
+}

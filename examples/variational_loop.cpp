@@ -1,0 +1,113 @@
+/// \file variational_loop.cpp
+/// §II.B motivation: "For near-term applications, this allows to describe
+/// variational quantum algorithms, where the quantum circuit is part of a
+/// larger classical optimization loop."
+///
+/// A VQE-style program: the classical parameter loop is expressed *in the
+/// IR* (a real FOR loop over iterations whose rotation angle depends on
+/// the induction variable). The program is executed twice — raw, and after
+/// the classical pipeline (§II.C's "free" optimizations) — demonstrating
+/// identical quantum behaviour with a fraction of the interpreted
+/// classical work.
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "qir/compile.hpp"
+#include "runtime/runtime.hpp"
+
+#include <iostream>
+#include <string>
+
+namespace {
+
+/// Build the hybrid program: `for (i = 0; i < iterations; ++i) { RY(0.1*i)
+/// on each qubit; CX ladder; }` followed by measurement of qubit 0.
+std::string buildProgram(unsigned iterations, unsigned qubits) {
+  std::string s = R"(
+declare void @__quantum__qis__ry__body(double, ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+
+define void @main() #0 {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %latch ]
+  %cond = icmp slt i64 %i, )" + std::to_string(iterations) + R"(
+  br i1 %cond, label %kernel, label %exit
+kernel:
+  %fi = sitofp i64 %i to double
+  %theta = fmul double %fi, 0.1
+)";
+  for (unsigned q = 0; q < qubits; ++q) {
+    s += "  call void @__quantum__qis__ry__body(double %theta, ptr inttoptr (i64 " +
+         std::to_string(q) + " to ptr))\n";
+  }
+  for (unsigned q = 0; q + 1 < qubits; ++q) {
+    s += "  call void @__quantum__qis__cnot__body(ptr inttoptr (i64 " +
+         std::to_string(q) + " to ptr), ptr inttoptr (i64 " + std::to_string(q + 1) +
+         " to ptr))\n";
+  }
+  s += R"(  br label %latch
+latch:
+  %i.next = add i64 %i, 1
+  br label %header
+exit:
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+  return s;
+}
+
+} // namespace
+
+int main() {
+  using namespace qirkit;
+  constexpr unsigned kIterations = 16;
+  constexpr unsigned kQubits = 4;
+  const std::string program = buildProgram(kIterations, kQubits);
+
+  std::cout << "=== hybrid variational-loop QIR (" << kIterations
+            << " iterations x " << kQubits << " qubits) ===\n";
+
+  // Route 1: interpret the program as written (classical loop included).
+  ir::Context ctxA;
+  const auto rawModule = ir::parseModule(ctxA, program);
+  const runtime::RunResult raw = runtime::runQIRModule(*rawModule, 1);
+  std::cout << "raw:       " << raw.stats.gatesApplied << " gates, "
+            << raw.interpStats.instructionsExecuted
+            << " interpreted instructions, "
+            << rawModule->instructionCount() << " program instructions\n";
+
+  // Route 2: run the classical pipeline first (§III.B direct
+  // transformation), then interpret.
+  ir::Context ctxB;
+  auto optModule = ir::parseModule(ctxB, program);
+  const std::size_t sweeps = qir::transformDirect(*optModule);
+  const runtime::RunResult optimized = runtime::runQIRModule(*optModule, 1);
+  std::cout << "optimized: " << optimized.stats.gatesApplied << " gates, "
+            << optimized.interpStats.instructionsExecuted
+            << " interpreted instructions, " << optModule->instructionCount()
+            << " program instructions (after " << sweeps << " pipeline sweeps)\n";
+
+  if (raw.stats.gatesApplied != optimized.stats.gatesApplied) {
+    std::cerr << "ERROR: optimization changed the quantum program!\n";
+    return 1;
+  }
+  std::cout << "\nquantum behaviour identical; classical interpretation work "
+            << "reduced by "
+            << (raw.interpStats.instructionsExecuted -
+                optimized.interpStats.instructionsExecuted)
+            << " instructions ("
+            << 100.0 *
+                   static_cast<double>(raw.interpStats.instructionsExecuted -
+                                       optimized.interpStats.instructionsExecuted) /
+                   static_cast<double>(raw.interpStats.instructionsExecuted)
+            << "%)\n\n";
+
+  std::cout << "=== first lines of the optimized module ===\n";
+  const std::string printed = ir::printModule(*optModule);
+  std::cout << printed.substr(0, 1200) << "...\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+#include "circuit/executor.hpp"
+
+#include "sim/stabilizer.hpp"
+#include "support/source_location.hpp"
+
+namespace qirkit::circuit {
+
+namespace {
+
+bool conditionHolds(const Condition& cond, const std::vector<bool>& bits) {
+  std::uint64_t value = 0;
+  for (std::uint32_t i = 0; i < cond.numBits; ++i) {
+    if (bits[cond.firstBit + i]) {
+      value |= std::uint64_t{1} << i;
+    }
+  }
+  return value == cond.value;
+}
+
+} // namespace
+
+ExecutionResult execute(const Circuit& circuit, std::uint64_t seed,
+                        qirkit::ThreadPool* pool) {
+  SplitMix64 rng(seed);
+  ExecutionResult result{std::vector<bool>(circuit.numBits(), false),
+                         sim::StateVector(circuit.numQubits(), pool)};
+  sim::StateVector& state = result.state;
+  for (const Operation& op : circuit.ops()) {
+    if (op.condition && !conditionHolds(*op.condition, result.bits)) {
+      continue;
+    }
+    switch (op.kind) {
+    case OpKind::H: state.apply1(sim::gateH(), op.qubits[0]); break;
+    case OpKind::X: state.apply1(sim::gateX(), op.qubits[0]); break;
+    case OpKind::Y: state.apply1(sim::gateY(), op.qubits[0]); break;
+    case OpKind::Z: state.apply1(sim::gateZ(), op.qubits[0]); break;
+    case OpKind::S: state.apply1(sim::gateS(), op.qubits[0]); break;
+    case OpKind::Sdg: state.apply1(sim::gateSdg(), op.qubits[0]); break;
+    case OpKind::T: state.apply1(sim::gateT(), op.qubits[0]); break;
+    case OpKind::Tdg: state.apply1(sim::gateTdg(), op.qubits[0]); break;
+    case OpKind::RX: state.apply1(sim::gateRX(op.params[0]), op.qubits[0]); break;
+    case OpKind::RY: state.apply1(sim::gateRY(op.params[0]), op.qubits[0]); break;
+    case OpKind::RZ: state.apply1(sim::gateRZ(op.params[0]), op.qubits[0]); break;
+    case OpKind::U3:
+      state.apply1(sim::gateU3(op.params[0], op.params[1], op.params[2]),
+                   op.qubits[0]);
+      break;
+    case OpKind::CX:
+      state.applyControlled1(sim::gateX(), op.qubits[0], op.qubits[1]);
+      break;
+    case OpKind::CZ:
+      state.applyControlled1(sim::gateZ(), op.qubits[0], op.qubits[1]);
+      break;
+    case OpKind::Swap: state.applySwap(op.qubits[0], op.qubits[1]); break;
+    case OpKind::CCX:
+      state.applyCCX(op.qubits[0], op.qubits[1], op.qubits[2]);
+      break;
+    case OpKind::Measure:
+      result.bits[op.bit] = state.measure(op.qubits[0], rng);
+      break;
+    case OpKind::Reset: state.resetQubit(op.qubits[0], rng); break;
+    case OpKind::Barrier: break;
+    }
+  }
+  return result;
+}
+
+std::map<std::string, std::uint64_t> sampleCounts(const Circuit& circuit,
+                                                  std::uint64_t shots,
+                                                  std::uint64_t seed) {
+  std::map<std::string, std::uint64_t> counts;
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    const ExecutionResult result = execute(circuit, seed + s);
+    ++counts[bitsToString(result.bits)];
+  }
+  return counts;
+}
+
+bool isCliffordCircuit(const Circuit& circuit) {
+  for (const Operation& op : circuit.ops()) {
+    switch (op.kind) {
+    case OpKind::H:
+    case OpKind::S:
+    case OpKind::Sdg:
+    case OpKind::X:
+    case OpKind::Y:
+    case OpKind::Z:
+    case OpKind::CX:
+    case OpKind::CZ:
+    case OpKind::Swap:
+    case OpKind::Measure:
+    case OpKind::Reset:
+    case OpKind::Barrier:
+      continue;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<bool> executeClifford(const Circuit& circuit, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  sim::StabilizerSimulator state(std::max(1U, circuit.numQubits()));
+  std::vector<bool> bits(circuit.numBits(), false);
+  for (const Operation& op : circuit.ops()) {
+    if (op.condition && !conditionHolds(*op.condition, bits)) {
+      continue;
+    }
+    switch (op.kind) {
+    case OpKind::H: state.h(op.qubits[0]); break;
+    case OpKind::S: state.s(op.qubits[0]); break;
+    case OpKind::Sdg: state.sdg(op.qubits[0]); break;
+    case OpKind::X: state.x(op.qubits[0]); break;
+    case OpKind::Y: state.y(op.qubits[0]); break;
+    case OpKind::Z: state.z(op.qubits[0]); break;
+    case OpKind::CX: state.cx(op.qubits[0], op.qubits[1]); break;
+    case OpKind::CZ: state.cz(op.qubits[0], op.qubits[1]); break;
+    case OpKind::Swap: state.swap(op.qubits[0], op.qubits[1]); break;
+    case OpKind::Measure: bits[op.bit] = state.measure(op.qubits[0], rng); break;
+    case OpKind::Reset: state.reset(op.qubits[0], rng); break;
+    case OpKind::Barrier: break;
+    default:
+      throw SemanticError(std::string("non-Clifford operation '") +
+                          opKindName(op.kind) +
+                          "' cannot run on the stabilizer simulator");
+    }
+  }
+  return bits;
+}
+
+std::string bitsToString(const std::vector<bool>& bits) {
+  std::string out(bits.size(), '0');
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      out[bits.size() - 1 - i] = '1';
+    }
+  }
+  return out;
+}
+
+} // namespace qirkit::circuit

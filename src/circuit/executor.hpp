@@ -1,0 +1,44 @@
+/// \file executor.hpp
+/// Direct execution of a Circuit on the statevector simulator — the
+/// baseline the QIR runtime route is benchmarked against (E4), and the
+/// semantic oracle for round-trip equivalence tests.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "sim/statevector.hpp"
+#include "support/rng.hpp"
+
+#include <map>
+#include <string>
+
+namespace qirkit::circuit {
+
+/// Result of one execution: final classical bits and final quantum state.
+struct ExecutionResult {
+  std::vector<bool> bits;
+  sim::StateVector state;
+};
+
+/// Execute \p circuit once with measurement randomness seeded by \p seed.
+[[nodiscard]] ExecutionResult execute(const Circuit& circuit, std::uint64_t seed = 1,
+                                      qirkit::ThreadPool* pool = nullptr);
+
+/// Execute \p circuit \p shots times; returns counts keyed by the bit
+/// string (bit numBits-1 leftmost, OpenQASM convention).
+[[nodiscard]] std::map<std::string, std::uint64_t>
+sampleCounts(const Circuit& circuit, std::uint64_t shots, std::uint64_t seed = 1);
+
+/// Format classical bits as a string, bit numBits-1 leftmost.
+[[nodiscard]] std::string bitsToString(const std::vector<bool>& bits);
+
+/// True if every operation of \p circuit is in the Clifford set
+/// (H, S, Sdg, X, Y, Z, CX, CZ, Swap, Measure, Reset, Barrier).
+[[nodiscard]] bool isCliffordCircuit(const Circuit& circuit);
+
+/// Execute a Clifford circuit on the stabilizer simulator (polynomial in
+/// qubit count — works far beyond the statevector limit). Conditions are
+/// honored like in execute(). Throws SemanticError on non-Clifford gates.
+[[nodiscard]] std::vector<bool> executeClifford(const Circuit& circuit,
+                                                std::uint64_t seed = 1);
+
+} // namespace qirkit::circuit

@@ -1,0 +1,182 @@
+#include "circuit/mapping.hpp"
+
+#include "support/source_location.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace qirkit::circuit {
+
+bool Target::connected(unsigned a, unsigned b) const noexcept {
+  for (const auto& [x, y] : coupling) {
+    if ((x == a && y == b) || (x == b && y == a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<unsigned>> Target::distances() const {
+  const unsigned unreachable = numQubits + 1;
+  std::vector<std::vector<unsigned>> dist(numQubits,
+                                          std::vector<unsigned>(numQubits, unreachable));
+  std::vector<std::vector<unsigned>> adjacency(numQubits);
+  for (const auto& [a, b] : coupling) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  for (unsigned start = 0; start < numQubits; ++start) {
+    dist[start][start] = 0;
+    std::deque<unsigned> queue{start};
+    while (!queue.empty()) {
+      const unsigned node = queue.front();
+      queue.pop_front();
+      for (const unsigned next : adjacency[node]) {
+        if (dist[start][next] == unreachable) {
+          dist[start][next] = dist[start][node] + 1;
+          queue.push_back(next);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+Target Target::line(unsigned n) {
+  Target t{"line-" + std::to_string(n), n, {}};
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    t.coupling.emplace_back(i, i + 1);
+  }
+  return t;
+}
+
+Target Target::ring(unsigned n) {
+  Target t = line(n);
+  t.name = "ring-" + std::to_string(n);
+  if (n > 2) {
+    t.coupling.emplace_back(n - 1, 0);
+  }
+  return t;
+}
+
+Target Target::grid(unsigned rows, unsigned cols) {
+  Target t{"grid-" + std::to_string(rows) + "x" + std::to_string(cols), rows * cols, {}};
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      const unsigned q = r * cols + c;
+      if (c + 1 < cols) {
+        t.coupling.emplace_back(q, q + 1);
+      }
+      if (r + 1 < rows) {
+        t.coupling.emplace_back(q, q + cols);
+      }
+    }
+  }
+  return t;
+}
+
+Target Target::fullyConnected(unsigned n) {
+  Target t{"full-" + std::to_string(n), n, {}};
+  for (unsigned a = 0; a < n; ++a) {
+    for (unsigned b = a + 1; b < n; ++b) {
+      t.coupling.emplace_back(a, b);
+    }
+  }
+  return t;
+}
+
+MappingResult mapCircuit(const Circuit& circuit, const Target& target) {
+  if (circuit.numQubits() > target.numQubits) {
+    // §IV.A: the hardware has a fixed number of qubits and the compiler
+    // must ensure the program does not exceed it.
+    throw SemanticError("program requires " + std::to_string(circuit.numQubits()) +
+                        " qubits but target '" + target.name + "' has only " +
+                        std::to_string(target.numQubits));
+  }
+  const auto dist = target.distances();
+
+  MappingResult result;
+  result.mapped = Circuit(target.numQubits, circuit.numBits());
+  // layout: program qubit -> hardware qubit (identity initial placement).
+  std::vector<unsigned> layout(circuit.numQubits());
+  std::iota(layout.begin(), layout.end(), 0);
+  // inverse: hardware qubit -> program qubit (or UINT_MAX when free).
+  std::vector<unsigned> inverse(target.numQubits, ~0U);
+  for (unsigned p = 0; p < layout.size(); ++p) {
+    inverse[layout[p]] = p;
+  }
+  result.initialLayout = layout;
+
+  const auto hardwareSwap = [&](unsigned ha, unsigned hb,
+                                const std::optional<Condition>&) {
+    result.mapped.swap(ha, hb);
+    ++result.swapsInserted;
+    const unsigned pa = inverse[ha];
+    const unsigned pb = inverse[hb];
+    std::swap(inverse[ha], inverse[hb]);
+    if (pa != ~0U) {
+      layout[pa] = hb;
+    }
+    if (pb != ~0U) {
+      layout[pb] = ha;
+    }
+  };
+
+  // Adjacency for routing steps.
+  std::vector<std::vector<unsigned>> adjacency(target.numQubits);
+  for (const auto& [a, b] : target.coupling) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+
+  for (const Operation& op : circuit.ops()) {
+    if (op.qubits.size() > 2) {
+      throw SemanticError("mapCircuit requires <=2-qubit operations; run "
+                          "decomposeToCXBasis first");
+    }
+    if (op.qubits.size() == 2) {
+      unsigned ha = layout[op.qubits[0]];
+      unsigned hb = layout[op.qubits[1]];
+      if (dist[ha][hb] > target.numQubits) {
+        throw SemanticError("target '" + target.name +
+                            "' coupling graph is disconnected for this circuit");
+      }
+      // Greedy routing: step qubit a along a shortest path towards b.
+      while (dist[ha][hb] > 1) {
+        unsigned bestNext = ha;
+        unsigned bestDist = dist[ha][hb];
+        for (const unsigned next : adjacency[ha]) {
+          if (dist[next][hb] < bestDist) {
+            bestDist = dist[next][hb];
+            bestNext = next;
+          }
+        }
+        hardwareSwap(ha, bestNext, op.condition);
+        ha = layout[op.qubits[0]];
+        hb = layout[op.qubits[1]];
+      }
+    }
+    Operation mappedOp = op;
+    for (std::uint32_t& q : mappedOp.qubits) {
+      q = layout[q];
+    }
+    result.mapped.add(std::move(mappedOp));
+  }
+  result.finalLayout = std::move(layout);
+  return result;
+}
+
+bool respectsCoupling(const Circuit& circuit, const Target& target) {
+  for (const Operation& op : circuit.ops()) {
+    if (op.qubits.size() == 2 && !target.connected(op.qubits[0], op.qubits[1])) {
+      return false;
+    }
+    if (op.qubits.size() > 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace qirkit::circuit

@@ -1,0 +1,57 @@
+/// \file mapping.hpp
+/// Qubit mapping — the paper's §IV.A: "the compiler must at some point
+/// assign the program's qubits to the hardware's qubits — a process very
+/// similar to register allocation in classical compilers."
+///
+/// A Target describes the hardware register file (qubit count + coupling
+/// map); mapCircuit() assigns program qubits to hardware qubits, inserts
+/// SWAPs to satisfy the coupling constraint, and rejects programs that
+/// exceed the hardware qubit count.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qirkit::circuit {
+
+/// A hardware target: a fixed number of qubits with an undirected coupling
+/// graph. (CX direction is ignored; direction fixing is an H-conjugation
+/// peephole left to the basis lowering.)
+struct Target {
+  std::string name;
+  unsigned numQubits = 0;
+  std::vector<std::pair<unsigned, unsigned>> coupling;
+
+  [[nodiscard]] bool connected(unsigned a, unsigned b) const noexcept;
+  /// All-pairs shortest-path distances over the coupling graph (BFS).
+  /// Unreachable pairs get a distance > numQubits.
+  [[nodiscard]] std::vector<std::vector<unsigned>> distances() const;
+
+  static Target line(unsigned n);
+  static Target ring(unsigned n);
+  static Target grid(unsigned rows, unsigned cols);
+  static Target fullyConnected(unsigned n);
+};
+
+/// Result of mapping a circuit onto a target.
+struct MappingResult {
+  Circuit mapped;                       // hardware-qubit circuit
+  std::vector<unsigned> initialLayout;  // program qubit -> hardware qubit
+  std::vector<unsigned> finalLayout;    // program qubit -> hardware qubit
+  std::size_t swapsInserted = 0;
+};
+
+/// Map \p circuit onto \p target with a greedy shortest-path router.
+/// Multi-qubit gates beyond 2 qubits must be decomposed first
+/// (decomposeToCXBasis). Throws SemanticError if the circuit needs more
+/// qubits than the target has — the §IV.A rejection obligation.
+[[nodiscard]] MappingResult mapCircuit(const Circuit& circuit, const Target& target);
+
+/// Check that every 2-qubit operation in \p circuit respects \p target's
+/// coupling map (used by tests and the validator).
+[[nodiscard]] bool respectsCoupling(const Circuit& circuit, const Target& target);
+
+} // namespace qirkit::circuit

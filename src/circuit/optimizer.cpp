@@ -1,0 +1,304 @@
+#include "circuit/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace qirkit::circuit {
+namespace {
+
+/// Inverse-pair table for parameterless gates. Self-inverse unless noted.
+bool areInverse(const Operation& a, const Operation& b) {
+  const auto self = [](OpKind k) {
+    return k == OpKind::H || k == OpKind::X || k == OpKind::Y || k == OpKind::Z ||
+           k == OpKind::CX || k == OpKind::CZ || k == OpKind::Swap ||
+           k == OpKind::CCX;
+  };
+  if (a.kind == b.kind && self(a.kind)) {
+    // Orientation matters for CX and the controls of CCX.
+    if (a.kind == OpKind::CZ || a.kind == OpKind::Swap) {
+      return (a.qubits == b.qubits) ||
+             (a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0]);
+    }
+    if (a.kind == OpKind::CCX) {
+      return a.qubits[2] == b.qubits[2] &&
+             ((a.qubits[0] == b.qubits[0] && a.qubits[1] == b.qubits[1]) ||
+              (a.qubits[0] == b.qubits[1] && a.qubits[1] == b.qubits[0]));
+    }
+    return a.qubits == b.qubits;
+  }
+  const auto pair = [&](OpKind x, OpKind y) {
+    return (a.kind == x && b.kind == y) || (a.kind == y && b.kind == x);
+  };
+  if (a.qubits != b.qubits) {
+    return false;
+  }
+  return pair(OpKind::S, OpKind::Sdg) || pair(OpKind::T, OpKind::Tdg);
+}
+
+/// Per-qubit stack of indices of still-alive preceding operations; used to
+/// find the adjacent-on-these-qubits predecessor of each operation.
+class AdjacencyTracker {
+public:
+  explicit AdjacencyTracker(unsigned numQubits) : last_(numQubits, -1) {}
+
+  /// The index of the operation immediately preceding on *all* of
+  /// \p qubits, or -1 if they disagree or there is none.
+  [[nodiscard]] int adjacentPredecessor(const std::vector<std::uint32_t>& qubits) const {
+    if (qubits.empty()) {
+      return -1;
+    }
+    const int candidate = last_[qubits[0]];
+    for (const std::uint32_t q : qubits) {
+      if (last_[q] != candidate) {
+        return -1;
+      }
+    }
+    return candidate;
+  }
+
+  void place(int index, const std::vector<std::uint32_t>& qubits) {
+    for (const std::uint32_t q : qubits) {
+      last_[q] = index;
+    }
+  }
+
+  void placeOnAll(int index) { std::fill(last_.begin(), last_.end(), index); }
+
+  /// Forget \p index on \p qubits, restoring \p restore (used when the
+  /// predecessor is cancelled; the ops before it are unknown, so block).
+  void blockQubits(const std::vector<std::uint32_t>& qubits) {
+    for (const std::uint32_t q : qubits) {
+      last_[q] = -2; // unknown: prevents further pairing across the hole
+    }
+  }
+
+private:
+  std::vector<int> last_;
+};
+
+bool isFence(const Operation& op) {
+  return !isUnitary(op.kind) || op.condition.has_value();
+}
+
+void compact(Circuit& circuit, const std::vector<bool>& removed) {
+  Circuit next(circuit.numQubits(), circuit.numBits());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    if (!removed[i]) {
+      next.add(circuit.op(i));
+    }
+  }
+  circuit = std::move(next);
+}
+
+} // namespace
+
+std::size_t cancelInversePairs(Circuit& circuit) {
+  const std::size_t n = circuit.size();
+  std::vector<bool> removed(n, false);
+  AdjacencyTracker tracker(circuit.numQubits());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Operation& op = circuit.op(i);
+    if (isFence(op)) {
+      if (op.kind == OpKind::Barrier && op.qubits.empty()) {
+        tracker.placeOnAll(static_cast<int>(i));
+      } else {
+        tracker.place(static_cast<int>(i), op.qubits);
+      }
+      continue;
+    }
+    const int prev = tracker.adjacentPredecessor(op.qubits);
+    if (prev >= 0 && !removed[static_cast<std::size_t>(prev)] &&
+        !isFence(circuit.op(static_cast<std::size_t>(prev))) &&
+        areInverse(circuit.op(static_cast<std::size_t>(prev)), op)) {
+      removed[static_cast<std::size_t>(prev)] = true;
+      removed[i] = true;
+      // What precedes `prev` on these qubits is no longer tracked.
+      tracker.blockQubits(op.qubits);
+      continue;
+    }
+    tracker.place(static_cast<int>(i), op.qubits);
+  }
+  const std::size_t count =
+      static_cast<std::size_t>(std::count(removed.begin(), removed.end(), true));
+  if (count > 0) {
+    compact(circuit, removed);
+  }
+  return count;
+}
+
+std::size_t mergeRotations(Circuit& circuit) {
+  const std::size_t n = circuit.size();
+  std::vector<bool> removed(n, false);
+  std::vector<Operation> ops(circuit.ops().begin(), circuit.ops().end());
+  AdjacencyTracker tracker(circuit.numQubits());
+  std::size_t mergedCount = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Operation& op = ops[i];
+    const bool rotation = op.kind == OpKind::RX || op.kind == OpKind::RY ||
+                          op.kind == OpKind::RZ;
+    if (isFence(op) || !rotation) {
+      if (op.kind == OpKind::Barrier && op.qubits.empty()) {
+        tracker.placeOnAll(static_cast<int>(i));
+      } else {
+        tracker.place(static_cast<int>(i), op.qubits);
+      }
+      continue;
+    }
+    const int prev = tracker.adjacentPredecessor(op.qubits);
+    if (prev >= 0 && !removed[static_cast<std::size_t>(prev)] &&
+        ops[static_cast<std::size_t>(prev)].kind == op.kind &&
+        !ops[static_cast<std::size_t>(prev)].condition) {
+      // Accumulate into the earlier rotation and drop this one; the earlier
+      // one stays adjacent for further merging.
+      ops[static_cast<std::size_t>(prev)].params[0] += op.params[0];
+      removed[i] = true;
+      ++mergedCount;
+      continue;
+    }
+    tracker.place(static_cast<int>(i), op.qubits);
+  }
+  if (mergedCount > 0) {
+    Circuit next(circuit.numQubits(), circuit.numBits());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!removed[i]) {
+        next.add(std::move(ops[i]));
+      }
+    }
+    circuit = std::move(next);
+  }
+  return mergedCount;
+}
+
+std::size_t removeIdentityRotations(Circuit& circuit, double eps) {
+  const std::size_t n = circuit.size();
+  std::vector<bool> removed(n, false);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Operation& op = circuit.op(i);
+    const bool rotation = op.kind == OpKind::RX || op.kind == OpKind::RY ||
+                          op.kind == OpKind::RZ;
+    if (!rotation || op.condition) {
+      continue;
+    }
+    const double twoPi = 2 * std::numbers::pi;
+    double angle = std::fmod(op.params[0], twoPi);
+    if (angle < 0) {
+      angle += twoPi;
+    }
+    if (angle < eps || twoPi - angle < eps) {
+      removed[i] = true;
+      ++count;
+    }
+  }
+  if (count > 0) {
+    compact(circuit, removed);
+  }
+  return count;
+}
+
+OptimizeStats optimizeCircuit(Circuit& circuit) {
+  OptimizeStats stats;
+  while (true) {
+    ++stats.sweeps;
+    const std::size_t cancelled = cancelInversePairs(circuit);
+    const std::size_t merged = mergeRotations(circuit);
+    const std::size_t identities = removeIdentityRotations(circuit);
+    stats.cancelled += cancelled;
+    stats.merged += merged;
+    stats.identitiesRemoved += identities;
+    if (cancelled + merged + identities == 0 || stats.sweeps >= 32) {
+      return stats;
+    }
+  }
+}
+
+std::size_t deferMeasurements(Circuit& circuit) {
+  // Repeatedly bubble each measurement past a following operation when
+  // they touch disjoint qubits and the follower does not read the
+  // measured bit. O(n^2) worst case; circuits are short at this stage.
+  const auto readsBit = [](const Operation& op, std::uint32_t bit) {
+    return op.condition && bit >= op.condition->firstBit &&
+           bit < op.condition->firstBit + op.condition->numBits;
+  };
+  std::vector<Operation> ops(circuit.ops().begin(), circuit.ops().end());
+  std::size_t moved = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+      const Operation& current = ops[i];
+      const Operation& next = ops[i + 1];
+      if (current.kind != OpKind::Measure || next.kind == OpKind::Measure) {
+        continue;
+      }
+      if (next.kind == OpKind::Barrier) {
+        continue; // barriers fence everything
+      }
+      if (next.touches(current.qubits[0]) || readsBit(next, current.bit)) {
+        continue;
+      }
+      std::swap(ops[i], ops[i + 1]);
+      ++moved;
+      changed = true;
+    }
+  }
+  if (moved > 0) {
+    Circuit out(circuit.numQubits(), circuit.numBits());
+    for (Operation& op : ops) {
+      out.add(std::move(op));
+    }
+    circuit = std::move(out);
+  }
+  return moved;
+}
+
+Circuit decomposeToCXBasis(const Circuit& circuit) {
+  Circuit out(circuit.numQubits(), circuit.numBits());
+  const auto emit = [&out](Operation op, const std::optional<Condition>& cond) {
+    op.condition = cond;
+    out.add(std::move(op));
+  };
+  for (const Operation& op : circuit.ops()) {
+    switch (op.kind) {
+    case OpKind::Swap: {
+      const std::uint32_t a = op.qubits[0];
+      const std::uint32_t b = op.qubits[1];
+      emit({OpKind::CX, {a, b}, {}, 0, {}}, op.condition);
+      emit({OpKind::CX, {b, a}, {}, 0, {}}, op.condition);
+      emit({OpKind::CX, {a, b}, {}, 0, {}}, op.condition);
+      break;
+    }
+    case OpKind::CCX: {
+      // Standard 6-CX, T-depth-3 Toffoli decomposition.
+      const std::uint32_t c1 = op.qubits[0];
+      const std::uint32_t c2 = op.qubits[1];
+      const std::uint32_t t = op.qubits[2];
+      const auto& cond = op.condition;
+      emit({OpKind::H, {t}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c2, t}, {}, 0, {}}, cond);
+      emit({OpKind::Tdg, {t}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c1, t}, {}, 0, {}}, cond);
+      emit({OpKind::T, {t}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c2, t}, {}, 0, {}}, cond);
+      emit({OpKind::Tdg, {t}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c1, t}, {}, 0, {}}, cond);
+      emit({OpKind::T, {c2}, {}, 0, {}}, cond);
+      emit({OpKind::T, {t}, {}, 0, {}}, cond);
+      emit({OpKind::H, {t}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c1, c2}, {}, 0, {}}, cond);
+      emit({OpKind::T, {c1}, {}, 0, {}}, cond);
+      emit({OpKind::Tdg, {c2}, {}, 0, {}}, cond);
+      emit({OpKind::CX, {c1, c2}, {}, 0, {}}, cond);
+      break;
+    }
+    default:
+      out.add(op);
+      break;
+    }
+  }
+  return out;
+}
+
+} // namespace qirkit::circuit

@@ -1,0 +1,59 @@
+/// \file optimizer.hpp
+/// Circuit-level optimizations on the custom IR. These are exactly the
+/// transformations the paper notes must be reimplemented when a tool
+/// chooses the custom-IR route instead of reusing LLVM's passes
+/// (§III.A: "one has to reimplement all the optimizations and
+/// transformations that are already provided for LLVM IR 'for free'").
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <cstddef>
+
+namespace qirkit::circuit {
+
+/// Cancel adjacent inverse pairs (H·H, X·X, CX·CX, S·Sdg, T·Tdg, ...)
+/// acting on the same qubits with nothing in between on those qubits.
+/// Conditioned operations, measurements, resets, and barriers act as
+/// fences. Returns the number of operations removed.
+std::size_t cancelInversePairs(Circuit& circuit);
+
+/// Merge adjacent same-axis rotations on the same qubit
+/// (RZ(a)·RZ(b) -> RZ(a+b)). Returns the number of operations removed.
+std::size_t mergeRotations(Circuit& circuit);
+
+/// Remove rotations whose angle is 0 (mod 2*pi) within \p eps. The removed
+/// gate can differ from identity by a global phase (RZ(2*pi) = -I), which
+/// is unobservable for an unconditioned whole-circuit gate.
+std::size_t removeIdentityRotations(Circuit& circuit, double eps = 1e-12);
+
+/// Statistics of a full optimization run.
+struct OptimizeStats {
+  std::size_t cancelled = 0;
+  std::size_t merged = 0;
+  std::size_t identitiesRemoved = 0;
+  std::size_t sweeps = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return cancelled + merged + identitiesRemoved;
+  }
+};
+
+/// Run all circuit optimizations to a fixpoint.
+OptimizeStats optimizeCircuit(Circuit& circuit);
+
+/// Lower CCX and Swap to {CX, 1q} basis (standard T-count-7 Toffoli
+/// decomposition; Swap = 3 CX). Needed before mapping to 2-qubit-coupled
+/// targets. Conditions are propagated to every emitted gate.
+[[nodiscard]] Circuit decomposeToCXBasis(const Circuit& circuit);
+
+/// Defer measurements towards the end of the circuit by commuting them
+/// past operations on disjoint qubits. A circuit whose only base-profile
+/// obstacle was interleaved (but feedback-free) measurement becomes
+/// base-profile exportable ("a sequence of quantum instructions that ends
+/// with the measurement of all qubits", §II.C). Measurements followed by
+/// operations on the *same* qubit, and conditioned operations, block
+/// deferral. Returns the number of measurements moved.
+std::size_t deferMeasurements(Circuit& circuit);
+
+} // namespace qirkit::circuit

@@ -1,0 +1,101 @@
+#include "circuit/reuse.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace qirkit::circuit {
+
+namespace {
+constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+}
+
+ReuseResult reuseQubits(const Circuit& circuit) {
+  const unsigned n = circuit.numQubits();
+  // Live ranges: [firstUse, lastUse] per program qubit. An unqualified
+  // barrier touches every qubit but should not artificially extend live
+  // ranges; it is ignored for liveness.
+  std::vector<std::size_t> firstUse(n, kNever);
+  std::vector<std::size_t> lastUse(n, kNever);
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Operation& op = circuit.op(i);
+    if (op.kind == OpKind::Barrier && op.qubits.empty()) {
+      continue; // a global barrier does not extend any live range
+    }
+    for (const std::uint32_t q : op.qubits) {
+      if (firstUse[q] == kNever) {
+        firstUse[q] = i;
+      }
+      lastUse[q] = i;
+    }
+  }
+
+  ReuseResult result;
+  result.qubitsBefore = n;
+  result.assignment.assign(n, 0);
+
+  // Greedy linear scan over operation order. freeAt[p] = the index after
+  // which physical qubit p is free (kNever while in use).
+  std::vector<std::size_t> freeAfter; // per physical qubit
+  std::vector<bool> everUsed;         // whether a reset is needed on reuse
+  std::vector<std::uint32_t> physicalFor(n, 0);
+  std::vector<bool> assigned(n, false);
+
+  std::vector<std::pair<std::size_t, std::uint32_t>> order; // (firstUse, qubit)
+  for (unsigned q = 0; q < n; ++q) {
+    if (firstUse[q] != kNever) {
+      order.emplace_back(firstUse[q], q);
+    }
+  }
+  std::sort(order.begin(), order.end());
+
+  std::vector<std::pair<std::size_t, std::uint32_t>> resets; // before op i, reset p
+  for (const auto& [start, q] : order) {
+    // First fit: any physical qubit free strictly before `start`.
+    std::uint32_t chosen = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t p = 0; p < freeAfter.size(); ++p) {
+      if (freeAfter[p] != kNever && freeAfter[p] < start) {
+        chosen = p;
+        break;
+      }
+    }
+    if (chosen == std::numeric_limits<std::uint32_t>::max()) {
+      chosen = static_cast<std::uint32_t>(freeAfter.size());
+      freeAfter.push_back(kNever);
+      everUsed.push_back(false);
+    } else {
+      resets.emplace_back(start, chosen);
+      ++result.resetsInserted;
+    }
+    everUsed[chosen] = true;
+    physicalFor[q] = chosen;
+    assigned[q] = true;
+    // freeAfter[p] holds the lastUse of the program qubit currently on p;
+    // since program qubits are processed in ascending firstUse order, the
+    // first-fit check `freeAfter[p] < start` is exactly the non-overlap
+    // condition.
+    freeAfter[chosen] = lastUse[q];
+  }
+
+  result.qubitsAfter = static_cast<unsigned>(freeAfter.size());
+  result.assignment = physicalFor;
+
+  // Rewrite the circuit, inserting resets before each reuse start.
+  Circuit out(result.qubitsAfter, circuit.numBits());
+  std::sort(resets.begin(), resets.end());
+  std::size_t nextReset = 0;
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    while (nextReset < resets.size() && resets[nextReset].first == i) {
+      out.reset(resets[nextReset].second);
+      ++nextReset;
+    }
+    Operation op = circuit.op(i);
+    for (std::uint32_t& q : op.qubits) {
+      q = physicalFor[q];
+    }
+    out.add(std::move(op));
+  }
+  result.circuit = std::move(out);
+  return result;
+}
+
+} // namespace qirkit::circuit

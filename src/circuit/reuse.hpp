@@ -1,0 +1,39 @@
+/// \file reuse.hpp
+/// Qubit reuse — the register-allocation analogy of the paper's §IV.A
+/// taken one step further: just as a register allocator reuses a register
+/// after its live range ends, a qubit whose last operation has executed
+/// can be reset and reused for a program qubit whose live range starts
+/// later. This reduces `required_num_qubits`, which §IV.A identifies as
+/// the hard hardware constraint ("the hardware only has a fixed number of
+/// qubits").
+///
+/// Semantics note: a reset is inserted at each reuse point. Resetting a
+/// dead (discarded) qubit is distribution-preserving — tracing out a qubit
+/// commutes with measuring it — but not statevector-preserving; tests
+/// compare measurement statistics, not amplitudes.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <vector>
+
+namespace qirkit::circuit {
+
+struct ReuseResult {
+  Circuit circuit;                       // rewritten over fewer qubits
+  std::vector<std::uint32_t> assignment; // program qubit -> physical qubit
+  unsigned qubitsBefore = 0;
+  unsigned qubitsAfter = 0;
+  std::size_t resetsInserted = 0;
+};
+
+/// Rewrite \p circuit so that qubits whose live ranges do not overlap
+/// share a physical qubit (greedy linear-scan, first-fit). Circuits with
+/// classically conditioned operations are processed conservatively: a
+/// conditioned operation extends the live range of every qubit of the
+/// condition's measurement source is NOT tracked — only explicit qubit
+/// operands count — which is sound because conditions read classical bits,
+/// not qubits.
+[[nodiscard]] ReuseResult reuseQubits(const Circuit& circuit);
+
+} // namespace qirkit::circuit

@@ -1,0 +1,106 @@
+/// \file hybrid.hpp
+/// Hybrid classical-quantum analysis — the paper's §IV.B:
+///
+///  * partitionHybrid: "the question naturally arises for a hybrid
+///    classical-quantum program … which part of the code should be
+///    executed on the classical hardware and which part on the quantum
+///    hardware." Instructions are classified as Quantum (qis calls),
+///    ClassicalFeedback (classical code on a dependence path from a
+///    measurement result to a quantum operation — it must run on the fast
+///    co-processor), or ClassicalHost (everything else, offloadable to
+///    ordinary classical hardware).
+///
+///  * checkFeasibility: "it must be ensured that the classical code
+///    offloaded to the quantum hardware can be executed in the required
+///    time frame to uphold the coherence of the qubits. Hence, … there
+///    will always be programs that describe an infeasible execution and
+///    must be rejected." A per-instruction latency model for the
+///    co-processor bounds each measurement→gate feedback path; paths
+///    exceeding the coherence budget are rejected, and paths containing
+///    operations the co-processor cannot execute at all (floating point,
+///    memory traffic, calls) are rejected outright.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qirkit::hybrid {
+
+/// Where an instruction must execute.
+enum class Placement : std::uint8_t {
+  Quantum,           // qis call: the QPU itself
+  ClassicalFeedback, // classical, but on the latency-critical feedback path
+  ClassicalHost,     // classical, no quantum deadline
+};
+
+[[nodiscard]] const char* placementName(Placement placement) noexcept;
+
+/// Latency model of the classical co-processor (FPGA/ASIC-class), in
+/// nanoseconds. Operations it cannot execute are marked unsupported.
+struct LatencyModel {
+  double intOpNs = 4.0;       // add/sub/logic/compare/select
+  double mulNs = 8.0;
+  double divNs = 40.0;
+  double branchNs = 10.0;     // taken-branch/decision latency
+  double readResultNs = 20.0; // measurement result transfer into the FPGA
+  bool supportsFloatingPoint = false; // §IV.B: special-purpose hardware
+  bool supportsMemory = false;        // no stack/heap on the co-processor
+  double floatOpNs = 50.0;    // used only when supportsFloatingPoint
+  double memOpNs = 30.0;      // used only when supportsMemory
+
+  /// Latency of one instruction; negative if unsupported on the
+  /// co-processor.
+  [[nodiscard]] double instructionCost(const ir::Instruction& inst) const;
+
+  /// A typical superconducting-stack model (fast FPGA, no FP, no memory).
+  static LatencyModel superconductingFPGA() { return {}; }
+  /// A trapped-ion-style model: much slower gates, so a relaxed
+  /// co-processor (CPU-class, FP and memory allowed) still fits.
+  static LatencyModel ionTrapCPU();
+};
+
+/// Partition of one function.
+struct PartitionReport {
+  std::map<Placement, std::size_t> counts;
+  /// Placement of every instruction (parallel to iteration order).
+  std::vector<std::pair<const ir::Instruction*, Placement>> placements;
+
+  [[nodiscard]] std::size_t count(Placement placement) const {
+    const auto it = counts.find(placement);
+    return it == counts.end() ? 0 : it->second;
+  }
+};
+
+/// Classify every instruction of the entry point (or @main).
+[[nodiscard]] PartitionReport partitionHybrid(const ir::Module& module);
+
+/// One measurement-to-gate feedback path.
+struct FeedbackPath {
+  const ir::Instruction* readResult = nullptr;    // the measurement read
+  const ir::Instruction* dependentQuantum = nullptr; // first gated quantum op
+  double classicalLatencyNs = 0;
+  std::size_t classicalOps = 0;
+  bool supported = true;      // co-processor can execute the path at all
+  std::string unsupportedReason;
+};
+
+struct FeasibilityReport {
+  bool feasible = true;
+  double coherenceBudgetNs = 0;
+  double worstPathNs = 0;
+  std::vector<FeedbackPath> paths;
+  std::vector<std::string> reasons; // why rejected (empty if feasible)
+};
+
+/// Check every feedback path of the entry point against the coherence
+/// budget under \p model. Programs with no feedback are trivially
+/// feasible.
+[[nodiscard]] FeasibilityReport checkFeasibility(const ir::Module& module,
+                                                 const LatencyModel& model,
+                                                 double coherenceBudgetNs);
+
+} // namespace qirkit::hybrid

@@ -1,0 +1,403 @@
+#include "interp/interpreter.hpp"
+
+#include "ir/constant.hpp"
+#include "passes/folding.hpp"
+#include "support/source_location.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace qirkit::interp {
+
+using namespace qirkit::ir;
+
+// ---------------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------------
+
+std::uint64_t Memory::allocate(std::uint64_t size) {
+  // 8-byte align every allocation.
+  const std::uint64_t aligned = (arena_.size() + 7) & ~std::uint64_t{7};
+  arena_.resize(aligned + size);
+  return kBase + aligned;
+}
+
+void Memory::check(std::uint64_t address, std::uint64_t size) const {
+  if (address < kBase || address - kBase + size > arena_.size()) {
+    throw TrapError("memory access out of bounds at address " +
+                    std::to_string(address));
+  }
+}
+
+void Memory::store(std::uint64_t address, const void* data, std::uint64_t size) {
+  check(address, size);
+  std::memcpy(arena_.data() + (address - kBase), data, size);
+}
+
+void Memory::load(std::uint64_t address, void* data, std::uint64_t size) const {
+  check(address, size);
+  std::memcpy(data, arena_.data() + (address - kBase), size);
+}
+
+std::uint64_t Memory::storeInt(std::uint64_t address, std::int64_t value,
+                               unsigned bytes) {
+  std::uint64_t raw = static_cast<std::uint64_t>(value);
+  check(address, bytes);
+  std::memcpy(arena_.data() + (address - kBase), &raw, bytes);
+  return address;
+}
+
+std::int64_t Memory::loadInt(std::uint64_t address, unsigned bytes,
+                             bool signExtend) const {
+  std::uint64_t raw = 0;
+  check(address, bytes);
+  std::memcpy(&raw, arena_.data() + (address - kBase), bytes);
+  if (signExtend && bytes < 8) {
+    const std::uint64_t signBit = std::uint64_t{1} << (bytes * 8 - 1);
+    if ((raw & signBit) != 0) {
+      raw |= ~((std::uint64_t{1} << (bytes * 8)) - 1);
+    }
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+Interpreter::Interpreter(const ir::Module& module) : module_(module) {
+  for (const auto& global : module.globals()) {
+    const std::string& bytes = global->initializer();
+    const std::uint64_t address = memory_.allocate(std::max<std::uint64_t>(
+        1, bytes.size()));
+    if (!bytes.empty()) {
+      memory_.store(address, bytes.data(), bytes.size());
+    }
+    globalAddresses_[global.get()] = address;
+  }
+}
+
+void Interpreter::bindExternal(std::string name, ExternalHandler handler) {
+  externals_[std::move(name)] = std::move(handler);
+}
+
+bool Interpreter::hasExternal(const std::string& name) const {
+  return externals_.find(name) != externals_.end();
+}
+
+std::uint64_t Interpreter::globalAddress(const GlobalVariable* g) const {
+  const auto it = globalAddresses_.find(g);
+  if (it == globalAddresses_.end()) {
+    throw TrapError("reference to unmaterialized global @" + g->name());
+  }
+  return it->second;
+}
+
+std::string Interpreter::readCString(std::uint64_t address) const {
+  std::string out;
+  char c = 0;
+  while (true) {
+    memory_.load(address + out.size(), &c, 1);
+    if (c == '\0') {
+      return out;
+    }
+    out.push_back(c);
+    if (out.size() > 4096) {
+      throw TrapError("unterminated string in memory");
+    }
+  }
+}
+
+RtValue Interpreter::evalConstant(const Value* v) const {
+  switch (v->kind()) {
+  case Value::Kind::ConstantInt:
+    return RtValue::makeInt(static_cast<const ConstantInt*>(v)->value());
+  case Value::Kind::ConstantFP:
+    return RtValue::makeDouble(static_cast<const ConstantFP*>(v)->value());
+  case Value::Kind::ConstantPointerNull:
+    return RtValue::makePtr(0);
+  case Value::Kind::ConstantIntToPtr:
+    return RtValue::makePtr(static_cast<const ConstantIntToPtr*>(v)->address());
+  case Value::Kind::Undef:
+    return v->type()->isDouble() ? RtValue::makeDouble(0.0)
+           : v->type()->isPointer()
+               ? RtValue::makePtr(0)
+               : RtValue::makeInt(0);
+  case Value::Kind::GlobalVariable:
+    return RtValue::makePtr(
+        globalAddress(static_cast<const GlobalVariable*>(v)));
+  default:
+    throw TrapError("cannot evaluate value of kind " +
+                    std::to_string(static_cast<int>(v->kind())));
+  }
+}
+
+RtValue Interpreter::run(const ir::Function& fn, std::span<const RtValue> args) {
+  stepsTaken_ = 0;
+  return execute(fn, args, 0);
+}
+
+RtValue Interpreter::runEntryPoint() {
+  const Function* entry = module_.entryPoint();
+  if (entry == nullptr) {
+    entry = module_.getFunction("main");
+  }
+  if (entry == nullptr || entry->isDeclaration()) {
+    throw TrapError("module has no executable entry point");
+  }
+  return run(*entry, {});
+}
+
+RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> args,
+                             unsigned depth) {
+  if (depth > 512) {
+    throw TrapError("call stack overflow (depth > 512)");
+  }
+  if (fn.isDeclaration()) {
+    throw TrapError("cannot execute declaration @" + fn.name());
+  }
+  ++stats_.internalCalls;
+
+  std::map<const Value*, RtValue> frame;
+  const auto get = [&](const Value* v) -> RtValue {
+    if (const auto* arg = dynamic_cast<const Argument*>(v)) {
+      return args[arg->index()];
+    }
+    if (v->kind() == Value::Kind::Instruction) {
+      const auto it = frame.find(v);
+      if (it == frame.end()) {
+        throw TrapError("use of value before definition (verifier not run?)");
+      }
+      return it->second;
+    }
+    return evalConstant(v);
+  };
+
+  const BasicBlock* block = fn.entry();
+  const BasicBlock* previous = nullptr;
+  while (true) {
+    ++stats_.blocksEntered;
+    bool branched = false;
+    // Phase 1: phis read their incoming values simultaneously.
+    std::vector<std::pair<const Instruction*, RtValue>> phiValues;
+    std::size_t index = 0;
+    for (; index < block->size(); ++index) {
+      const Instruction* inst = block->instructions()[index].get();
+      if (inst->op() != Opcode::Phi) {
+        break;
+      }
+      const Value* incoming = inst->incomingValueFor(previous);
+      if (incoming == nullptr) {
+        throw TrapError("phi has no incoming value for executed edge");
+      }
+      phiValues.emplace_back(inst, get(incoming));
+    }
+    for (auto& [phi, value] : phiValues) {
+      frame[phi] = value;
+    }
+
+    for (; index < block->size(); ++index) {
+      const Instruction* inst = block->instructions()[index].get();
+      if (++stepsTaken_ > stepLimit_) {
+        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")");
+      }
+      ++stats_.instructionsExecuted;
+      const Opcode op = inst->op();
+
+      if (isIntBinaryOp(op)) {
+        const RtValue lhs = get(inst->operand(0));
+        const RtValue rhs = get(inst->operand(1));
+        std::int64_t result = 0;
+        if (!passes::evalIntBinOp(op, inst->type()->bits(), lhs.i, rhs.i, result)) {
+          throw TrapError(std::string("arithmetic trap in ") + opcodeName(op) +
+                          " (division by zero or oversized shift)");
+        }
+        frame[inst] = RtValue::makeInt(result);
+        continue;
+      }
+      if (isFloatBinaryOp(op)) {
+        frame[inst] = RtValue::makeDouble(passes::evalFloatBinOp(
+            op, get(inst->operand(0)).d, get(inst->operand(1)).d));
+        continue;
+      }
+
+      switch (op) {
+      case Opcode::Ret:
+        return inst->numOperands() == 1 ? get(inst->operand(0)) : RtValue::makeVoid();
+      case Opcode::Br: {
+        const BasicBlock* next = nullptr;
+        if (inst->isConditionalBr()) {
+          next = get(inst->brCondition()).i != 0 ? inst->successor(0)
+                                                 : inst->successor(1);
+        } else {
+          next = inst->successor(0);
+        }
+        previous = block;
+        block = next;
+        branched = true;
+        break;
+      }
+      case Opcode::Switch: {
+        const std::int64_t cond = get(inst->operand(0)).i;
+        const BasicBlock* next = inst->successor(0);
+        for (unsigned c = 0; c < inst->numSwitchCases(); ++c) {
+          if (inst->switchCaseValue(c)->value() == cond) {
+            next = inst->switchCaseDest(c);
+            break;
+          }
+        }
+        previous = block;
+        block = next;
+        branched = true;
+        break;
+      }
+      case Opcode::Unreachable:
+        throw TrapError("executed 'unreachable'");
+      case Opcode::Alloca:
+        frame[inst] =
+            RtValue::makePtr(memory_.allocate(inst->allocatedType()->storeSize()));
+        continue;
+      case Opcode::Load: {
+        const std::uint64_t address = get(inst->operand(0)).p;
+        const Type* type = inst->type();
+        if (type->isDouble()) {
+          double value = 0.0;
+          memory_.load(address, &value, sizeof value);
+          frame[inst] = RtValue::makeDouble(value);
+        } else if (type->isPointer()) {
+          std::uint64_t value = 0;
+          memory_.load(address, &value, sizeof value);
+          frame[inst] = RtValue::makePtr(value);
+        } else {
+          frame[inst] = RtValue::makeInt(memory_.loadInt(
+              address, static_cast<unsigned>(type->storeSize()), true));
+        }
+        continue;
+      }
+      case Opcode::Store: {
+        const RtValue value = get(inst->operand(0));
+        const std::uint64_t address = get(inst->operand(1)).p;
+        const Type* type = inst->operand(0)->type();
+        if (type->isDouble()) {
+          memory_.store(address, &value.d, sizeof value.d);
+        } else if (type->isPointer()) {
+          memory_.store(address, &value.p, sizeof value.p);
+        } else {
+          memory_.storeInt(address, value.i, static_cast<unsigned>(type->storeSize()));
+        }
+        continue;
+      }
+      case Opcode::ICmp: {
+        const Value* lhsV = inst->operand(0);
+        const RtValue lhs = get(lhsV);
+        const RtValue rhs = get(inst->operand(1));
+        const bool ptrCmp = lhsV->type()->isPointer();
+        const std::int64_t li = ptrCmp ? static_cast<std::int64_t>(lhs.p) : lhs.i;
+        const std::int64_t ri = ptrCmp ? static_cast<std::int64_t>(rhs.p) : rhs.i;
+        const unsigned bits = ptrCmp ? 64 : lhsV->type()->bits();
+        frame[inst] =
+            RtValue::makeInt(passes::evalICmp(inst->icmpPred(), bits, li, ri) ? 1 : 0);
+        continue;
+      }
+      case Opcode::FCmp:
+        frame[inst] = RtValue::makeInt(
+            passes::evalFCmp(inst->fcmpPred(), get(inst->operand(0)).d,
+                             get(inst->operand(1)).d)
+                ? 1
+                : 0);
+        continue;
+      case Opcode::ZExt: {
+        const std::uint64_t raw =
+            static_cast<std::uint64_t>(get(inst->operand(0)).i);
+        const unsigned srcBits = inst->operand(0)->type()->bits();
+        const std::uint64_t mask =
+            srcBits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << srcBits) - 1;
+        frame[inst] = RtValue::makeInt(static_cast<std::int64_t>(raw & mask));
+        continue;
+      }
+      case Opcode::SExt:
+        frame[inst] = RtValue::makeInt(get(inst->operand(0)).i);
+        continue;
+      case Opcode::Trunc: {
+        const unsigned bits = inst->type()->bits();
+        std::int64_t v = get(inst->operand(0)).i;
+        if (bits < 64) {
+          const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+          std::uint64_t raw = static_cast<std::uint64_t>(v) & mask;
+          if ((raw >> (bits - 1)) & 1) {
+            raw |= ~mask;
+          }
+          v = static_cast<std::int64_t>(raw);
+        }
+        frame[inst] = RtValue::makeInt(v);
+        continue;
+      }
+      case Opcode::PtrToInt:
+        frame[inst] =
+            RtValue::makeInt(static_cast<std::int64_t>(get(inst->operand(0)).p));
+        continue;
+      case Opcode::IntToPtr:
+        frame[inst] =
+            RtValue::makePtr(static_cast<std::uint64_t>(get(inst->operand(0)).i));
+        continue;
+      case Opcode::SIToFP:
+        frame[inst] = RtValue::makeDouble(static_cast<double>(get(inst->operand(0)).i));
+        continue;
+      case Opcode::UIToFP:
+        frame[inst] = RtValue::makeDouble(
+            static_cast<double>(static_cast<std::uint64_t>(get(inst->operand(0)).i)));
+        continue;
+      case Opcode::FPToSI:
+        frame[inst] =
+            RtValue::makeInt(static_cast<std::int64_t>(get(inst->operand(0)).d));
+        continue;
+      case Opcode::FPToUI:
+        frame[inst] = RtValue::makeInt(static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(get(inst->operand(0)).d)));
+        continue;
+      case Opcode::Bitcast:
+        frame[inst] = get(inst->operand(0));
+        continue;
+      case Opcode::Select:
+        frame[inst] = get(inst->operand(0)).i != 0 ? get(inst->operand(1))
+                                                   : get(inst->operand(2));
+        continue;
+      case Opcode::Call: {
+        const Function* callee = inst->callee();
+        std::vector<RtValue> callArgs(inst->numOperands());
+        for (unsigned a = 0; a < inst->numOperands(); ++a) {
+          callArgs[a] = get(inst->operand(a));
+        }
+        RtValue result;
+        if (callee->isDeclaration()) {
+          const auto handler = externals_.find(callee->name());
+          if (handler == externals_.end()) {
+            // The paper's observation: lli "cannot handle the quantum
+            // instructions and will raise an error" unless a runtime
+            // provides the missing definitions.
+            throw TrapError("call to undefined external @" + callee->name() +
+                            " (no runtime binding registered)");
+          }
+          ++stats_.externalCalls;
+          ExternContext extern_{*this, memory_};
+          result = handler->second(callArgs, extern_);
+        } else {
+          result = execute(*callee, callArgs, depth + 1);
+        }
+        if (!inst->type()->isVoid()) {
+          frame[inst] = result;
+        }
+        continue;
+      }
+      default:
+        throw TrapError(std::string("cannot interpret opcode ") + opcodeName(op));
+      }
+      break; // a branch was taken: restart the block loop
+    }
+    if (!branched) {
+      throw TrapError("fell off the end of an unterminated block");
+    }
+  }
+}
+
+} // namespace qirkit::interp

@@ -1,0 +1,177 @@
+#include "ir/builder.hpp"
+
+#include <cassert>
+
+namespace qirkit::ir {
+
+void IRBuilder::setInsertPoint(BasicBlock* block) {
+  block_ = block;
+  atEnd_ = true;
+  if (context_ == nullptr) {
+    context_ = &block->parent()->parent()->context();
+  }
+}
+
+void IRBuilder::setInsertPoint(BasicBlock* block, std::size_t index) {
+  block_ = block;
+  index_ = index;
+  atEnd_ = false;
+  if (context_ == nullptr) {
+    context_ = &block->parent()->parent()->context();
+  }
+}
+
+Instruction* IRBuilder::insert(std::unique_ptr<Instruction> inst, std::string name) {
+  assert(block_ != nullptr && "no insertion point");
+  if (!name.empty()) {
+    inst->setName(std::move(name));
+  }
+  if (atEnd_) {
+    return block_->append(std::move(inst));
+  }
+  Instruction* placed = block_->insert(index_, std::move(inst));
+  ++index_;
+  return placed;
+}
+
+Instruction* IRBuilder::createBinOp(Opcode op, Value* lhs, Value* rhs,
+                                    std::string name) {
+  assert(isBinaryOp(op));
+  assert(lhs->type() == rhs->type() && "binary operand type mismatch");
+  auto inst = std::unique_ptr<Instruction>(new Instruction(op, lhs->type()));
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createICmp(ICmpPred pred, Value* lhs, Value* rhs,
+                                   std::string name) {
+  assert(lhs->type() == rhs->type());
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::ICmp, context_->i1()));
+  inst->setICmpPred(pred);
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createFCmp(FCmpPred pred, Value* lhs, Value* rhs,
+                                   std::string name) {
+  assert(lhs->type()->isDouble() && rhs->type()->isDouble());
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::FCmp, context_->i1()));
+  inst->setFCmpPred(pred);
+  inst->addOperand(lhs);
+  inst->addOperand(rhs);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createSelect(Value* cond, Value* ifTrue, Value* ifFalse,
+                                     std::string name) {
+  assert(cond->type()->isInteger(1));
+  assert(ifTrue->type() == ifFalse->type());
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Select, ifTrue->type()));
+  inst->addOperand(cond);
+  inst->addOperand(ifTrue);
+  inst->addOperand(ifFalse);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createCast(Opcode op, Value* value, const Type* destType,
+                                   std::string name) {
+  assert(isCastOp(op));
+  auto inst = std::unique_ptr<Instruction>(new Instruction(op, destType));
+  inst->addOperand(value);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createAlloca(const Type* allocatedType, std::string name) {
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Alloca, context_->ptrTy()));
+  inst->setAllocatedType(allocatedType);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createLoad(const Type* type, Value* pointer,
+                                   std::string name) {
+  assert(pointer->type()->isPointer());
+  auto inst = std::unique_ptr<Instruction>(new Instruction(Opcode::Load, type));
+  inst->addOperand(pointer);
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createStore(Value* value, Value* pointer) {
+  assert(pointer->type()->isPointer());
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Store, context_->voidTy()));
+  inst->addOperand(value);
+  inst->addOperand(pointer);
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createBr(BasicBlock* dest) {
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Br, context_->voidTy()));
+  inst->addOperand(dest);
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createCondBr(Value* cond, BasicBlock* ifTrue,
+                                     BasicBlock* ifFalse) {
+  assert(cond->type()->isInteger(1));
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Br, context_->voidTy()));
+  inst->addOperand(cond);
+  inst->addOperand(ifTrue);
+  inst->addOperand(ifFalse);
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createSwitch(Value* cond, BasicBlock* defaultDest) {
+  assert(cond->type()->isInteger());
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Switch, context_->voidTy()));
+  inst->addOperand(cond);
+  inst->addOperand(defaultDest);
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createRet(Value* value) {
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Ret, context_->voidTy()));
+  inst->addOperand(value);
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createRetVoid() {
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Ret, context_->voidTy()));
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createUnreachable() {
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Unreachable, context_->voidTy()));
+  return insert(std::move(inst), {});
+}
+
+Instruction* IRBuilder::createPhi(const Type* type, std::string name) {
+  auto inst = std::unique_ptr<Instruction>(new Instruction(Opcode::Phi, type));
+  return insert(std::move(inst), std::move(name));
+}
+
+Instruction* IRBuilder::createCall(Function* callee, std::span<Value* const> args,
+                                   std::string name) {
+  const Type* fnType = callee->functionType();
+  assert(args.size() == fnType->paramTypes().size() && "call arity mismatch");
+  auto inst = std::unique_ptr<Instruction>(
+      new Instruction(Opcode::Call, fnType->returnType()));
+  inst->setCallee(callee);
+  for (Value* arg : args) {
+    inst->addOperand(arg);
+  }
+  return insert(std::move(inst), std::move(name));
+}
+
+} // namespace qirkit::ir

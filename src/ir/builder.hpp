@@ -1,0 +1,81 @@
+/// \file builder.hpp
+/// IRBuilder: the convenience API for constructing instructions, mirroring
+/// llvm::IRBuilder. All create* functions append at the current insertion
+/// point and return the new instruction.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <initializer_list>
+#include <span>
+#include <string>
+
+namespace qirkit::ir {
+
+/// Builds instructions at an insertion point inside a basic block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context& context) : context_(&context) {}
+  explicit IRBuilder(BasicBlock* block) : context_(nullptr) { setInsertPoint(block); }
+
+  /// Append new instructions at the end of \p block.
+  void setInsertPoint(BasicBlock* block);
+  /// Insert new instructions before instruction index \p index of \p block.
+  void setInsertPoint(BasicBlock* block, std::size_t index);
+
+  [[nodiscard]] BasicBlock* insertBlock() const noexcept { return block_; }
+  [[nodiscard]] Context& context() const noexcept { return *context_; }
+
+  // -- Arithmetic ----------------------------------------------------------
+  Instruction* createBinOp(Opcode op, Value* lhs, Value* rhs, std::string name = {});
+  Instruction* createAdd(Value* l, Value* r, std::string name = {}) {
+    return createBinOp(Opcode::Add, l, r, std::move(name));
+  }
+  Instruction* createSub(Value* l, Value* r, std::string name = {}) {
+    return createBinOp(Opcode::Sub, l, r, std::move(name));
+  }
+  Instruction* createMul(Value* l, Value* r, std::string name = {}) {
+    return createBinOp(Opcode::Mul, l, r, std::move(name));
+  }
+  Instruction* createICmp(ICmpPred pred, Value* lhs, Value* rhs, std::string name = {});
+  Instruction* createFCmp(FCmpPred pred, Value* lhs, Value* rhs, std::string name = {});
+  Instruction* createSelect(Value* cond, Value* ifTrue, Value* ifFalse,
+                            std::string name = {});
+
+  // -- Casts ------------------------------------------------------------
+  Instruction* createCast(Opcode op, Value* value, const Type* destType,
+                          std::string name = {});
+
+  // -- Memory ------------------------------------------------------------
+  Instruction* createAlloca(const Type* allocatedType, std::string name = {});
+  Instruction* createLoad(const Type* type, Value* pointer, std::string name = {});
+  Instruction* createStore(Value* value, Value* pointer);
+
+  // -- Control flow --------------------------------------------------------
+  Instruction* createBr(BasicBlock* dest);
+  Instruction* createCondBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse);
+  Instruction* createSwitch(Value* cond, BasicBlock* defaultDest);
+  Instruction* createRet(Value* value);
+  Instruction* createRetVoid();
+  Instruction* createUnreachable();
+
+  // -- Other ------------------------------------------------------------
+  Instruction* createPhi(const Type* type, std::string name = {});
+  Instruction* createCall(Function* callee, std::span<Value* const> args,
+                          std::string name = {});
+  Instruction* createCall(Function* callee, std::initializer_list<Value*> args,
+                          std::string name = {}) {
+    return createCall(callee, std::span<Value* const>(args.begin(), args.size()),
+                      std::move(name));
+  }
+
+private:
+  Instruction* insert(std::unique_ptr<Instruction> inst, std::string name);
+
+  Context* context_;
+  BasicBlock* block_ = nullptr;
+  std::size_t index_ = 0;   // insertion index within block_
+  bool atEnd_ = true;       // append mode vs. positional mode
+};
+
+} // namespace qirkit::ir

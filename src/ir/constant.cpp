@@ -1,0 +1,26 @@
+#include "ir/constant.hpp"
+
+namespace qirkit::ir {
+
+std::uint64_t ConstantInt::zextValue() const noexcept {
+  const unsigned bits = type()->bits();
+  if (bits >= 64) {
+    return static_cast<std::uint64_t>(value_);
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  return static_cast<std::uint64_t>(value_) & mask;
+}
+
+bool getStaticPointerAddress(const Value* v, std::uint64_t& address) noexcept {
+  if (v->kind() == Value::Kind::ConstantPointerNull) {
+    address = 0;
+    return true;
+  }
+  if (const auto* itp = dynamic_cast<const ConstantIntToPtr*>(v)) {
+    address = itp->address();
+    return true;
+  }
+  return false;
+}
+
+} // namespace qirkit::ir

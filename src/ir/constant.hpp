@@ -1,0 +1,96 @@
+/// \file constant.hpp
+/// Constant values: integers, doubles, null pointers, the QIR-style
+/// `inttoptr (i64 N to ptr)` static-address expression, and undef.
+/// Constants are uniqued by the Context and have no parent.
+#pragma once
+
+#include "ir/value.hpp"
+
+#include <cstdint>
+
+namespace qirkit::ir {
+
+/// An iN integer constant. The value is stored sign-extended to 64 bits;
+/// callers needing the unsigned interpretation use zextValue().
+class ConstantInt final : public Value {
+public:
+  /// Signed interpretation (sign-extended from the type's bit width).
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+  /// Unsigned interpretation (zero-extended from the type's bit width).
+  [[nodiscard]] std::uint64_t zextValue() const noexcept;
+  [[nodiscard]] bool isZero() const noexcept { return value_ == 0; }
+  [[nodiscard]] bool isOne() const noexcept { return value_ == 1; }
+
+  static bool classof(const Value* v) noexcept {
+    return v->kind() == Kind::ConstantInt;
+  }
+
+private:
+  friend class Context;
+  ConstantInt(const Type* type, std::int64_t value)
+      : Value(Kind::ConstantInt, type), value_(value) {}
+  std::int64_t value_;
+};
+
+/// A double constant.
+class ConstantFP final : public Value {
+public:
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+  static bool classof(const Value* v) noexcept {
+    return v->kind() == Kind::ConstantFP;
+  }
+
+private:
+  friend class Context;
+  ConstantFP(const Type* type, double value)
+      : Value(Kind::ConstantFP, type), value_(value) {}
+  double value_;
+};
+
+/// The `ptr null` constant. QIR static addressing uses it for qubit 0.
+class ConstantPointerNull final : public Value {
+public:
+  static bool classof(const Value* v) noexcept {
+    return v->kind() == Kind::ConstantPointerNull;
+  }
+
+private:
+  friend class Context;
+  explicit ConstantPointerNull(const Type* type)
+      : Value(Kind::ConstantPointerNull, type) {}
+};
+
+/// The constant expression `inttoptr (i64 N to ptr)`. This is how QIR
+/// programs address qubits and results statically (paper, Ex. 6).
+class ConstantIntToPtr final : public Value {
+public:
+  [[nodiscard]] std::uint64_t address() const noexcept { return address_; }
+
+  static bool classof(const Value* v) noexcept {
+    return v->kind() == Kind::ConstantIntToPtr;
+  }
+
+private:
+  friend class Context;
+  ConstantIntToPtr(const Type* type, std::uint64_t address)
+      : Value(Kind::ConstantIntToPtr, type), address_(address) {}
+  std::uint64_t address_;
+};
+
+/// `undef` of any first-class type.
+class UndefValue final : public Value {
+public:
+  static bool classof(const Value* v) noexcept { return v->kind() == Kind::Undef; }
+
+private:
+  friend class Context;
+  explicit UndefValue(const Type* type) : Value(Kind::Undef, type) {}
+};
+
+/// Static pointer address of a constant operand, if it is one. Returns
+/// true and sets \p address for `ptr null` (0) and `inttoptr (i64 N to
+/// ptr)` (N); false otherwise.
+[[nodiscard]] bool getStaticPointerAddress(const Value* v, std::uint64_t& address) noexcept;
+
+} // namespace qirkit::ir

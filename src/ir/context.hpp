@@ -1,0 +1,69 @@
+/// \file context.hpp
+/// Context owns and interns all types and uniqued constants. A Module is
+/// always created against a Context; Values in different Contexts must not
+/// be mixed.
+#pragma once
+
+#include "ir/type.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace qirkit::ir {
+
+class ConstantInt;
+class ConstantFP;
+class ConstantPointerNull;
+class ConstantIntToPtr;
+class UndefValue;
+
+/// Owner and interner of types and constants.
+class Context {
+public:
+  Context();
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // -- Types (interned; pointer equality is type equality) ------------------
+  [[nodiscard]] const Type* voidTy() noexcept { return voidTy_; }
+  [[nodiscard]] const Type* labelTy() noexcept { return labelTy_; }
+  [[nodiscard]] const Type* doubleTy() noexcept { return doubleTy_; }
+  [[nodiscard]] const Type* ptrTy() noexcept { return ptrTy_; }
+  [[nodiscard]] const Type* intTy(unsigned bits);
+  [[nodiscard]] const Type* i1() { return intTy(1); }
+  [[nodiscard]] const Type* i8() { return intTy(8); }
+  [[nodiscard]] const Type* i32() { return intTy(32); }
+  [[nodiscard]] const Type* i64() { return intTy(64); }
+  [[nodiscard]] const Type* arrayTy(const Type* element, std::uint64_t count);
+  [[nodiscard]] const Type* functionTy(const Type* ret,
+                                       std::vector<const Type*> params);
+
+  // -- Constants (uniqued) ---------------------------------------------------
+  /// iN constant; \p value is interpreted modulo 2^bits.
+  [[nodiscard]] ConstantInt* getInt(unsigned bits, std::int64_t value);
+  [[nodiscard]] ConstantInt* getI1(bool value) { return getInt(1, value ? 1 : 0); }
+  [[nodiscard]] ConstantInt* getI32(std::int32_t v) { return getInt(32, v); }
+  [[nodiscard]] ConstantInt* getI64(std::int64_t v) { return getInt(64, v); }
+  [[nodiscard]] ConstantFP* getDouble(double value);
+  [[nodiscard]] ConstantPointerNull* getNullPtr();
+  /// The constant expression `inttoptr (i64 value to ptr)` used by QIR for
+  /// static qubit and result addresses.
+  [[nodiscard]] ConstantIntToPtr* getIntToPtr(std::uint64_t value);
+  [[nodiscard]] UndefValue* getUndef(const Type* type);
+
+private:
+  struct TypeStore;
+  struct ConstantStore;
+  std::unique_ptr<TypeStore> types_;
+  std::unique_ptr<ConstantStore> constants_;
+
+  const Type* voidTy_;
+  const Type* labelTy_;
+  const Type* doubleTy_;
+  const Type* ptrTy_;
+};
+
+} // namespace qirkit::ir

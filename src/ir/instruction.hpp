@@ -1,0 +1,255 @@
+/// \file instruction.hpp
+/// Instructions and basic blocks of the LLVM-IR subset.
+///
+/// Design notes:
+///  * One concrete Instruction class carrying an Opcode, rather than a
+///    class per opcode; per-opcode payload (icmp predicate, alloca type,
+///    callee) lives in dedicated fields. This keeps the pass code compact
+///    while preserving LLVM's operand/use-list semantics.
+///  * Basic blocks are Values and appear as *operands* of terminators and
+///    phis (exactly as in LLVM), so predecessor lists fall out of the
+///    use-def graph and replaceAllUsesWith retargets control flow.
+#pragma once
+
+#include "ir/constant.hpp"
+#include "ir/value.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qirkit::ir {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// Instruction opcodes of the modeled subset.
+enum class Opcode : std::uint8_t {
+  // Terminators
+  Ret,
+  Br,
+  Switch,
+  Unreachable,
+  // Integer binary
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating binary
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FRem,
+  // Memory
+  Alloca,
+  Load,
+  Store,
+  // Comparisons
+  ICmp,
+  FCmp,
+  // Casts
+  ZExt,
+  SExt,
+  Trunc,
+  PtrToInt,
+  IntToPtr,
+  SIToFP,
+  FPToSI,
+  UIToFP,
+  FPToUI,
+  Bitcast,
+  // Other
+  Phi,
+  Select,
+  Call,
+};
+
+/// Integer comparison predicates.
+enum class ICmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+
+/// Floating comparison predicates (ordered subset plus UNE).
+enum class FCmpPred : std::uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE, UNE };
+
+[[nodiscard]] const char* opcodeName(Opcode op) noexcept;
+[[nodiscard]] const char* icmpPredName(ICmpPred p) noexcept;
+[[nodiscard]] const char* fcmpPredName(FCmpPred p) noexcept;
+[[nodiscard]] bool isBinaryOp(Opcode op) noexcept;
+[[nodiscard]] bool isIntBinaryOp(Opcode op) noexcept;
+[[nodiscard]] bool isFloatBinaryOp(Opcode op) noexcept;
+[[nodiscard]] bool isCastOp(Opcode op) noexcept;
+[[nodiscard]] bool isTerminatorOp(Opcode op) noexcept;
+
+/// A single IR instruction. Operand layout per opcode:
+///   Ret:      [] or [value]
+///   Br:       [dest] (unconditional) or [cond, trueDest, falseDest]
+///   Switch:   [cond, defaultDest, caseVal0, caseDest0, caseVal1, ...]
+///   Binary:   [lhs, rhs]
+///   Alloca:   []                       (allocatedType() holds the type)
+///   Load:     [ptr]                    (result type is the loaded type)
+///   Store:    [value, ptr]
+///   ICmp/FCmp:[lhs, rhs]               (predicate in icmpPred()/fcmpPred())
+///   Casts:    [value]
+///   Phi:      [inVal0, inBlock0, inVal1, inBlock1, ...]
+///   Select:   [cond, trueValue, falseValue]
+///   Call:     [arg0, arg1, ...]        (callee() holds the target)
+class Instruction final : public User {
+public:
+  [[nodiscard]] Opcode op() const noexcept { return op_; }
+  [[nodiscard]] BasicBlock* parent() const noexcept { return parent_; }
+  [[nodiscard]] Function* function() const noexcept;
+
+  [[nodiscard]] bool isTerminator() const noexcept { return isTerminatorOp(op_); }
+
+  /// True if removing this instruction (when unused) changes observable
+  /// behaviour: stores, calls, and terminators do; pure computations and
+  /// allocas do not.
+  [[nodiscard]] bool hasSideEffects() const noexcept;
+
+  // -- ICmp / FCmp -----------------------------------------------------------
+  [[nodiscard]] ICmpPred icmpPred() const noexcept { return icmpPred_; }
+  [[nodiscard]] FCmpPred fcmpPred() const noexcept { return fcmpPred_; }
+  void setICmpPred(ICmpPred p) noexcept { icmpPred_ = p; }
+  void setFCmpPred(FCmpPred p) noexcept { fcmpPred_ = p; }
+
+  // -- Alloca ------------------------------------------------------------
+  [[nodiscard]] const Type* allocatedType() const noexcept { return allocatedType_; }
+  void setAllocatedType(const Type* t) noexcept { allocatedType_ = t; }
+
+  // -- Call --------------------------------------------------------------
+  [[nodiscard]] Function* callee() const noexcept { return callee_; }
+  void setCallee(Function* f) noexcept { callee_ = f; }
+
+  // -- Br ------------------------------------------------------------------
+  [[nodiscard]] bool isConditionalBr() const noexcept {
+    return op_ == Opcode::Br && numOperands() == 3;
+  }
+  [[nodiscard]] Value* brCondition() const { return operand(0); }
+
+  // -- Switch ----------------------------------------------------------------
+  [[nodiscard]] unsigned numSwitchCases() const noexcept {
+    return (numOperands() - 2) / 2;
+  }
+  [[nodiscard]] ConstantInt* switchCaseValue(unsigned i) const;
+  [[nodiscard]] BasicBlock* switchCaseDest(unsigned i) const;
+
+  // -- Phi --------------------------------------------------------------
+  [[nodiscard]] unsigned numIncoming() const noexcept { return numOperands() / 2; }
+  [[nodiscard]] Value* incomingValue(unsigned i) const { return operand(2 * i); }
+  [[nodiscard]] BasicBlock* incomingBlock(unsigned i) const;
+  void addIncoming(Value* value, BasicBlock* block);
+  /// Remove the incoming pair for \p block (must be present exactly once).
+  void removeIncoming(const BasicBlock* block);
+  /// Incoming value for \p block, or nullptr if \p block is not incoming.
+  [[nodiscard]] Value* incomingValueFor(const BasicBlock* block) const;
+
+  // -- Terminator successors ------------------------------------------------
+  [[nodiscard]] unsigned numSuccessors() const noexcept;
+  [[nodiscard]] BasicBlock* successor(unsigned i) const;
+  void setSuccessor(unsigned i, BasicBlock* block);
+
+  /// Detach and destroy this instruction. Asserts that it has no uses.
+  void eraseFromParent();
+
+  /// Create an unparented copy of this instruction referencing the same
+  /// operands. Callers remap operands afterwards (loop unrolling, inlining).
+  [[nodiscard]] std::unique_ptr<Instruction> clone() const;
+
+private:
+  friend class BasicBlock;
+  friend class IRBuilder;
+  Instruction(Opcode op, const Type* type) : User(Kind::Instruction, type), op_(op) {}
+
+  Opcode op_;
+  BasicBlock* parent_ = nullptr;
+  ICmpPred icmpPred_ = ICmpPred::EQ;
+  FCmpPred fcmpPred_ = FCmpPred::OEQ;
+  const Type* allocatedType_ = nullptr;
+  Function* callee_ = nullptr;
+};
+
+/// A basic block: a label plus a straight-line instruction sequence ending
+/// in exactly one terminator (enforced by the verifier).
+class BasicBlock final : public Value {
+public:
+  [[nodiscard]] Function* parent() const noexcept { return parent_; }
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Instruction>>& instructions()
+      const noexcept {
+    return instructions_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return instructions_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return instructions_.size(); }
+  [[nodiscard]] Instruction* front() const { return instructions_.front().get(); }
+  [[nodiscard]] Instruction* back() const { return instructions_.back().get(); }
+
+  /// The block terminator, or nullptr if the block is not yet terminated.
+  [[nodiscard]] Instruction* terminator() const noexcept;
+
+  /// Append an instruction (takes ownership).
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Insert before position \p index.
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> inst);
+  /// Index of \p inst within this block (linear scan).
+  [[nodiscard]] std::size_t indexOf(const Instruction* inst) const;
+  /// Detach \p inst without destroying it.
+  std::unique_ptr<Instruction> detach(Instruction* inst);
+  /// Destroy every instruction for which \p pred returns true. Instructions
+  /// are dropped in reverse order after their operands are released, so
+  /// mutually-referencing dead instructions are handled.
+  template <typename Pred> std::size_t eraseIf(Pred pred) {
+    std::size_t erased = 0;
+    // First drop operands of all doomed instructions so use counts between
+    // them reach zero, then remove.
+    for (auto& inst : instructions_) {
+      if (pred(inst.get())) {
+        inst->dropAllOperands();
+      }
+    }
+    auto it = instructions_.begin();
+    while (it != instructions_.end()) {
+      if (pred(it->get())) {
+        it = instructions_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+  /// Successor blocks of the terminator (empty if unterminated).
+  [[nodiscard]] std::vector<BasicBlock*> successors() const;
+  /// Predecessor blocks: every block whose terminator targets this one.
+  /// Derived from the use list; deduplicated, order unspecified.
+  [[nodiscard]] std::vector<BasicBlock*> predecessors() const;
+  /// True if \p pred's terminator targets this block.
+  [[nodiscard]] bool hasPredecessor(const BasicBlock* pred) const;
+
+  /// Phi nodes at the head of this block.
+  [[nodiscard]] std::vector<Instruction*> phis() const;
+
+  static bool classof(const Value* v) noexcept {
+    return v->kind() == Kind::BasicBlock;
+  }
+
+private:
+  friend class Function;
+  explicit BasicBlock(const Type* labelType) : Value(Kind::BasicBlock, labelType) {}
+
+  Function* parent_ = nullptr;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+} // namespace qirkit::ir

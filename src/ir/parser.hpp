@@ -1,0 +1,25 @@
+/// \file parser.hpp
+/// Parser for the textual LLVM-IR subset (modern opaque-pointer syntax).
+/// This is the "full AST" route of the paper's §III.A: it builds a real
+/// in-memory IR with use-def chains, on which the §III.B passes operate.
+///
+/// Accepted beyond the printed subset, for compatibility with QIR emitted
+/// by other tools: `%Name = type opaque` aliases (legacy `%Qubit*` spelling
+/// maps to `ptr`), parameter attributes (`writeonly`, `nocapture`, ...),
+/// `tail` call markers, alignment annotations, and trailing metadata.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <memory>
+#include <string_view>
+
+namespace qirkit::ir {
+
+/// Parse \p text into a fresh module owned by \p context.
+/// Throws qirkit::ParseError (with location) on malformed input.
+[[nodiscard]] std::unique_ptr<Module> parseModule(Context& context,
+                                                  std::string_view text,
+                                                  std::string moduleName = "module");
+
+} // namespace qirkit::ir

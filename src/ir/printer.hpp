@@ -1,0 +1,20 @@
+/// \file printer.hpp
+/// Textual IR emission in modern (opaque-pointer) LLVM syntax — the syntax
+/// the paper deliberately uses (its footnote 1). print(parse(text)) is a
+/// fixpoint, which the round-trip property tests rely on.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <string>
+
+namespace qirkit::ir {
+
+/// Print a whole module: globals, declarations, definitions, attribute
+/// groups.
+[[nodiscard]] std::string printModule(const Module& module);
+
+/// Print a single function (definition or declaration).
+[[nodiscard]] std::string printFunction(const Function& fn);
+
+} // namespace qirkit::ir

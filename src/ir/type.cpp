@@ -1,0 +1,55 @@
+#include "ir/type.hpp"
+
+#include <cassert>
+
+namespace qirkit::ir {
+
+std::uint64_t Type::storeSize() const {
+  switch (kind_) {
+  case Kind::Integer:
+    return (bits_ + 7) / 8;
+  case Kind::Double:
+    return 8;
+  case Kind::Pointer:
+    return 8;
+  case Kind::Array:
+    return element_->storeSize() * count_;
+  case Kind::Void:
+  case Kind::Label:
+  case Kind::Function:
+    assert(false && "type has no store size");
+    return 0;
+  }
+  return 0;
+}
+
+std::string Type::str() const {
+  switch (kind_) {
+  case Kind::Void:
+    return "void";
+  case Kind::Integer:
+    return "i" + std::to_string(bits_);
+  case Kind::Double:
+    return "double";
+  case Kind::Pointer:
+    return "ptr";
+  case Kind::Label:
+    return "label";
+  case Kind::Array:
+    return "[" + std::to_string(count_) + " x " + element_->str() + "]";
+  case Kind::Function: {
+    std::string out = element_->str() + " (";
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      if (i != 0) {
+        out += ", ";
+      }
+      out += params_[i]->str();
+    }
+    out += ")";
+    return out;
+  }
+  }
+  return "<bad type>";
+}
+
+} // namespace qirkit::ir

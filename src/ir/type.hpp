@@ -1,0 +1,75 @@
+/// \file type.hpp
+/// The type system of the LLVM-IR subset. Types are immutable and interned
+/// in a Context: pointer equality is type equality.
+///
+/// Modeled types: void, iN (arbitrary width, i1/i8/i32/i64 in practice),
+/// double, opaque ptr (modern LLVM syntax, as used by the paper), label,
+/// [N x T] arrays (for global string constants), and function types.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qirkit::ir {
+
+class Context;
+
+/// An interned, immutable IR type.
+class Type {
+public:
+  enum class Kind : std::uint8_t { Void, Integer, Double, Pointer, Label, Array, Function };
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+  [[nodiscard]] bool isVoid() const noexcept { return kind_ == Kind::Void; }
+  [[nodiscard]] bool isInteger() const noexcept { return kind_ == Kind::Integer; }
+  [[nodiscard]] bool isInteger(unsigned bits) const noexcept {
+    return kind_ == Kind::Integer && bits_ == bits;
+  }
+  [[nodiscard]] bool isDouble() const noexcept { return kind_ == Kind::Double; }
+  [[nodiscard]] bool isPointer() const noexcept { return kind_ == Kind::Pointer; }
+  [[nodiscard]] bool isLabel() const noexcept { return kind_ == Kind::Label; }
+  [[nodiscard]] bool isArray() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool isFunction() const noexcept { return kind_ == Kind::Function; }
+
+  /// Bit width; only valid for integer types.
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+
+  /// Element type; only valid for array types.
+  [[nodiscard]] const Type* elementType() const noexcept { return element_; }
+
+  /// Element count; only valid for array types.
+  [[nodiscard]] std::uint64_t arrayCount() const noexcept { return count_; }
+
+  /// Return type; only valid for function types.
+  [[nodiscard]] const Type* returnType() const noexcept { return element_; }
+
+  /// Parameter types; only valid for function types.
+  [[nodiscard]] std::span<const Type* const> paramTypes() const noexcept {
+    return params_;
+  }
+
+  /// Size in bytes when stored in interpreter memory. Integers round up to
+  /// whole bytes; pointers are 8 bytes.
+  [[nodiscard]] std::uint64_t storeSize() const;
+
+  /// Textual form, e.g. "i64", "ptr", "[3 x i8]".
+  [[nodiscard]] std::string str() const;
+
+private:
+  friend class Context;
+  Type(Kind kind, unsigned bits, const Type* element, std::uint64_t count,
+       std::vector<const Type*> params)
+      : kind_(kind), bits_(bits), count_(count), element_(element),
+        params_(std::move(params)) {}
+
+  Kind kind_;
+  unsigned bits_ = 0;
+  std::uint64_t count_ = 0;
+  const Type* element_ = nullptr;         // array element / function return
+  std::vector<const Type*> params_;       // function parameters
+};
+
+} // namespace qirkit::ir

@@ -1,0 +1,74 @@
+#include "ir/value.hpp"
+
+#include <algorithm>
+
+namespace qirkit::ir {
+
+Value::~Value() = default;
+
+void Value::removeUse(Use* use) {
+  assert(use->slot < uses_.size() && uses_[use->slot] == use && "use not registered");
+  // Order is unspecified: swap-and-pop, keeping slots consistent.
+  Use* moved = uses_.back();
+  uses_[use->slot] = moved;
+  moved->slot = use->slot;
+  uses_.pop_back();
+}
+
+void Value::replaceAllUsesWith(Value* replacement) {
+  assert(replacement != this && "cannot replace value with itself");
+  // Moving uses mutates uses_; iterate over a snapshot.
+  const std::vector<Use*> snapshot = uses_;
+  for (Use* use : snapshot) {
+    use->user->setOperand(use->index, replacement);
+  }
+}
+
+void User::setOperand(unsigned index, Value* value) {
+  assert(index < operands_.size());
+  Use& use = *operands_[index];
+  if (use.value == value) {
+    return;
+  }
+  if (use.value != nullptr) {
+    use.value->removeUse(&use);
+  }
+  use.value = value;
+  if (value != nullptr) {
+    value->addUse(&use);
+  }
+}
+
+void User::addOperand(Value* value) {
+  auto use = std::make_unique<Use>();
+  use->user = this;
+  use->index = static_cast<unsigned>(operands_.size());
+  use->value = value;
+  if (value != nullptr) {
+    value->addUse(use.get());
+  }
+  operands_.push_back(std::move(use));
+}
+
+void User::removeOperand(unsigned index) {
+  assert(index < operands_.size());
+  if (operands_[index]->value != nullptr) {
+    operands_[index]->value->removeUse(operands_[index].get());
+  }
+  operands_.erase(operands_.begin() + index);
+  for (unsigned i = index; i < operands_.size(); ++i) {
+    operands_[i]->index = i;
+  }
+}
+
+void User::dropAllOperands() {
+  for (auto& use : operands_) {
+    if (use->value != nullptr) {
+      use->value->removeUse(use.get());
+      use->value = nullptr;
+    }
+  }
+  operands_.clear();
+}
+
+} // namespace qirkit::ir

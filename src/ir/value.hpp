@@ -1,0 +1,124 @@
+/// \file value.hpp
+/// Value / Use / User: the SSA value graph with full use-def chains,
+/// supporting replaceAllUsesWith — the primitive every transformation
+/// pass is built on.
+#pragma once
+
+#include "ir/type.hpp"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qirkit::ir {
+
+class User;
+class Value;
+
+/// One edge in the use-def graph: \p user's operand number \p index is
+/// \p value. Uses are heap-allocated and owned by the User so their
+/// addresses are stable in the value's use list.
+struct Use {
+  Value* value = nullptr;
+  User* user = nullptr;
+  unsigned index = 0;
+  /// Position of this Use inside value->uses_ (maintained by Value so that
+  /// removal is O(1); constants can accumulate thousands of uses).
+  std::size_t slot = 0;
+};
+
+/// Base of everything that can be an operand: arguments, constants,
+/// globals, functions, basic blocks, and instructions.
+class Value {
+public:
+  enum class Kind : std::uint8_t {
+    Argument,
+    BasicBlock,
+    Function,
+    GlobalVariable,
+    ConstantInt,
+    ConstantFP,
+    ConstantPointerNull,
+    ConstantIntToPtr,
+    Undef,
+    Instruction,
+    ForwardRef, // parser-internal placeholder, resolved before parse returns
+  };
+
+  virtual ~Value();
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] const Type* type() const noexcept { return type_; }
+
+  /// Optional name (without the %/@ sigil). Unnamed values are printed with
+  /// sequential numbers.
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void setName(std::string name) { name_ = std::move(name); }
+  [[nodiscard]] bool hasName() const noexcept { return !name_.empty(); }
+
+  /// All uses of this value. Order is unspecified.
+  [[nodiscard]] const std::vector<Use*>& uses() const noexcept { return uses_; }
+  [[nodiscard]] bool hasUses() const noexcept { return !uses_.empty(); }
+  [[nodiscard]] std::size_t numUses() const noexcept { return uses_.size(); }
+
+  /// Rewrite every use of this value to use \p replacement instead.
+  void replaceAllUsesWith(Value* replacement);
+
+  [[nodiscard]] bool isConstant() const noexcept {
+    return kind_ == Kind::ConstantInt || kind_ == Kind::ConstantFP ||
+           kind_ == Kind::ConstantPointerNull || kind_ == Kind::ConstantIntToPtr ||
+           kind_ == Kind::Undef;
+  }
+
+protected:
+  Value(Kind kind, const Type* type) : kind_(kind), type_(type) {}
+  void setType(const Type* type) noexcept { type_ = type; }
+
+private:
+  friend class User;
+  void addUse(Use* use) {
+    use->slot = uses_.size();
+    uses_.push_back(use);
+  }
+  void removeUse(Use* use);
+
+  Kind kind_;
+  const Type* type_;
+  std::string name_;
+  std::vector<Use*> uses_;
+};
+
+/// A Value that has operands (instructions and, by extension, anything that
+/// references other values).
+class User : public Value {
+public:
+  [[nodiscard]] unsigned numOperands() const noexcept {
+    return static_cast<unsigned>(operands_.size());
+  }
+  [[nodiscard]] Value* operand(unsigned index) const {
+    assert(index < operands_.size());
+    return operands_[index]->value;
+  }
+  /// Replace operand \p index, maintaining use lists.
+  void setOperand(unsigned index, Value* value);
+  /// Append an operand (used by call/phi construction).
+  void addOperand(Value* value);
+  /// Remove operand \p index, shifting later operands down.
+  void removeOperand(unsigned index);
+  /// Detach from all operands' use lists and clear the operand vector.
+  void dropAllOperands();
+
+  ~User() override { dropAllOperands(); }
+
+protected:
+  using Value::Value;
+
+private:
+  std::vector<std::unique_ptr<Use>> operands_;
+};
+
+} // namespace qirkit::ir

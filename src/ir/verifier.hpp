@@ -1,0 +1,20 @@
+/// \file verifier.hpp
+/// The module verifier: structural and SSA well-formedness checks. Passes
+/// are expected to leave modules verifier-clean; tests assert this after
+/// every transformation.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qirkit::ir {
+
+/// Verify \p module. Returns the list of violations (empty when clean).
+[[nodiscard]] std::vector<std::string> verifyModule(const Module& module);
+
+/// Verify and throw qirkit::SemanticError listing every violation.
+void verifyModuleOrThrow(const Module& module);
+
+} // namespace qirkit::ir

@@ -1,0 +1,155 @@
+/// Common subexpression elimination: replaces a pure instruction with an
+/// earlier identical instruction that dominates it. This is exactly the
+/// kind of classical optimization the paper's §II.C argues QIR inherits
+/// from the LLVM infrastructure — e.g. the repeated
+/// `load ptr, ptr %q` / `array_get_element_ptr_1d(%q, 0)` pairs of Ex. 2
+/// collapse after mem2reg + CSE.
+#include "ir/dominance.hpp"
+#include "passes/pass.hpp"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace qirkit::passes {
+namespace {
+
+using namespace qirkit::ir;
+
+/// Structural key of a pure instruction: opcode, predicates, type, callee,
+/// and operand identities.
+struct ExprKey {
+  Opcode op;
+  ICmpPred icmp;
+  FCmpPred fcmp;
+  const Type* type;
+  const Function* callee;
+  std::vector<const Value*> operands;
+
+  bool operator<(const ExprKey& other) const {
+    return std::tie(op, icmp, fcmp, type, callee, operands) <
+           std::tie(other.op, other.icmp, other.fcmp, other.type, other.callee,
+                    other.operands);
+  }
+};
+
+/// Pure, speculatable instructions eligible for CSE. Calls are excluded
+/// (conservative: any call may have effects); loads are excluded (no alias
+/// analysis in the subset); phis/allocas/terminators are not expressions.
+bool isCSECandidate(const Instruction& inst) {
+  if (isBinaryOp(inst.op()) || isCastOp(inst.op())) {
+    // Division/remainder can trap; hoisting across paths is still fine for
+    // dominance-based CSE (the earlier instance already executed).
+    return true;
+  }
+  switch (inst.op()) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+  case Opcode::Select:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprKey keyFor(const Instruction& inst) {
+  ExprKey key{inst.op(), ICmpPred::EQ, FCmpPred::OEQ, inst.type(), nullptr, {}};
+  if (inst.op() == Opcode::ICmp) {
+    key.icmp = inst.icmpPred();
+  }
+  if (inst.op() == Opcode::FCmp) {
+    key.fcmp = inst.fcmpPred();
+  }
+  key.operands.reserve(inst.numOperands());
+  for (unsigned i = 0; i < inst.numOperands(); ++i) {
+    key.operands.push_back(inst.operand(i));
+  }
+  // Commutative normalization: order operands by pointer for symmetric ops.
+  switch (inst.op()) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::FAdd:
+  case Opcode::FMul:
+    if (key.operands[1] < key.operands[0]) {
+      std::swap(key.operands[0], key.operands[1]);
+    }
+    break;
+  default:
+    break;
+  }
+  return key;
+}
+
+class CSEPass final : public FunctionPass {
+public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "cse"; }
+
+  bool run(Function& fn) override {
+    if (fn.entry() == nullptr) {
+      return false;
+    }
+    const DomTree dom(fn);
+    // Scoped hash table via dominator-tree DFS: available expressions are
+    // those defined in dominating blocks (or earlier in the same block).
+    std::map<const BasicBlock*, std::vector<const BasicBlock*>> children;
+    for (const BasicBlock* block : dom.reversePostOrder()) {
+      if (const BasicBlock* parent = dom.idom(block)) {
+        children[parent].push_back(block);
+      }
+    }
+    bool changed = false;
+    std::map<ExprKey, Instruction*> available;
+    changed |= walk(fn.entry(), children, available);
+    return changed;
+  }
+
+private:
+  /// Scoped-hash-table walk. `available` is shared across the recursion;
+  /// entries added in this subtree are undone on exit (an undo log instead
+  /// of copying the map per child, which is quadratic on deep dominator
+  /// chains).
+  bool walk(const BasicBlock* block,
+            const std::map<const BasicBlock*, std::vector<const BasicBlock*>>& children,
+            std::map<ExprKey, Instruction*>& available) {
+    bool changed = false;
+    auto* mutableBlock = const_cast<BasicBlock*>(block);
+    std::vector<Instruction*> dead;
+    std::vector<std::map<ExprKey, Instruction*>::iterator> added;
+    for (const auto& inst : mutableBlock->instructions()) {
+      if (!isCSECandidate(*inst)) {
+        continue;
+      }
+      const ExprKey key = keyFor(*inst);
+      const auto [it, inserted] = available.emplace(key, inst.get());
+      if (inserted) {
+        added.push_back(it);
+      } else {
+        inst->replaceAllUsesWith(it->second);
+        dead.push_back(inst.get());
+        changed = true;
+      }
+    }
+    for (Instruction* inst : dead) {
+      inst->eraseFromParent();
+    }
+    const auto kids = children.find(block);
+    if (kids != children.end()) {
+      for (const BasicBlock* child : kids->second) {
+        changed |= walk(child, children, available);
+      }
+    }
+    for (const auto& it : added) {
+      available.erase(it);
+    }
+    return changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> createCSEPass() { return std::make_unique<CSEPass>(); }
+
+} // namespace qirkit::passes

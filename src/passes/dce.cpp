@@ -1,0 +1,36 @@
+/// Dead code elimination: removes side-effect-free instructions with no
+/// uses, iterating until stable (removal can make operands dead).
+#include "passes/pass.hpp"
+
+namespace qirkit::passes {
+namespace {
+
+class DCEPass final : public FunctionPass {
+public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "dce"; }
+
+  bool run(ir::Function& fn) override {
+    bool changedAny = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& block : fn.blocks()) {
+        const std::size_t erased = block->eraseIf([](ir::Instruction* inst) {
+          return !inst->hasSideEffects() && !inst->hasUses() &&
+                 !inst->type()->isVoid();
+        });
+        if (erased > 0) {
+          changed = true;
+          changedAny = true;
+        }
+      }
+    }
+    return changedAny;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> createDCEPass() { return std::make_unique<DCEPass>(); }
+
+} // namespace qirkit::passes

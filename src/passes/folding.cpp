@@ -1,0 +1,372 @@
+#include "passes/folding.hpp"
+
+#include "ir/context.hpp"
+
+#include <cmath>
+
+namespace qirkit::passes {
+
+using namespace qirkit::ir;
+
+namespace {
+
+/// Mask a 64-bit value down to iN and sign-extend back (canonical iN rep).
+std::int64_t toWidth(std::int64_t value, unsigned bits) noexcept {
+  if (bits >= 64) {
+    return value;
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(value) & mask;
+  if (bits > 0 && ((u >> (bits - 1)) & 1) != 0) {
+    u |= ~mask;
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+std::uint64_t zext(std::int64_t value, unsigned bits) noexcept {
+  if (bits >= 64) {
+    return static_cast<std::uint64_t>(value);
+  }
+  return static_cast<std::uint64_t>(value) & ((std::uint64_t{1} << bits) - 1);
+}
+
+const ConstantInt* asConstInt(const Value* v) noexcept {
+  return v->kind() == Value::Kind::ConstantInt ? static_cast<const ConstantInt*>(v)
+                                               : nullptr;
+}
+
+const ConstantFP* asConstFP(const Value* v) noexcept {
+  return v->kind() == Value::Kind::ConstantFP ? static_cast<const ConstantFP*>(v)
+                                              : nullptr;
+}
+
+} // namespace
+
+bool evalIntBinOp(Opcode op, unsigned bits, std::int64_t lhs, std::int64_t rhs,
+                  std::int64_t& result) noexcept {
+  const std::uint64_t ul = zext(lhs, bits);
+  const std::uint64_t ur = zext(rhs, bits);
+  switch (op) {
+  case Opcode::Add:
+    result = toWidth(static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(lhs) + static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case Opcode::Sub:
+    result = toWidth(static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(lhs) - static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case Opcode::Mul:
+    result = toWidth(static_cast<std::int64_t>(
+                         static_cast<std::uint64_t>(lhs) * static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case Opcode::SDiv:
+    if (rhs == 0 || (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
+      return false;
+    }
+    result = toWidth(lhs / rhs, bits);
+    return true;
+  case Opcode::UDiv:
+    if (ur == 0) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul / ur), bits);
+    return true;
+  case Opcode::SRem:
+    if (rhs == 0 || (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
+      return false;
+    }
+    result = toWidth(lhs % rhs, bits);
+    return true;
+  case Opcode::URem:
+    if (ur == 0) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul % ur), bits);
+    return true;
+  case Opcode::And:
+    result = toWidth(lhs & rhs, bits);
+    return true;
+  case Opcode::Or:
+    result = toWidth(lhs | rhs, bits);
+    return true;
+  case Opcode::Xor:
+    result = toWidth(lhs ^ rhs, bits);
+    return true;
+  case Opcode::Shl:
+    if (ur >= bits) {
+      return false; // poison in LLVM; refuse to fold
+    }
+    result = toWidth(static_cast<std::int64_t>(ul << ur), bits);
+    return true;
+  case Opcode::LShr:
+    if (ur >= bits) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul >> ur), bits);
+    return true;
+  case Opcode::AShr:
+    if (ur >= bits) {
+      return false;
+    }
+    result = toWidth(toWidth(lhs, bits) >> static_cast<std::int64_t>(ur), bits);
+    return true;
+  default:
+    return false;
+  }
+}
+
+double evalFloatBinOp(Opcode op, double lhs, double rhs) noexcept {
+  switch (op) {
+  case Opcode::FAdd: return lhs + rhs;
+  case Opcode::FSub: return lhs - rhs;
+  case Opcode::FMul: return lhs * rhs;
+  case Opcode::FDiv: return lhs / rhs;
+  case Opcode::FRem: return std::fmod(lhs, rhs);
+  default: return 0.0;
+  }
+}
+
+bool evalICmp(ICmpPred pred, unsigned bits, std::int64_t lhs, std::int64_t rhs) noexcept {
+  const std::int64_t sl = toWidth(lhs, bits);
+  const std::int64_t sr = toWidth(rhs, bits);
+  const std::uint64_t ul = zext(lhs, bits);
+  const std::uint64_t ur = zext(rhs, bits);
+  switch (pred) {
+  case ICmpPred::EQ: return ul == ur;
+  case ICmpPred::NE: return ul != ur;
+  case ICmpPred::SLT: return sl < sr;
+  case ICmpPred::SLE: return sl <= sr;
+  case ICmpPred::SGT: return sl > sr;
+  case ICmpPred::SGE: return sl >= sr;
+  case ICmpPred::ULT: return ul < ur;
+  case ICmpPred::ULE: return ul <= ur;
+  case ICmpPred::UGT: return ul > ur;
+  case ICmpPred::UGE: return ul >= ur;
+  }
+  return false;
+}
+
+bool evalFCmp(FCmpPred pred, double lhs, double rhs) noexcept {
+  switch (pred) {
+  case FCmpPred::OEQ: return lhs == rhs;
+  case FCmpPred::ONE: return lhs != rhs && !std::isnan(lhs) && !std::isnan(rhs);
+  case FCmpPred::OLT: return lhs < rhs;
+  case FCmpPred::OLE: return lhs <= rhs;
+  case FCmpPred::OGT: return lhs > rhs;
+  case FCmpPred::OGE: return lhs >= rhs;
+  case FCmpPred::UNE: return !(lhs == rhs);
+  }
+  return false;
+}
+
+Value* foldInstruction(Context& ctx, const Instruction& inst) {
+  const Opcode op = inst.op();
+
+  if (isIntBinaryOp(op)) {
+    Value* lhs = inst.operand(0);
+    Value* rhs = inst.operand(1);
+    const ConstantInt* cl = asConstInt(lhs);
+    const ConstantInt* cr = asConstInt(rhs);
+    const unsigned bits = inst.type()->bits();
+    if (cl != nullptr && cr != nullptr) {
+      std::int64_t result = 0;
+      if (evalIntBinOp(op, bits, cl->value(), cr->value(), result)) {
+        return ctx.getInt(bits, result);
+      }
+      return nullptr;
+    }
+    // Algebraic identities.
+    switch (op) {
+    case Opcode::Add:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      break;
+    case Opcode::Sub:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (lhs == rhs) return ctx.getInt(bits, 0);
+      break;
+    case Opcode::Mul:
+      if (cr != nullptr && cr->isOne()) return lhs;
+      if (cl != nullptr && cl->isOne()) return rhs;
+      if (cr != nullptr && cr->isZero()) return ctx.getInt(bits, 0);
+      if (cl != nullptr && cl->isZero()) return ctx.getInt(bits, 0);
+      break;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+      if (cr != nullptr && cr->isOne()) return lhs;
+      break;
+    case Opcode::And:
+      if (lhs == rhs) return lhs;
+      if (cr != nullptr && cr->isZero()) return ctx.getInt(bits, 0);
+      if (cl != nullptr && cl->isZero()) return ctx.getInt(bits, 0);
+      if (cr != nullptr && cr->value() == -1) return lhs;
+      break;
+    case Opcode::Or:
+      if (lhs == rhs) return lhs;
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      break;
+    case Opcode::Xor:
+      if (lhs == rhs) return ctx.getInt(bits, 0);
+      if (cr != nullptr && cr->isZero()) return lhs;
+      if (cl != nullptr && cl->isZero()) return rhs;
+      break;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (cr != nullptr && cr->isZero()) return lhs;
+      break;
+    default:
+      break;
+    }
+    return nullptr;
+  }
+
+  if (isFloatBinaryOp(op)) {
+    const ConstantFP* cl = asConstFP(inst.operand(0));
+    const ConstantFP* cr = asConstFP(inst.operand(1));
+    if (cl != nullptr && cr != nullptr) {
+      return ctx.getDouble(evalFloatBinOp(op, cl->value(), cr->value()));
+    }
+    return nullptr;
+  }
+
+  switch (op) {
+  case Opcode::ICmp: {
+    Value* lhs = inst.operand(0);
+    Value* rhs = inst.operand(1);
+    if (const ConstantInt* cl = asConstInt(lhs)) {
+      if (const ConstantInt* cr = asConstInt(rhs)) {
+        return ctx.getI1(
+            evalICmp(inst.icmpPred(), lhs->type()->bits(), cl->value(), cr->value()));
+      }
+    }
+    // Pointer comparisons of static addresses (QIR static qubit ids).
+    std::uint64_t la = 0;
+    std::uint64_t ra = 0;
+    if (lhs->type()->isPointer() && getStaticPointerAddress(lhs, la) &&
+        getStaticPointerAddress(rhs, ra)) {
+      return ctx.getI1(evalICmp(inst.icmpPred(), 64, static_cast<std::int64_t>(la),
+                                static_cast<std::int64_t>(ra)));
+    }
+    if (lhs == rhs) {
+      const ICmpPred pred = inst.icmpPred();
+      if (pred == ICmpPred::EQ || pred == ICmpPred::SLE || pred == ICmpPred::SGE ||
+          pred == ICmpPred::ULE || pred == ICmpPred::UGE) {
+        return ctx.getI1(true);
+      }
+      return ctx.getI1(false);
+    }
+    return nullptr;
+  }
+  case Opcode::FCmp: {
+    const ConstantFP* cl = asConstFP(inst.operand(0));
+    const ConstantFP* cr = asConstFP(inst.operand(1));
+    if (cl != nullptr && cr != nullptr) {
+      return ctx.getI1(evalFCmp(inst.fcmpPred(), cl->value(), cr->value()));
+    }
+    return nullptr;
+  }
+  case Opcode::Select: {
+    if (const ConstantInt* cond = asConstInt(inst.operand(0))) {
+      return cond->isZero() ? inst.operand(2) : inst.operand(1);
+    }
+    if (inst.operand(1) == inst.operand(2)) {
+      return inst.operand(1);
+    }
+    return nullptr;
+  }
+  case Opcode::ZExt: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getInt(inst.type()->bits(),
+                        static_cast<std::int64_t>(c->zextValue()));
+    }
+    return nullptr;
+  }
+  case Opcode::SExt: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getInt(inst.type()->bits(), c->value());
+    }
+    return nullptr;
+  }
+  case Opcode::Trunc: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getInt(inst.type()->bits(), c->value());
+    }
+    return nullptr;
+  }
+  case Opcode::IntToPtr: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getIntToPtr(c->zextValue());
+    }
+    return nullptr;
+  }
+  case Opcode::PtrToInt: {
+    std::uint64_t address = 0;
+    if (getStaticPointerAddress(inst.operand(0), address)) {
+      return ctx.getInt(inst.type()->bits(), static_cast<std::int64_t>(address));
+    }
+    return nullptr;
+  }
+  case Opcode::SIToFP: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getDouble(static_cast<double>(c->value()));
+    }
+    return nullptr;
+  }
+  case Opcode::UIToFP: {
+    if (const ConstantInt* c = asConstInt(inst.operand(0))) {
+      return ctx.getDouble(static_cast<double>(c->zextValue()));
+    }
+    return nullptr;
+  }
+  case Opcode::FPToSI: {
+    if (const ConstantFP* c = asConstFP(inst.operand(0))) {
+      if (std::isnan(c->value())) {
+        return nullptr;
+      }
+      return ctx.getInt(inst.type()->bits(), static_cast<std::int64_t>(c->value()));
+    }
+    return nullptr;
+  }
+  case Opcode::FPToUI: {
+    if (const ConstantFP* c = asConstFP(inst.operand(0))) {
+      if (std::isnan(c->value()) || c->value() < 0) {
+        return nullptr;
+      }
+      return ctx.getInt(inst.type()->bits(),
+                        static_cast<std::int64_t>(static_cast<std::uint64_t>(c->value())));
+    }
+    return nullptr;
+  }
+  case Opcode::Bitcast:
+    // With opaque pointers the only bitcasts left are no-ops.
+    if (inst.type() == inst.operand(0)->type()) {
+      return inst.operand(0);
+    }
+    return nullptr;
+  case Opcode::Phi: {
+    // Phi with all-identical incoming values (ignoring self-references).
+    Value* unique = nullptr;
+    for (unsigned i = 0; i < inst.numIncoming(); ++i) {
+      Value* in = inst.incomingValue(i);
+      if (in == &inst) {
+        continue;
+      }
+      if (unique == nullptr) {
+        unique = in;
+      } else if (unique != in) {
+        return nullptr;
+      }
+    }
+    return unique;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace qirkit::passes

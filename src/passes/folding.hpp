@@ -1,0 +1,39 @@
+/// \file folding.hpp
+/// Constant folding and algebraic simplification of single instructions.
+/// Shared by the constant-fold pass, SCCP, and the interpreter tests.
+#pragma once
+
+#include "ir/instruction.hpp"
+#include "ir/module.hpp"
+
+#include <cstdint>
+#include <span>
+
+namespace qirkit::passes {
+
+/// Evaluate an integer binary op with the semantics of iN two's-complement
+/// arithmetic. Returns false for division/remainder by zero (UB avoided).
+[[nodiscard]] bool evalIntBinOp(ir::Opcode op, unsigned bits, std::int64_t lhs,
+                                std::int64_t rhs, std::int64_t& result) noexcept;
+
+/// Evaluate a floating binary op.
+[[nodiscard]] double evalFloatBinOp(ir::Opcode op, double lhs, double rhs) noexcept;
+
+/// Evaluate an integer comparison under iN semantics.
+[[nodiscard]] bool evalICmp(ir::ICmpPred pred, unsigned bits, std::int64_t lhs,
+                            std::int64_t rhs) noexcept;
+
+/// Evaluate a floating comparison.
+[[nodiscard]] bool evalFCmp(ir::FCmpPred pred, double lhs, double rhs) noexcept;
+
+/// Try to fold \p inst given its current operands.
+/// Returns the replacement value — an existing constant or operand — or
+/// nullptr if the instruction cannot be simplified. Does not mutate IR.
+///
+/// Covers: all-constant arithmetic/comparisons/casts/selects, and algebraic
+/// identities (x+0, x-0, x*1, x*0, x&0, x&x, x|0, x|x, x^x, x^0, x-x,
+/// x/1, select with equal arms, icmp x==x, phi with identical incoming).
+[[nodiscard]] ir::Value* foldInstruction(ir::Context& context,
+                                         const ir::Instruction& inst);
+
+} // namespace qirkit::passes

@@ -1,0 +1,192 @@
+/// Function inlining: replaces calls to small (or always_inline) defined
+/// functions with a clone of their body. Part of the classical pipeline
+/// that QIR inherits from the LLVM-style infrastructure — gate subroutines
+/// written as functions flatten into their callers, exposing the quantum
+/// instruction sequence to the other passes.
+#include "passes/pass.hpp"
+
+#include "ir/builder.hpp"
+
+#include <map>
+#include <vector>
+
+namespace qirkit::passes {
+namespace {
+
+using namespace qirkit::ir;
+
+class InlinerPass final : public ModulePass {
+public:
+  explicit InlinerPass(std::size_t sizeThreshold) : sizeThreshold_(sizeThreshold) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "inline"; }
+
+  bool run(Module& module) override {
+    bool changedAny = false;
+    for (int sweep = 0; sweep < 8; ++sweep) {
+      bool changed = false;
+      for (const auto& fn : module.functions()) {
+        if (fn->isDeclaration()) {
+          continue;
+        }
+        changed |= inlineCallsIn(*fn);
+      }
+      changedAny |= changed;
+      if (!changed) {
+        break;
+      }
+    }
+    return changedAny;
+  }
+
+private:
+  std::size_t sizeThreshold_;
+
+  [[nodiscard]] bool shouldInline(const Function& caller, const Function& callee) const {
+    if (callee.isDeclaration() || &callee == &caller) {
+      return false;
+    }
+    if (callee.hasAttribute("noinline")) {
+      return false;
+    }
+    if (callee.hasAttribute("alwaysinline")) {
+      return true;
+    }
+    return callee.instructionCount() <= sizeThreshold_;
+  }
+
+  bool inlineCallsIn(Function& caller) {
+    // Find one inlinable call, inline it, and restart: inlining mutates the
+    // block list under our feet.
+    for (int guard = 0; guard < 1024; ++guard) {
+      Instruction* site = nullptr;
+      for (const auto& block : caller.blocks()) {
+        for (const auto& inst : block->instructions()) {
+          if (inst->op() == Opcode::Call && inst->callee() != nullptr &&
+              shouldInline(caller, *inst->callee())) {
+            site = inst.get();
+            break;
+          }
+        }
+        if (site != nullptr) {
+          break;
+        }
+      }
+      if (site == nullptr) {
+        return guard > 0;
+      }
+      inlineCall(caller, site);
+    }
+    return true;
+  }
+
+  using ValueMap = std::map<const Value*, Value*>;
+
+  static Value* mapValue(const ValueMap& vmap, Value* v) {
+    const auto it = vmap.find(v);
+    return it == vmap.end() ? v : it->second;
+  }
+
+  void inlineCall(Function& caller, Instruction* call) {
+    Function& callee = *call->callee();
+    BasicBlock* before = call->parent();
+    const std::size_t callIndex = before->indexOf(call);
+
+    // Split: everything after the call (including the terminator) moves to
+    // the continuation block.
+    BasicBlock* cont = caller.createBlockAfter(before, before->hasName()
+                                                           ? before->name() + ".cont"
+                                                           : std::string{});
+    while (before->size() > callIndex + 1) {
+      cont->append(before->detach(before->instructions()[callIndex + 1].get()));
+    }
+    // Phis in the original successors must now name `cont` as the incoming
+    // block.
+    for (BasicBlock* succ : cont->successors()) {
+      for (Instruction* phi : succ->phis()) {
+        for (unsigned i = 0; i < phi->numIncoming(); ++i) {
+          if (phi->incomingBlock(i) == before) {
+            phi->setOperand(2 * i + 1, cont);
+          }
+        }
+      }
+    }
+
+    // Clone the callee body.
+    ValueMap vmap;
+    for (unsigned i = 0; i < callee.numArgs(); ++i) {
+      vmap[callee.arg(i)] = call->operand(i);
+    }
+    std::map<const BasicBlock*, BasicBlock*> blockMap;
+    for (const auto& block : callee.blocks()) {
+      blockMap[block.get()] = caller.createBlockAfter(
+          cont, callee.name() + (block->hasName() ? "." + block->name() : ".bb"));
+    }
+    // Pass 1: clone every instruction with its *original* operands so the
+    // value map is complete regardless of block layout order; returns are
+    // rewritten to branches into the continuation.
+    std::vector<Instruction*> clones;
+    std::vector<std::pair<BasicBlock*, Value*>> returns; // cloned ret block, orig value
+    for (const auto& block : callee.blocks()) {
+      BasicBlock* clone = blockMap.at(block.get());
+      for (const auto& inst : block->instructions()) {
+        if (inst->op() == Opcode::Ret) {
+          Value* retValue = inst->numOperands() == 1 ? inst->operand(0) : nullptr;
+          IRBuilder builder(clone);
+          builder.createBr(cont);
+          returns.emplace_back(clone, retValue);
+          continue;
+        }
+        Instruction* placed = clone->append(inst->clone());
+        vmap[inst.get()] = placed;
+        clones.push_back(placed);
+      }
+    }
+    // Pass 2: remap all operands (values through vmap, blocks through
+    // blockMap).
+    for (Instruction* placed : clones) {
+      for (unsigned op = 0; op < placed->numOperands(); ++op) {
+        Value* operand = placed->operand(op);
+        if (operand->kind() == Value::Kind::BasicBlock) {
+          placed->setOperand(op, blockMap.at(static_cast<BasicBlock*>(operand)));
+        } else {
+          placed->setOperand(op, mapValue(vmap, operand));
+        }
+      }
+    }
+
+    // Join the return values.
+    if (!call->type()->isVoid()) {
+      Value* replacement = nullptr;
+      if (returns.empty()) {
+        replacement = caller.parent()->context().getUndef(call->type());
+      } else if (returns.size() == 1) {
+        replacement = mapValue(vmap, returns.front().second);
+      } else {
+        IRBuilder builder(caller.parent()->context());
+        builder.setInsertPoint(cont, 0);
+        Instruction* phi = builder.createPhi(call->type());
+        for (const auto& [retBlock, value] : returns) {
+          phi->addIncoming(mapValue(vmap, value), retBlock);
+        }
+        replacement = phi;
+      }
+      call->replaceAllUsesWith(replacement);
+    }
+
+    // Enter the inlined body, remove the call.
+    {
+      IRBuilder builder(before);
+      builder.createBr(blockMap.at(callee.entry()));
+    }
+    call->eraseFromParent();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass> createInlinerPass(std::size_t sizeThreshold) {
+  return std::make_unique<InlinerPass>(sizeThreshold);
+}
+
+} // namespace qirkit::passes

@@ -1,0 +1,90 @@
+#include "passes/loop_info.hpp"
+
+#include <algorithm>
+
+namespace qirkit::passes {
+
+using namespace qirkit::ir;
+
+BasicBlock* Loop::preheader() const {
+  BasicBlock* candidate = nullptr;
+  for (BasicBlock* pred : header->predecessors()) {
+    if (contains(pred)) {
+      continue;
+    }
+    if (candidate != nullptr && candidate != pred) {
+      return nullptr;
+    }
+    candidate = pred;
+  }
+  return candidate;
+}
+
+std::vector<std::pair<BasicBlock*, BasicBlock*>> Loop::exitEdges() const {
+  std::vector<std::pair<BasicBlock*, BasicBlock*>> result;
+  for (BasicBlock* block : blocks) {
+    for (BasicBlock* succ : block->successors()) {
+      if (!contains(succ)) {
+        result.emplace_back(block, succ);
+      }
+    }
+  }
+  return result;
+}
+
+bool Loop::containsLoop(const std::vector<Loop>& all) const {
+  for (const Loop& other : all) {
+    if (other.header != header && contains(other.header)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Loop> findNaturalLoops(Function& fn) {
+  if (fn.entry() == nullptr) {
+    return {};
+  }
+  const DomTree dom(fn);
+  std::vector<Loop> loops;
+  const auto loopForHeader = [&loops](BasicBlock* header) -> Loop& {
+    for (Loop& loop : loops) {
+      if (loop.header == header) {
+        return loop;
+      }
+    }
+    loops.push_back({header, {header}, {}});
+    return loops.back();
+  };
+
+  for (const BasicBlock* blockC : dom.reversePostOrder()) {
+    auto* block = const_cast<BasicBlock*>(blockC);
+    for (BasicBlock* succ : block->successors()) {
+      if (!dom.dominates(succ, block)) {
+        continue; // not a back edge
+      }
+      Loop& loop = loopForHeader(succ);
+      loop.latches.push_back(block);
+      // Flood backwards from the latch, stopping at the header.
+      std::vector<BasicBlock*> worklist{block};
+      while (!worklist.empty()) {
+        BasicBlock* current = worklist.back();
+        worklist.pop_back();
+        if (!loop.blocks.insert(current).second) {
+          continue;
+        }
+        for (BasicBlock* pred : current->predecessors()) {
+          if (pred != loop.header && dom.isReachable(pred)) {
+            worklist.push_back(pred);
+          }
+        }
+      }
+    }
+  }
+  std::sort(loops.begin(), loops.end(), [](const Loop& a, const Loop& b) {
+    return a.blocks.size() < b.blocks.size();
+  });
+  return loops;
+}
+
+} // namespace qirkit::passes

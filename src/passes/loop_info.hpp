@@ -1,0 +1,41 @@
+/// \file loop_info.hpp
+/// Natural-loop detection on the CFG (back edges found via dominance).
+#pragma once
+
+#include "ir/dominance.hpp"
+#include "ir/module.hpp"
+
+#include <set>
+#include <vector>
+
+namespace qirkit::passes {
+
+/// A natural loop: header plus the set of blocks that can reach a latch
+/// without passing through the header.
+struct Loop {
+  ir::BasicBlock* header = nullptr;
+  std::set<ir::BasicBlock*> blocks;        // includes header
+  std::vector<ir::BasicBlock*> latches;    // in-loop predecessors of header
+
+  [[nodiscard]] bool contains(const ir::BasicBlock* block) const {
+    return blocks.count(const_cast<ir::BasicBlock*>(block)) != 0;
+  }
+
+  /// The unique out-of-loop predecessor of the header, or nullptr if there
+  /// are several (no canonical preheader).
+  [[nodiscard]] ir::BasicBlock* preheader() const;
+
+  /// Every (from, to) edge leaving the loop.
+  [[nodiscard]] std::vector<std::pair<ir::BasicBlock*, ir::BasicBlock*>>
+  exitEdges() const;
+
+  /// True if some other loop's header lies inside this loop (i.e. this is
+  /// not an innermost loop).
+  [[nodiscard]] bool containsLoop(const std::vector<Loop>& all) const;
+};
+
+/// Find all natural loops of \p fn. Loops sharing a header are merged.
+/// Returned in ascending size order (innermost first for nests).
+[[nodiscard]] std::vector<Loop> findNaturalLoops(ir::Function& fn);
+
+} // namespace qirkit::passes

@@ -1,0 +1,93 @@
+#include "passes/pass.hpp"
+
+#include "ir/verifier.hpp"
+
+#include <sstream>
+
+namespace qirkit::passes {
+
+void PassManager::add(std::unique_ptr<FunctionPass> pass) {
+  stats_.push_back({std::string(pass->name()), 0, 0, {}});
+  entries_.push_back({std::move(pass), nullptr});
+}
+
+void PassManager::add(std::unique_ptr<ModulePass> pass) {
+  stats_.push_back({std::string(pass->name()), 0, 0, {}});
+  entries_.push_back({nullptr, std::move(pass)});
+}
+
+bool PassManager::run(ir::Module& module) {
+  bool changed = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& entry = entries_[i];
+    PassStatistics& stat = stats_[i];
+    const auto start = std::chrono::steady_clock::now();
+    bool passChanged = false;
+    if (entry.modulePass != nullptr) {
+      passChanged = entry.modulePass->run(module);
+      ++stat.invocations;
+    } else {
+      for (const auto& fn : module.functions()) {
+        if (!fn->isDeclaration()) {
+          passChanged |= entry.functionPass->run(*fn);
+          ++stat.invocations;
+        }
+      }
+    }
+    stat.elapsed += std::chrono::steady_clock::now() - start;
+    if (passChanged) {
+      ++stat.changes;
+    }
+    changed |= passChanged;
+    if (verifyEach_) {
+      ir::verifyModuleOrThrow(module);
+    }
+  }
+  return changed;
+}
+
+std::size_t PassManager::runToFixpoint(ir::Module& module, std::size_t maxIterations) {
+  for (std::size_t sweep = 1; sweep <= maxIterations; ++sweep) {
+    if (!run(module)) {
+      return sweep;
+    }
+  }
+  return maxIterations;
+}
+
+std::string PassManager::statisticsReport() const {
+  std::ostringstream out;
+  for (const PassStatistics& stat : stats_) {
+    out << stat.name << ": " << stat.invocations << " invocations, " << stat.changes
+        << " changing sweeps, "
+        << std::chrono::duration_cast<std::chrono::microseconds>(stat.elapsed).count()
+        << " us\n";
+  }
+  return out.str();
+}
+
+void addStandardPipeline(PassManager& pm) {
+  pm.add(createMem2RegPass());
+  pm.add(createSCCPPass());
+  pm.add(createConstantFoldPass());
+  pm.add(createCSEPass());
+  pm.add(createSimplifyCFGPass());
+  pm.add(createDCEPass());
+}
+
+void addFullPipeline(PassManager& pm, std::size_t maxUnrollTripCount) {
+  pm.add(createInlinerPass());
+  pm.add(createMem2RegPass());
+  pm.add(createSCCPPass());
+  pm.add(createConstantFoldPass());
+  pm.add(createSimplifyCFGPass());
+  pm.add(createLoopUnrollPass(maxUnrollTripCount));
+  pm.add(createSCCPPass());
+  pm.add(createConstantFoldPass());
+  pm.add(createCSEPass());
+  pm.add(createSimplifyCFGPass());
+  pm.add(createDCEPass());
+  pm.add(createStripDeadFunctionsPass());
+}
+
+} // namespace qirkit::passes

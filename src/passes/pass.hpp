@@ -1,0 +1,96 @@
+/// \file pass.hpp
+/// The pass framework: FunctionPass / ModulePass interfaces and a
+/// PassManager that runs a pipeline and records per-pass statistics.
+/// This is the machinery the paper's §III.B calls "the core motivation of
+/// an IR in a compiler": transformations compose over a shared AST.
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qirkit::passes {
+
+/// A transformation over a single function definition.
+class FunctionPass {
+public:
+  virtual ~FunctionPass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// Transform \p fn; return true if anything changed.
+  virtual bool run(ir::Function& fn) = 0;
+};
+
+/// A transformation over a whole module.
+class ModulePass {
+public:
+  virtual ~ModulePass() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual bool run(ir::Module& module) = 0;
+};
+
+/// Wall-clock and change statistics for one pipeline entry.
+struct PassStatistics {
+  std::string name;
+  std::size_t invocations = 0;
+  std::size_t changes = 0;
+  std::chrono::nanoseconds elapsed{0};
+};
+
+/// Runs a sequence of passes over a module. Function passes are applied to
+/// every function definition. `runToFixpoint` repeats the whole pipeline
+/// until no pass reports a change (bounded by maxIterations).
+class PassManager {
+public:
+  void add(std::unique_ptr<FunctionPass> pass);
+  void add(std::unique_ptr<ModulePass> pass);
+
+  /// Run the pipeline once. Returns true if anything changed.
+  bool run(ir::Module& module);
+
+  /// Repeat the pipeline until a full sweep changes nothing.
+  /// Returns the number of sweeps executed.
+  std::size_t runToFixpoint(ir::Module& module, std::size_t maxIterations = 16);
+
+  /// If set, verify the module after every pass and throw on breakage.
+  void setVerifyEach(bool verify) noexcept { verifyEach_ = verify; }
+
+  [[nodiscard]] const std::vector<PassStatistics>& statistics() const noexcept {
+    return stats_;
+  }
+  /// Human-readable statistics table.
+  [[nodiscard]] std::string statisticsReport() const;
+
+private:
+  struct Entry {
+    std::unique_ptr<FunctionPass> functionPass;
+    std::unique_ptr<ModulePass> modulePass;
+  };
+  std::vector<Entry> entries_;
+  std::vector<PassStatistics> stats_;
+  bool verifyEach_ = false;
+};
+
+/// The standard classical-optimization pipeline (the paper's "inherited for
+/// free" optimizations): mem2reg, SCCP, constant folding & peepholes, DCE,
+/// CFG simplification — iterated to fixpoint by the caller as needed.
+void addStandardPipeline(PassManager& pm);
+
+/// Standard pipeline plus full loop unrolling (Ex. 4) and inlining.
+void addFullPipeline(PassManager& pm, std::size_t maxUnrollTripCount = 1 << 16);
+
+// -- pass factories -----------------------------------------------------------
+std::unique_ptr<FunctionPass> createMem2RegPass();
+std::unique_ptr<FunctionPass> createConstantFoldPass();
+std::unique_ptr<FunctionPass> createSCCPPass();
+std::unique_ptr<FunctionPass> createDCEPass();
+std::unique_ptr<FunctionPass> createSimplifyCFGPass();
+std::unique_ptr<FunctionPass> createCSEPass();
+std::unique_ptr<FunctionPass> createLoopUnrollPass(std::size_t maxTripCount = 1 << 16);
+std::unique_ptr<ModulePass> createInlinerPass(std::size_t sizeThreshold = 64);
+std::unique_ptr<ModulePass> createStripDeadFunctionsPass();
+
+} // namespace qirkit::passes

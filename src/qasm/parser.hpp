@@ -1,0 +1,25 @@
+/// \file parser.hpp
+/// OpenQASM 2.0 parser onto the circuit IR — the ecosystem format the
+/// paper contrasts QIR with (§II.A, Fig. 1 left).
+///
+/// Supported: OPENQASM 2.0 header, include "qelib1.inc" (gates provided as
+/// builtins), qreg/creg (multiple registers, flattened), the qelib1 gate
+/// set (h x y z s sdg t tdg rx ry rz u1 u2 u3 id cx cz swap ccx), the
+/// builtin U/CX, user `gate` definitions (inlined at application), gate
+/// broadcasting over registers, measure, reset, barrier, and
+/// `if (creg == n)` conditions. Angle expressions support pi, + - * / ^,
+/// unary minus, parentheses, and sin/cos/tan/exp/ln/sqrt.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <string_view>
+
+namespace qirkit::qasm {
+
+/// Parse OpenQASM 2.0 source into a circuit. Registers are flattened into
+/// one qubit index space (declaration order) and one bit index space.
+/// Throws qirkit::ParseError on malformed input.
+[[nodiscard]] circuit::Circuit parse(std::string_view source);
+
+} // namespace qirkit::qasm

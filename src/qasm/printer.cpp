@@ -1,0 +1,126 @@
+#include "qasm/printer.hpp"
+
+#include "support/source_location.hpp"
+#include "support/string_utils.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace qirkit::qasm {
+
+using circuit::Circuit;
+using circuit::Condition;
+using circuit::OpKind;
+using circuit::Operation;
+
+namespace {
+
+/// Partition [0, numBits) into register segments such that every condition
+/// range is exactly one segment.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> // (first, size)
+partitionBits(const Circuit& circuit) {
+  std::set<std::uint32_t> cuts{0, circuit.numBits()};
+  std::vector<Condition> conditions;
+  for (const Operation& op : circuit.ops()) {
+    if (op.condition) {
+      conditions.push_back(*op.condition);
+      cuts.insert(op.condition->firstBit);
+      cuts.insert(op.condition->firstBit + op.condition->numBits);
+    }
+  }
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> segments;
+  for (auto it = cuts.begin(); std::next(it) != cuts.end(); ++it) {
+    segments.emplace_back(*it, *std::next(it) - *it);
+  }
+  // Every condition must align with exactly one segment.
+  for (const Condition& cond : conditions) {
+    const bool aligned =
+        std::any_of(segments.begin(), segments.end(), [&](const auto& seg) {
+          return seg.first == cond.firstBit && seg.second == cond.numBits;
+        });
+    if (!aligned) {
+      throw SemanticError(
+          "conditions overlap in a way OpenQASM 2 registers cannot express");
+    }
+  }
+  return segments;
+}
+
+std::string formatAngle(double value) { return formatDouble(value); }
+
+} // namespace
+
+std::string print(const Circuit& circuit) {
+  const auto segments = partitionBits(circuit);
+  // bit index -> (register id, offset)
+  std::vector<std::pair<std::size_t, std::uint32_t>> bitRef(circuit.numBits());
+  for (std::size_t r = 0; r < segments.size(); ++r) {
+    for (std::uint32_t i = 0; i < segments[r].second; ++i) {
+      bitRef[segments[r].first + i] = {r, i};
+    }
+  }
+  const auto regName = [&](std::size_t r) {
+    return segments.size() == 1 ? std::string("c") : "c" + std::to_string(r);
+  };
+
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  if (circuit.numQubits() > 0) {
+    out << "qreg q[" << circuit.numQubits() << "];\n";
+  }
+  for (std::size_t r = 0; r < segments.size(); ++r) {
+    if (segments[r].second > 0) {
+      out << "creg " << regName(r) << "[" << segments[r].second << "];\n";
+    }
+  }
+
+  for (const Operation& op : circuit.ops()) {
+    if (op.condition) {
+      const std::size_t r = bitRef[op.condition->firstBit].first;
+      out << "if (" << regName(r) << " == " << op.condition->value << ") ";
+    }
+    switch (op.kind) {
+    case OpKind::Measure:
+      out << "measure q[" << op.qubits[0] << "] -> "
+          << regName(bitRef[op.bit].first) << "[" << bitRef[op.bit].second << "];\n";
+      continue;
+    case OpKind::Reset:
+      out << "reset q[" << op.qubits[0] << "];\n";
+      continue;
+    case OpKind::Barrier:
+      out << "barrier";
+      if (op.qubits.empty()) {
+        out << " q";
+      } else {
+        for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+          out << (i == 0 ? " " : ", ") << "q[" << op.qubits[i] << "]";
+        }
+      }
+      out << ";\n";
+      continue;
+    default:
+      break;
+    }
+    out << opKindName(op.kind);
+    if (!op.params.empty()) {
+      out << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (i != 0) {
+          out << ", ";
+        }
+        out << formatAngle(op.params[i]);
+      }
+      out << ")";
+    }
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      out << (i == 0 ? " " : ", ") << "q[" << op.qubits[i] << "]";
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+} // namespace qirkit::qasm

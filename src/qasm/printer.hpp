@@ -1,0 +1,18 @@
+/// \file printer.hpp
+/// OpenQASM 2.0 emission from the circuit IR (Fig. 1's left-hand format).
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+#include <string>
+
+namespace qirkit::qasm {
+
+/// Print \p circuit as OpenQASM 2.0. Qubits become one register `q`;
+/// classical bits are partitioned into registers `c0, c1, ...` along the
+/// boundaries of the conditions used, because OpenQASM 2 conditions test
+/// whole registers. Throws SemanticError if the conditions overlap in a
+/// way no register partition can express.
+[[nodiscard]] std::string print(const circuit::Circuit& circuit);
+
+} // namespace qirkit::qasm

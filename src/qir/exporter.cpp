@@ -1,0 +1,223 @@
+#include "qir/exporter.hpp"
+
+#include "ir/builder.hpp"
+#include "qir/names.hpp"
+#include "support/source_location.hpp"
+
+#include <vector>
+
+namespace qirkit::qir {
+
+using namespace qirkit::ir;
+using circuit::Circuit;
+using circuit::OpKind;
+using circuit::Operation;
+
+namespace {
+
+class Exporter {
+public:
+  Exporter(Context& ctx, const Circuit& circuit, const ExportOptions& options)
+      : ctx_(ctx), circuit_(circuit), options_(options),
+        module_(std::make_unique<Module>(ctx, options.entryName + ".qir")) {}
+
+  std::unique_ptr<Module> run() {
+    Function* entry = module_->createFunction(
+        options_.entryName, ctx_.functionTy(ctx_.voidTy(), {}));
+    entry->setAttribute("entry_point");
+    entry->setAttribute("qir_profiles", circuit_.hasConditions()
+                                            ? "adaptive_profile"
+                                            : "base_profile");
+    entry->setAttribute("required_num_qubits",
+                        std::to_string(circuit_.numQubits()));
+    entry->setAttribute("required_num_results", std::to_string(circuit_.numBits()));
+
+    block_ = entry->createBlock("entry");
+    builder_.setInsertPoint(block_);
+
+    if (options_.emitInitialize) {
+      builder_.createCall(declareQIRFunction(*module_, kRtInitialize),
+                          {ctx_.getNullPtr()});
+    }
+    if (options_.addressing == Addressing::Dynamic) {
+      emitDynamicPrologue();
+    }
+    for (const Operation& op : circuit_.ops()) {
+      emitOperation(op);
+    }
+    if (options_.recordOutput) {
+      emitRecordOutput();
+    }
+    if (options_.addressing == Addressing::Dynamic && circuit_.numQubits() > 0) {
+      builder_.createCall(declareQIRFunction(*module_, kRtQubitReleaseArray),
+                          {loadQubitArray()});
+    }
+    builder_.createRetVoid();
+    return std::move(module_);
+  }
+
+private:
+  // -- address construction ---------------------------------------------------
+  Value* staticPtr(std::uint64_t id) {
+    // Ex. 6: qubit 0 is `ptr null`, higher ids are inttoptr constants.
+    return id == 0 ? static_cast<Value*>(ctx_.getNullPtr())
+                   : static_cast<Value*>(ctx_.getIntToPtr(id));
+  }
+
+  void emitDynamicPrologue() {
+    // Fig. 1 (right): stack slots holding the array pointers.
+    if (circuit_.numQubits() > 0) {
+      qubitSlot_ = builder_.createAlloca(ctx_.ptrTy(), "q");
+      Instruction* array = builder_.createCall(
+          declareQIRFunction(*module_, kRtQubitAllocateArray),
+          {ctx_.getI64(static_cast<std::int64_t>(circuit_.numQubits()))});
+      builder_.createStore(array, qubitSlot_);
+    }
+    if (circuit_.numBits() > 0) {
+      resultSlot_ = builder_.createAlloca(ctx_.ptrTy(), "c");
+      Instruction* array = builder_.createCall(
+          declareQIRFunction(*module_, kRtArrayCreate1d),
+          {ctx_.getI32(1), ctx_.getI64(static_cast<std::int64_t>(circuit_.numBits()))});
+      builder_.createStore(array, resultSlot_);
+    }
+  }
+
+  Value* loadQubitArray() {
+    return builder_.createLoad(ctx_.ptrTy(), qubitSlot_);
+  }
+
+  Value* qubitPtr(std::uint32_t q) {
+    if (options_.addressing == Addressing::Static) {
+      return staticPtr(q);
+    }
+    Value* array = loadQubitArray();
+    return builder_.createCall(
+        declareQIRFunction(*module_, kRtArrayGetElementPtr1d),
+        {array, ctx_.getI64(q)});
+  }
+
+  Value* resultPtr(std::uint32_t bit) {
+    if (options_.addressing == Addressing::Static) {
+      return staticPtr(bit);
+    }
+    Value* array = builder_.createLoad(ctx_.ptrTy(), resultSlot_);
+    return builder_.createCall(
+        declareQIRFunction(*module_, kRtArrayGetElementPtr1d),
+        {array, ctx_.getI64(bit)});
+  }
+
+  // -- operations --------------------------------------------------------
+  void emitOperation(const Operation& op) {
+    if (op.kind == OpKind::Barrier) {
+      return; // no QIR representation; a fence only for circuit passes
+    }
+    if (op.condition) {
+      emitConditioned(op);
+      return;
+    }
+    emitBody(op);
+  }
+
+  void emitBody(const Operation& op) {
+    if (op.kind == OpKind::Measure) {
+      builder_.createCall(declareQIRFunction(*module_, kQisMz),
+                          {qubitPtr(op.qubits[0]), resultPtr(op.bit)});
+      return;
+    }
+    if (op.kind == OpKind::U3) {
+      // The qis set has no u3; lower to RZ(lambda) RY(theta) RZ(phi).
+      Value* q0 = qubitPtr(op.qubits[0]);
+      builder_.createCall(declareQIRFunction(*module_, kQisRZ),
+                          {ctx_.getDouble(op.params[2]), q0});
+      Value* q1 = qubitPtr(op.qubits[0]);
+      builder_.createCall(declareQIRFunction(*module_, kQisRY),
+                          {ctx_.getDouble(op.params[0]), q1});
+      Value* q2 = qubitPtr(op.qubits[0]);
+      builder_.createCall(declareQIRFunction(*module_, kQisRZ),
+                          {ctx_.getDouble(op.params[1]), q2});
+      return;
+    }
+    const auto qisName = qisNameFor(op.kind);
+    if (!qisName) {
+      throw SemanticError(std::string("operation ") + opKindName(op.kind) +
+                          " has no QIR representation");
+    }
+    Function* callee = declareQIRFunction(*module_, *qisName);
+    std::vector<Value*> args;
+    for (const double param : op.params) {
+      args.push_back(ctx_.getDouble(param));
+    }
+    for (const std::uint32_t q : op.qubits) {
+      args.push_back(qubitPtr(q));
+    }
+    builder_.createCall(callee, std::span<Value* const>(args.data(), args.size()));
+  }
+
+  void emitConditioned(const Operation& op) {
+    const circuit::Condition& cond = *op.condition;
+    // Build the match predicate: AND over per-bit tests.
+    Function* readResult = declareQIRFunction(*module_, kQisReadResult);
+    Value* acc = nullptr;
+    for (std::uint32_t i = 0; i < cond.numBits; ++i) {
+      Value* bit = builder_.createCall(readResult, {resultPtr(cond.firstBit + i)});
+      const bool expectOne = ((cond.value >> i) & 1) != 0;
+      Value* term = expectOne
+                        ? bit
+                        : builder_.createBinOp(Opcode::Xor, bit, ctx_.getI1(true));
+      acc = acc == nullptr ? term : builder_.createBinOp(Opcode::And, acc, term);
+    }
+    Function* fn = block_->parent();
+    BasicBlock* thenBlock = fn->createBlock("then");
+    BasicBlock* contBlock = fn->createBlock("continue");
+    builder_.createCondBr(acc, thenBlock, contBlock);
+    block_ = thenBlock;
+    builder_.setInsertPoint(block_);
+    Operation body = op;
+    body.condition.reset();
+    emitBody(body);
+    builder_.createBr(contBlock);
+    block_ = contBlock;
+    builder_.setInsertPoint(block_);
+  }
+
+  void emitRecordOutput() {
+    if (circuit_.numBits() == 0) {
+      return;
+    }
+    Function* arrayRecord = declareQIRFunction(*module_, kRtArrayRecordOutput);
+    Function* record = declareQIRFunction(*module_, kRtResultRecordOutput);
+    GlobalVariable* arrayLabel = getLabel("array");
+    builder_.createCall(arrayRecord,
+                        {ctx_.getI64(circuit_.numBits()), arrayLabel});
+    for (std::uint32_t bit = 0; bit < circuit_.numBits(); ++bit) {
+      builder_.createCall(record,
+                          {resultPtr(bit), getLabel("r" + std::to_string(bit))});
+    }
+  }
+
+  GlobalVariable* getLabel(const std::string& label) {
+    const std::string globalName = "lbl." + label;
+    if (GlobalVariable* existing = module_->getGlobal(globalName)) {
+      return existing;
+    }
+    return module_->createGlobalString(globalName, label + '\0');
+  }
+
+  Context& ctx_;
+  const Circuit& circuit_;
+  ExportOptions options_;
+  std::unique_ptr<Module> module_;
+  IRBuilder builder_{ctx_};
+  BasicBlock* block_ = nullptr;
+  Instruction* qubitSlot_ = nullptr;
+  Instruction* resultSlot_ = nullptr;
+};
+
+} // namespace
+
+std::unique_ptr<Module> exportCircuit(Context& context, const Circuit& circuit,
+                                      const ExportOptions& options) {
+  return Exporter(context, circuit, options).run();
+}
+
+} // namespace qirkit::qir

@@ -1,0 +1,40 @@
+/// \file exporter.hpp
+/// Circuit -> QIR exporter. Emits either of the two addressing styles the
+/// paper contrasts in §IV.A:
+///  * Dynamic (Ex. 2): qubits live in runtime arrays; every use allocates,
+///    loads, and takes element pointers — faithful to Fig. 1's right side.
+///  * Static (Ex. 6): qubits are `inttoptr (i64 N to ptr)` constants and
+///    the allocation lines disappear.
+/// Classically conditioned operations (adaptive profile) are lowered to
+/// `read_result` + branch diamonds.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "ir/module.hpp"
+
+#include <memory>
+#include <string>
+
+namespace qirkit::qir {
+
+/// Qubit/result addressing style (paper §IV.A).
+enum class Addressing { Static, Dynamic };
+
+struct ExportOptions {
+  Addressing addressing = Addressing::Static;
+  /// Emit `__quantum__rt__result_record_output` calls (with label globals)
+  /// for every classical bit at the end of the program.
+  bool recordOutput = true;
+  /// Emit an `__quantum__rt__initialize` prologue call.
+  bool emitInitialize = false;
+  std::string entryName = "main";
+};
+
+/// Export \p circuit as a QIR module with an entry-point function carrying
+/// the standard attributes (entry_point, qir_profiles,
+/// required_num_qubits, required_num_results).
+[[nodiscard]] std::unique_ptr<ir::Module>
+exportCircuit(ir::Context& context, const circuit::Circuit& circuit,
+              const ExportOptions& options = {});
+
+} // namespace qirkit::qir

@@ -1,0 +1,38 @@
+/// \file importer.hpp
+/// QIR -> circuit importers implementing both options of the paper's
+/// §III.A ("Parsing QIR Programs"):
+///
+///  * importBaseProfileText — the Ex. 3 route: a *custom parser* that
+///    avoids the LLVM dependency entirely. It iterates over the lines,
+///    tracks the assignment of variables (%9, %0, %1, ...) to their
+///    values to infer the qubit passed to each instruction, and matches
+///    the instructions with simple patterns. It supports the base profile
+///    (straight-line programs, static or dynamic addressing) and rejects
+///    anything needing control flow — exactly the limitation the paper
+///    attributes to this approach.
+///
+///  * importFromModule — the full-AST route: walks a parsed ir::Module
+///    (use ir::parseModule + the §III.B passes first, e.g. to unroll
+///    loops), abstractly evaluating the runtime calls. Additionally
+///    understands the `read_result` + branch diamonds our adaptive-profile
+///    exporter emits, importing them as conditioned operations.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "ir/module.hpp"
+
+#include <string_view>
+
+namespace qirkit::qir {
+
+/// Route (a1): pattern-parse base-profile QIR text without building an
+/// AST. Throws ParseError on unsupported constructs (control flow,
+/// classical computation) — those need the full parser.
+[[nodiscard]] circuit::Circuit importBaseProfileText(std::string_view qirText);
+
+/// Route (a2)/§III.B: import the entry point of a parsed module by
+/// abstract evaluation. Run optimization passes first if the program
+/// contains loops or folded-away classical computation.
+[[nodiscard]] circuit::Circuit importFromModule(const ir::Module& module);
+
+} // namespace qirkit::qir

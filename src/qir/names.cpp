@@ -1,0 +1,132 @@
+#include "qir/names.hpp"
+
+#include "support/source_location.hpp"
+
+#include <map>
+
+namespace qirkit::qir {
+
+using circuit::OpKind;
+using ir::Context;
+using ir::Type;
+
+bool isQisFunction(std::string_view name) noexcept {
+  return name.starts_with("__quantum__qis__");
+}
+
+bool isRtFunction(std::string_view name) noexcept {
+  return name.starts_with("__quantum__rt__");
+}
+
+bool isQuantumFunction(std::string_view name) noexcept {
+  return name.starts_with("__quantum__");
+}
+
+const Type* qirFunctionType(Context& ctx, std::string_view name) {
+  const Type* voidTy = ctx.voidTy();
+  const Type* ptr = ctx.ptrTy();
+  const Type* i64 = ctx.i64();
+  const Type* i32 = ctx.i32();
+  const Type* i1 = ctx.i1();
+  const Type* dbl = ctx.doubleTy();
+
+  // 1-qubit gates.
+  if (name == kQisH || name == kQisX || name == kQisY || name == kQisZ ||
+      name == kQisS || name == kQisSAdj || name == kQisT || name == kQisTAdj ||
+      name == kQisReset) {
+    return ctx.functionTy(voidTy, {ptr});
+  }
+  if (name == kQisRX || name == kQisRY || name == kQisRZ) {
+    return ctx.functionTy(voidTy, {dbl, ptr});
+  }
+  if (name == kQisCNOT || name == kQisCZ || name == kQisSwap || name == kQisMz) {
+    return ctx.functionTy(voidTy, {ptr, ptr});
+  }
+  if (name == kQisCCX) {
+    return ctx.functionTy(voidTy, {ptr, ptr, ptr});
+  }
+  if (name == kQisReadResult) {
+    return ctx.functionTy(i1, {ptr});
+  }
+  if (name == kRtInitialize) {
+    return ctx.functionTy(voidTy, {ptr});
+  }
+  if (name == kRtQubitAllocate || name == kRtResultGetOne || name == kRtResultGetZero) {
+    return ctx.functionTy(ptr, {});
+  }
+  if (name == kRtQubitRelease || name == kRtQubitReleaseArray) {
+    return ctx.functionTy(voidTy, {ptr});
+  }
+  if (name == kRtQubitAllocateArray) {
+    return ctx.functionTy(ptr, {i64});
+  }
+  if (name == kRtArrayCreate1d) {
+    return ctx.functionTy(ptr, {i32, i64});
+  }
+  if (name == kRtArrayGetElementPtr1d) {
+    return ctx.functionTy(ptr, {ptr, i64});
+  }
+  if (name == kRtArrayGetSize1d) {
+    return ctx.functionTy(i64, {ptr});
+  }
+  if (name == kRtArrayUpdateRefCount) {
+    return ctx.functionTy(voidTy, {ptr, i32});
+  }
+  if (name == kRtResultRecordOutput) {
+    return ctx.functionTy(voidTy, {ptr, ptr});
+  }
+  if (name == kRtArrayRecordOutput) {
+    return ctx.functionTy(voidTy, {i64, ptr});
+  }
+  if (name == kRtResultEqual) {
+    return ctx.functionTy(i1, {ptr, ptr});
+  }
+  return nullptr;
+}
+
+ir::Function* declareQIRFunction(ir::Module& module, std::string_view name) {
+  const Type* type = qirFunctionType(module.context(), name);
+  if (type == nullptr) {
+    throw SemanticError("unknown QIR function '" + std::string(name) + "'");
+  }
+  return module.getOrInsertFunction(name, type);
+}
+
+std::optional<std::string_view> qisNameFor(OpKind kind) noexcept {
+  switch (kind) {
+  case OpKind::H: return kQisH;
+  case OpKind::X: return kQisX;
+  case OpKind::Y: return kQisY;
+  case OpKind::Z: return kQisZ;
+  case OpKind::S: return kQisS;
+  case OpKind::Sdg: return kQisSAdj;
+  case OpKind::T: return kQisT;
+  case OpKind::Tdg: return kQisTAdj;
+  case OpKind::RX: return kQisRX;
+  case OpKind::RY: return kQisRY;
+  case OpKind::RZ: return kQisRZ;
+  case OpKind::CX: return kQisCNOT;
+  case OpKind::CZ: return kQisCZ;
+  case OpKind::Swap: return kQisSwap;
+  case OpKind::CCX: return kQisCCX;
+  case OpKind::Reset: return kQisReset;
+  default: return std::nullopt;
+  }
+}
+
+std::optional<OpKind> opKindForQis(std::string_view name) noexcept {
+  static const std::map<std::string_view, OpKind> table = {
+      {kQisH, OpKind::H},       {kQisX, OpKind::X},
+      {kQisY, OpKind::Y},       {kQisZ, OpKind::Z},
+      {kQisS, OpKind::S},       {kQisSAdj, OpKind::Sdg},
+      {kQisT, OpKind::T},       {kQisTAdj, OpKind::Tdg},
+      {kQisRX, OpKind::RX},     {kQisRY, OpKind::RY},
+      {kQisRZ, OpKind::RZ},     {kQisCNOT, OpKind::CX},
+      {kQisCZ, OpKind::CZ},     {kQisSwap, OpKind::Swap},
+      {kQisCCX, OpKind::CCX},   {kQisMz, OpKind::Measure},
+      {kQisReset, OpKind::Reset}};
+  const auto it = table.find(name);
+  return it == table.end() ? std::nullopt : std::optional<OpKind>(it->second);
+}
+
+} // namespace qirkit::qir

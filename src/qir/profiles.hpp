@@ -1,0 +1,41 @@
+/// \file profiles.hpp
+/// QIR profiles (paper §II.C): "multiple restrictions to QIR, so-called
+/// profiles, have been defined that limit the expressiveness of QIR. In
+/// its most restrictive form, the base profile only allows a sequence of
+/// quantum instructions that ends with the measurement of all qubits …
+/// The more permissive adaptive profiles allow the successive transition
+/// to fully support all features contained in LLVM IR."
+#pragma once
+
+#include "ir/module.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qirkit::qir {
+
+enum class Profile : std::uint8_t {
+  /// Straight-line static-address programs: quantum instructions, final
+  /// measurements, output recording. Effectively OpenQASM-2-equivalent.
+  Base,
+  /// Adds measurement feedback: read_result, branching, and bounded
+  /// integer computation. Still no dynamic qubit management.
+  Adaptive,
+  /// Unrestricted: QIR as a proper superset of LLVM IR.
+  Full,
+};
+
+[[nodiscard]] const char* profileName(Profile profile) noexcept;
+
+struct ProfileReport {
+  bool conforms = false;
+  std::vector<std::string> violations;
+};
+
+/// Check whether \p module's entry point conforms to \p profile.
+[[nodiscard]] ProfileReport validateProfile(const ir::Module& module, Profile profile);
+
+/// The most restrictive profile the module conforms to.
+[[nodiscard]] Profile detectProfile(const ir::Module& module);
+
+} // namespace qirkit::qir

@@ -1,0 +1,84 @@
+#include "sim/gates.hpp"
+
+#include <cmath>
+
+namespace qirkit::sim {
+
+namespace {
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+}
+
+GateMatrix2 gateH() noexcept {
+  return {kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2};
+}
+GateMatrix2 gateX() noexcept { return {0, 1, 1, 0}; }
+GateMatrix2 gateY() noexcept {
+  return {0, Complex(0, -1), Complex(0, 1), 0};
+}
+GateMatrix2 gateZ() noexcept { return {1, 0, 0, -1}; }
+GateMatrix2 gateS() noexcept { return {1, 0, 0, Complex(0, 1)}; }
+GateMatrix2 gateSdg() noexcept { return {1, 0, 0, Complex(0, -1)}; }
+GateMatrix2 gateT() noexcept {
+  return {1, 0, 0, Complex(kInvSqrt2, kInvSqrt2)};
+}
+GateMatrix2 gateTdg() noexcept {
+  return {1, 0, 0, Complex(kInvSqrt2, -kInvSqrt2)};
+}
+
+GateMatrix2 gateRX(double theta) noexcept {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {c, Complex(0, -s), Complex(0, -s), c};
+}
+
+GateMatrix2 gateRY(double theta) noexcept {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {c, -s, s, c};
+}
+
+GateMatrix2 gateRZ(double theta) noexcept {
+  return {std::polar(1.0, -theta / 2), 0, 0, std::polar(1.0, theta / 2)};
+}
+
+GateMatrix2 gateU3(double theta, double phi, double lambda) noexcept {
+  const double c = std::cos(theta / 2);
+  const double s = std::sin(theta / 2);
+  return {c, -std::polar(s, lambda), std::polar(s, phi),
+          std::polar(c, phi + lambda)};
+}
+
+GateMatrix2 matmul(const GateMatrix2& a, const GateMatrix2& b) noexcept {
+  return {a.m00 * b.m00 + a.m01 * b.m10, a.m00 * b.m01 + a.m01 * b.m11,
+          a.m10 * b.m00 + a.m11 * b.m10, a.m10 * b.m01 + a.m11 * b.m11};
+}
+
+GateMatrix2 adjoint(const GateMatrix2& g) noexcept {
+  return {std::conj(g.m00), std::conj(g.m10), std::conj(g.m01), std::conj(g.m11)};
+}
+
+double distanceUpToPhase(const GateMatrix2& a, const GateMatrix2& b) noexcept {
+  // Find the phase that aligns the largest entry of b with a.
+  const Complex entriesA[4] = {a.m00, a.m01, a.m10, a.m11};
+  const Complex entriesB[4] = {b.m00, b.m01, b.m10, b.m11};
+  int pivot = 0;
+  double best = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(entriesB[i]) > best) {
+      best = std::abs(entriesB[i]);
+      pivot = i;
+    }
+  }
+  if (best == 0) {
+    return std::abs(entriesA[0]) + std::abs(entriesA[1]) + std::abs(entriesA[2]) +
+           std::abs(entriesA[3]);
+  }
+  const Complex phase = entriesA[pivot] / entriesB[pivot];
+  double dist = 0;
+  for (int i = 0; i < 4; ++i) {
+    dist += std::norm(entriesA[i] - phase * entriesB[i]);
+  }
+  return std::sqrt(dist);
+}
+
+} // namespace qirkit::sim

@@ -1,0 +1,39 @@
+/// \file gates.hpp
+/// Single-qubit gate matrices of the QIR quantum instruction set (qis).
+#pragma once
+
+#include <complex>
+
+namespace qirkit::sim {
+
+using Complex = std::complex<double>;
+
+/// A dense 2x2 unitary.
+struct GateMatrix2 {
+  Complex m00, m01, m10, m11;
+};
+
+[[nodiscard]] GateMatrix2 gateH() noexcept;
+[[nodiscard]] GateMatrix2 gateX() noexcept;
+[[nodiscard]] GateMatrix2 gateY() noexcept;
+[[nodiscard]] GateMatrix2 gateZ() noexcept;
+[[nodiscard]] GateMatrix2 gateS() noexcept;
+[[nodiscard]] GateMatrix2 gateSdg() noexcept;
+[[nodiscard]] GateMatrix2 gateT() noexcept;
+[[nodiscard]] GateMatrix2 gateTdg() noexcept;
+[[nodiscard]] GateMatrix2 gateRX(double theta) noexcept;
+[[nodiscard]] GateMatrix2 gateRY(double theta) noexcept;
+[[nodiscard]] GateMatrix2 gateRZ(double theta) noexcept;
+/// General single-qubit rotation U3(theta, phi, lambda) (OpenQASM `U`).
+[[nodiscard]] GateMatrix2 gateU3(double theta, double phi, double lambda) noexcept;
+
+/// Matrix product a*b (apply b first).
+[[nodiscard]] GateMatrix2 matmul(const GateMatrix2& a, const GateMatrix2& b) noexcept;
+
+/// Adjoint (conjugate transpose).
+[[nodiscard]] GateMatrix2 adjoint(const GateMatrix2& g) noexcept;
+
+/// Frobenius distance ||a-b|| up to global phase — used by tests.
+[[nodiscard]] double distanceUpToPhase(const GateMatrix2& a, const GateMatrix2& b) noexcept;
+
+} // namespace qirkit::sim

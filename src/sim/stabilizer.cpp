@@ -1,0 +1,213 @@
+#include "sim/stabilizer.hpp"
+
+#include "support/source_location.hpp"
+
+#include <cassert>
+
+namespace qirkit::sim {
+
+StabilizerSimulator::StabilizerSimulator(unsigned numQubits) : n_(numQubits) {
+  if (numQubits == 0) {
+    throw qirkit::SemanticError("stabilizer simulator needs at least one qubit");
+  }
+  const std::size_t cells = static_cast<std::size_t>(2) * n_ * n_;
+  x_.assign(cells, 0);
+  z_.assign(cells, 0);
+  r_.assign(static_cast<std::size_t>(2) * n_, 0);
+  // Initial state |0...0>: destabilizer i = X_i, stabilizer n+i = Z_i.
+  for (unsigned i = 0; i < n_; ++i) {
+    x(i, i) = 1;
+    z(n_ + i, i) = 1;
+  }
+}
+
+void StabilizerSimulator::h(unsigned q) {
+  assert(q < n_);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= xAt(row, q) & zAt(row, q);
+    std::swap(x(row, q), z(row, q));
+  }
+}
+
+void StabilizerSimulator::s(unsigned q) {
+  assert(q < n_);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= xAt(row, q) & zAt(row, q);
+    z(row, q) ^= xAt(row, q);
+  }
+}
+
+void StabilizerSimulator::sdg(unsigned q) {
+  // Sdg = S Z = S . S . S
+  s(q);
+  z(q);
+  gateCount_ -= 1; // count the composite as one gate
+}
+
+void StabilizerSimulator::x(unsigned q) {
+  assert(q < n_);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= zAt(row, q);
+  }
+}
+
+void StabilizerSimulator::z(unsigned q) {
+  assert(q < n_);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= xAt(row, q);
+  }
+}
+
+void StabilizerSimulator::y(unsigned q) {
+  assert(q < n_);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= xAt(row, q) ^ zAt(row, q);
+  }
+}
+
+void StabilizerSimulator::cx(unsigned control, unsigned target) {
+  assert(control < n_ && target < n_ && control != target);
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    r_[row] ^= xAt(row, control) & zAt(row, target) &
+               (xAt(row, target) ^ zAt(row, control) ^ 1U);
+    x(row, target) ^= xAt(row, control);
+    z(row, control) ^= zAt(row, target);
+  }
+}
+
+void StabilizerSimulator::cz(unsigned a, unsigned b) {
+  // CZ = H(b) CX(a,b) H(b)
+  h(b);
+  cx(a, b);
+  h(b);
+  gateCount_ -= 2;
+}
+
+void StabilizerSimulator::swap(unsigned a, unsigned b) {
+  assert(a < n_ && b < n_);
+  if (a == b) {
+    return;
+  }
+  ++gateCount_;
+  for (unsigned row = 0; row < 2 * n_; ++row) {
+    std::swap(x(row, a), x(row, b));
+    std::swap(z(row, a), z(row, b));
+  }
+}
+
+void StabilizerSimulator::rowsum(unsigned target, unsigned source) {
+  // Phase exponent accumulation (Aaronson–Gottesman g function), tracking
+  // i-powers mod 4 in `phase`.
+  int phase = 2 * (r_[target] + r_[source]);
+  for (unsigned col = 0; col < n_; ++col) {
+    const int x1 = xAt(source, col);
+    const int z1 = zAt(source, col);
+    const int x2 = xAt(target, col);
+    const int z2 = zAt(target, col);
+    if (x1 == 1 && z1 == 0) {
+      phase += z2 * (2 * x2 - 1);
+    } else if (x1 == 0 && z1 == 1) {
+      phase += x2 * (1 - 2 * z2);
+    } else if (x1 == 1 && z1 == 1) {
+      phase += z2 - x2;
+    }
+  }
+  phase = ((phase % 4) + 4) % 4;
+  assert(phase % 2 == 0 && "rowsum of commuting Paulis has real phase");
+  r_[target] = static_cast<std::uint8_t>(phase == 2 ? 1 : 0);
+  for (unsigned col = 0; col < n_; ++col) {
+    x(target, col) ^= xAt(source, col);
+    z(target, col) ^= zAt(source, col);
+  }
+}
+
+bool StabilizerSimulator::isDeterministic(unsigned q) const {
+  for (unsigned p = n_; p < 2 * n_; ++p) {
+    if (xAt(p, q) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool StabilizerSimulator::measure(unsigned q, SplitMix64& rng) {
+  assert(q < n_);
+  // Find a stabilizer row with an X component on q (anticommutes with Z_q).
+  unsigned p = 2 * n_;
+  for (unsigned row = n_; row < 2 * n_; ++row) {
+    if (xAt(row, q) != 0) {
+      p = row;
+      break;
+    }
+  }
+  if (p < 2 * n_) {
+    // Random outcome.
+    for (unsigned row = 0; row < 2 * n_; ++row) {
+      if (row != p && xAt(row, q) != 0) {
+        rowsum(row, p);
+      }
+    }
+    // Destabilizer p-n := old stabilizer p; stabilizer p := +-Z_q.
+    for (unsigned col = 0; col < n_; ++col) {
+      x(p - n_, col) = xAt(p, col);
+      z(p - n_, col) = zAt(p, col);
+      x(p, col) = 0;
+      z(p, col) = 0;
+    }
+    r_[p - n_] = r_[p];
+    const bool outcome = rng.below(2) != 0;
+    r_[p] = outcome ? 1 : 0;
+    z(p, q) = 1;
+    return outcome;
+  }
+  // Deterministic outcome: accumulate the stabilizer product selected by
+  // the destabilizers with X on q into a scratch row.
+  const unsigned scratch = 2 * n_; // virtual extra row
+  // Emulate the scratch row with local vectors.
+  std::vector<std::uint8_t> sx(n_, 0);
+  std::vector<std::uint8_t> sz(n_, 0);
+  std::uint8_t sr = 0;
+  const auto scratchRowsum = [&](unsigned source) {
+    int phase = 2 * (sr + r_[source]);
+    for (unsigned col = 0; col < n_; ++col) {
+      const int x1 = xAt(source, col);
+      const int z1 = zAt(source, col);
+      const int x2 = sx[col];
+      const int z2 = sz[col];
+      if (x1 == 1 && z1 == 0) {
+        phase += z2 * (2 * x2 - 1);
+      } else if (x1 == 0 && z1 == 1) {
+        phase += x2 * (1 - 2 * z2);
+      } else if (x1 == 1 && z1 == 1) {
+        phase += z2 - x2;
+      }
+    }
+    phase = ((phase % 4) + 4) % 4;
+    sr = static_cast<std::uint8_t>(phase == 2 ? 1 : 0);
+    for (unsigned col = 0; col < n_; ++col) {
+      sx[col] ^= xAt(source, col);
+      sz[col] ^= zAt(source, col);
+    }
+  };
+  (void)scratch;
+  for (unsigned i = 0; i < n_; ++i) {
+    if (xAt(i, q) != 0) {
+      scratchRowsum(n_ + i);
+    }
+  }
+  return sr != 0;
+}
+
+void StabilizerSimulator::reset(unsigned q, SplitMix64& rng) {
+  if (measure(q, rng)) {
+    x(q); // NOLINT: member gate, not the accessor
+  }
+}
+
+} // namespace qirkit::sim

@@ -1,0 +1,219 @@
+#include "sim/statevector.hpp"
+
+#include "support/source_location.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace qirkit::sim {
+
+namespace {
+constexpr unsigned kMaxQubits = 30;
+
+/// Insert a 0 bit at position \p pos of \p i (spreading higher bits up).
+inline std::uint64_t insertZeroBit(std::uint64_t i, unsigned pos) noexcept {
+  const std::uint64_t low = i & ((std::uint64_t{1} << pos) - 1);
+  const std::uint64_t high = (i >> pos) << (pos + 1);
+  return high | low;
+}
+} // namespace
+
+StateVector::StateVector(unsigned numQubits, qirkit::ThreadPool* pool)
+    : numQubits_(numQubits), pool_(pool) {
+  if (numQubits > kMaxQubits) {
+    throw qirkit::SemanticError("statevector limited to " +
+                                std::to_string(kMaxQubits) + " qubits");
+  }
+  amplitudes_.assign(dimension(), Complex{});
+  amplitudes_[0] = 1.0;
+}
+
+void StateVector::resetAll() {
+  std::fill(amplitudes_.begin(), amplitudes_.end(), Complex{});
+  amplitudes_[0] = 1.0;
+}
+
+unsigned StateVector::addQubit() {
+  if (numQubits_ >= kMaxQubits) {
+    throw qirkit::SemanticError("statevector limited to " +
+                                std::to_string(kMaxQubits) + " qubits");
+  }
+  ++numQubits_;
+  amplitudes_.resize(dimension(), Complex{}); // appended qubit is |0>
+  return numQubits_ - 1;
+}
+
+void StateVector::removeQubit(unsigned q, SplitMix64& rng) {
+  assert(q < numQubits_);
+  if (measure(q, rng)) {
+    apply1(gateX(), q); // force |0>
+  }
+  // Compact out bit q (all amplitudes with the bit set are now zero).
+  const std::uint64_t half = dimension() >> 1;
+  std::vector<Complex> next(half);
+  for (std::uint64_t i = 0; i < half; ++i) {
+    next[i] = amplitudes_[insertZeroBit(i, q)];
+  }
+  amplitudes_ = std::move(next);
+  --numQubits_;
+}
+
+void StateVector::forRange(
+    std::uint64_t n, const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+  if (pool_ != nullptr && n >= (std::uint64_t{1} << 14)) {
+    qirkit::parallelForChunked(*pool_, n, body, std::uint64_t{1} << 12);
+  } else {
+    body(0, n);
+  }
+}
+
+void StateVector::apply1(const GateMatrix2& gate, unsigned target) {
+  assert(target < numQubits_);
+  ++gateCount_;
+  const std::uint64_t bit = std::uint64_t{1} << target;
+  forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t i0 = insertZeroBit(i, target);
+      const std::uint64_t i1 = i0 | bit;
+      const Complex a0 = amplitudes_[i0];
+      const Complex a1 = amplitudes_[i1];
+      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
+      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
+    }
+  });
+}
+
+void StateVector::applyControlled1(const GateMatrix2& gate, unsigned control,
+                                   unsigned target) {
+  assert(control < numQubits_ && target < numQubits_ && control != target);
+  ++gateCount_;
+  const std::uint64_t cbit = std::uint64_t{1} << control;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t i0 = insertZeroBit(i, target);
+      if ((i0 & cbit) == 0) {
+        continue;
+      }
+      const std::uint64_t i1 = i0 | tbit;
+      const Complex a0 = amplitudes_[i0];
+      const Complex a1 = amplitudes_[i1];
+      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
+      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
+    }
+  });
+}
+
+void StateVector::applyCCX(unsigned control1, unsigned control2, unsigned target) {
+  assert(control1 != control2 && control1 != target && control2 != target);
+  ++gateCount_;
+  const std::uint64_t c1 = std::uint64_t{1} << control1;
+  const std::uint64_t c2 = std::uint64_t{1} << control2;
+  const std::uint64_t tbit = std::uint64_t{1} << target;
+  forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t i0 = insertZeroBit(i, target);
+      if ((i0 & c1) == 0 || (i0 & c2) == 0) {
+        continue;
+      }
+      std::swap(amplitudes_[i0],
+                amplitudes_[i0 | tbit]);
+    }
+  });
+}
+
+void StateVector::applySwap(unsigned a, unsigned b) {
+  assert(a < numQubits_ && b < numQubits_);
+  if (a == b) {
+    return;
+  }
+  ++gateCount_;
+  const std::uint64_t abit = std::uint64_t{1} << a;
+  const std::uint64_t bbit = std::uint64_t{1} << b;
+  forRange(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const bool hasA = (i & abit) != 0;
+      const bool hasB = (i & bbit) != 0;
+      if (hasA && !hasB) {
+        const std::uint64_t j = (i & ~abit) | bbit;
+        std::swap(amplitudes_[i],
+                  amplitudes_[j]);
+      }
+    }
+  });
+}
+
+double StateVector::probabilityOfOne(unsigned q) const {
+  assert(q < numQubits_);
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  double p = 0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    if ((i & bit) != 0) {
+      p += std::norm(amplitudes_[i]);
+    }
+  }
+  return p;
+}
+
+bool StateVector::measure(unsigned q, SplitMix64& rng) {
+  const double p1 = probabilityOfOne(q);
+  const bool outcome = rng.uniform() < p1;
+  const double keep = outcome ? p1 : 1.0 - p1;
+  const double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    const bool isOne = (i & bit) != 0;
+    if (isOne == outcome) {
+      amplitudes_[i] *= scale;
+    } else {
+      amplitudes_[i] = 0;
+    }
+  }
+  return outcome;
+}
+
+void StateVector::resetQubit(unsigned q, SplitMix64& rng) {
+  if (measure(q, rng)) {
+    apply1(gateX(), q);
+  }
+}
+
+std::uint64_t StateVector::sample(SplitMix64& rng) const {
+  double r = rng.uniform();
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    r -= std::norm(amplitudes_[i]);
+    if (r <= 0) {
+      return i;
+    }
+  }
+  return dimension() - 1;
+}
+
+std::map<std::uint64_t, std::uint64_t> StateVector::sampleCounts(std::uint64_t shots,
+                                                                 SplitMix64& rng) const {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    ++counts[sample(rng)];
+  }
+  return counts;
+}
+
+double StateVector::normSquared() const {
+  double n = 0;
+  for (const Complex& a : amplitudes_) {
+    n += std::norm(a);
+  }
+  return n;
+}
+
+double StateVector::fidelity(const StateVector& other) const {
+  assert(numQubits_ == other.numQubits_);
+  Complex overlap = 0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    overlap += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+  }
+  return std::norm(overlap);
+}
+
+} // namespace qirkit::sim

@@ -1,0 +1,91 @@
+#include "support/parallel.hpp"
+
+#include <algorithm>
+
+namespace qirkit {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) {
+    numThreads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  taskAvailable_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskAvailable_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskAvailable_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return; // stopping_ and drained
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) {
+        allDone_.notify_all();
+      }
+    }
+  }
+}
+
+void parallelForChunked(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        std::size_t grainSize) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers = pool.size();
+  if (workers <= 1 || n <= grainSize) {
+    body(0, n);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + grainSize - 1) / grainSize);
+  const std::size_t chunkSize = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * chunkSize;
+    const std::size_t end = std::min(n, begin + chunkSize);
+    pool.submit([&body, begin, end] { body(begin, end); });
+  }
+  pool.wait();
+}
+
+} // namespace qirkit

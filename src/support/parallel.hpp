@@ -1,0 +1,61 @@
+/// \file parallel.hpp
+/// A small thread pool and a blocking parallel_for built on top of it.
+/// The statevector simulator uses this to parallelize gate kernels; all
+/// other modules are single-threaded by design (compiler passes mutate
+/// shared IR).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace qirkit {
+
+/// Fixed-size thread pool. Tasks are arbitrary callables; submission is
+/// thread-safe. Destruction drains outstanding tasks before joining.
+class ThreadPool {
+public:
+  /// Create a pool with \p numThreads workers. 0 means
+  /// std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t numThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  /// Process-wide pool, sized to the hardware. Created on first use.
+  static ThreadPool& global();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskAvailable_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `body(begin, end)` over [0, n) split into contiguous chunks, one per
+/// worker, blocking until all chunks complete. Falls back to a direct call
+/// when the range is small or the pool has a single worker.
+void parallelForChunked(ThreadPool& pool, std::size_t n,
+                        const std::function<void(std::size_t, std::size_t)>& body,
+                        std::size_t grainSize = 1024);
+
+} // namespace qirkit

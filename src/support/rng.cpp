@@ -1,0 +1,3 @@
+#include "support/rng.hpp"
+
+// SplitMix64 is header-only; this translation unit anchors the library.

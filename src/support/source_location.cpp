@@ -1,0 +1,23 @@
+#include "support/source_location.hpp"
+
+namespace qirkit {
+
+std::string SourceLoc::str() const {
+  if (!isValid()) {
+    return "<unknown>";
+  }
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string Diagnostic::str() const {
+  const char* sev = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.str() + ": " + sev + ": " + message;
+}
+
+std::string ParseError::format(SourceLoc loc, const std::string& message) {
+  return loc.str() + ": " + message;
+}
+
+} // namespace qirkit

@@ -1,0 +1,167 @@
+#include "circuit/circuit.hpp"
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace qirkit::circuit {
+namespace {
+
+TEST(CircuitTest, BuildersValidateIndices) {
+  Circuit c(2, 1);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(1, 0);
+  EXPECT_EQ(c.size(), 3U);
+  EXPECT_THROW(c.h(2), SemanticError);
+  EXPECT_THROW(c.measure(0, 1), SemanticError);
+  EXPECT_THROW(c.cx(0, 0), SemanticError); // duplicate operand
+}
+
+TEST(CircuitTest, ArityAndParamValidation) {
+  Circuit c(3, 0);
+  EXPECT_THROW(c.add({OpKind::CX, {0}, {}, 0, {}}), SemanticError);
+  EXPECT_THROW(c.add({OpKind::RZ, {0}, {}, 0, {}}), SemanticError);
+  EXPECT_THROW(c.add({OpKind::H, {0}, {0.5}, 0, {}}), SemanticError);
+  c.add({OpKind::RZ, {0}, {0.5}, 0, {}});
+  EXPECT_EQ(c.size(), 1U);
+}
+
+TEST(CircuitTest, ConditionValidation) {
+  Circuit c(1, 2);
+  c.add({OpKind::X, {0}, {}, 0, Condition{0, 2, 3}});
+  EXPECT_THROW(c.add({OpKind::X, {0}, {}, 0, Condition{1, 2, 0}}), SemanticError);
+}
+
+TEST(CircuitTest, CountsAndDepth) {
+  Circuit c = ghz(4, true);
+  EXPECT_EQ(c.numQubits(), 4U);
+  EXPECT_EQ(c.gateCount(), 4U);          // H + 3 CX
+  EXPECT_EQ(c.twoQubitGateCount(), 3U);  // the CX ladder
+  EXPECT_EQ(c.countKind(OpKind::Measure), 4U);
+  EXPECT_EQ(c.depth(), 5U); // H, CX, CX, CX chained on overlapping qubits + mz
+}
+
+TEST(CircuitTest, DepthOfParallelGatesIsOne) {
+  Circuit c(4, 0);
+  for (unsigned q = 0; q < 4; ++q) {
+    c.h(q);
+  }
+  EXPECT_EQ(c.depth(), 1U);
+}
+
+TEST(CircuitTest, BarrierSynchronizesDepth) {
+  Circuit c(2, 0);
+  c.h(0);
+  c.barrier();
+  c.h(1); // would be depth 1 without the barrier
+  EXPECT_EQ(c.depth(), 2U);
+}
+
+TEST(CircuitTest, FeedbackDetection) {
+  EXPECT_FALSE(ghz(3, true).hasClassicalFeedback());
+  EXPECT_TRUE(repetitionCodeCycle(0.3, 0).hasClassicalFeedback());
+  EXPECT_TRUE(repetitionCodeCycle(0.3, 0).hasConditions());
+
+  // Mid-circuit measurement without conditions is also feedback.
+  Circuit c(1, 1);
+  c.measure(0, 0);
+  c.x(0);
+  EXPECT_TRUE(c.hasClassicalFeedback());
+  EXPECT_FALSE(c.hasConditions());
+}
+
+TEST(CircuitTest, EqualityAndSummary) {
+  EXPECT_EQ(ghz(3, true), ghz(3, true));
+  EXPECT_NE(ghz(3, true), ghz(4, true));
+  EXPECT_NE(std::string::npos, ghz(3, true).summary().find("3q"));
+}
+
+TEST(ExecutorTest, GHZIsPerfectlyCorrelated) {
+  const auto counts = sampleCounts(ghz(3, true), 200, 7);
+  std::uint64_t total = 0;
+  for (const auto& [bits, count] : counts) {
+    EXPECT_TRUE(bits == "000" || bits == "111") << bits;
+    total += count;
+  }
+  EXPECT_EQ(total, 200U);
+}
+
+TEST(ExecutorTest, ConditionedGateFires) {
+  // X; measure -> 1; conditioned X brings it back to |0>.
+  Circuit c(1, 2);
+  c.x(0);
+  c.measure(0, 0);
+  c.add({OpKind::X, {0}, {}, 0, Condition{0, 1, 1}});
+  c.measure(0, 1);
+  const ExecutionResult result = execute(c, 3);
+  EXPECT_TRUE(result.bits[0]);
+  EXPECT_FALSE(result.bits[1]);
+}
+
+TEST(ExecutorTest, ConditionedGateHeldBack) {
+  Circuit c(1, 2);
+  c.measure(0, 0); // always 0
+  c.add({OpKind::X, {0}, {}, 0, Condition{0, 1, 1}});
+  c.measure(0, 1);
+  const ExecutionResult result = execute(c, 3);
+  EXPECT_FALSE(result.bits[0]);
+  EXPECT_FALSE(result.bits[1]);
+}
+
+TEST(ExecutorTest, MultiBitConditionComparesWholeValue) {
+  // bits = 10 (binary, bit1 set): condition value 2 over 2 bits fires.
+  Circuit c(2, 3);
+  c.x(1);
+  c.measure(0, 0);
+  c.measure(1, 1);
+  c.add({OpKind::X, {0}, {}, 0, Condition{0, 2, 2}});
+  c.measure(0, 2);
+  const ExecutionResult result = execute(c, 3);
+  EXPECT_TRUE(result.bits[2]);
+}
+
+TEST(ExecutorTest, RepetitionCodeCorrectsSingleBitFlips) {
+  // With theta = pi the logical qubit is |1>; any single X error must be
+  // corrected, so the data readout is always 111.
+  for (unsigned errorQubit = 0; errorQubit < 4; ++errorQubit) {
+    const Circuit c = repetitionCodeCycle(std::numbers::pi, errorQubit);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const ExecutionResult result = execute(c, seed);
+      EXPECT_TRUE(result.bits[2] && result.bits[3] && result.bits[4])
+          << "error on qubit " << errorQubit << ", seed " << seed;
+    }
+  }
+}
+
+TEST(ExecutorTest, QFTOfGroundStateIsUniform) {
+  const Circuit c = qft(3, false);
+  const ExecutionResult result = execute(c, 1);
+  for (std::uint64_t basis = 0; basis < 8; ++basis) {
+    EXPECT_NEAR(std::norm(result.state.amplitude(basis)), 1.0 / 8, 1e-9);
+  }
+}
+
+TEST(ExecutorTest, BitsToStringPutsHighBitLeft) {
+  EXPECT_EQ(bitsToString({true, false, false}), "001");
+  EXPECT_EQ(bitsToString({false, false, true}), "100");
+  EXPECT_EQ(bitsToString({}), "");
+}
+
+TEST(Generators, RandomCircuitIsDeterministicPerSeed) {
+  EXPECT_EQ(randomCircuit(4, 5, 42, true), randomCircuit(4, 5, 42, true));
+  EXPECT_NE(randomCircuit(4, 5, 42, true), randomCircuit(4, 5, 43, true));
+}
+
+TEST(Generators, AnsatzShape) {
+  const Circuit c = hardwareEfficientAnsatz(4, 3, 1);
+  EXPECT_EQ(c.countKind(OpKind::RY), 12U);
+  EXPECT_EQ(c.countKind(OpKind::RZ), 12U);
+  EXPECT_EQ(c.countKind(OpKind::CX), 9U);
+}
+
+} // namespace
+} // namespace qirkit::circuit

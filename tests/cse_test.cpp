@@ -1,0 +1,164 @@
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+#include "passes/pass.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::passes {
+namespace {
+
+using namespace qirkit::ir;
+
+std::unique_ptr<Module> parse(Context& ctx, std::string_view text) {
+  auto m = parseModule(ctx, text);
+  verifyModuleOrThrow(*m);
+  return m;
+}
+
+std::size_t run(Module& m) {
+  PassManager pm;
+  pm.add(createCSEPass());
+  pm.setVerifyEach(true);
+  pm.run(m);
+  std::size_t count = 0;
+  for (const auto& fn : m.functions()) {
+    count += fn->instructionCount();
+  }
+  return count;
+}
+
+TEST(CSE, EliminatesDuplicateExpressionsInABlock) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %a, i64 %b) {
+  %x = add i64 %a, %b
+  %y = add i64 %a, %b
+  %z = add i64 %x, %y
+  ret i64 %z
+}
+)");
+  EXPECT_EQ(run(*m), 3U); // one add removed
+  const Instruction* z = m->getFunction("f")->entry()->instructions()[1].get();
+  EXPECT_EQ(z->operand(0), z->operand(1));
+}
+
+TEST(CSE, HandlesCommutativity) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %a, i64 %b) {
+  %x = add i64 %a, %b
+  %y = add i64 %b, %a
+  %z = mul i64 %x, %y
+  ret i64 %z
+}
+)");
+  EXPECT_EQ(run(*m), 3U);
+}
+
+TEST(CSE, DoesNotMergeNonCommutativeSwappedOperands) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %a, i64 %b) {
+  %x = sub i64 %a, %b
+  %y = sub i64 %b, %a
+  %z = mul i64 %x, %y
+  ret i64 %z
+}
+)");
+  EXPECT_EQ(run(*m), 4U); // nothing removed
+}
+
+TEST(CSE, RespectsPredicatesAndTypes) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i1 @f(i64 %a, i64 %b) {
+  %x = icmp slt i64 %a, %b
+  %y = icmp sgt i64 %a, %b
+  %z = and i1 %x, %y
+  ret i1 %z
+}
+)");
+  EXPECT_EQ(run(*m), 4U); // different predicates: keep both
+}
+
+TEST(CSE, WorksAcrossDominatingBlocks) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %a, i1 %c) {
+entry:
+  %x = mul i64 %a, %a
+  br i1 %c, label %then, label %exit
+then:
+  %y = mul i64 %a, %a
+  br label %exit
+exit:
+  %p = phi i64 [ %y, %then ], [ 0, %entry ]
+  %r = add i64 %p, %x
+  ret i64 %r
+}
+)");
+  run(*m);
+  // %y replaced by %x; the phi now references %x.
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->blocks()[1]->size(), 1U); // only the branch left
+}
+
+TEST(CSE, DoesNotMergeAcrossSiblingBranches) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %a, i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  %x = mul i64 %a, %a
+  ret i64 %x
+right:
+  %y = mul i64 %a, %a
+  ret i64 %y
+}
+)");
+  EXPECT_EQ(run(*m), 5U); // neither block dominates the other: keep both
+}
+
+TEST(CSE, LeavesCallsAndLoadsAlone) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+declare i64 @opaque()
+define i64 @f(ptr %p) {
+  %a = call i64 @opaque()
+  %b = call i64 @opaque()
+  %l1 = load i64, ptr %p, align 8
+  %l2 = load i64, ptr %p, align 8
+  %s = add i64 %a, %b
+  %t = add i64 %l1, %l2
+  %r = add i64 %s, %t
+  ret i64 %r
+}
+)");
+  EXPECT_EQ(run(*m), 8U); // nothing removed
+}
+
+TEST(CSE, CollapsesRepeatedAddressComputations) {
+  // The Ex. 2 pattern after mem2reg: repeated element-pointer arithmetic
+  // expressed as ptrtoint/add/inttoptr chains.
+  Context ctx;
+  auto m = parse(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+define void @f(ptr %base) {
+  %a1 = ptrtoint ptr %base to i64
+  %o1 = add i64 %a1, 8
+  %p1 = inttoptr i64 %o1 to ptr
+  call void @__quantum__qis__h__body(ptr %p1)
+  %a2 = ptrtoint ptr %base to i64
+  %o2 = add i64 %a2, 8
+  %p2 = inttoptr i64 %o2 to ptr
+  call void @__quantum__qis__h__body(ptr %p2)
+  ret void
+}
+)");
+  EXPECT_EQ(run(*m), 6U); // 3 duplicate computations removed
+}
+
+} // namespace
+} // namespace qirkit::passes

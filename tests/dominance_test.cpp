@@ -1,0 +1,137 @@
+#include "ir/dominance.hpp"
+#include "ir/parser.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+namespace qirkit::ir {
+namespace {
+
+const char* kDiamond = R"(
+define void @f(i1 %c) {
+entry:
+  br i1 %c, label %left, label %right
+left:
+  br label %join
+right:
+  br label %join
+join:
+  ret void
+}
+)";
+
+TEST(DomTree, DiamondIdoms) {
+  Context ctx;
+  const auto m = parseModule(ctx, kDiamond);
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  const BasicBlock* entry = f->blocks()[0].get();
+  const BasicBlock* left = f->blocks()[1].get();
+  const BasicBlock* right = f->blocks()[2].get();
+  const BasicBlock* join = f->blocks()[3].get();
+
+  EXPECT_EQ(dom.idom(entry), nullptr);
+  EXPECT_EQ(dom.idom(left), entry);
+  EXPECT_EQ(dom.idom(right), entry);
+  EXPECT_EQ(dom.idom(join), entry); // not left or right
+
+  EXPECT_TRUE(dom.dominates(entry, join));
+  EXPECT_FALSE(dom.dominates(left, join));
+  EXPECT_TRUE(dom.dominates(join, join));
+}
+
+TEST(DomTree, DiamondFrontiers) {
+  Context ctx;
+  const auto m = parseModule(ctx, kDiamond);
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  const BasicBlock* left = f->blocks()[1].get();
+  const BasicBlock* right = f->blocks()[2].get();
+  const BasicBlock* join = f->blocks()[3].get();
+
+  ASSERT_EQ(dom.frontier(left).size(), 1U);
+  EXPECT_EQ(dom.frontier(left)[0], join);
+  ASSERT_EQ(dom.frontier(right).size(), 1U);
+  EXPECT_EQ(dom.frontier(right)[0], join);
+  EXPECT_TRUE(dom.frontier(join).empty());
+}
+
+TEST(DomTree, LoopFrontierContainsHeader) {
+  Context ctx;
+  const auto m = parseModule(ctx, R"(
+define void @f(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret void
+}
+)");
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  const BasicBlock* header = f->blocks()[1].get();
+  const BasicBlock* body = f->blocks()[2].get();
+  // The body's dominance frontier is the loop header (back edge).
+  const auto& frontier = dom.frontier(body);
+  ASSERT_EQ(frontier.size(), 1U);
+  EXPECT_EQ(frontier[0], header);
+  // header's frontier contains header itself.
+  const auto& hf = dom.frontier(header);
+  EXPECT_NE(std::find(hf.begin(), hf.end(), header), hf.end());
+}
+
+TEST(DomTree, UnreachableBlocksAreDetected) {
+  Context ctx;
+  const auto m = parseModule(ctx, R"(
+define void @f() {
+entry:
+  ret void
+island:
+  br label %island2
+island2:
+  br label %island
+}
+)");
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  EXPECT_EQ(dom.unreachableBlocks().size(), 2U);
+  EXPECT_TRUE(dom.isReachable(f->entry()));
+  EXPECT_FALSE(dom.isReachable(f->blocks()[1].get()));
+}
+
+TEST(DomTree, ReversePostOrderStartsAtEntry) {
+  Context ctx;
+  const auto m = parseModule(ctx, kDiamond);
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  ASSERT_EQ(dom.reversePostOrder().size(), 4U);
+  EXPECT_EQ(dom.reversePostOrder().front(), f->entry());
+  EXPECT_EQ(dom.reversePostOrder().back(), f->blocks()[3].get());
+}
+
+TEST(DomTree, DominatesUseWithinBlockUsesOrder) {
+  Context ctx;
+  const auto m = parseModule(ctx, R"(
+define void @f() {
+entry:
+  %a = add i64 1, 2
+  %b = add i64 %a, 3
+  ret void
+}
+)");
+  const Function* f = m->getFunction("f");
+  const DomTree dom(*f);
+  const Instruction* a = f->entry()->instructions()[0].get();
+  const Instruction* b = f->entry()->instructions()[1].get();
+  EXPECT_TRUE(dom.dominatesUse(a, b));
+  EXPECT_FALSE(dom.dominatesUse(b, a));
+}
+
+} // namespace
+} // namespace qirkit::ir

@@ -1,0 +1,226 @@
+/// Cross-module integration and property tests: the full adoption routes
+/// of the paper chained end to end.
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/mapping.hpp"
+#include "circuit/optimizer.hpp"
+#include "hybrid/hybrid.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "qir/compile.hpp"
+#include "qir/exporter.hpp"
+#include "qir/importer.hpp"
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit {
+namespace {
+
+using circuit::Circuit;
+
+/// QASM -> circuit -> QIR -> text -> parse -> interpret, compared against
+/// direct simulation of the original.
+TEST(Integration, QasmToQirToExecution) {
+  const char* qasmText = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+measure q -> c;
+)";
+  const Circuit fromQasm = qasm::parse(qasmText);
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, fromQasm, {});
+  const std::string qirText = ir::printModule(*module);
+
+  ir::Context ctx2;
+  const auto reparsed = ir::parseModule(ctx2, qirText);
+  ir::verifyModuleOrThrow(*reparsed);
+
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    interp::Interpreter interp(*reparsed);
+    runtime::QuantumRuntime rt(seed);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    const std::string bits = rt.outputBitString();
+    EXPECT_TRUE(bits == "000" || bits == "111") << bits;
+  }
+}
+
+/// Property: for any generated workload, the full static-compile pipeline
+/// preserves the statevector (measurement-free versions).
+class PipelinePreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinePreservation, CompilePreservesState) {
+  const std::uint64_t seed = GetParam();
+  const Circuit original = circuit::randomCircuit(4, 3, seed, /*measured=*/false);
+
+  ir::Context ctx;
+  qir::ExportOptions exportOptions;
+  exportOptions.addressing = qir::Addressing::Dynamic;
+  exportOptions.recordOutput = false;
+  auto module = qir::exportCircuit(ctx, original, exportOptions);
+
+  qir::CompileOptions options;
+  options.target = circuit::Target::line(4);
+  const qir::CompileResult result = qir::compileToTarget(ctx, *module, options);
+
+  // Execute the compiled QIR and undo the layout permutation implied by
+  // mapping via fidelity on the measured distribution instead: use the
+  // mapped circuit directly against the permuted original.
+  const auto compiledState = circuit::execute(result.circuit, 1).state;
+
+  // Rebuild the original under the same mapping to compare fairly.
+  const Circuit lowered = circuit::decomposeToCXBasis(original);
+  circuit::MappingResult mapping =
+      circuit::mapCircuit(lowered, *options.target);
+  const auto referenceState = circuit::execute(mapping.mapped, 1).state;
+
+  // Both followed the same deterministic mapper, so states must agree up
+  // to the circuit-level optimizations (global phase only).
+  EXPECT_NEAR(compiledState.fidelity(referenceState), 1.0, 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinePreservation,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+/// Property: circuit -> QIR -> circuit is the identity for both addressing
+/// modes and both import routes, across all generators.
+class FullRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, qir::Addressing>> {};
+
+TEST_P(FullRoundTrip, CircuitSurvivesEveryRoute) {
+  const auto [workload, addressing] = GetParam();
+  Circuit original;
+  switch (workload) {
+  case 0: original = circuit::ghz(5, true); break;
+  case 1: original = circuit::qft(4, false); break;
+  case 2: original = circuit::hardwareEfficientAnsatz(4, 2, 3); break;
+  default: original = circuit::randomCircuit(5, 4, 23, true); break;
+  }
+  ir::Context ctx;
+  qir::ExportOptions options;
+  options.addressing = addressing;
+  options.recordOutput = false;
+  const auto module = qir::exportCircuit(ctx, original, options);
+  EXPECT_EQ(qir::importFromModule(*module), original);
+
+  const std::string text = ir::printModule(*module);
+  EXPECT_EQ(qir::importBaseProfileText(text), original);
+
+  // And through a reparse of the printed text.
+  ir::Context ctx2;
+  const auto reparsed = ir::parseModule(ctx2, text);
+  EXPECT_EQ(qir::importFromModule(*reparsed), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FullRoundTrip,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(
+                                                qir::Addressing::Static,
+                                                qir::Addressing::Dynamic)));
+
+/// The error-correction workload (§IV.B motivation) through the whole
+/// stack: circuit -> adaptive QIR -> feasibility check -> execution.
+TEST(Integration, ErrorCorrectionFeedbackEndToEnd) {
+  const Circuit cycle = circuit::repetitionCodeCycle(std::numbers::pi, 2);
+  ir::Context ctx;
+  qir::ExportOptions options;
+  options.recordOutput = false;
+  const auto module = qir::exportCircuit(ctx, cycle, options);
+  EXPECT_EQ(qir::detectProfile(*module), qir::Profile::Adaptive);
+
+  // Feasible on the FPGA model with a realistic budget.
+  const auto feasible = hybrid::checkFeasibility(
+      *module, hybrid::LatencyModel::superconductingFPGA(), 10000.0);
+  EXPECT_TRUE(feasible.feasible);
+  EXPECT_GT(feasible.paths.size(), 0U);
+
+  // Execute: the corrected data block must read 111 for every seed.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    interp::Interpreter interp(*module);
+    runtime::QuantumRuntime rt(seed);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    // Bits 2..4 are the data readout (result ids 2..4).
+    EXPECT_TRUE(rt.resultValue(2));
+    EXPECT_TRUE(rt.resultValue(3));
+    EXPECT_TRUE(rt.resultValue(4));
+  }
+}
+
+/// Optimization benefit claim (§II.C): the classical pipeline reduces the
+/// interpreted instruction count of a loop-structured QIR program.
+TEST(Integration, ClassicalPipelineReducesInterpretedWork) {
+  const char* program = R"(
+declare void @__quantum__qis__h__body(ptr)
+define void @main() #0 {
+entry:
+  %i = alloca i64, align 8
+  store i64 0, ptr %i, align 8
+  br label %header
+header:
+  %v = load i64, ptr %i, align 8
+  %c = icmp slt i64 %v, 16
+  br i1 %c, label %body, label %exit
+body:
+  %p = inttoptr i64 %v to ptr
+  call void @__quantum__qis__h__body(ptr %p)
+  %n = add i64 %v, 1
+  store i64 %n, ptr %i, align 8
+  br label %header
+exit:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+  ir::Context ctxA;
+  const auto unoptimized = ir::parseModule(ctxA, program);
+  ir::Context ctxB;
+  auto optimized = ir::parseModule(ctxB, program);
+  qir::transformDirect(*optimized);
+
+  const runtime::RunResult before = runtime::runQIRModule(*unoptimized, 1);
+  const runtime::RunResult after = runtime::runQIRModule(*optimized, 1);
+  EXPECT_EQ(before.stats.gatesApplied, 16U);
+  EXPECT_EQ(after.stats.gatesApplied, 16U);
+  EXPECT_LT(after.interpStats.instructionsExecuted,
+            before.interpStats.instructionsExecuted / 2);
+}
+
+/// Transpile round trip (§III.B route b2) vs. direct transformation (b1):
+/// both must produce semantically equal programs; the round trip loses the
+/// classical loop structure even when it is not unrollable — which is the
+/// trade-off the paper describes. Here we verify the unrollable case ends
+/// up identical.
+TEST(Integration, DirectAndTranspiledRoutesAgree) {
+  const Circuit source = circuit::ghz(4, true);
+  ir::Context ctx;
+  qir::ExportOptions dyn;
+  dyn.addressing = qir::Addressing::Dynamic;
+  dyn.recordOutput = false;
+
+  // Route b1: direct passes on the AST, then import.
+  auto directModule = qir::exportCircuit(ctx, source, dyn);
+  qir::transformDirect(*directModule);
+  const Circuit direct = qir::importFromModule(*directModule);
+
+  // Route b2: transpile through the circuit IR.
+  auto transpileModule = qir::exportCircuit(ctx, source, dyn);
+  qir::CompileOptions options;
+  options.optimizeCircuit = false;
+  const qir::CompileResult transpiled =
+      qir::compileToTarget(ctx, *transpileModule, options);
+
+  EXPECT_EQ(direct, transpiled.circuit);
+}
+
+} // namespace
+} // namespace qirkit

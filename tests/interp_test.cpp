@@ -1,0 +1,300 @@
+#include "interp/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "ir/verifier.hpp"
+
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::interp {
+namespace {
+
+using namespace qirkit::ir;
+
+std::unique_ptr<Module> parse(Context& ctx, std::string_view text) {
+  auto m = parseModule(ctx, text);
+  verifyModuleOrThrow(*m);
+  return m;
+}
+
+std::int64_t runI64(const Module& m, const char* fn,
+                    std::vector<RtValue> args = {}) {
+  Interpreter interp(m);
+  return interp.run(*m.getFunction(fn), args).i;
+}
+
+TEST(Interp, StraightLineArithmetic) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %a = add i64 20, 22
+  %b = mul i64 %a, 2
+  %c = sub i64 %b, 42
+  ret i64 %c
+}
+)");
+  EXPECT_EQ(runI64(*m, "f"), 42);
+}
+
+TEST(Interp, ArgumentsAndComparisons) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @max(i64 %a, i64 %b) {
+  %c = icmp sgt i64 %a, %b
+  %m = select i1 %c, i64 %a, i64 %b
+  ret i64 %m
+}
+)");
+  EXPECT_EQ(runI64(*m, "max", {RtValue::makeInt(3), RtValue::makeInt(9)}), 9);
+  EXPECT_EQ(runI64(*m, "max", {RtValue::makeInt(-3), RtValue::makeInt(-9)}), -3);
+}
+
+TEST(Interp, LoopWithPhis) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @sum(i64 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %acc = phi i64 [ 0, %entry ], [ %acc.next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %acc.next = add i64 %acc, %i
+  %i.next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %acc
+}
+)");
+  EXPECT_EQ(runI64(*m, "sum", {RtValue::makeInt(10)}), 45);
+  EXPECT_EQ(runI64(*m, "sum", {RtValue::makeInt(0)}), 0);
+}
+
+TEST(Interp, SimultaneousPhiSwap) {
+  // Classic phi-swap: both phis must read their incoming values before
+  // either is written.
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @fib(i64 %n) {
+entry:
+  br label %header
+header:
+  %a = phi i64 [ 0, %entry ], [ %b, %body ]
+  %b = phi i64 [ 1, %entry ], [ %sum, %body ]
+  %i = phi i64 [ 0, %entry ], [ %i.next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %sum = add i64 %a, %b
+  %i.next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %a
+}
+)");
+  EXPECT_EQ(runI64(*m, "fib", {RtValue::makeInt(10)}), 55);
+}
+
+TEST(Interp, RecursionAndInternalCalls) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @fact(i64 %n) {
+entry:
+  %base = icmp sle i64 %n, 1
+  br i1 %base, label %one, label %rec
+one:
+  ret i64 1
+rec:
+  %n1 = sub i64 %n, 1
+  %sub = call i64 @fact(i64 %n1)
+  %r = mul i64 %n, %sub
+  ret i64 %r
+}
+)");
+  EXPECT_EQ(runI64(*m, "fact", {RtValue::makeInt(10)}), 3628800);
+}
+
+TEST(Interp, MemoryOperations) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %slot = alloca i64, align 8
+  store i64 41, ptr %slot, align 8
+  %v = load i64, ptr %slot, align 8
+  %w = add i64 %v, 1
+  store i64 %w, ptr %slot, align 8
+  %r = load i64, ptr %slot, align 8
+  ret i64 %r
+}
+)");
+  EXPECT_EQ(runI64(*m, "f"), 42);
+}
+
+TEST(Interp, NarrowIntMemoryRoundTrip) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %slot = alloca i8, align 1
+  store i8 200, ptr %slot, align 1
+  %v = load i8, ptr %slot, align 1
+  %w = sext i8 %v to i64
+  ret i64 %w
+}
+)");
+  EXPECT_EQ(runI64(*m, "f"), -56); // 200 as signed i8
+}
+
+TEST(Interp, DoubleArithmetic) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %x = fmul double 1.5, 4.0
+  %c = fcmp ogt double %x, 5.0
+  %r = select i1 %c, i64 1, i64 0
+  ret i64 %r
+}
+)");
+  EXPECT_EQ(runI64(*m, "f"), 1);
+}
+
+TEST(Interp, SwitchDispatch) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f(i64 %x) {
+entry:
+  switch i64 %x, label %other [
+    i64 1, label %one
+    i64 2, label %two
+  ]
+one:
+  ret i64 100
+two:
+  ret i64 200
+other:
+  ret i64 -1
+}
+)");
+  EXPECT_EQ(runI64(*m, "f", {RtValue::makeInt(1)}), 100);
+  EXPECT_EQ(runI64(*m, "f", {RtValue::makeInt(2)}), 200);
+  EXPECT_EQ(runI64(*m, "f", {RtValue::makeInt(3)}), -1);
+}
+
+TEST(Interp, ExternalFunctionDispatch) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+declare i64 @host_add(i64, i64)
+define i64 @f() {
+  %r = call i64 @host_add(i64 40, i64 2)
+  ret i64 %r
+}
+)");
+  Interpreter interp(*m);
+  interp.bindExternal("host_add", [](std::span<const RtValue> args, ExternContext&) {
+    return RtValue::makeInt(args[0].i + args[1].i);
+  });
+  EXPECT_EQ(interp.run(*m->getFunction("f")).i, 42);
+  EXPECT_EQ(interp.stats().externalCalls, 1U);
+}
+
+TEST(Interp, MissingExternalIsTheErrorThePaperDescribes) {
+  // §III.C: lli "cannot handle the quantum instructions and will raise an
+  // error" without a runtime.
+  Context ctx;
+  const auto m = parse(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+define void @main() {
+  call void @__quantum__qis__h__body(ptr null)
+  ret void
+}
+)");
+  Interpreter interp(*m);
+  try {
+    interp.runEntryPoint();
+    FAIL() << "expected TrapError";
+  } catch (const TrapError& e) {
+    EXPECT_NE(std::string(e.what()).find("__quantum__qis__h__body"),
+              std::string::npos);
+  }
+}
+
+TEST(Interp, DivisionByZeroTraps) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f(i64 %x) {
+  %r = sdiv i64 10, %x
+  ret i64 %r
+}
+)");
+  Interpreter interp(*m);
+  EXPECT_THROW((void)interp.run(*m->getFunction("f"), {{RtValue::makeInt(0)}}),
+               TrapError);
+}
+
+TEST(Interp, StepLimitTerminatesInfiniteLoop) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define void @spin() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+)");
+  Interpreter interp(*m);
+  interp.setStepLimit(10000);
+  EXPECT_THROW((void)interp.run(*m->getFunction("spin")), TrapError);
+}
+
+TEST(Interp, OutOfBoundsMemoryTraps) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %p = inttoptr i64 12345 to ptr
+  %v = load i64, ptr %p, align 8
+  ret i64 %v
+}
+)");
+  Interpreter interp(*m);
+  EXPECT_THROW((void)interp.run(*m->getFunction("f")), TrapError);
+}
+
+TEST(Interp, GlobalStringsAreReadable) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+@msg = internal constant [6 x i8] c"hello\00"
+declare void @sink(ptr)
+define void @f() {
+  call void @sink(ptr @msg)
+  ret void
+}
+)");
+  Interpreter interp(*m);
+  std::string captured;
+  interp.bindExternal("sink", [&captured](std::span<const RtValue> args,
+                                          ExternContext& ctx2) {
+    captured = ctx2.interp.readCString(args[0].p);
+    return RtValue::makeVoid();
+  });
+  (void)interp.run(*m->getFunction("f"));
+  EXPECT_EQ(captured, "hello");
+}
+
+TEST(Interp, StatsCountInstructions) {
+  Context ctx;
+  const auto m = parse(ctx, R"(
+define i64 @f() {
+  %a = add i64 1, 2
+  %b = add i64 %a, 3
+  ret i64 %b
+}
+)");
+  Interpreter interp(*m);
+  (void)interp.run(*m->getFunction("f"));
+  EXPECT_EQ(interp.stats().instructionsExecuted, 3U);
+  EXPECT_EQ(interp.stats().internalCalls, 1U);
+}
+
+} // namespace
+} // namespace qirkit::interp

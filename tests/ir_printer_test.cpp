@@ -1,0 +1,165 @@
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::ir {
+namespace {
+
+/// Reparse what we printed and require a fixpoint.
+void expectRoundTrip(const Module& m) {
+  const std::string printed = printModule(m);
+  Context ctx2;
+  const auto reparsed = parseModule(ctx2, printed, m.name());
+  verifyModuleOrThrow(*reparsed);
+  EXPECT_EQ(printModule(*reparsed), printed);
+}
+
+TEST(Printer, QuotedNamesSurviveRoundTrip) {
+  Context ctx;
+  Module m(ctx, "q");
+  Function* f = m.createFunction("weird name!", ctx.functionTy(ctx.i64(), {}));
+  IRBuilder b(f->createBlock("entry block"));
+  Instruction* v = b.createAdd(ctx.getI64(1), ctx.getI64(2), "my value");
+  b.createRet(v);
+  const std::string printed = printModule(m);
+  EXPECT_NE(printed.find("@\"weird name!\""), std::string::npos);
+  EXPECT_NE(printed.find("%\"my value\""), std::string::npos);
+  expectRoundTrip(m);
+}
+
+TEST(Printer, DuplicateNamesFromCloningAreUniquified) {
+  Context ctx;
+  Module m(ctx, "dup");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.voidTy(), {}));
+  BasicBlock* bb = f->createBlock("entry");
+  IRBuilder b(bb);
+  Instruction* first = b.createAdd(ctx.getI64(1), ctx.getI64(2), "x");
+  bb->append(first->clone()); // clone keeps the name "x"
+  b.setInsertPoint(bb);
+  b.createRetVoid();
+  const std::string printed = printModule(m);
+  EXPECT_NE(printed.find("%x ="), std::string::npos);
+  EXPECT_NE(printed.find("%x.1 ="), std::string::npos);
+  expectRoundTrip(m);
+}
+
+TEST(Printer, UnnamedValuesSkipTakenNumbers) {
+  Context ctx;
+  Module m(ctx, "nums");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.voidTy(), {}));
+  BasicBlock* bb = f->createBlock("entry");
+  IRBuilder b(bb);
+  // A value explicitly named "0" must not collide with the first unnamed
+  // value's number.
+  b.createAdd(ctx.getI64(1), ctx.getI64(2), "0");
+  b.createAdd(ctx.getI64(3), ctx.getI64(4)); // unnamed
+  b.createRetVoid();
+  expectRoundTrip(m);
+}
+
+TEST(Printer, NegativeSwitchCaseValues) {
+  Context ctx;
+  const auto m = parseModule(ctx, R"(
+define i64 @f(i64 %x) {
+entry:
+  switch i64 %x, label %d [
+    i64 -1, label %neg
+    i64 -9223372036854775808, label %min
+  ]
+neg:
+  ret i64 1
+min:
+  ret i64 2
+d:
+  ret i64 0
+}
+)");
+  expectRoundTrip(*m);
+}
+
+TEST(Printer, ExtremeIntegerConstants) {
+  Context ctx;
+  const auto m = parseModule(ctx, R"(
+define i64 @f() {
+  %a = add i64 9223372036854775807, 0
+  %b = add i64 -9223372036854775808, 0
+  %c = add i64 %a, %b
+  ret i64 %c
+}
+)");
+  expectRoundTrip(*m);
+}
+
+TEST(Printer, SpecialDoubleValues) {
+  Context ctx;
+  Module m(ctx, "doubles");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.doubleTy(), {}));
+  IRBuilder b(f->createBlock("entry"));
+  Instruction* v = b.createBinOp(Opcode::FAdd, ctx.getDouble(1e-300),
+                                 ctx.getDouble(123456789.123456789));
+  b.createRet(v);
+  expectRoundTrip(m);
+}
+
+TEST(Printer, AttributeValuesWithSpecialCharacters) {
+  Context ctx;
+  Module m(ctx, "attrs");
+  Function* f = m.createFunction("main", ctx.functionTy(ctx.voidTy(), {}));
+  f->setAttribute("entry_point");
+  f->setAttribute("output_labeling_schema", "schema \"v1\"");
+  IRBuilder b(f->createBlock("entry"));
+  b.createRetVoid();
+  const std::string printed = printModule(m);
+  Context ctx2;
+  const auto reparsed = parseModule(ctx2, printed, "attrs");
+  EXPECT_EQ(reparsed->getFunction("main")->getAttribute("output_labeling_schema"),
+            "schema \"v1\"");
+}
+
+TEST(Printer, EmptyFunctionParameterNamesAreNumbered) {
+  Context ctx;
+  Module m(ctx, "args");
+  Function* f =
+      m.createFunction("f", ctx.functionTy(ctx.i64(), {ctx.i64(), ctx.i64()}));
+  IRBuilder b(f->createBlock());
+  Instruction* sum = b.createAdd(f->arg(0), f->arg(1));
+  b.createRet(sum);
+  const std::string printed = printModule(m);
+  EXPECT_NE(printed.find("i64 %0, i64 %1"), std::string::npos);
+  expectRoundTrip(m);
+}
+
+TEST(Printer, UseListStressAfterManyRAUWs) {
+  // Thousands of uses of one constant; replace repeatedly. Exercises the
+  // O(1) use-list bookkeeping.
+  Context ctx;
+  Module m(ctx, "stress");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.voidTy(), {}));
+  BasicBlock* bb = f->createBlock("entry");
+  IRBuilder b(bb);
+  std::vector<Instruction*> adds;
+  for (int i = 0; i < 2000; ++i) {
+    adds.push_back(b.createAdd(ctx.getI64(7), ctx.getI64(7)));
+  }
+  b.createRetVoid();
+  EXPECT_EQ(ctx.getI64(7)->numUses(), 4000U);
+  // Replace every add with a different constant: drops all uses of 7.
+  for (Instruction* add : adds) {
+    add->replaceAllUsesWith(ctx.getI64(0)); // no uses anyway
+    add->setOperand(0, ctx.getI64(1));
+    add->setOperand(1, ctx.getI64(2));
+  }
+  EXPECT_EQ(ctx.getI64(7)->numUses(), 0U);
+  EXPECT_EQ(ctx.getI64(1)->numUses(), 2000U);
+  // Bulk-erase everything but the terminator.
+  bb->eraseIf([](Instruction* inst) { return !inst->isTerminator(); });
+  EXPECT_EQ(ctx.getI64(1)->numUses(), 0U);
+  EXPECT_TRUE(verifyModule(m).empty());
+}
+
+} // namespace
+} // namespace qirkit::ir

@@ -1,0 +1,142 @@
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/mapping.hpp"
+#include "circuit/optimizer.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::circuit {
+namespace {
+
+TEST(Target, TopologyConstructors) {
+  const Target line = Target::line(4);
+  EXPECT_EQ(line.coupling.size(), 3U);
+  EXPECT_TRUE(line.connected(1, 2));
+  EXPECT_TRUE(line.connected(2, 1)); // undirected
+  EXPECT_FALSE(line.connected(0, 2));
+
+  const Target ring = Target::ring(4);
+  EXPECT_TRUE(ring.connected(3, 0));
+
+  const Target grid = Target::grid(2, 3);
+  EXPECT_EQ(grid.numQubits, 6U);
+  EXPECT_TRUE(grid.connected(0, 3)); // vertical
+  EXPECT_TRUE(grid.connected(0, 1)); // horizontal
+  EXPECT_FALSE(grid.connected(0, 4));
+
+  const Target full = Target::fullyConnected(5);
+  EXPECT_EQ(full.coupling.size(), 10U);
+}
+
+TEST(Target, BFSDistances) {
+  const Target line = Target::line(5);
+  const auto dist = line.distances();
+  EXPECT_EQ(dist[0][4], 4U);
+  EXPECT_EQ(dist[2][2], 0U);
+  EXPECT_EQ(dist[1][3], 2U);
+}
+
+TEST(Mapping, RejectsOversizedPrograms) {
+  // §IV.A: "the compiler must ensure that the program does not exceed this
+  // number."
+  const Circuit c = ghz(5, true);
+  EXPECT_THROW((void)mapCircuit(c, Target::line(4)), SemanticError);
+}
+
+TEST(Mapping, ConnectedGatesNeedNoSwaps) {
+  const Circuit c = ghz(4, true); // nearest-neighbor ladder
+  const MappingResult result = mapCircuit(c, Target::line(4));
+  EXPECT_EQ(result.swapsInserted, 0U);
+  EXPECT_TRUE(respectsCoupling(result.mapped, Target::line(4)));
+}
+
+TEST(Mapping, DistantGateGetsRouted) {
+  Circuit c(4, 0);
+  c.cx(0, 3); // distance 3 on a line
+  const MappingResult result = mapCircuit(c, Target::line(4));
+  EXPECT_EQ(result.swapsInserted, 2U);
+  EXPECT_TRUE(respectsCoupling(result.mapped, Target::line(4)));
+}
+
+TEST(Mapping, FullConnectivityNeverNeedsSwaps) {
+  const Circuit c = randomCircuit(5, 8, 3, true);
+  const MappingResult result = mapCircuit(c, Target::fullyConnected(5));
+  EXPECT_EQ(result.swapsInserted, 0U);
+}
+
+TEST(Mapping, LayoutIsTracked) {
+  Circuit c(3, 0);
+  c.cx(0, 2);
+  const MappingResult result = mapCircuit(c, Target::line(3));
+  EXPECT_EQ(result.initialLayout.size(), 3U);
+  EXPECT_EQ(result.finalLayout.size(), 3U);
+  EXPECT_EQ(result.swapsInserted, 1U);
+}
+
+TEST(Mapping, RejectsWideGates) {
+  Circuit c(3, 0);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW((void)mapCircuit(c, Target::line(3)), SemanticError);
+  // After decomposition it maps fine.
+  const Circuit lowered = decomposeToCXBasis(c);
+  const MappingResult result = mapCircuit(lowered, Target::line(3));
+  EXPECT_TRUE(respectsCoupling(result.mapped, Target::line(3)));
+}
+
+/// Property: mapping preserves measured semantics on deterministic
+/// circuits. GHZ measured outcomes through any topology stay {00..0, 11..1}.
+class MappingSemantics : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MappingSemantics, GHZStaysCorrelatedThroughMapping) {
+  const unsigned n = GetParam();
+  const Circuit c = ghz(n, true);
+  for (const Target& target : {Target::line(n), Target::ring(n)}) {
+    const MappingResult result = mapCircuit(c, target);
+    EXPECT_TRUE(respectsCoupling(result.mapped, target));
+    const auto counts = sampleCounts(result.mapped, 50, 17);
+    for (const auto& [bits, count] : counts) {
+      EXPECT_TRUE(bits == std::string(n, '0') || bits == std::string(n, '1'))
+          << target.name << ": " << bits;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MappingSemantics, ::testing::Values(3U, 4U, 6U));
+
+/// Property: on random circuits (no measurement), mapping + undoing the
+/// final layout reproduces the original state.
+class MappingFidelity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MappingFidelity, MappedStateMatchesAfterLayoutInversion) {
+  const std::uint64_t seed = GetParam();
+  Circuit c = randomCircuit(5, 4, seed, /*measured=*/false);
+  const Target target = Target::line(5);
+  MappingResult result = mapCircuit(c, target);
+  // Undo the final permutation with swaps (virtual, for verification only).
+  Circuit& mapped = result.mapped;
+  std::vector<unsigned> layout = result.finalLayout;
+  for (unsigned program = 0; program < layout.size(); ++program) {
+    while (layout[program] != program) {
+      const unsigned other = layout[program];
+      // Find which program qubit sits at `program`.
+      unsigned occupant = 0;
+      for (unsigned p = 0; p < layout.size(); ++p) {
+        if (layout[p] == program) {
+          occupant = p;
+          break;
+        }
+      }
+      mapped.swap(program, other);
+      std::swap(layout[program], layout[occupant]);
+    }
+  }
+  const auto expected = execute(c, 1);
+  const auto actual = execute(mapped, 1);
+  EXPECT_NEAR(expected.state.fidelity(actual.state), 1.0, 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingFidelity, ::testing::Range<std::uint64_t>(1, 9));
+
+} // namespace
+} // namespace qirkit::circuit

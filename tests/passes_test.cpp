@@ -1,0 +1,468 @@
+#include "ir/builder.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "passes/folding.hpp"
+#include "passes/pass.hpp"
+
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::passes {
+namespace {
+
+using namespace qirkit::ir;
+
+std::unique_ptr<Module> parse(Context& ctx, std::string_view text) {
+  auto m = parseModule(ctx, text);
+  verifyModuleOrThrow(*m);
+  return m;
+}
+
+void runPass(std::unique_ptr<FunctionPass> pass, Module& m, bool expectChange = true) {
+  PassManager pm;
+  pm.add(std::move(pass));
+  pm.setVerifyEach(true);
+  EXPECT_EQ(pm.run(m), expectChange);
+}
+
+// --- folding ------------------------------------------------------------
+
+TEST(Folding, IntArithmeticRespectsWidth) {
+  std::int64_t r = 0;
+  ASSERT_TRUE(evalIntBinOp(Opcode::Add, 8, 127, 1, r));
+  EXPECT_EQ(r, -128); // i8 wraparound
+  ASSERT_TRUE(evalIntBinOp(Opcode::Mul, 64, 1'000'000'007, 1'000'000'007, r));
+  ASSERT_TRUE(evalIntBinOp(Opcode::LShr, 8, -1, 4, r));
+  EXPECT_EQ(r, 0x0F);
+  ASSERT_TRUE(evalIntBinOp(Opcode::AShr, 8, -16, 2, r));
+  EXPECT_EQ(r, -4);
+}
+
+TEST(Folding, DivisionByZeroRefusesToFold) {
+  std::int64_t r = 0;
+  EXPECT_FALSE(evalIntBinOp(Opcode::SDiv, 32, 5, 0, r));
+  EXPECT_FALSE(evalIntBinOp(Opcode::URem, 32, 5, 0, r));
+  EXPECT_FALSE(evalIntBinOp(Opcode::Shl, 32, 1, 40, r)); // oversized shift
+}
+
+TEST(Folding, SDivOverflowRefusesToFold) {
+  std::int64_t r = 0;
+  EXPECT_FALSE(evalIntBinOp(Opcode::SDiv, 8, -128, -1, r));
+}
+
+TEST(Folding, ICmpSignedVsUnsigned) {
+  EXPECT_TRUE(evalICmp(ICmpPred::SLT, 8, -1, 0));
+  EXPECT_FALSE(evalICmp(ICmpPred::ULT, 8, -1, 0)); // 255 < 0 unsigned: no
+  EXPECT_TRUE(evalICmp(ICmpPred::UGE, 8, -1, 200));
+  EXPECT_TRUE(evalICmp(ICmpPred::EQ, 32, 7, 7));
+}
+
+TEST(Folding, InstructionFoldingAlgebraicIdentities) {
+  Context ctx;
+  Module m(ctx, "t");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.i64(), {ctx.i64()}));
+  IRBuilder b(f->createBlock("entry"));
+  Value* x = f->arg(0);
+  x->setName("x");
+
+  EXPECT_EQ(foldInstruction(ctx, *b.createAdd(x, ctx.getI64(0))), x);
+  EXPECT_EQ(foldInstruction(ctx, *b.createMul(x, ctx.getI64(1))), x);
+  EXPECT_EQ(foldInstruction(ctx, *b.createMul(x, ctx.getI64(0))), ctx.getI64(0));
+  EXPECT_EQ(foldInstruction(ctx, *b.createSub(x, x)), ctx.getI64(0));
+  EXPECT_EQ(foldInstruction(ctx, *b.createBinOp(Opcode::Xor, x, x)), ctx.getI64(0));
+  EXPECT_EQ(foldInstruction(ctx, *b.createBinOp(Opcode::Or, x, x)), x);
+  EXPECT_EQ(foldInstruction(ctx, *b.createAdd(x, x)), nullptr); // not foldable
+}
+
+TEST(Folding, PointerComparisonsOfStaticAddresses) {
+  Context ctx;
+  Module m(ctx, "t");
+  Function* f = m.createFunction("f", ctx.functionTy(ctx.voidTy(), {}));
+  IRBuilder b(f->createBlock("entry"));
+  Instruction* cmp =
+      b.createICmp(ICmpPred::EQ, ctx.getNullPtr(), ctx.getIntToPtr(0));
+  EXPECT_EQ(foldInstruction(ctx, *cmp), ctx.getI1(true));
+  Instruction* cmp2 =
+      b.createICmp(ICmpPred::NE, ctx.getIntToPtr(1), ctx.getIntToPtr(2));
+  EXPECT_EQ(foldInstruction(ctx, *cmp2), ctx.getI1(true));
+}
+
+// --- constant folding pass ----------------------------------------------
+
+TEST(ConstantFoldPass, FoldsChainsToConstants) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  %c = sub i64 %b, 5
+  ret i64 %c
+}
+)");
+  runPass(createConstantFoldPass(), *m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->instructionCount(), 1U); // only ret left
+  const Instruction* ret = f->entry()->back();
+  const auto* c = dynamic_cast<const ConstantInt*>(ret->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 15);
+}
+
+TEST(ConstantFoldPass, FoldsCastsAndSelect) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+  %t = trunc i64 300 to i8
+  %z = sext i8 %t to i64
+  %c = icmp slt i64 %z, 0
+  %s = select i1 %c, i64 1, i64 2
+  ret i64 %s
+}
+)");
+  runPass(createConstantFoldPass(), *m);
+  const Instruction* ret = m->getFunction("f")->entry()->back();
+  const auto* c = dynamic_cast<const ConstantInt*>(ret->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2); // 300 -> i8 44 -> 44 >= 0
+}
+
+// --- DCE ---------------------------------------------------------------
+
+TEST(DCEPass, RemovesDeadChains) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+define void @f() {
+  %dead1 = add i64 1, 2
+  %dead2 = mul i64 %dead1, 3
+  call void @__quantum__qis__h__body(ptr null)
+  ret void
+}
+)");
+  runPass(createDCEPass(), *m);
+  EXPECT_EQ(m->getFunction("f")->instructionCount(), 2U); // call + ret
+}
+
+TEST(DCEPass, KeepsSideEffectsAndUsedValues) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+  %used = add i64 1, 2
+  %slot = alloca i64, align 8
+  store i64 %used, ptr %slot, align 8
+  %v = load i64, ptr %slot, align 8
+  ret i64 %v
+}
+)");
+  runPass(createDCEPass(), *m, /*expectChange=*/false);
+  EXPECT_EQ(m->getFunction("f")->instructionCount(), 5U);
+}
+
+// --- SimplifyCFG ----------------------------------------------------------
+
+TEST(SimplifyCFG, FoldsConstantBranchAndRemovesDeadBlock) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i64 1
+b:
+  ret i64 2
+}
+)");
+  runPass(createSimplifyCFGPass(), *m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->blocks().size(), 1U); // entry+a merged, b deleted
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 1);
+}
+
+TEST(SimplifyCFG, FixesPhisWhenEdgeRemoved) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  br i1 false, label %a, label %join
+a:
+  br label %join
+join:
+  %p = phi i64 [ 1, %a ], [ 2, %entry ]
+  ret i64 %p
+}
+)");
+  runPass(createSimplifyCFGPass(), *m);
+  const Function* f = m->getFunction("f");
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2);
+}
+
+TEST(SimplifyCFG, FoldsConstantSwitch) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  switch i64 20, label %other [
+    i64 10, label %ten
+    i64 20, label %twenty
+  ]
+ten:
+  ret i64 1
+twenty:
+  ret i64 2
+other:
+  ret i64 3
+}
+)");
+  runPass(createSimplifyCFGPass(), *m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->blocks().size(), 1U);
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 2);
+}
+
+TEST(SimplifyCFG, MergesStraightLineChains) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  br label %a
+a:
+  %x = add i64 1, 2
+  br label %b
+b:
+  ret i64 %x
+}
+)");
+  runPass(createSimplifyCFGPass(), *m);
+  EXPECT_EQ(m->getFunction("f")->blocks().size(), 1U);
+}
+
+// --- mem2reg ----------------------------------------------------------------
+
+TEST(Mem2Reg, PromotesSimpleSlot) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+  %slot = alloca i64, align 8
+  store i64 42, ptr %slot, align 8
+  %v = load i64, ptr %slot, align 8
+  ret i64 %v
+}
+)");
+  runPass(createMem2RegPass(), *m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->instructionCount(), 1U);
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 42);
+}
+
+TEST(Mem2Reg, InsertsPhiAtJoin) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i1 %c) {
+entry:
+  %slot = alloca i64, align 8
+  store i64 1, ptr %slot, align 8
+  br i1 %c, label %then, label %join
+then:
+  store i64 2, ptr %slot, align 8
+  br label %join
+join:
+  %v = load i64, ptr %slot, align 8
+  ret i64 %v
+}
+)");
+  runPass(createMem2RegPass(), *m);
+  const Function* f = m->getFunction("f");
+  // No memory ops left; a phi appears in join.
+  for (const auto& block : f->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      EXPECT_NE(inst->op(), Opcode::Alloca);
+      EXPECT_NE(inst->op(), Opcode::Load);
+      EXPECT_NE(inst->op(), Opcode::Store);
+    }
+  }
+  EXPECT_FALSE(f->blocks()[2]->phis().empty());
+}
+
+TEST(Mem2Reg, DoesNotPromoteEscapingSlot) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+declare void @use(ptr)
+define i64 @f() {
+  %slot = alloca i64, align 8
+  store i64 42, ptr %slot, align 8
+  call void @use(ptr %slot)
+  %v = load i64, ptr %slot, align 8
+  ret i64 %v
+}
+)");
+  runPass(createMem2RegPass(), *m, /*expectChange=*/false);
+  EXPECT_EQ(m->getFunction("f")->instructionCount(), 5U);
+}
+
+TEST(Mem2Reg, PromotesLoopCounter) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i32 @f() {
+entry:
+  %i = alloca i32, align 4
+  store i32 0, ptr %i, align 4
+  br label %header
+header:
+  %1 = load i32, ptr %i, align 4
+  %cond = icmp slt i32 %1, 10
+  br i1 %cond, label %body, label %exit
+body:
+  %2 = load i32, ptr %i, align 4
+  %3 = add i32 %2, 1
+  store i32 %3, ptr %i, align 4
+  br label %header
+exit:
+  %r = load i32, ptr %i, align 4
+  ret i32 %r
+}
+)");
+  runPass(createMem2RegPass(), *m);
+  const Function* f = m->getFunction("f");
+  // The loop counter becomes a phi in the header.
+  EXPECT_FALSE(f->blocks()[1]->phis().empty());
+  for (const auto& block : f->blocks()) {
+    for (const auto& inst : block->instructions()) {
+      EXPECT_NE(inst->op(), Opcode::Load);
+    }
+  }
+}
+
+// --- SCCP ---------------------------------------------------------------
+
+TEST(SCCP, PropagatesThroughBranches) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  %x = add i64 1, 1
+  %c = icmp eq i64 %x, 2
+  br i1 %c, label %then, label %else
+then:
+  br label %join
+else:
+  br label %join
+join:
+  %p = phi i64 [ 10, %then ], [ 20, %else ]
+  ret i64 %p
+}
+)");
+  PassManager pm;
+  pm.add(createSCCPPass());
+  pm.add(createSimplifyCFGPass());
+  pm.setVerifyEach(true);
+  pm.runToFixpoint(*m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->blocks().size(), 1U);
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 10);
+}
+
+TEST(SCCP, LeavesOverdefinedAlone) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f(i64 %n) {
+entry:
+  %x = add i64 %n, 1
+  ret i64 %x
+}
+)");
+  runPass(createSCCPPass(), *m, /*expectChange=*/false);
+  EXPECT_EQ(m->getFunction("f")->instructionCount(), 2U);
+}
+
+TEST(SCCP, SolvesLoopInvariantExit) {
+  // SCCP proves the loop executes with a constant bound and the exit value
+  // is the phi meet; the loop itself stays (SCCP does not delete cycles).
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  br label %header
+header:
+  %flag = phi i64 [ 7, %entry ], [ %flag, %body ]
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, 3
+  br i1 %c, label %body, label %exit
+body:
+  %next = add i64 %i, 1
+  br label %header
+exit:
+  ret i64 %flag
+}
+)");
+  runPass(createSCCPPass(), *m);
+  const Instruction* ret = m->getFunction("f")->blocks().back()->back();
+  const auto* c = dynamic_cast<const ConstantInt*>(ret->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 7);
+}
+
+// --- whole pipeline ------------------------------------------------------
+
+TEST(Pipeline, StandardPipelineReducesLoadStoreBranchProgram) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+entry:
+  %a = alloca i64, align 8
+  store i64 5, ptr %a, align 8
+  %v = load i64, ptr %a, align 8
+  %c = icmp sgt i64 %v, 3
+  br i1 %c, label %big, label %small
+big:
+  ret i64 100
+small:
+  ret i64 0
+}
+)");
+  PassManager pm;
+  addStandardPipeline(pm);
+  pm.setVerifyEach(true);
+  pm.runToFixpoint(*m);
+  const Function* f = m->getFunction("f");
+  EXPECT_EQ(f->blocks().size(), 1U);
+  EXPECT_EQ(f->instructionCount(), 1U);
+  const auto* c =
+      dynamic_cast<const ConstantInt*>(f->entry()->back()->operand(0));
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value(), 100);
+}
+
+TEST(Pipeline, StatisticsAreRecorded) {
+  Context ctx;
+  auto m = parse(ctx, R"(
+define i64 @f() {
+  %x = add i64 1, 2
+  ret i64 %x
+}
+)");
+  PassManager pm;
+  addStandardPipeline(pm);
+  pm.run(*m);
+  EXPECT_FALSE(pm.statistics().empty());
+  EXPECT_NE(pm.statisticsReport().find("constant-fold"), std::string::npos);
+}
+
+} // namespace
+} // namespace qirkit::passes

@@ -1,0 +1,165 @@
+#include "circuit/generators.hpp"
+#include "ir/parser.hpp"
+#include "qir/exporter.hpp"
+#include "qir/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::qir {
+namespace {
+
+Profile detect(const char* text) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, text);
+  return detectProfile(*m);
+}
+
+TEST(Profiles, Names) {
+  EXPECT_STREQ(profileName(Profile::Base), "base_profile");
+  EXPECT_STREQ(profileName(Profile::Adaptive), "adaptive_profile");
+  EXPECT_STREQ(profileName(Profile::Full), "full");
+}
+
+TEST(Profiles, Ex6StaticProgramIsBaseProfile) {
+  EXPECT_EQ(detect(R"(
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+define void @main() #0 {
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)"),
+            Profile::Base);
+}
+
+TEST(Profiles, DynamicAllocationIsNotBaseOrAdaptive) {
+  // The base and adaptive profiles forbid dynamic qubit management.
+  EXPECT_EQ(detect(R"(
+declare ptr @__quantum__rt__qubit_allocate()
+declare void @__quantum__qis__h__body(ptr)
+define void @main() #0 {
+  %q = call ptr @__quantum__rt__qubit_allocate()
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)"),
+            Profile::Full);
+}
+
+TEST(Profiles, MeasurementFeedbackIsAdaptive) {
+  EXPECT_EQ(detect(R"(
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %then, label %continue
+then:
+  call void @__quantum__qis__x__body(ptr null)
+  br label %continue
+continue:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)"),
+            Profile::Adaptive);
+}
+
+TEST(Profiles, GateAfterMeasurementViolatesBase) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+define void @main() #0 {
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__h__body(ptr null)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const ProfileReport report = validateProfile(*m, Profile::Base);
+  EXPECT_FALSE(report.conforms);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations[0].find("after measurement"), std::string::npos);
+}
+
+TEST(Profiles, NonConstantGateArgumentViolatesBase) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+define void @main(ptr %q) #0 {
+  call void @__quantum__qis__h__body(ptr %q)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const ProfileReport report = validateProfile(*m, Profile::Base);
+  EXPECT_FALSE(report.conforms);
+}
+
+TEST(Profiles, MemoryOpsViolateAdaptive) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+define void @main() #0 {
+  %s = alloca i64, align 8
+  store i64 1, ptr %s, align 8
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  EXPECT_FALSE(validateProfile(*m, Profile::Adaptive).conforms);
+  EXPECT_TRUE(validateProfile(*m, Profile::Full).conforms);
+}
+
+TEST(Profiles, IntegerComputationAllowedInAdaptiveNotBase) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+declare i1 @__quantum__qis__read_result__body(ptr)
+define void @main() #0 {
+entry:
+  %a = call i1 @__quantum__qis__read_result__body(ptr null)
+  %b = call i1 @__quantum__qis__read_result__body(ptr inttoptr (i64 1 to ptr))
+  %both = and i1 %a, %b
+  br i1 %both, label %x, label %y
+x:
+  ret void
+y:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  EXPECT_FALSE(validateProfile(*m, Profile::Base).conforms);
+  EXPECT_TRUE(validateProfile(*m, Profile::Adaptive).conforms);
+}
+
+TEST(Profiles, ExporterOutputMatchesDetectedProfile) {
+  ir::Context ctx;
+  // Base: no feedback.
+  const auto base = exportCircuit(ctx, circuit::ghz(3, true), {});
+  EXPECT_EQ(detectProfile(*base), Profile::Base);
+  // Adaptive: repetition-code conditionals.
+  const auto adaptive =
+      exportCircuit(ctx, circuit::repetitionCodeCycle(0.5, 0), {});
+  EXPECT_EQ(detectProfile(*adaptive), Profile::Adaptive);
+  // Dynamic addressing: full QIR.
+  ExportOptions dyn;
+  dyn.addressing = Addressing::Dynamic;
+  const auto full = exportCircuit(ctx, circuit::ghz(3, true), dyn);
+  EXPECT_EQ(detectProfile(*full), Profile::Full);
+}
+
+TEST(Profiles, MissingEntryPointIsReported) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, "declare void @f()\n");
+  const ProfileReport report = validateProfile(*m, Profile::Base);
+  EXPECT_FALSE(report.conforms);
+  EXPECT_NE(report.violations[0].find("entry"), std::string::npos);
+}
+
+} // namespace
+} // namespace qirkit::qir

@@ -1,0 +1,120 @@
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "circuit/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::circuit {
+namespace {
+
+TEST(Reuse, SequentialSingleQubitExperimentsShareOneQubit) {
+  // Three independent prepare-measure experiments, one after another.
+  Circuit c(3, 3);
+  for (unsigned q = 0; q < 3; ++q) {
+    c.h(q);
+    c.measure(q, q);
+  }
+  const ReuseResult result = reuseQubits(c);
+  EXPECT_EQ(result.qubitsBefore, 3U);
+  EXPECT_EQ(result.qubitsAfter, 1U);
+  EXPECT_EQ(result.resetsInserted, 2U);
+  EXPECT_EQ(result.circuit.countKind(OpKind::Measure), 3U);
+}
+
+TEST(Reuse, OverlappingLiveRangesKeepDistinctQubits) {
+  const Circuit c = ghz(4, true); // all ranges overlap via the CX ladder
+  const ReuseResult result = reuseQubits(c);
+  EXPECT_EQ(result.qubitsAfter, 4U);
+  EXPECT_EQ(result.resetsInserted, 0U);
+  EXPECT_EQ(result.circuit, c);
+}
+
+TEST(Reuse, PartialOverlapReusesWherePossible) {
+  // q0,q1 entangled and measured; then q2 used alone -> q2 can reuse.
+  Circuit c(3, 3);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(0, 0);
+  c.measure(1, 1);
+  c.h(2);
+  c.measure(2, 2);
+  const ReuseResult result = reuseQubits(c);
+  EXPECT_EQ(result.qubitsAfter, 2U);
+  EXPECT_EQ(result.resetsInserted, 1U);
+}
+
+TEST(Reuse, AssignmentIsConsistent) {
+  Circuit c(2, 2);
+  c.x(0);
+  c.measure(0, 0);
+  c.x(1);
+  c.measure(1, 1);
+  const ReuseResult result = reuseQubits(c);
+  EXPECT_EQ(result.qubitsAfter, 1U);
+  EXPECT_EQ(result.assignment[0], result.assignment[1]);
+  // Both measurements must still observe |1>.
+  const ExecutionResult run = execute(result.circuit, 1);
+  EXPECT_TRUE(run.bits[0]);
+  EXPECT_TRUE(run.bits[1]);
+}
+
+TEST(Reuse, MeasurementStatisticsArePreserved) {
+  // Distribution equivalence on a circuit with reuse opportunity:
+  // Bell pair measured, then an independent H-measure experiment.
+  Circuit c(3, 3);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(0, 0);
+  c.measure(1, 1);
+  c.h(2);
+  c.measure(2, 2);
+  const ReuseResult result = reuseQubits(c);
+  ASSERT_LT(result.qubitsAfter, 3U);
+
+  const auto before = sampleCounts(c, 4000, 11);
+  const auto after = sampleCounts(result.circuit, 4000, 12);
+  // Bell bits correlated, third bit ~uniform in both.
+  for (const auto& [bits, count] : before) {
+    EXPECT_EQ(bits[2], bits[1]); // bit0 == bit1 (string is reversed)
+  }
+  for (const auto& [bits, count] : after) {
+    EXPECT_EQ(bits[2], bits[1]);
+  }
+  const auto freq = [](const std::map<std::string, std::uint64_t>& counts,
+                       std::size_t stringIndex) {
+    std::uint64_t ones = 0;
+    std::uint64_t total = 0;
+    for (const auto& [bits, count] : counts) {
+      total += count;
+      if (bits[stringIndex] == '1') {
+        ones += count;
+      }
+    }
+    return static_cast<double>(ones) / static_cast<double>(total);
+  };
+  EXPECT_NEAR(freq(before, 0), freq(after, 0), 0.05); // bit 2 is leftmost? no:
+  // bitsToString puts bit numBits-1 leftmost; index 0 is bit 2 (the H qubit).
+}
+
+TEST(Reuse, ConditionedOperationsSurvive) {
+  const Circuit c = repetitionCodeCycle(1.0, 0);
+  const ReuseResult result = reuseQubits(c);
+  EXPECT_EQ(result.circuit.countKind(OpKind::Measure), c.countKind(OpKind::Measure));
+  EXPECT_TRUE(result.circuit.hasConditions());
+  // Syndrome ancillas die after their measurement but the conditioned
+  // corrections keep the data qubits alive; ancillas free too late to be
+  // reused by anything (no later first-uses), so count stays 5.
+  EXPECT_EQ(result.qubitsAfter, 5U);
+}
+
+TEST(Reuse, EmptyAndTrivialCircuits) {
+  const Circuit empty(0, 0);
+  EXPECT_EQ(reuseQubits(empty).qubitsAfter, 0U);
+  Circuit untouched(4, 0); // qubits declared but never used
+  untouched.h(1);
+  const ReuseResult result = reuseQubits(untouched);
+  EXPECT_EQ(result.qubitsAfter, 1U);
+}
+
+} // namespace
+} // namespace qirkit::circuit

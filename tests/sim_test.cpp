@@ -1,0 +1,259 @@
+#include "sim/statevector.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qirkit::sim {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(Gates, AreUnitary) {
+  const GateMatrix2 gates[] = {gateH(),      gateX(),      gateY(),
+                               gateZ(),      gateS(),      gateT(),
+                               gateRX(0.7),  gateRY(1.3),  gateRZ(2.1),
+                               gateU3(0.3, 0.9, 1.7)};
+  for (const GateMatrix2& g : gates) {
+    const GateMatrix2 product = matmul(adjoint(g), g);
+    EXPECT_NEAR(std::abs(product.m00 - Complex{1.0}), 0, kEps);
+    EXPECT_NEAR(std::abs(product.m11 - Complex{1.0}), 0, kEps);
+    EXPECT_NEAR(std::abs(product.m01), 0, kEps);
+    EXPECT_NEAR(std::abs(product.m10), 0, kEps);
+  }
+}
+
+TEST(Gates, AdjointPairsCancel) {
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateS(), gateSdg()), {1, 0, 0, 1}), 0, kEps);
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateT(), gateTdg()), {1, 0, 0, 1}), 0, kEps);
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateH(), gateH()), {1, 0, 0, 1}), 0, kEps);
+}
+
+TEST(Gates, DecompositionsMatch) {
+  // S = T^2, Z = S^2, X = H Z H.
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateT(), gateT()), gateS()), 0, kEps);
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateS(), gateS()), gateZ()), 0, kEps);
+  EXPECT_NEAR(distanceUpToPhase(matmul(gateH(), matmul(gateZ(), gateH())), gateX()),
+              0, kEps);
+  // RZ(pi) ~ Z up to phase; U3(theta,0,0) = RY(theta).
+  EXPECT_NEAR(distanceUpToPhase(gateRZ(std::numbers::pi), gateZ()), 0, 1e-9);
+  EXPECT_NEAR(distanceUpToPhase(gateU3(0.8, 0, 0), gateRY(0.8)), 0, 1e-9);
+}
+
+TEST(StateVectorTest, StartsInGroundState) {
+  const StateVector sv(3);
+  EXPECT_EQ(sv.numQubits(), 3U);
+  EXPECT_EQ(sv.dimension(), 8U);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - Complex{1.0}), 0, kEps);
+  EXPECT_NEAR(sv.normSquared(), 1.0, kEps);
+}
+
+TEST(StateVectorTest, HadamardCreatesEqualSuperposition) {
+  StateVector sv(1);
+  sv.apply1(gateH(), 0);
+  EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, kEps);
+  EXPECT_NEAR(sv.normSquared(), 1.0, kEps);
+}
+
+TEST(StateVectorTest, BellStateCorrelations) {
+  StateVector sv(2);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 0, 1);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.5, kEps);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.5, kEps);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b01)), 0.0, kEps);
+  SplitMix64 rng(3);
+  const bool first = sv.measure(0, rng);
+  const bool second = sv.measure(1, rng);
+  EXPECT_EQ(first, second);
+}
+
+TEST(StateVectorTest, XOnArbitraryQubitFlipsThatBit) {
+  for (unsigned q = 0; q < 4; ++q) {
+    StateVector sv(4);
+    sv.apply1(gateX(), q);
+    EXPECT_NEAR(std::norm(sv.amplitude(std::uint64_t{1} << q)), 1.0, kEps);
+  }
+}
+
+TEST(StateVectorTest, CnotOnlyFiresWhenControlSet) {
+  StateVector sv(2);
+  sv.applyControlled1(gateX(), 0, 1); // control |0>: no-op
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, kEps);
+  sv.apply1(gateX(), 0);
+  sv.applyControlled1(gateX(), 0, 1); // control |1>: flips target
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 1.0, kEps);
+}
+
+TEST(StateVectorTest, ToffoliTruthTable) {
+  for (unsigned input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    for (unsigned bit = 0; bit < 3; ++bit) {
+      if ((input >> bit) & 1) {
+        sv.apply1(gateX(), bit);
+      }
+    }
+    sv.applyCCX(0, 1, 2);
+    const unsigned expected =
+        (input & 0b011) == 0b011 ? (input ^ 0b100) : input;
+    EXPECT_NEAR(std::norm(sv.amplitude(expected)), 1.0, kEps) << "input " << input;
+  }
+}
+
+TEST(StateVectorTest, SwapExchangesAmplitudes) {
+  StateVector sv(2);
+  sv.apply1(gateX(), 0); // |01>
+  sv.applySwap(0, 1);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b10)), 1.0, kEps);
+}
+
+TEST(StateVectorTest, MeasurementStatisticsMatchBornRule) {
+  // RY(theta)|0> has P(1) = sin^2(theta/2).
+  const double theta = 1.234;
+  StateVector sv(1);
+  sv.apply1(gateRY(theta), 0);
+  const double expected = std::sin(theta / 2) * std::sin(theta / 2);
+  EXPECT_NEAR(sv.probabilityOfOne(0), expected, kEps);
+
+  SplitMix64 rng(11);
+  unsigned ones = 0;
+  const unsigned shots = 20000;
+  for (unsigned s = 0; s < shots; ++s) {
+    StateVector copy(1);
+    copy.apply1(gateRY(theta), 0);
+    if (copy.measure(0, rng)) {
+      ++ones;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / shots, expected, 0.02);
+}
+
+TEST(StateVectorTest, MeasurementCollapsesAndRenormalizes) {
+  StateVector sv(2);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 0, 1);
+  SplitMix64 rng(5);
+  const bool outcome = sv.measure(0, rng);
+  EXPECT_NEAR(sv.normSquared(), 1.0, kEps);
+  EXPECT_NEAR(sv.probabilityOfOne(1), outcome ? 1.0 : 0.0, kEps);
+}
+
+TEST(StateVectorTest, ResetForcesGround) {
+  StateVector sv(1);
+  sv.apply1(gateH(), 0);
+  SplitMix64 rng(5);
+  sv.resetQubit(0, rng);
+  EXPECT_NEAR(std::norm(sv.amplitude(0)), 1.0, kEps);
+}
+
+TEST(StateVectorTest, AddQubitGrowsRegisterInGroundState) {
+  StateVector sv(1);
+  sv.apply1(gateX(), 0);
+  const unsigned q = sv.addQubit();
+  EXPECT_EQ(q, 1U);
+  EXPECT_EQ(sv.numQubits(), 2U);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b01)), 1.0, kEps);
+  EXPECT_NEAR(sv.probabilityOfOne(1), 0.0, kEps);
+}
+
+TEST(StateVectorTest, RemoveQubitCompactsState) {
+  StateVector sv(3);
+  sv.apply1(gateX(), 2); // |100>
+  SplitMix64 rng(5);
+  sv.removeQubit(1, rng); // remove middle (|0>) qubit
+  EXPECT_EQ(sv.numQubits(), 2U);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b10)), 1.0, kEps);
+}
+
+TEST(StateVectorTest, SampleMatchesAmplitudes) {
+  StateVector sv(2);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 0, 1);
+  SplitMix64 rng(123);
+  const auto counts = sv.sampleCounts(10000, rng);
+  EXPECT_EQ(counts.count(0b01), 0U);
+  EXPECT_EQ(counts.count(0b10), 0U);
+  EXPECT_NEAR(static_cast<double>(counts.at(0b00)) / 10000, 0.5, 0.03);
+}
+
+TEST(StateVectorTest, FidelityOfIdenticalStatesIsOne) {
+  StateVector a(3);
+  StateVector b(3);
+  for (unsigned q = 0; q < 3; ++q) {
+    a.apply1(gateH(), q);
+    b.apply1(gateH(), q);
+  }
+  EXPECT_NEAR(a.fidelity(b), 1.0, kEps);
+  b.apply1(gateZ(), 0);
+  EXPECT_LT(a.fidelity(b), 1.0);
+}
+
+TEST(StateVectorTest, ParallelKernelsMatchSequential) {
+  ThreadPool pool(4);
+  StateVector seq(16);
+  StateVector par(16, &pool);
+  SplitMix64 gateRng(77);
+  for (int step = 0; step < 50; ++step) {
+    const auto target = static_cast<unsigned>(gateRng.below(16));
+    auto control = static_cast<unsigned>(gateRng.below(16));
+    if (control == target) {
+      control = (control + 1) % 16;
+    }
+    switch (gateRng.below(3)) {
+    case 0:
+      seq.apply1(gateH(), target);
+      par.apply1(gateH(), target);
+      break;
+    case 1:
+      seq.apply1(gateRZ(0.3), target);
+      par.apply1(gateRZ(0.3), target);
+      break;
+    default:
+      seq.applyControlled1(gateX(), control, target);
+      par.applyControlled1(gateX(), control, target);
+      break;
+    }
+  }
+  EXPECT_NEAR(seq.fidelity(par), 1.0, 1e-9);
+}
+
+TEST(StateVectorTest, QubitLimitIsEnforced) {
+  EXPECT_THROW(StateVector sv(31), qirkit::SemanticError);
+}
+
+TEST(StateVectorTest, GateCountIsTracked) {
+  StateVector sv(2);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 0, 1);
+  sv.applySwap(0, 1);
+  EXPECT_EQ(sv.gateCount(), 3U);
+}
+
+/// Property sweep: on every basis state, H^2 = I, X^2 = I, CX^2 = I.
+class SelfInverseProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SelfInverseProperty, DoubleApplicationIsIdentity) {
+  const unsigned basis = GetParam();
+  StateVector sv(3);
+  for (unsigned bit = 0; bit < 3; ++bit) {
+    if ((basis >> bit) & 1) {
+      sv.apply1(gateX(), bit);
+    }
+  }
+  StateVector reference = sv;
+  sv.apply1(gateH(), 0);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 1, 2);
+  sv.applyControlled1(gateX(), 1, 2);
+  sv.applyCCX(0, 1, 2);
+  sv.applyCCX(0, 1, 2);
+  EXPECT_NEAR(sv.fidelity(reference), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBasisStates, SelfInverseProperty,
+                         ::testing::Range(0U, 8U));
+
+} // namespace
+} // namespace qirkit::sim

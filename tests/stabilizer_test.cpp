@@ -1,0 +1,219 @@
+#include "circuit/executor.hpp"
+#include "circuit/generators.hpp"
+#include "sim/stabilizer.hpp"
+#include "support/source_location.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qirkit::sim {
+namespace {
+
+TEST(Stabilizer, GroundStateMeasuresZeroDeterministically) {
+  StabilizerSimulator sv(4);
+  SplitMix64 rng(1);
+  for (unsigned q = 0; q < 4; ++q) {
+    EXPECT_TRUE(sv.isDeterministic(q));
+    EXPECT_FALSE(sv.measure(q, rng));
+  }
+}
+
+TEST(Stabilizer, XFlipsDeterministically) {
+  StabilizerSimulator sv(2);
+  SplitMix64 rng(1);
+  sv.x(0);
+  EXPECT_TRUE(sv.isDeterministic(0));
+  EXPECT_TRUE(sv.measure(0, rng));
+  EXPECT_FALSE(sv.measure(1, rng));
+}
+
+TEST(Stabilizer, HadamardGivesRandomOutcomeThenCollapses) {
+  SplitMix64 rng(7);
+  unsigned ones = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    StabilizerSimulator sv(1);
+    sv.h(0);
+    EXPECT_FALSE(sv.isDeterministic(0));
+    const bool first = sv.measure(0, rng);
+    ones += first ? 1 : 0;
+    // After collapse the outcome repeats deterministically.
+    EXPECT_TRUE(sv.isDeterministic(0));
+    EXPECT_EQ(sv.measure(0, rng), first);
+  }
+  EXPECT_NEAR(ones / 400.0, 0.5, 0.08);
+}
+
+TEST(Stabilizer, HTwiceIsIdentity) {
+  StabilizerSimulator sv(1);
+  SplitMix64 rng(1);
+  sv.h(0);
+  sv.h(0);
+  EXPECT_TRUE(sv.isDeterministic(0));
+  EXPECT_FALSE(sv.measure(0, rng));
+}
+
+TEST(Stabilizer, SFourTimesIsIdentity) {
+  StabilizerSimulator sv(1);
+  SplitMix64 rng(1);
+  sv.h(0); // superposition so phases matter
+  sv.s(0);
+  sv.s(0);
+  sv.s(0);
+  sv.s(0);
+  sv.h(0); // back to |0> iff phases cancelled
+  EXPECT_TRUE(sv.isDeterministic(0));
+  EXPECT_FALSE(sv.measure(0, rng));
+}
+
+TEST(Stabilizer, SdgUndoesS) {
+  StabilizerSimulator sv(1);
+  SplitMix64 rng(1);
+  sv.h(0);
+  sv.s(0);
+  sv.sdg(0);
+  sv.h(0);
+  EXPECT_FALSE(sv.measure(0, rng));
+}
+
+TEST(Stabilizer, HSHS_PhaseIdentity) {
+  // HZH = X: prepare |1> via X = H Z H.
+  StabilizerSimulator sv(1);
+  SplitMix64 rng(1);
+  sv.h(0);
+  sv.z(0);
+  sv.h(0);
+  EXPECT_TRUE(sv.measure(0, rng));
+}
+
+TEST(Stabilizer, BellPairCorrelations) {
+  SplitMix64 rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    StabilizerSimulator sv(2);
+    sv.h(0);
+    sv.cx(0, 1);
+    const bool a = sv.measure(0, rng);
+    const bool b = sv.measure(1, rng);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Stabilizer, CZIsSymmetricPhaseGate) {
+  // CZ between |+>|1> flips the first qubit's phase: H CZ(q1=|1>) H = Z-effect.
+  StabilizerSimulator sv(2);
+  SplitMix64 rng(1);
+  sv.x(1);
+  sv.h(0);
+  sv.cz(0, 1);
+  sv.h(0);
+  EXPECT_TRUE(sv.isDeterministic(0));
+  EXPECT_TRUE(sv.measure(0, rng)); // equals |1>: HZH|0> = X|0>
+}
+
+TEST(Stabilizer, SwapMovesState) {
+  StabilizerSimulator sv(3);
+  SplitMix64 rng(1);
+  sv.x(0);
+  sv.swap(0, 2);
+  EXPECT_FALSE(sv.measure(0, rng));
+  EXPECT_TRUE(sv.measure(2, rng));
+}
+
+TEST(Stabilizer, ResetForcesGround) {
+  SplitMix64 rng(5);
+  StabilizerSimulator sv(1);
+  sv.h(0);
+  sv.reset(0, rng);
+  EXPECT_TRUE(sv.isDeterministic(0));
+  EXPECT_FALSE(sv.measure(0, rng));
+}
+
+TEST(Stabilizer, HundredQubitGHZ) {
+  // Far beyond the statevector simulator's 30-qubit cap.
+  SplitMix64 rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    StabilizerSimulator sv(100);
+    sv.h(0);
+    for (unsigned q = 0; q + 1 < 100; ++q) {
+      sv.cx(q, q + 1);
+    }
+    const bool first = sv.measure(0, rng);
+    for (unsigned q = 1; q < 100; ++q) {
+      EXPECT_EQ(sv.measure(q, rng), first) << "qubit " << q;
+    }
+  }
+}
+
+// --- cross-validation against the dense simulator ---------------------------
+
+circuit::Circuit randomClifford(unsigned n, unsigned depth, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  circuit::Circuit c(n, n);
+  for (unsigned layer = 0; layer < depth; ++layer) {
+    for (unsigned q = 0; q < n; ++q) {
+      switch (rng.below(5)) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.x(q); break;
+      case 3: c.z(q); break;
+      default: c.sdg(q); break;
+      }
+    }
+    for (unsigned pair = 0; pair + 1 < n; pair += 2) {
+      if (rng.below(2) != 0) {
+        c.cx(pair, pair + 1);
+      } else {
+        c.cz(pair, pair + 1);
+      }
+    }
+  }
+  c.measureAll();
+  return c;
+}
+
+class CliffordCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CliffordCrossValidation, MarginalsMatchStatevector) {
+  const std::uint64_t seed = GetParam();
+  const circuit::Circuit c = randomClifford(4, 3, seed);
+  ASSERT_TRUE(circuit::isCliffordCircuit(c));
+
+  constexpr unsigned kShots = 600;
+  std::vector<unsigned> denseOnes(4, 0);
+  std::vector<unsigned> tableauOnes(4, 0);
+  for (unsigned shot = 0; shot < kShots; ++shot) {
+    const auto dense = circuit::execute(c, seed * 1000 + shot).bits;
+    const auto tableau = circuit::executeClifford(c, seed * 2000 + shot);
+    for (unsigned bit = 0; bit < 4; ++bit) {
+      denseOnes[bit] += dense[bit] ? 1 : 0;
+      tableauOnes[bit] += tableau[bit] ? 1 : 0;
+    }
+  }
+  for (unsigned bit = 0; bit < 4; ++bit) {
+    EXPECT_NEAR(denseOnes[bit] / double(kShots), tableauOnes[bit] / double(kShots),
+                0.09)
+        << "seed " << seed << " bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliffordCrossValidation,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(CliffordExecutor, RejectsNonClifford) {
+  circuit::Circuit c(1, 0);
+  c.t(0);
+  EXPECT_FALSE(circuit::isCliffordCircuit(c));
+  EXPECT_THROW((void)circuit::executeClifford(c), qirkit::SemanticError);
+}
+
+TEST(CliffordExecutor, HonorsConditions) {
+  circuit::Circuit c(1, 2);
+  c.x(0);
+  c.measure(0, 0);
+  c.add({circuit::OpKind::X, {0}, {}, 0, circuit::Condition{0, 1, 1}});
+  c.measure(0, 1);
+  const auto bits = circuit::executeClifford(c, 1);
+  EXPECT_TRUE(bits[0]);
+  EXPECT_FALSE(bits[1]);
+}
+
+} // namespace
+} // namespace qirkit::sim

@@ -1,0 +1,403 @@
+/// \file qirkit.cpp
+/// The qirkit command-line driver: every adoption route of the paper as a
+/// subcommand.
+///
+///   qirkit parse <file.ll>                      parse + verify + stats
+///   qirkit validate <file.ll> [--profile P]     QIR profile validation
+///   qirkit opt <file.ll> [-o out.ll]            classical pipeline (§III.B b1)
+///   qirkit compile <file.ll> [--target T]
+///                  [--addressing static|dynamic]
+///                  [--reuse] [--defer-mz]
+///                  [-o out.ll]                  full compile (§III.B b2 + §IV.A)
+///   qirkit run <file.ll|file.qasm> [--shots N]
+///                  [--seed S]                   interpret + runtime (§III.C)
+///   qirkit translate <in> --to qir|qasm
+///                  [--addressing A] [-o out]    format conversion (§III.A)
+///   qirkit partition <file.ll>                  hybrid placement (§IV.B)
+///   qirkit feasibility <file.ll> [--budget NS]
+///                  [--model fpga|cpu]           coherence-budget check (§IV.B)
+///
+/// Targets: line:N, ring:N, grid:RxC, full:N.
+#include "circuit/executor.hpp"
+#include "circuit/mapping.hpp"
+#include "circuit/reuse.hpp"
+#include "hybrid/hybrid.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "qasm/qasm3.hpp"
+#include "qir/compile.hpp"
+#include "qir/exporter.hpp"
+#include "qir/importer.hpp"
+#include "qir/profiles.hpp"
+#include "runtime/runtime.hpp"
+#include "support/source_location.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace qirkit;
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "qirkit: error: " << message << "\n";
+  std::exit(1);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    fail("cannot open '" + path + "'");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void writeOutput(const std::optional<std::string>& path, const std::string& text) {
+  if (!path) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(*path, std::ios::binary);
+  if (!out) {
+    fail("cannot write '" + *path + "'");
+  }
+  out << text;
+}
+
+/// Minimal flag parser: positional args + --key value / --flag.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] std::string option(const std::string& key,
+                                   const std::string& fallback = {}) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return flags.count(key) != 0;
+  }
+};
+
+Args parseArgs(int argc, char** argv, int start,
+               const std::vector<std::string>& valueOptions) {
+  Args args;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      const bool takesValue =
+          std::find(valueOptions.begin(), valueOptions.end(), key) !=
+          valueOptions.end();
+      if (takesValue) {
+        if (i + 1 >= argc) {
+          fail("option --" + key + " expects a value");
+        }
+        args.options[key] = argv[++i];
+      } else {
+        args.flags[key] = true;
+      }
+    } else if (arg == "-o") {
+      if (i + 1 >= argc) {
+        fail("-o expects a path");
+      }
+      args.options["output"] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+circuit::Target parseTarget(const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) {
+    fail("target must be line:N, ring:N, grid:RxC, or full:N");
+  }
+  const std::string kind = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  if (kind == "grid") {
+    const auto x = rest.find('x');
+    if (x == std::string::npos) {
+      fail("grid target must be grid:RxC");
+    }
+    return circuit::Target::grid(static_cast<unsigned>(std::stoul(rest.substr(0, x))),
+                                 static_cast<unsigned>(std::stoul(rest.substr(x + 1))));
+  }
+  const auto n = static_cast<unsigned>(std::stoul(rest));
+  if (kind == "line") {
+    return circuit::Target::line(n);
+  }
+  if (kind == "ring") {
+    return circuit::Target::ring(n);
+  }
+  if (kind == "full") {
+    return circuit::Target::fullyConnected(n);
+  }
+  fail("unknown target kind '" + kind + "'");
+}
+
+bool looksLikeQasm(const std::string& path, const std::string& text) {
+  return path.ends_with(".qasm") || text.find("OPENQASM") != std::string::npos;
+}
+
+bool isQasm3(const std::string& text) {
+  const auto pos = text.find("OPENQASM");
+  return pos != std::string::npos && text.find("OPENQASM 3", pos) == pos;
+}
+
+/// Load a program from QIR (.ll), OpenQASM 2, or OpenQASM 3 into a module.
+std::unique_ptr<ir::Module> loadModule(ir::Context& ctx, const std::string& path,
+                                       qir::Addressing addressing) {
+  const std::string text = readFile(path);
+  if (looksLikeQasm(path, text)) {
+    if (isQasm3(text)) {
+      return qasm::compileQasm3(ctx, text);
+    }
+    const circuit::Circuit c = qasm::parse(text);
+    qir::ExportOptions options;
+    options.addressing = addressing;
+    return qir::exportCircuit(ctx, c, options);
+  }
+  return ir::parseModule(ctx, text, path);
+}
+
+int cmdParse(const Args& args) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, readFile(args.positional[0]));
+  const auto errors = ir::verifyModule(*module);
+  std::cout << "functions: " << module->functions().size() << "\n";
+  std::cout << "globals: " << module->globals().size() << "\n";
+  std::cout << "instructions: " << module->instructionCount() << "\n";
+  const ir::Function* entry = module->entryPoint();
+  if (entry != nullptr) {
+    std::cout << "entry point: @" << entry->name() << " ("
+              << entry->blocks().size() << " blocks)\n";
+  }
+  std::cout << "profile: " << qir::profileName(qir::detectProfile(*module)) << "\n";
+  if (errors.empty()) {
+    std::cout << "verifier: clean\n";
+    return 0;
+  }
+  for (const std::string& error : errors) {
+    std::cout << "verifier: " << error << "\n";
+  }
+  return 1;
+}
+
+int cmdValidate(const Args& args) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, readFile(args.positional[0]));
+  const std::string profileName = args.option("profile", "base");
+  const qir::Profile profile = profileName == "base"       ? qir::Profile::Base
+                               : profileName == "adaptive" ? qir::Profile::Adaptive
+                               : profileName == "full"
+                                   ? qir::Profile::Full
+                                   : (fail("unknown profile '" + profileName + "'"),
+                                      qir::Profile::Full);
+  const qir::ProfileReport report = qir::validateProfile(*module, profile);
+  if (report.conforms) {
+    std::cout << "conforms to " << qir::profileName(profile) << "\n";
+    return 0;
+  }
+  std::cout << "does NOT conform to " << qir::profileName(profile) << ":\n";
+  for (const std::string& violation : report.violations) {
+    std::cout << "  " << violation << "\n";
+  }
+  return 1;
+}
+
+int cmdOpt(const Args& args) {
+  ir::Context ctx;
+  auto module = ir::parseModule(ctx, readFile(args.positional[0]));
+  const std::size_t before = module->instructionCount();
+  const std::size_t sweeps = qir::transformDirect(*module);
+  ir::verifyModuleOrThrow(*module);
+  std::cerr << "optimized: " << before << " -> " << module->instructionCount()
+            << " instructions in " << sweeps << " sweeps\n";
+  writeOutput(args.options.count("output") != 0U
+                  ? std::optional<std::string>(args.option("output"))
+                  : std::nullopt,
+              ir::printModule(*module));
+  return 0;
+}
+
+int cmdCompile(const Args& args) {
+  ir::Context ctx;
+  auto module = loadModule(ctx, args.positional[0], qir::Addressing::Dynamic);
+  qir::CompileOptions options;
+  if (!args.option("target").empty()) {
+    options.target = parseTarget(args.option("target"));
+  }
+  options.outputAddressing = args.option("addressing", "static") == "dynamic"
+                                 ? qir::Addressing::Dynamic
+                                 : qir::Addressing::Static;
+  options.deferMeasurements = args.flag("defer-mz");
+  qir::CompileResult result = qir::compileToTarget(ctx, *module, options);
+  if (args.flag("reuse")) {
+    const circuit::ReuseResult reuse = circuit::reuseQubits(result.circuit);
+    std::cerr << "qubit reuse: " << reuse.qubitsBefore << " -> "
+              << reuse.qubitsAfter << " qubits (" << reuse.resetsInserted
+              << " resets)\n";
+    qir::ExportOptions exportOptions;
+    exportOptions.addressing = options.outputAddressing;
+    result.module = qir::exportCircuit(ctx, reuse.circuit, exportOptions);
+    result.circuit = reuse.circuit;
+  }
+  std::cerr << "compiled: " << result.circuit.summary() << "\n";
+  std::cerr << "profile: " << qir::profileName(result.profile)
+            << ", swaps: " << result.swapsInserted << "\n";
+  writeOutput(args.options.count("output") != 0U
+                  ? std::optional<std::string>(args.option("output"))
+                  : std::nullopt,
+              ir::printModule(*result.module));
+  return 0;
+}
+
+int cmdRun(const Args& args) {
+  ir::Context ctx;
+  const auto module = loadModule(ctx, args.positional[0], qir::Addressing::Static);
+  const auto shots = static_cast<std::uint64_t>(
+      std::stoull(args.option("shots", "100")));
+  const auto seed =
+      static_cast<std::uint64_t>(std::stoull(args.option("seed", "1")));
+  std::map<std::string, std::uint64_t> histogram;
+  runtime::RuntimeStats lastStats;
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    interp::Interpreter interp(*module);
+    runtime::QuantumRuntime rt(seed + shot);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    ++histogram[rt.outputBitString()];
+    lastStats = rt.stats();
+  }
+  std::cout << "shots: " << shots << ", gates/shot: " << lastStats.gatesApplied
+            << ", measurements/shot: " << lastStats.measurements << "\n";
+  for (const auto& [bits, count] : histogram) {
+    std::cout << (bits.empty() ? "(no recorded output)" : bits) << ": " << count
+              << "\n";
+  }
+  return 0;
+}
+
+int cmdTranslate(const Args& args) {
+  const std::string inputPath = args.positional[0];
+  const std::string text = readFile(inputPath);
+  const std::string to = args.option("to");
+  if (to != "qir" && to != "qasm") {
+    fail("--to must be qir or qasm");
+  }
+  // Load into the circuit IR through whichever frontend matches.
+  circuit::Circuit c;
+  if (looksLikeQasm(inputPath, text) && !isQasm3(text)) {
+    c = qasm::parse(text);
+  } else {
+    ir::Context ctx;
+    auto module = isQasm3(text) ? qasm::compileQasm3(ctx, text)
+                                : ir::parseModule(ctx, text);
+    qir::transformDirect(*module);
+    c = qir::importFromModule(*module);
+  }
+  std::string out;
+  if (to == "qasm") {
+    out = qasm::print(c);
+  } else {
+    ir::Context ctx;
+    qir::ExportOptions options;
+    options.addressing = args.option("addressing", "static") == "dynamic"
+                             ? qir::Addressing::Dynamic
+                             : qir::Addressing::Static;
+    out = ir::printModule(*qir::exportCircuit(ctx, c, options));
+  }
+  writeOutput(args.options.count("output") != 0U
+                  ? std::optional<std::string>(args.option("output"))
+                  : std::nullopt,
+              out);
+  return 0;
+}
+
+int cmdPartition(const Args& args) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, readFile(args.positional[0]));
+  const hybrid::PartitionReport report = hybrid::partitionHybrid(*module);
+  for (const auto& [placement, count] : report.counts) {
+    std::cout << hybrid::placementName(placement) << ": " << count
+              << " instructions\n";
+  }
+  return 0;
+}
+
+int cmdFeasibility(const Args& args) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, readFile(args.positional[0]));
+  const double budget = std::stod(args.option("budget", "1000"));
+  const hybrid::LatencyModel model =
+      args.option("model", "fpga") == "cpu" ? hybrid::LatencyModel::ionTrapCPU()
+                                            : hybrid::LatencyModel::superconductingFPGA();
+  const hybrid::FeasibilityReport report =
+      hybrid::checkFeasibility(*module, model, budget);
+  std::cout << "feedback paths: " << report.paths.size() << "\n";
+  std::cout << "worst path: " << report.worstPathNs << " ns (budget " << budget
+            << " ns)\n";
+  std::cout << "feasible: " << (report.feasible ? "yes" : "NO") << "\n";
+  for (const std::string& reason : report.reasons) {
+    std::cout << "  " << reason << "\n";
+  }
+  return report.feasible ? 0 : 1;
+}
+
+void usage() {
+  std::cerr << "usage: qirkit <parse|validate|opt|compile|run|translate|"
+               "partition|feasibility> <file> [options]\n"
+               "see the header of tools/qirkit.cpp or README.md for details\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args = parseArgs(
+      argc, argv, 2,
+      {"profile", "target", "addressing", "shots", "seed", "to", "budget",
+       "model", "output"});
+  if (args.positional.empty()) {
+    usage();
+    return 2;
+  }
+  try {
+    if (command == "parse") return cmdParse(args);
+    if (command == "validate") return cmdValidate(args);
+    if (command == "opt") return cmdOpt(args);
+    if (command == "compile") return cmdCompile(args);
+    if (command == "run") return cmdRun(args);
+    if (command == "translate") return cmdTranslate(args);
+    if (command == "partition") return cmdPartition(args);
+    if (command == "feasibility") return cmdFeasibility(args);
+    usage();
+    return 2;
+  } catch (const qirkit::ParseError& e) {
+    std::cerr << "qirkit: parse error: " << e.what() << "\n";
+    return 1;
+  } catch (const qirkit::SemanticError& e) {
+    std::cerr << "qirkit: " << e.what() << "\n";
+    return 1;
+  } catch (const qirkit::interp::TrapError& e) {
+    std::cerr << "qirkit: runtime trap: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,89 @@
+#!/bin/sh
+# End-to-end test of the qirkit CLI. Run by ctest with the build dir as $1.
+set -e
+QIRKIT="$1/tools/qirkit"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "CLI TEST FAILED: $1" >&2; exit 1; }
+
+cat > "$WORK/bell.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q -> c;
+EOF
+
+cat > "$WORK/rus.qasm3" <<'EOF'
+OPENQASM 3;
+qubit[3] q;
+bit[3] c;
+h q[0];
+for int i in [0:1] {
+  cx q[i], q[i+1];
+}
+for int i in [0:2] {
+  c[i] = measure q[i];
+}
+EOF
+
+# translate: QASM2 -> QIR (both addressings) -> back to QASM2
+"$QIRKIT" translate "$WORK/bell.qasm" --to qir -o "$WORK/bell.ll" || fail "translate to qir"
+grep -q "__quantum__qis__cnot__body" "$WORK/bell.ll" || fail "qir content"
+"$QIRKIT" translate "$WORK/bell.ll" --to qasm -o "$WORK/bell2.qasm" || fail "translate back"
+grep -q "cx q\[0\], q\[1\];" "$WORK/bell2.qasm" || fail "qasm round trip"
+
+# parse + validate
+"$QIRKIT" parse "$WORK/bell.ll" | grep -q "verifier: clean" || fail "parse"
+"$QIRKIT" validate "$WORK/bell.ll" --profile base | grep -q "conforms" || fail "validate"
+
+# run: correlated GHZ-style outputs only
+OUT="$("$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 9)"
+echo "$OUT" | grep -qE "^(00|11): " || fail "run histogram"
+echo "$OUT" | grep -qE "^01: |^10: " && fail "uncorrelated output"
+
+# run an OpenQASM 3 program directly
+"$QIRKIT" run "$WORK/rus.qasm3" --shots 20 | grep -qE "^(000|111): " || fail "qasm3 run"
+
+# compile with mapping + reuse + deferral
+"$QIRKIT" compile "$WORK/bell.ll" --target line:4 --defer-mz -o "$WORK/compiled.ll" \
+  || fail "compile"
+"$QIRKIT" validate "$WORK/compiled.ll" --profile base | grep -q "conforms" \
+  || fail "compiled profile"
+
+# opt reduces a loop program
+cat > "$WORK/loop.ll" <<'EOF'
+declare void @__quantum__qis__h__body(ptr)
+define void @main() #0 {
+entry:
+  br label %h
+h:
+  %i = phi i64 [ 0, %entry ], [ %n, %b ]
+  %c = icmp slt i64 %i, 4
+  br i1 %c, label %b, label %e
+b:
+  %p = inttoptr i64 %i to ptr
+  call void @__quantum__qis__h__body(ptr %p)
+  %n = add i64 %i, 1
+  br label %h
+e:
+  ret void
+}
+attributes #0 = { "entry_point" }
+EOF
+"$QIRKIT" opt "$WORK/loop.ll" -o "$WORK/loop.opt.ll" || fail "opt"
+COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
+[ "$COUNT" -eq 5 ] || fail "opt did not unroll (found $COUNT h lines, want 4 calls + 1 declare)"
+
+# hybrid analyses
+"$QIRKIT" partition "$WORK/bell.ll" | grep -q "quantum: " || fail "partition"
+"$QIRKIT" feasibility "$WORK/bell.ll" --budget 100 | grep -q "feasible: yes" || fail "feasibility"
+
+# error paths return nonzero
+"$QIRKIT" validate "$WORK/loop.ll" --profile base >/dev/null && fail "loop is not base profile"
+"$QIRKIT" parse "$WORK/nonexistent.ll" >/dev/null 2>&1 && fail "missing file accepted"
+
+echo "CLI TEST PASSED"
