@@ -1,0 +1,68 @@
+#include "interp/abi.hpp"
+
+#include <cstring>
+
+namespace qirkit::interp {
+
+std::uint64_t Memory::allocate(std::uint64_t size) {
+  // 8-byte align every allocation.
+  const std::uint64_t aligned = (arena_.size() + 7) & ~std::uint64_t{7};
+  arena_.resize(aligned + size);
+  return kBase + aligned;
+}
+
+void Memory::check(std::uint64_t address, std::uint64_t size) const {
+  if (address < kBase || address - kBase + size > arena_.size()) {
+    throw TrapError("memory access out of bounds at address " +
+                    std::to_string(address));
+  }
+}
+
+void Memory::store(std::uint64_t address, const void* data, std::uint64_t size) {
+  check(address, size);
+  std::memcpy(arena_.data() + (address - kBase), data, size);
+}
+
+void Memory::load(std::uint64_t address, void* data, std::uint64_t size) const {
+  check(address, size);
+  std::memcpy(data, arena_.data() + (address - kBase), size);
+}
+
+std::uint64_t Memory::storeInt(std::uint64_t address, std::int64_t value,
+                               unsigned bytes) {
+  std::uint64_t raw = static_cast<std::uint64_t>(value);
+  check(address, bytes);
+  std::memcpy(arena_.data() + (address - kBase), &raw, bytes);
+  return address;
+}
+
+std::int64_t Memory::loadInt(std::uint64_t address, unsigned bytes,
+                             bool signExtend) const {
+  std::uint64_t raw = 0;
+  check(address, bytes);
+  std::memcpy(&raw, arena_.data() + (address - kBase), bytes);
+  if (signExtend && bytes < 8) {
+    const std::uint64_t signBit = std::uint64_t{1} << (bytes * 8 - 1);
+    if ((raw & signBit) != 0) {
+      raw |= ~((std::uint64_t{1} << (bytes * 8)) - 1);
+    }
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+std::string Memory::readCString(std::uint64_t address) const {
+  std::string out;
+  char c = 0;
+  while (true) {
+    load(address + out.size(), &c, 1);
+    if (c == '\0') {
+      return out;
+    }
+    out.push_back(c);
+    if (out.size() > 4096) {
+      throw TrapError("unterminated string in memory");
+    }
+  }
+}
+
+} // namespace qirkit::interp

@@ -1,0 +1,114 @@
+/// \file abi.hpp
+/// The execution ABI shared by every IR execution engine: dynamic values,
+/// byte-addressable memory, trap errors, and the external-function
+/// registry that QIR runtimes bind their `__quantum__*` handlers into.
+///
+/// Both the tree-walking interpreter (interp::Interpreter) and the
+/// bytecode VM (vm::Vm) derive from ExternalRegistry, so a runtime's
+/// bind() works unchanged against either engine (§III.C: the runtime
+/// route only concerns the implementation of the quantum instructions —
+/// not how the classical structure around them is executed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qirkit::interp {
+
+/// A dynamic value flowing through an execution engine. Integers carry
+/// their canonical sign-extended representation; pointers are opaque
+/// 64-bit addresses (arena offsets, qubit handles, or static QIR
+/// addresses — the engine does not distinguish, the runtime does).
+struct RtValue {
+  enum class Kind : std::uint8_t { Void, Int, Double, Ptr };
+  Kind kind = Kind::Void;
+  std::int64_t i = 0;
+  double d = 0.0;
+  std::uint64_t p = 0;
+
+  static RtValue makeVoid() { return {}; }
+  static RtValue makeInt(std::int64_t v) { return {Kind::Int, v, 0.0, 0}; }
+  static RtValue makeDouble(double v) { return {Kind::Double, 0, v, 0}; }
+  static RtValue makePtr(std::uint64_t v) { return {Kind::Ptr, 0, 0.0, v}; }
+};
+
+/// Thrown when execution violates a dynamic rule (trap): division by zero,
+/// out-of-bounds memory, missing external, step limit.
+class TrapError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Byte-addressable execution memory. A single arena; addresses are
+/// offsets biased by kBase so that 0 (null) and small static QIR addresses
+/// are never valid memory.
+class Memory {
+public:
+  static constexpr std::uint64_t kBase = 0x100000;
+
+  /// Allocate \p size bytes, zero-initialized; returns the address.
+  /// Allocation is deterministic (8-byte-aligned bump pointer), so two
+  /// engines materializing the same allocations in the same order hand
+  /// out identical addresses — the property differential testing and the
+  /// bytecode compiler's static global addresses rely on.
+  std::uint64_t allocate(std::uint64_t size);
+
+  void store(std::uint64_t address, const void* data, std::uint64_t size);
+  void load(std::uint64_t address, void* data, std::uint64_t size) const;
+
+  std::uint64_t storeInt(std::uint64_t address, std::int64_t value, unsigned bytes);
+  [[nodiscard]] std::int64_t loadInt(std::uint64_t address, unsigned bytes,
+                                     bool signExtend) const;
+
+  /// Read a NUL-terminated string (for output labels).
+  [[nodiscard]] std::string readCString(std::uint64_t address) const;
+
+  [[nodiscard]] std::uint64_t bytesUsed() const noexcept { return arena_.size(); }
+
+private:
+  void check(std::uint64_t address, std::uint64_t size) const;
+  std::vector<std::byte> arena_;
+};
+
+/// Context handed to external-function handlers. Engine-neutral: handlers
+/// only see the execution memory, never the engine that dispatched them.
+struct ExternContext {
+  Memory& memory;
+
+  [[nodiscard]] std::string readCString(std::uint64_t address) const {
+    return memory.readCString(address);
+  }
+};
+
+/// Named external-function bindings (the QIR runtime surface). Execution
+/// engines derive from this; runtimes call bindExternal() against it.
+class ExternalRegistry {
+public:
+  using ExternalHandler =
+      std::function<RtValue(std::span<const RtValue>, ExternContext&)>;
+
+  virtual ~ExternalRegistry() = default;
+
+  /// Register a handler for calls to the declaration named \p name.
+  virtual void bindExternal(std::string name, ExternalHandler handler) {
+    externals_[std::move(name)] = std::move(handler);
+  }
+  [[nodiscard]] bool hasExternal(const std::string& name) const {
+    return externals_.find(name) != externals_.end();
+  }
+  /// Handler for \p name, or nullptr when unbound.
+  [[nodiscard]] const ExternalHandler* findExternal(const std::string& name) const {
+    const auto it = externals_.find(name);
+    return it == externals_.end() ? nullptr : &it->second;
+  }
+
+private:
+  std::map<std::string, ExternalHandler> externals_;
+};
+
+} // namespace qirkit::interp

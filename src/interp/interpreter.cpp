@@ -12,56 +12,6 @@ namespace qirkit::interp {
 using namespace qirkit::ir;
 
 // ---------------------------------------------------------------------------
-// Memory
-// ---------------------------------------------------------------------------
-
-std::uint64_t Memory::allocate(std::uint64_t size) {
-  // 8-byte align every allocation.
-  const std::uint64_t aligned = (arena_.size() + 7) & ~std::uint64_t{7};
-  arena_.resize(aligned + size);
-  return kBase + aligned;
-}
-
-void Memory::check(std::uint64_t address, std::uint64_t size) const {
-  if (address < kBase || address - kBase + size > arena_.size()) {
-    throw TrapError("memory access out of bounds at address " +
-                    std::to_string(address));
-  }
-}
-
-void Memory::store(std::uint64_t address, const void* data, std::uint64_t size) {
-  check(address, size);
-  std::memcpy(arena_.data() + (address - kBase), data, size);
-}
-
-void Memory::load(std::uint64_t address, void* data, std::uint64_t size) const {
-  check(address, size);
-  std::memcpy(data, arena_.data() + (address - kBase), size);
-}
-
-std::uint64_t Memory::storeInt(std::uint64_t address, std::int64_t value,
-                               unsigned bytes) {
-  std::uint64_t raw = static_cast<std::uint64_t>(value);
-  check(address, bytes);
-  std::memcpy(arena_.data() + (address - kBase), &raw, bytes);
-  return address;
-}
-
-std::int64_t Memory::loadInt(std::uint64_t address, unsigned bytes,
-                             bool signExtend) const {
-  std::uint64_t raw = 0;
-  check(address, bytes);
-  std::memcpy(&raw, arena_.data() + (address - kBase), bytes);
-  if (signExtend && bytes < 8) {
-    const std::uint64_t signBit = std::uint64_t{1} << (bytes * 8 - 1);
-    if ((raw & signBit) != 0) {
-      raw |= ~((std::uint64_t{1} << (bytes * 8)) - 1);
-    }
-  }
-  return static_cast<std::int64_t>(raw);
-}
-
-// ---------------------------------------------------------------------------
 // Interpreter
 // ---------------------------------------------------------------------------
 
@@ -77,35 +27,12 @@ Interpreter::Interpreter(const ir::Module& module) : module_(module) {
   }
 }
 
-void Interpreter::bindExternal(std::string name, ExternalHandler handler) {
-  externals_[std::move(name)] = std::move(handler);
-}
-
-bool Interpreter::hasExternal(const std::string& name) const {
-  return externals_.find(name) != externals_.end();
-}
-
 std::uint64_t Interpreter::globalAddress(const GlobalVariable* g) const {
   const auto it = globalAddresses_.find(g);
   if (it == globalAddresses_.end()) {
     throw TrapError("reference to unmaterialized global @" + g->name());
   }
   return it->second;
-}
-
-std::string Interpreter::readCString(std::uint64_t address) const {
-  std::string out;
-  char c = 0;
-  while (true) {
-    memory_.load(address + out.size(), &c, 1);
-    if (c == '\0') {
-      return out;
-    }
-    out.push_back(c);
-    if (out.size() > 4096) {
-      throw TrapError("unterminated string in memory");
-    }
-  }
 }
 
 RtValue Interpreter::evalConstant(const Value* v) const {
@@ -370,8 +297,8 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
         }
         RtValue result;
         if (callee->isDeclaration()) {
-          const auto handler = externals_.find(callee->name());
-          if (handler == externals_.end()) {
+          const ExternalHandler* handler = findExternal(callee->name());
+          if (handler == nullptr) {
             // The paper's observation: lli "cannot handle the quantum
             // instructions and will raise an error" unless a runtime
             // provides the missing definitions.
@@ -379,8 +306,8 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
                             " (no runtime binding registered)");
           }
           ++stats_.externalCalls;
-          ExternContext extern_{*this, memory_};
-          result = handler->second(callArgs, extern_);
+          ExternContext extern_{memory_};
+          result = (*handler)(callArgs, extern_);
         } else {
           result = execute(*callee, callArgs, depth + 1);
         }

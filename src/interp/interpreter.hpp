@@ -4,71 +4,25 @@
 /// the lli tool … this can be overcome by providing the missing
 /// definitions for the QIR extensions."
 ///
-/// External functions (the QIR runtime) are bound by name; the interpreter
-/// executes all classical structure (loops, conditionals, memory) and
-/// dispatches `__quantum__*` calls to whatever runtime the embedder
-/// registered.
+/// External functions (the QIR runtime) are bound by name via the shared
+/// ExternalRegistry ABI (see abi.hpp); the interpreter executes all
+/// classical structure (loops, conditionals, memory) and dispatches
+/// `__quantum__*` calls to whatever runtime the embedder registered.
+///
+/// This tree-walking engine is the *reference semantics*: the bytecode VM
+/// (src/vm) is differentially tested against it.
 #pragma once
 
+#include "interp/abi.hpp"
 #include "ir/module.hpp"
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace qirkit::interp {
-
-/// A dynamic value flowing through the interpreter. Integers carry their
-/// canonical sign-extended representation; pointers are opaque 64-bit
-/// addresses (arena offsets, qubit handles, or static QIR addresses —
-/// the interpreter does not distinguish, the runtime does).
-struct RtValue {
-  enum class Kind : std::uint8_t { Void, Int, Double, Ptr };
-  Kind kind = Kind::Void;
-  std::int64_t i = 0;
-  double d = 0.0;
-  std::uint64_t p = 0;
-
-  static RtValue makeVoid() { return {}; }
-  static RtValue makeInt(std::int64_t v) { return {Kind::Int, v, 0.0, 0}; }
-  static RtValue makeDouble(double v) { return {Kind::Double, 0, v, 0}; }
-  static RtValue makePtr(std::uint64_t v) { return {Kind::Ptr, 0, 0.0, v}; }
-};
-
-/// Byte-addressable execution memory. A single arena; addresses are
-/// offsets biased by kBase so that 0 (null) and small static QIR addresses
-/// are never valid memory.
-class Memory {
-public:
-  static constexpr std::uint64_t kBase = 0x100000;
-
-  /// Allocate \p size bytes, zero-initialized; returns the address.
-  std::uint64_t allocate(std::uint64_t size);
-
-  void store(std::uint64_t address, const void* data, std::uint64_t size);
-  void load(std::uint64_t address, void* data, std::uint64_t size) const;
-
-  std::uint64_t storeInt(std::uint64_t address, std::int64_t value, unsigned bytes);
-  [[nodiscard]] std::int64_t loadInt(std::uint64_t address, unsigned bytes,
-                                     bool signExtend) const;
-
-  [[nodiscard]] std::uint64_t bytesUsed() const noexcept { return arena_.size(); }
-
-private:
-  void check(std::uint64_t address, std::uint64_t size) const;
-  std::vector<std::byte> arena_;
-};
-
-class Interpreter;
-
-/// Context handed to external-function handlers.
-struct ExternContext {
-  Interpreter& interp;
-  Memory& memory;
-};
 
 /// Statistics of one or more executions.
 struct InterpStats {
@@ -78,24 +32,10 @@ struct InterpStats {
   std::uint64_t blocksEntered = 0;
 };
 
-/// Thrown when execution violates a dynamic rule (trap): division by zero,
-/// out-of-bounds memory, missing external, step limit.
-class TrapError : public std::runtime_error {
-public:
-  using std::runtime_error::runtime_error;
-};
-
 /// The interpreter. Bind externals, then run a function.
-class Interpreter {
+class Interpreter : public ExternalRegistry {
 public:
-  using ExternalHandler =
-      std::function<RtValue(std::span<const RtValue>, ExternContext&)>;
-
   explicit Interpreter(const ir::Module& module);
-
-  /// Register a handler for calls to the declaration named \p name.
-  void bindExternal(std::string name, ExternalHandler handler);
-  [[nodiscard]] bool hasExternal(const std::string& name) const;
 
   /// Execute \p fn with \p args. Throws TrapError on dynamic violations.
   RtValue run(const ir::Function& fn, std::span<const RtValue> args = {});
@@ -112,10 +52,15 @@ public:
   [[nodiscard]] std::uint64_t globalAddress(const ir::GlobalVariable* g) const;
 
   /// Read a NUL-terminated string from memory (for output labels).
-  [[nodiscard]] std::string readCString(std::uint64_t address) const;
+  [[nodiscard]] std::string readCString(std::uint64_t address) const {
+    return memory_.readCString(address);
+  }
 
   /// Upper bound on executed instructions per runEntryPoint/run call tree
-  /// (default 256M) — terminates runaway programs.
+  /// (default 256M) — terminates runaway programs. The bytecode VM honors
+  /// the same default and accounting (kDefaultStepLimit), so both engines
+  /// reject runaway programs identically.
+  static constexpr std::uint64_t kDefaultStepLimit = 1ULL << 28;
   void setStepLimit(std::uint64_t limit) noexcept { stepLimit_ = limit; }
 
 private:
@@ -125,10 +70,9 @@ private:
 
   const ir::Module& module_;
   Memory memory_;
-  std::map<std::string, ExternalHandler> externals_;
   std::map<const ir::GlobalVariable*, std::uint64_t> globalAddresses_;
   InterpStats stats_;
-  std::uint64_t stepLimit_ = 1ULL << 28;
+  std::uint64_t stepLimit_ = kDefaultStepLimit;
   std::uint64_t stepsTaken_ = 0;
 };
 

@@ -34,6 +34,17 @@ std::int64_t argInt(std::span<const RtValue> args, std::size_t i) {
 // QuantumRuntime
 // ---------------------------------------------------------------------------
 
+void QuantumRuntime::reset(std::uint64_t seed) {
+  state_ = sim::StateVector(0, pool_);
+  rng_ = SplitMix64(seed);
+  stats_ = {};
+  qubitByHandle_.clear();
+  nextDynamicHandle_ = kDynamicHandleBase;
+  results_.clear();
+  arraySizes_.clear();
+  output_.clear();
+}
+
 void QuantumRuntime::reserveStaticQubits(unsigned n) {
   for (unsigned id = 0; id < n; ++id) {
     const auto [it, inserted] = qubitByHandle_.try_emplace(id, 0U);
@@ -106,8 +117,8 @@ std::string QuantumRuntime::outputBitString() const {
   return out;
 }
 
-void QuantumRuntime::bind(interp::Interpreter& interp) {
-  using Handler = interp::Interpreter::ExternalHandler;
+void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
+  using Handler = interp::ExternalRegistry::ExternalHandler;
   const auto gate1 = [this](void (*apply)(sim::StateVector&, unsigned)) -> Handler {
     return [this, apply](std::span<const RtValue> args, ExternContext& ctx) {
       apply(state_, resolveQubit(argPtr(args, 0), ctx));
@@ -284,7 +295,7 @@ void QuantumRuntime::bind(interp::Interpreter& interp) {
                         const std::uint64_t labelPtr = argPtr(args, 1);
                         const std::string label =
                             labelPtr == 0 ? std::string{}
-                                          : ctx.interp.readCString(labelPtr);
+                                          : ctx.readCString(labelPtr);
                         output_.emplace_back(label,
                                              resultValue(resultKey(argPtr(args, 0))));
                         return RtValue::makeVoid();
@@ -358,7 +369,7 @@ unsigned RecordingRuntime::resolveQubit(std::uint64_t address, ExternContext& ct
   return it->second;
 }
 
-void RecordingRuntime::bind(interp::Interpreter& interp) {
+void RecordingRuntime::bind(interp::ExternalRegistry& interp) {
   using circuit::OpKind;
   using circuit::Operation;
   // Gate recorder shared by all qis handlers.
@@ -507,8 +518,8 @@ bool CliffordRuntime::resultValue(std::uint64_t key) const {
   return it != results_.end() && it->second;
 }
 
-void CliffordRuntime::bind(interp::Interpreter& interp) {
-  using Handler = interp::Interpreter::ExternalHandler;
+void CliffordRuntime::bind(interp::ExternalRegistry& interp) {
+  using Handler = interp::ExternalRegistry::ExternalHandler;
   const auto gate1 =
       [this](void (sim::StabilizerSimulator::*apply)(unsigned)) -> Handler {
     return [this, apply](std::span<const RtValue> args, ExternContext& ctx) {
@@ -618,7 +629,7 @@ void CliffordRuntime::bind(interp::Interpreter& interp) {
                         const std::uint64_t labelPtr = argPtr(args, 1);
                         const std::string label =
                             labelPtr == 0 ? std::string{}
-                                          : ctx.interp.readCString(labelPtr);
+                                          : ctx.readCString(labelPtr);
                         output_.emplace_back(label, resultValue(argPtr(args, 0)));
                         return RtValue::makeVoid();
                       });

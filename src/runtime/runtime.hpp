@@ -46,10 +46,16 @@ public:
   static constexpr std::uint64_t kDynamicHandleBase = 0x5151000000000000ULL;
 
   explicit QuantumRuntime(std::uint64_t seed = 1, qirkit::ThreadPool* pool = nullptr)
-      : state_(0, pool), rng_(seed) {}
+      : state_(0, pool), pool_(pool), rng_(seed) {}
 
   /// Register every qis/rt handler with \p interp.
-  void bind(interp::Interpreter& interp);
+  void bind(interp::ExternalRegistry& interp);
+
+  /// Return to the freshly-constructed state with a new RNG seed, keeping
+  /// every registered binding valid (handlers capture `this`). The batched
+  /// shot executor uses this to run N shots without re-binding the 30+
+  /// handlers per shot.
+  void reset(std::uint64_t seed);
 
   /// §IV.A's *other* strategy for static addresses: instead of allocating
   /// "on the fly when it encounters a new qubit address", the runtime can
@@ -87,6 +93,7 @@ private:
   static std::uint64_t resultKey(std::uint64_t address) noexcept { return address; }
 
   sim::StateVector state_;
+  qirkit::ThreadPool* pool_;
   SplitMix64 rng_;
   RuntimeStats stats_;
   std::map<std::uint64_t, unsigned> qubitByHandle_; // handle or static id -> sim index
@@ -104,7 +111,7 @@ private:
 /// of simulation.
 class RecordingRuntime {
 public:
-  void bind(interp::Interpreter& interp);
+  void bind(interp::ExternalRegistry& interp);
 
   [[nodiscard]] const circuit::Circuit& recorded() const noexcept { return circuit_; }
 
@@ -131,7 +138,7 @@ public:
   explicit CliffordRuntime(unsigned numQubits, std::uint64_t seed = 1)
       : state_(numQubits), rng_(seed) {}
 
-  void bind(interp::Interpreter& interp);
+  void bind(interp::ExternalRegistry& interp);
 
   [[nodiscard]] sim::StabilizerSimulator& state() noexcept { return state_; }
   [[nodiscard]] bool resultValue(std::uint64_t key) const;

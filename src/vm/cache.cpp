@@ -1,0 +1,76 @@
+#include "vm/cache.hpp"
+
+#include "ir/printer.hpp"
+#include "vm/compiler.hpp"
+
+namespace qirkit::vm {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+} // namespace
+
+std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Module& module) {
+  const std::string text = ir::printModule(module);
+  const std::uint64_t hash = fnv1a(text);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(hash);
+    if (it != entries_.end()) {
+      for (const Entry& entry : it->second) {
+        if (entry.text == text) {
+          ++stats_.hits;
+          return entry.compiled;
+        }
+      }
+    }
+  }
+  // Compile outside the lock: compilation is pure, and a rare duplicate
+  // compile of the same program is cheaper than serializing all misses.
+  std::shared_ptr<const BytecodeModule> compiled = compileModule(module);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_[hash]) {
+    if (entry.text == text) { // another thread won the race
+      ++stats_.hits;
+      return entry.compiled;
+    }
+  }
+  ++stats_.misses;
+  entries_[hash].push_back(Entry{text, compiled});
+  return compiled;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t CompileCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [hash, chain] : entries_) {
+    n += chain.size();
+  }
+  return n;
+}
+
+void CompileCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  stats_ = {};
+}
+
+CompileCache& CompileCache::global() {
+  static CompileCache instance;
+  return instance;
+}
+
+} // namespace qirkit::vm

@@ -1,0 +1,48 @@
+/// \file cache.hpp
+/// Content-addressed cache of compiled bytecode. The key is the printed
+/// textual form of the module (hashed with FNV-1a 64; the stored text is
+/// compared on hash hits so collisions cannot alias programs). One
+/// process-wide instance makes repeated runs of the same program — across
+/// shots, worker threads, and CLI subcommands — compile exactly once.
+#pragma once
+
+#include "ir/module.hpp"
+#include "vm/bytecode.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace qirkit::vm {
+
+class CompileCache {
+public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Look up \p module by content; compile and insert on miss. Thread-safe.
+  /// The returned module is immutable and outlives the cache entry.
+  std::shared_ptr<const BytecodeModule> getOrCompile(const ir::Module& module);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// The process-wide instance used by the CLI and the shot executor.
+  static CompileCache& global();
+
+private:
+  struct Entry {
+    std::string text; // full printed module, for collision safety
+    std::shared_ptr<const BytecodeModule> compiled;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  Stats stats_;
+};
+
+} // namespace qirkit::vm

@@ -1,0 +1,27 @@
+/// \file compiler.hpp
+/// The IR → bytecode compiler. Lowers a (verified) ir::Module into a
+/// BytecodeModule: registers resolved, block targets flattened to
+/// instruction offsets, phi nodes eliminated via staged edge moves, and
+/// external callees assigned runtime-dispatch slots.
+#pragma once
+
+#include "ir/module.hpp"
+#include "vm/bytecode.hpp"
+
+#include <memory>
+
+namespace qirkit::vm {
+
+/// Thrown when a module cannot be lowered (e.g. malformed control flow
+/// that the verifier would reject). Derived from TrapError so callers
+/// treating compile+run as one execution route catch a single type.
+class CompileError : public interp::TrapError {
+public:
+  using interp::TrapError::TrapError;
+};
+
+/// Compile every defined function of \p module. The result is immutable
+/// and shareable; prefer CompileCache::getOrCompile for repeated use.
+[[nodiscard]] std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module);
+
+} // namespace qirkit::vm

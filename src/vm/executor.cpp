@@ -1,0 +1,133 @@
+#include "vm/executor.hpp"
+
+#include "vm/cache.hpp"
+#include "vm/compiler.hpp"
+
+#include <mutex>
+#include <optional>
+
+namespace qirkit::vm {
+
+using interp::TrapError;
+
+const char* engineName(Engine engine) noexcept {
+  return engine == Engine::Vm ? "vm" : "interp";
+}
+
+namespace {
+
+struct ChunkResult {
+  std::map<std::string, std::uint64_t> histogram;
+};
+
+/// Run shots [begin, end) on the VM engine. One Vm + one bound runtime
+/// serve the whole chunk; reset() between shots replaces re-parsing,
+/// re-binding, and re-materializing from scratch.
+void runVmChunk(const std::shared_ptr<const BytecodeModule>& compiled,
+                const ShotOptions& opts, std::uint64_t begin, std::uint64_t end,
+                ChunkResult& out, ShotBatchResult& batch) {
+  Vm vm(compiled);
+  runtime::QuantumRuntime rt(0, nullptr);
+  rt.bind(vm);
+  for (std::uint64_t shot = begin; shot < end; ++shot) {
+    rt.reset(opts.seed + shot);
+    vm.reset();
+    vm.resetStats();
+    vm.runEntryPoint();
+    ++out.histogram[rt.outputBitString()];
+    if (shot + 1 == opts.shots) {
+      batch.lastShotStats = rt.stats();
+      batch.lastShotEngineStats = vm.stats();
+    }
+  }
+}
+
+/// Run shots [begin, end) on the interpreter engine — the reference
+/// behaviour: a fresh Interpreter and runtime per shot.
+void runInterpChunk(const ir::Module& module, const ShotOptions& opts,
+                    std::uint64_t begin, std::uint64_t end, ChunkResult& out,
+                    ShotBatchResult& batch) {
+  for (std::uint64_t shot = begin; shot < end; ++shot) {
+    interp::Interpreter interp(module);
+    runtime::QuantumRuntime rt(opts.seed + shot, nullptr);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    ++out.histogram[rt.outputBitString()];
+    if (shot + 1 == opts.shots) {
+      batch.lastShotStats = rt.stats();
+      batch.lastShotEngineStats = interp.stats();
+    }
+  }
+}
+
+} // namespace
+
+ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
+  ShotBatchResult result;
+
+  std::shared_ptr<const BytecodeModule> compiled;
+  if (opts.engine == Engine::Vm) {
+    if (opts.useCompileCache) {
+      const CompileCache::Stats before = CompileCache::global().stats();
+      compiled = CompileCache::global().getOrCompile(module);
+      const CompileCache::Stats after = CompileCache::global().stats();
+      result.cacheHits = after.hits - before.hits;
+      result.cacheMisses = after.misses - before.misses;
+    } else {
+      compiled = compileModule(module);
+      result.cacheMisses = 1;
+    }
+  }
+
+  const auto runChunk = [&](std::uint64_t begin, std::uint64_t end,
+                            ChunkResult& out) {
+    if (opts.engine == Engine::Vm) {
+      runVmChunk(compiled, opts, begin, end, out, result);
+    } else {
+      runInterpChunk(module, opts, begin, end, out, result);
+    }
+  };
+
+  if (opts.pool == nullptr || opts.pool->size() <= 1 || opts.shots <= 1) {
+    ChunkResult chunk;
+    runChunk(0, opts.shots, chunk);
+    result.histogram = std::move(chunk.histogram);
+    return result;
+  }
+
+  const std::uint64_t workers =
+      std::min<std::uint64_t>(opts.pool->size(), opts.shots);
+  const std::uint64_t chunkSize = (opts.shots + workers - 1) / workers;
+  std::mutex mergeMutex;
+  std::optional<std::string> firstError;
+  for (std::uint64_t w = 0; w < workers; ++w) {
+    const std::uint64_t begin = w * chunkSize;
+    const std::uint64_t end = std::min(opts.shots, begin + chunkSize);
+    if (begin >= end) {
+      break;
+    }
+    opts.pool->submit([&, begin, end] {
+      ChunkResult chunk;
+      try {
+        runChunk(begin, end, chunk);
+      } catch (const std::exception& e) {
+        const std::lock_guard<std::mutex> lock(mergeMutex);
+        if (!firstError.has_value()) {
+          firstError = e.what();
+        }
+        return;
+      }
+      const std::lock_guard<std::mutex> lock(mergeMutex);
+      for (const auto& [bits, count] : chunk.histogram) {
+        result.histogram[bits] += count;
+      }
+    });
+  }
+  opts.pool->wait();
+  if (firstError.has_value()) {
+    throw TrapError(*firstError);
+  }
+  return result;
+}
+
+} // namespace qirkit::vm

@@ -1,0 +1,59 @@
+/// \file executor.hpp
+/// Batched shot execution: run a QIR module's entry point N times and
+/// aggregate the recorded outputs into a histogram — the workload shape
+/// the paper's execution route serves (one program, many sampled shots).
+///
+/// Two engines sit behind one interface: the bytecode VM (compile once
+/// via the content-addressed cache, execute many; one Vm + one
+/// QuantumRuntime per worker, reset between shots) and the tree-walking
+/// interpreter (a fresh Interpreter + runtime per shot — the reference
+/// semantics). Shot s always runs with seed `seed + s`, independent of
+/// engine, thread count, and chunking, so histograms are reproducible
+/// and engine-comparable bit for bit.
+#pragma once
+
+#include "ir/module.hpp"
+#include "runtime/runtime.hpp"
+#include "support/parallel.hpp"
+#include "vm/vm.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qirkit::vm {
+
+enum class Engine { Interp, Vm };
+
+[[nodiscard]] const char* engineName(Engine engine) noexcept;
+
+struct ShotOptions {
+  std::uint64_t shots = 100;
+  std::uint64_t seed = 1;
+  Engine engine = Engine::Vm;
+  /// Worker pool for chunked shots; nullptr runs sequentially. Per-shot
+  /// simulators never nest parallelism (their pool is always null).
+  qirkit::ThreadPool* pool = nullptr;
+  /// Route compilation through CompileCache::global() (VM engine only).
+  bool useCompileCache = true;
+};
+
+struct ShotBatchResult {
+  /// Recorded-output bit string -> occurrence count.
+  std::map<std::string, std::uint64_t> histogram;
+  /// Runtime / engine statistics of the final shot (shot shots-1); every
+  /// shot of a given program executes the same way, so one is
+  /// representative.
+  runtime::RuntimeStats lastShotStats;
+  interp::InterpStats lastShotEngineStats;
+  /// Compile-cache activity attributable to this batch.
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+};
+
+/// Run \p opts.shots shots of \p module's entry point. Throws TrapError
+/// (with the failing shot's diagnostic) if any shot traps.
+[[nodiscard]] ShotBatchResult runShots(const ir::Module& module,
+                                       const ShotOptions& opts = {});
+
+} // namespace qirkit::vm

@@ -1,0 +1,299 @@
+#include "vm/vm.hpp"
+
+#include "ir/instruction.hpp"
+#include "passes/folding.hpp"
+
+#include <algorithm>
+
+namespace qirkit::vm {
+
+using interp::ExternContext;
+using interp::RtValue;
+using interp::TrapError;
+
+Vm::Vm(std::shared_ptr<const BytecodeModule> module) : module_(std::move(module)) {
+  materializeGlobals();
+}
+
+void Vm::materializeGlobals() {
+  // Mirrors the interpreter's constructor; the deterministic bump
+  // allocator makes the addresses identical (and equal to the ones the
+  // compiler baked into constant pools).
+  for (const std::string& bytes : module_->globalInits) {
+    const std::uint64_t address =
+        memory_.allocate(std::max<std::uint64_t>(1, bytes.size()));
+    if (!bytes.empty()) {
+      memory_.store(address, bytes.data(), bytes.size());
+    }
+    globalAddresses_.push_back(address);
+  }
+}
+
+void Vm::reset() {
+  memory_ = interp::Memory();
+  globalAddresses_.clear();
+  materializeGlobals();
+}
+
+std::uint64_t Vm::globalAddress(std::size_t index) const {
+  if (index >= globalAddresses_.size()) {
+    throw TrapError("reference to unmaterialized global");
+  }
+  return globalAddresses_[index];
+}
+
+void Vm::bindExternal(std::string name, ExternalHandler handler) {
+  ExternalRegistry::bindExternal(name, std::move(handler));
+  externsDirty_ = true;
+}
+
+void Vm::resolveExterns() {
+  externSlots_.assign(module_->externNames.size(), nullptr);
+  for (std::size_t slot = 0; slot < module_->externNames.size(); ++slot) {
+    externSlots_[slot] = findExternal(module_->externNames[slot]);
+  }
+  externsDirty_ = false;
+}
+
+RtValue Vm::run(std::string_view name, std::span<const RtValue> args) {
+  const auto it = module_->functionIndexByName.find(std::string(name));
+  if (it == module_->functionIndexByName.end()) {
+    throw TrapError("no compiled function @" + std::string(name));
+  }
+  stepsTaken_ = 0;
+  stack_.clear();
+  argStack_.clear();
+  if (externsDirty_) {
+    resolveExterns();
+  }
+  return execute(it->second, args, 0);
+}
+
+RtValue Vm::runEntryPoint() {
+  if (module_->entryIndex < 0) {
+    throw TrapError("module has no executable entry point");
+  }
+  stepsTaken_ = 0;
+  stack_.clear();
+  argStack_.clear();
+  if (externsDirty_) {
+    resolveExterns();
+  }
+  return execute(static_cast<std::uint32_t>(module_->entryIndex), {}, 0);
+}
+
+RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
+                    unsigned depth) {
+  if (depth > 512) {
+    throw TrapError("call stack overflow (depth > 512)");
+  }
+  ++stats_.internalCalls;
+  const CompiledFunction& fn = module_->functions[funcIndex];
+
+  const std::size_t base = stack_.size();
+  stack_.resize(base + fn.numRegs);
+  RtValue* regs = stack_.data() + base;
+  std::copy(args.begin(), args.end(), regs);
+  std::copy(fn.constants.begin(), fn.constants.end(), regs + fn.numArgs);
+  ++stats_.blocksEntered;
+
+  const Inst* code = fn.code.data();
+  std::uint32_t pc = 0;
+  for (;;) {
+    const Inst in = code[pc++];
+    if ((in.flags & kStep) != 0) {
+      if (++stepsTaken_ > stepLimit_) {
+        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")");
+      }
+      ++stats_.instructionsExecuted;
+    }
+    switch (in.op) {
+    case Op::Nop:
+      break;
+    case Op::Mov:
+      regs[in.a] = regs[in.b];
+      break;
+    case Op::IntBin: {
+      std::int64_t result = 0;
+      if (!passes::evalIntBinOp(static_cast<ir::Opcode>(in.sub), in.d,
+                                regs[in.b].i, regs[in.c].i, result)) {
+        throw TrapError(std::string("arithmetic trap in ") +
+                        ir::opcodeName(static_cast<ir::Opcode>(in.sub)) +
+                        " (division by zero or oversized shift)");
+      }
+      regs[in.a] = RtValue::makeInt(result);
+      break;
+    }
+    case Op::FloatBin:
+      regs[in.a] = RtValue::makeDouble(passes::evalFloatBinOp(
+          static_cast<ir::Opcode>(in.sub), regs[in.b].d, regs[in.c].d));
+      break;
+    case Op::ICmp:
+      regs[in.a] = RtValue::makeInt(
+          passes::evalICmp(static_cast<ir::ICmpPred>(in.sub), in.d, regs[in.b].i,
+                           regs[in.c].i)
+              ? 1
+              : 0);
+      break;
+    case Op::ICmpPtr:
+      regs[in.a] = RtValue::makeInt(
+          passes::evalICmp(static_cast<ir::ICmpPred>(in.sub), 64,
+                           static_cast<std::int64_t>(regs[in.b].p),
+                           static_cast<std::int64_t>(regs[in.c].p))
+              ? 1
+              : 0);
+      break;
+    case Op::FCmp:
+      regs[in.a] = RtValue::makeInt(
+          passes::evalFCmp(static_cast<ir::FCmpPred>(in.sub), regs[in.b].d,
+                           regs[in.c].d)
+              ? 1
+              : 0);
+      break;
+    case Op::ZExt: {
+      const std::uint64_t raw = static_cast<std::uint64_t>(regs[in.b].i);
+      const std::uint64_t mask =
+          in.d >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << in.d) - 1;
+      regs[in.a] = RtValue::makeInt(static_cast<std::int64_t>(raw & mask));
+      break;
+    }
+    case Op::Trunc: {
+      std::int64_t v = regs[in.b].i;
+      if (in.d < 64) {
+        const std::uint64_t mask = (std::uint64_t{1} << in.d) - 1;
+        std::uint64_t raw = static_cast<std::uint64_t>(v) & mask;
+        if (((raw >> (in.d - 1)) & 1) != 0) {
+          raw |= ~mask;
+        }
+        v = static_cast<std::int64_t>(raw);
+      }
+      regs[in.a] = RtValue::makeInt(v);
+      break;
+    }
+    case Op::PtrToInt:
+      regs[in.a] = RtValue::makeInt(static_cast<std::int64_t>(regs[in.b].p));
+      break;
+    case Op::IntToPtr:
+      regs[in.a] = RtValue::makePtr(static_cast<std::uint64_t>(regs[in.b].i));
+      break;
+    case Op::SiToF:
+      regs[in.a] = RtValue::makeDouble(static_cast<double>(regs[in.b].i));
+      break;
+    case Op::UiToF:
+      regs[in.a] = RtValue::makeDouble(
+          static_cast<double>(static_cast<std::uint64_t>(regs[in.b].i)));
+      break;
+    case Op::FToSi:
+      regs[in.a] = RtValue::makeInt(static_cast<std::int64_t>(regs[in.b].d));
+      break;
+    case Op::FToUi:
+      regs[in.a] = RtValue::makeInt(
+          static_cast<std::int64_t>(static_cast<std::uint64_t>(regs[in.b].d)));
+      break;
+    case Op::Select:
+      regs[in.a] = regs[in.b].i != 0 ? regs[in.c] : regs[in.d];
+      break;
+    case Op::Alloca:
+      regs[in.a] = RtValue::makePtr(memory_.allocate(in.d));
+      break;
+    case Op::LoadInt:
+      regs[in.a] = RtValue::makeInt(memory_.loadInt(regs[in.b].p, in.d, true));
+      break;
+    case Op::LoadDouble: {
+      double value = 0.0;
+      memory_.load(regs[in.b].p, &value, sizeof value);
+      regs[in.a] = RtValue::makeDouble(value);
+      break;
+    }
+    case Op::LoadPtr: {
+      std::uint64_t value = 0;
+      memory_.load(regs[in.b].p, &value, sizeof value);
+      regs[in.a] = RtValue::makePtr(value);
+      break;
+    }
+    case Op::StoreInt:
+      memory_.storeInt(regs[in.c].p, regs[in.b].i, in.d);
+      break;
+    case Op::StoreDouble:
+      memory_.store(regs[in.c].p, &regs[in.b].d, sizeof(double));
+      break;
+    case Op::StorePtr:
+      memory_.store(regs[in.c].p, &regs[in.b].p, sizeof(std::uint64_t));
+      break;
+    case Op::Jmp:
+      // Flagged jumps realize a source `br`; stub jumps (phi edges) do
+      // not re-enter the block for accounting purposes.
+      if ((in.flags & kStep) != 0) {
+        ++stats_.blocksEntered;
+      }
+      pc = in.a;
+      break;
+    case Op::JmpIf:
+      ++stats_.blocksEntered;
+      pc = regs[in.a].i != 0 ? in.b : in.c;
+      break;
+    case Op::SwitchI: {
+      ++stats_.blocksEntered;
+      const SwitchTable& table = fn.switchTables[in.b];
+      const std::int64_t cond = regs[in.a].i;
+      std::uint32_t target = table.defaultTarget;
+      for (const auto& [value, caseTarget] : table.cases) {
+        if (value == cond) {
+          target = caseTarget;
+          break;
+        }
+      }
+      pc = target;
+      break;
+    }
+    case Op::Ret: {
+      const RtValue result = regs[in.a];
+      stack_.resize(base);
+      return result;
+    }
+    case Op::RetVoid:
+      stack_.resize(base);
+      return RtValue::makeVoid();
+    case Op::PushArg:
+      argStack_.push_back(regs[in.a]);
+      break;
+    case Op::Call: {
+      const std::size_t argBase = argStack_.size() - in.c;
+      // The callee copies its arguments into its frame on entry, before
+      // any nested PushArg can reallocate argStack_, so the span is safe.
+      const RtValue result = execute(
+          in.b, {argStack_.data() + argBase, in.c}, depth + 1);
+      argStack_.resize(argBase);
+      regs = stack_.data() + base; // recursion may have reallocated
+      if (in.a != kNoReg) {
+        regs[in.a] = result;
+      }
+      break;
+    }
+    case Op::CallExtern: {
+      const ExternalHandler* handler = externSlots_[in.b];
+      if (handler == nullptr) {
+        // Same diagnostic as the interpreter (the paper's lli failure
+        // mode when no runtime supplies the quantum instructions).
+        throw TrapError("call to undefined external @" +
+                        module_->externNames[in.b] +
+                        " (no runtime binding registered)");
+      }
+      ++stats_.externalCalls;
+      const std::size_t argBase = argStack_.size() - in.c;
+      ExternContext context{memory_};
+      const RtValue result =
+          (*handler)({argStack_.data() + argBase, in.c}, context);
+      argStack_.resize(argBase);
+      if (in.a != kNoReg) {
+        regs[in.a] = result;
+      }
+      break;
+    }
+    case Op::Trap:
+      throw TrapError("executed 'unreachable'");
+    }
+  }
+}
+
+} // namespace qirkit::vm

@@ -1,0 +1,87 @@
+/// \file vm.hpp
+/// The bytecode execution engine: runs a BytecodeModule in a tight
+/// dispatch loop against the same Runtime ABI (RtValue / Memory /
+/// ExternalRegistry) the tree-walking interpreter uses. One Vm holds the
+/// mutable execution state (memory, frames, extern bindings, step
+/// budget); the compiled module it runs is immutable and shared.
+///
+/// Semantics are bit-for-bit the interpreter's — same trap messages,
+/// same step accounting (see kStep in bytecode.hpp), same deterministic
+/// memory layout — so the two engines are differentially testable and
+/// interchangeable behind qirkit run --engine=.
+#pragma once
+
+#include "interp/interpreter.hpp"
+#include "vm/bytecode.hpp"
+
+#include <memory>
+#include <span>
+#include <string_view>
+
+namespace qirkit::vm {
+
+/// Executes compiled bytecode. Bind externals exactly as with an
+/// Interpreter (QuantumRuntime::bind works on either engine); call
+/// reset() between shots to replay globals into fresh memory while
+/// keeping bindings and the compiled module.
+class Vm : public interp::ExternalRegistry {
+public:
+  explicit Vm(std::shared_ptr<const BytecodeModule> module);
+
+  /// Run function \p name with \p args; returns its value (Void kind for
+  /// void functions). Resets the step counter, not memory.
+  interp::RtValue run(std::string_view name, std::span<const interp::RtValue> args = {});
+
+  /// Run the module's entry point (the "entry_point"-attributed function,
+  /// else @main). Traps if the module has neither.
+  interp::RtValue runEntryPoint();
+
+  /// Fresh execution memory with globals re-materialized; statistics and
+  /// extern bindings survive. The deterministic bump allocator guarantees
+  /// globals land at the same addresses every time.
+  void reset();
+
+  [[nodiscard]] interp::Memory& memory() noexcept { return memory_; }
+  [[nodiscard]] const interp::Memory& memory() const noexcept { return memory_; }
+  [[nodiscard]] const BytecodeModule& module() const noexcept { return *module_; }
+
+  [[nodiscard]] const interp::InterpStats& stats() const noexcept { return stats_; }
+  void resetStats() noexcept { stats_ = {}; }
+
+  /// Same budget contract as the interpreter: exceeding it throws
+  /// TrapError("step limit exceeded (N)") on the offending instruction.
+  void setStepLimit(std::uint64_t limit) noexcept { stepLimit_ = limit; }
+  [[nodiscard]] std::uint64_t stepLimit() const noexcept { return stepLimit_; }
+
+  /// Address of global number \p index (module order), for host-side pokes.
+  [[nodiscard]] std::uint64_t globalAddress(std::size_t index) const;
+
+  void bindExternal(std::string name, ExternalHandler handler) override;
+
+private:
+  interp::RtValue execute(std::uint32_t funcIndex,
+                          std::span<const interp::RtValue> args, unsigned depth);
+  void materializeGlobals();
+  void resolveExterns();
+
+  std::shared_ptr<const BytecodeModule> module_;
+  interp::Memory memory_;
+  std::vector<std::uint64_t> globalAddresses_;
+
+  /// Per-slot handler pointers, resolved lazily from the name-keyed
+  /// registry; invalidated (externsDirty_) whenever a binding changes.
+  std::vector<const ExternalHandler*> externSlots_;
+  bool externsDirty_ = true;
+
+  /// One arena backs all frames; registers are indexed off a per-call
+  /// base. Recursion may reallocate it, so raw pointers into it are
+  /// re-derived after every internal call.
+  std::vector<interp::RtValue> stack_;
+  std::vector<interp::RtValue> argStack_;
+
+  interp::InterpStats stats_;
+  std::uint64_t stepLimit_ = interp::Interpreter::kDefaultStepLimit;
+  std::uint64_t stepsTaken_ = 0;
+};
+
+} // namespace qirkit::vm

@@ -274,7 +274,7 @@ define void @f() {
   std::string captured;
   interp.bindExternal("sink", [&captured](std::span<const RtValue> args,
                                           ExternContext& ctx2) {
-    captured = ctx2.interp.readCString(args[0].p);
+    captured = ctx2.readCString(args[0].p);
     return RtValue::makeVoid();
   });
   (void)interp.run(*m->getFunction("f"));

@@ -10,7 +10,11 @@
 ///                  [--reuse] [--defer-mz]
 ///                  [-o out.ll]                  full compile (§III.B b2 + §IV.A)
 ///   qirkit run <file.ll|file.qasm> [--shots N]
-///                  [--seed S]                   interpret + runtime (§III.C)
+///                  [--seed S] [--engine vm|interp]
+///                  [--jobs N]                   execute + runtime (§III.C);
+///                                               vm = bytecode engine with
+///                                               compile cache, interp =
+///                                               reference tree-walker
 ///   qirkit translate <in> --to qir|qasm
 ///                  [--addressing A] [-o out]    format conversion (§III.A)
 ///   qirkit partition <file.ll>                  hybrid placement (§IV.B)
@@ -33,7 +37,9 @@
 #include "qir/importer.hpp"
 #include "qir/profiles.hpp"
 #include "runtime/runtime.hpp"
+#include "support/parallel.hpp"
 #include "support/source_location.hpp"
+#include "vm/executor.hpp"
 
 #include <fstream>
 #include <iostream>
@@ -268,23 +274,38 @@ int cmdCompile(const Args& args) {
 int cmdRun(const Args& args) {
   ir::Context ctx;
   const auto module = loadModule(ctx, args.positional[0], qir::Addressing::Static);
-  const auto shots = static_cast<std::uint64_t>(
+  vm::ShotOptions options;
+  options.shots = static_cast<std::uint64_t>(
       std::stoull(args.option("shots", "100")));
-  const auto seed =
+  options.seed =
       static_cast<std::uint64_t>(std::stoull(args.option("seed", "1")));
-  std::map<std::string, std::uint64_t> histogram;
-  runtime::RuntimeStats lastStats;
-  for (std::uint64_t shot = 0; shot < shots; ++shot) {
-    interp::Interpreter interp(*module);
-    runtime::QuantumRuntime rt(seed + shot);
-    rt.bind(interp);
-    interp.runEntryPoint();
-    ++histogram[rt.outputBitString()];
-    lastStats = rt.stats();
+  const std::string engine = args.option("engine", "vm");
+  if (engine == "vm") {
+    options.engine = vm::Engine::Vm;
+  } else if (engine == "interp") {
+    options.engine = vm::Engine::Interp;
+  } else {
+    fail("--engine must be vm or interp");
   }
-  std::cout << "shots: " << shots << ", gates/shot: " << lastStats.gatesApplied
-            << ", measurements/shot: " << lastStats.measurements << "\n";
-  for (const auto& [bits, count] : histogram) {
+  const auto jobs =
+      static_cast<std::size_t>(std::stoull(args.option("jobs", "1")));
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1) {
+    pool = std::make_unique<ThreadPool>(jobs);
+    options.pool = pool.get();
+  }
+  const vm::ShotBatchResult result = vm::runShots(*module, options);
+  std::cerr << "engine: " << vm::engineName(options.engine);
+  if (options.engine == vm::Engine::Vm) {
+    std::cerr << " (compile cache "
+              << (result.cacheHits != 0 ? "hit" : "miss") << ")";
+  }
+  std::cerr << "\n";
+  std::cout << "shots: " << options.shots
+            << ", gates/shot: " << result.lastShotStats.gatesApplied
+            << ", measurements/shot: " << result.lastShotStats.measurements
+            << "\n";
+  for (const auto& [bits, count] : result.histogram) {
     std::cout << (bits.empty() ? "(no recorded output)" : bits) << ": " << count
               << "\n";
   }
@@ -373,8 +394,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args = parseArgs(
       argc, argv, 2,
-      {"profile", "target", "addressing", "shots", "seed", "to", "budget",
-       "model", "output"});
+      {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
+       "to", "budget", "model", "output"});
   if (args.positional.empty()) {
     usage();
     return 2;

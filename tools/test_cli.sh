@@ -45,6 +45,11 @@ OUT="$("$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 9)"
 echo "$OUT" | grep -qE "^(00|11): " || fail "run histogram"
 echo "$OUT" | grep -qE "^01: |^10: " && fail "uncorrelated output"
 
+# both execution engines must produce the identical histogram for a seed
+OUT_VM="$("$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --engine vm 2>/dev/null)"
+OUT_INTERP="$("$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --engine interp 2>/dev/null)"
+[ "$OUT_VM" = "$OUT_INTERP" ] || fail "vm and interp engines disagree"
+
 # run an OpenQASM 3 program directly
 "$QIRKIT" run "$WORK/rus.qasm3" --shots 20 | grep -qE "^(000|111): " || fail "qasm3 run"
 
