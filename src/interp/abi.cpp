@@ -14,7 +14,8 @@ std::uint64_t Memory::allocate(std::uint64_t size) {
 void Memory::check(std::uint64_t address, std::uint64_t size) const {
   if (address < kBase || address - kBase + size > arena_.size()) {
     throw TrapError("memory access out of bounds at address " +
-                    std::to_string(address));
+                        std::to_string(address),
+                    ErrorCode::TrapOutOfBounds);
   }
 }
 
@@ -60,7 +61,8 @@ std::string Memory::readCString(std::uint64_t address) const {
     }
     out.push_back(c);
     if (out.size() > 4096) {
-      throw TrapError("unterminated string in memory");
+      throw TrapError("unterminated string in memory",
+                      ErrorCode::TrapOutOfBounds);
     }
   }
 }

@@ -10,11 +10,12 @@
 /// not how the classical structure around them is executed).
 #pragma once
 
+#include "support/error.hpp"
+
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
-#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -38,10 +39,17 @@ struct RtValue {
 };
 
 /// Thrown when execution violates a dynamic rule (trap): division by zero,
-/// out-of-bounds memory, missing external, step limit.
-class TrapError : public std::runtime_error {
+/// out-of-bounds memory, missing external, step limit. A thin wrapper over
+/// the structured taxonomy: trap sites pass the specific ErrorCode so
+/// batch executors can classify, count, and selectively retry failures;
+/// the bare one-argument form stays source-compatible with pre-taxonomy
+/// throw sites.
+class TrapError : public qirkit::Error {
 public:
-  using std::runtime_error::runtime_error;
+  explicit TrapError(const std::string& message,
+                     ErrorCode code = ErrorCode::Trap, bool transient = false,
+                     SourceLoc loc = {})
+      : Error(code, message, loc, transient) {}
 };
 
 /// Byte-addressable execution memory. A single arena; addresses are

@@ -2,6 +2,7 @@
 
 #include "ir/constant.hpp"
 #include "passes/folding.hpp"
+#include "support/faultinject.hpp"
 #include "support/source_location.hpp"
 
 #include <cassert>
@@ -78,7 +79,8 @@ RtValue Interpreter::runEntryPoint() {
 RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> args,
                              unsigned depth) {
   if (depth > 512) {
-    throw TrapError("call stack overflow (depth > 512)");
+    throw TrapError("call stack overflow (depth > 512)",
+                    ErrorCode::ResourceLimit);
   }
   if (fn.isDeclaration()) {
     throw TrapError("cannot execute declaration @" + fn.name());
@@ -126,7 +128,8 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
     for (; index < block->size(); ++index) {
       const Instruction* inst = block->instructions()[index].get();
       if (++stepsTaken_ > stepLimit_) {
-        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")");
+        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",
+                        ErrorCode::StepBudgetExceeded);
       }
       ++stats_.instructionsExecuted;
       const Opcode op = inst->op();
@@ -137,7 +140,8 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
         std::int64_t result = 0;
         if (!passes::evalIntBinOp(op, inst->type()->bits(), lhs.i, rhs.i, result)) {
           throw TrapError(std::string("arithmetic trap in ") + opcodeName(op) +
-                          " (division by zero or oversized shift)");
+                              " (division by zero or oversized shift)",
+                          ErrorCode::TrapArithmetic);
         }
         frame[inst] = RtValue::makeInt(result);
         continue;
@@ -179,7 +183,7 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
         break;
       }
       case Opcode::Unreachable:
-        throw TrapError("executed 'unreachable'");
+        throw TrapError("executed 'unreachable'", ErrorCode::TrapUnreachable);
       case Opcode::Alloca:
         frame[inst] =
             RtValue::makePtr(memory_.allocate(inst->allocatedType()->storeSize()));
@@ -303,9 +307,11 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
             // instructions and will raise an error" unless a runtime
             // provides the missing definitions.
             throw TrapError("call to undefined external @" + callee->name() +
-                            " (no runtime binding registered)");
+                                " (no runtime binding registered)",
+                            ErrorCode::TrapUnboundExternal);
           }
           ++stats_.externalCalls;
+          fault::probe(fault::Site::RuntimeCall);
           ExternContext extern_{memory_};
           result = (*handler)(callArgs, extern_);
         } else {

@@ -692,7 +692,9 @@ private:
     // Trailing function attributes: #N refs and inline keywords.
     while (true) {
       if (at(TokKind::AttrRef)) {
-        pendingAttrRefs_.emplace_back(fn, static_cast<int>(take().intVal));
+        const Token ref = take();
+        pendingAttrRefs_.push_back(
+            {fn, static_cast<int>(ref.intVal), ref.loc});
         continue;
       }
       if (at(TokKind::Ident) && cur().text != "define" && cur().text != "declare" &&
@@ -726,6 +728,8 @@ private:
     locals_.clear();
     forwardRefs_.clear();
     blocksByName_.clear();
+    valueRefLocs_.clear();
+    blockRefLocs_.clear();
     definedBlocks_.clear();
     fn_ = fn;
     for (unsigned i = 0; i < fn->numArgs(); ++i) {
@@ -761,10 +765,11 @@ private:
     fn_ = nullptr;
   }
 
-  BasicBlock* getOrCreateBlock(const std::string& name) {
+  BasicBlock* getOrCreateBlock(const std::string& name, SourceLoc loc = {}) {
     auto& slot = blocksByName_[name];
     if (slot == nullptr) {
       slot = fn_->createBlock(name);
+      blockRefLocs_[name] = loc;
     }
     return slot;
   }
@@ -792,7 +797,8 @@ private:
         }
       }
       if (!defined) {
-        throw qirkit::ParseError({}, "use of undefined label '%" + name + "'");
+        throw qirkit::ParseError(blockRefLocs_[name],
+                                 "use of undefined label '%" + name + "'");
       }
     }
     // Reorder: walk definedBlocks_ and bubble each into place.
@@ -823,7 +829,8 @@ private:
       if (placeholder == nullptr) {
         continue; // already resolved
       }
-      throw qirkit::ParseError({}, "use of undefined value '%" + name + "'");
+      throw qirkit::ParseError(valueRefLocs_[name],
+                               "use of undefined value '%" + name + "'");
     }
     forwardRefOwner_.clear();
   }
@@ -842,7 +849,8 @@ private:
     return value;
   }
 
-  Value* lookupLocal(const std::string& name, const Type* type) {
+  Value* lookupLocal(const std::string& name, const Type* type,
+                     SourceLoc loc = {}) {
     const auto it = locals_.find(name);
     if (it != locals_.end()) {
       return it->second;
@@ -852,6 +860,7 @@ private:
       auto owned = std::make_unique<ForwardRefValue>(type);
       slot = owned.get();
       forwardRefOwner_.push_back(std::move(owned));
+      valueRefLocs_[name] = loc;
     }
     return slot;
   }
@@ -860,7 +869,8 @@ private:
   Value* parseValueRef(const Type* type) {
     skipParamAttrs();
     if (at(TokKind::LocalVar)) {
-      return lookupLocal(take().text, type);
+      const Token ref = take();
+      return lookupLocal(ref.text, type, ref.loc);
     }
     if (at(TokKind::GlobalVar)) {
       const std::string name = take().text;
@@ -942,7 +952,8 @@ private:
     if (!at(TokKind::LocalVar)) {
       fail("expected label name");
     }
-    return getOrCreateBlock(take().text);
+    const Token label = take();
+    return getOrCreateBlock(label.text, label.loc);
   }
 
   void skipInstructionSuffix() {
@@ -1100,7 +1111,9 @@ private:
         if (!at(TokKind::LocalVar)) {
           fail("expected incoming block label");
         }
-        BasicBlock* incoming = getOrCreateBlock(take().text);
+        const Token incomingLabel = take();
+        BasicBlock* incoming =
+            getOrCreateBlock(incomingLabel.text, incomingLabel.loc);
         expect(TokKind::RBracket, "']'");
         phi->addIncoming(value, incoming);
       } while (accept(TokKind::Comma) && at(TokKind::LBracket));
@@ -1227,11 +1240,12 @@ private:
   }
 
   void applyPendingAttributes() {
-    for (const auto& [fn, groupId] : pendingAttrRefs_) {
+    for (const auto& [fn, groupId, refLoc] : pendingAttrRefs_) {
       const auto it = attrGroups_.find(groupId);
       if (it == attrGroups_.end()) {
-        throw qirkit::ParseError({}, "reference to undefined attribute group #" +
-                                         std::to_string(groupId));
+        throw qirkit::ParseError(refLoc,
+                                 "reference to undefined attribute group #" +
+                                     std::to_string(groupId));
       }
       for (const auto& [key, value] : it->second) {
         fn->setAttribute(key, value);
@@ -1249,13 +1263,22 @@ private:
 
   std::set<std::string> opaqueAliases_;
   std::map<int, std::map<std::string, std::string>> attrGroups_;
-  std::vector<std::pair<Function*, int>> pendingAttrRefs_;
+  struct PendingAttrRef {
+    Function* fn;
+    int groupId;
+    SourceLoc loc;
+  };
+  std::vector<PendingAttrRef> pendingAttrRefs_;
 
   // per-function state
   Function* fn_ = nullptr;
   std::map<std::string, Value*> locals_;
   std::map<std::string, ForwardRefValue*> forwardRefs_;
   std::map<std::string, BasicBlock*> blocksByName_;
+  /// Where each forward-referenced value / label was first mentioned, so
+  /// undefined-reference errors point at the use site.
+  std::map<std::string, SourceLoc> valueRefLocs_;
+  std::map<std::string, SourceLoc> blockRefLocs_;
   std::vector<BasicBlock*> definedBlocks_;
 };
 

@@ -295,7 +295,7 @@ void verifyModuleOrThrow(const Module& module) {
   for (const std::string& e : errors) {
     message += "\n  " + e;
   }
-  throw qirkit::SemanticError(message);
+  throw qirkit::SemanticError(message, qirkit::ErrorCode::Verify);
 }
 
 } // namespace qirkit::ir

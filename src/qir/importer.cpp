@@ -74,8 +74,13 @@ public:
   [[nodiscard]] Circuit finish() { return std::move(circuit_); }
 
   [[noreturn]] void fail(const std::string& message) const {
-    throw qirkit::ParseError({}, "QIR import: " + message);
+    throw qirkit::ParseError(loc_, "QIR import: " + message);
   }
+
+  /// Callers with source knowledge (the line-oriented pattern parser) pin
+  /// the location subsequent import failures are reported at; the AST
+  /// walker has no line info and leaves it unset.
+  void setLoc(SourceLoc loc) noexcept { loc_ = loc; }
 
   std::uint32_t resolveQubit(const AbsVal& v) {
     switch (v.kind) {
@@ -222,20 +227,21 @@ public:
   /// branches on measurement results).
   Condition conditionFrom(const AbsVal& v, bool branchTaken) const {
     if (v.kind != AbsVal::Kind::MeasBit || v.tests.empty()) {
-      throw qirkit::ParseError({}, "QIR import: branch condition does not derive "
-                                   "from measurement results");
+      throw qirkit::ParseError(loc_,
+                               "QIR import: branch condition does not derive "
+                               "from measurement results");
     }
     std::vector<std::pair<std::uint32_t, bool>> tests = v.tests;
     std::sort(tests.begin(), tests.end());
     if (!branchTaken && tests.size() > 1) {
       throw qirkit::ParseError(
-          {}, "QIR import: negated multi-bit conditions are not representable");
+          loc_, "QIR import: negated multi-bit conditions are not representable");
     }
     const std::uint32_t first = tests.front().first;
     for (std::size_t i = 0; i < tests.size(); ++i) {
       if (tests[i].first != first + i) {
         throw qirkit::ParseError(
-            {}, "QIR import: condition bits are not contiguous");
+            loc_, "QIR import: condition bits are not contiguous");
       }
     }
     std::uint64_t value = 0;
@@ -256,6 +262,7 @@ private:
     }
   }
 
+  SourceLoc loc_{};
   Circuit circuit_;
 };
 
@@ -274,6 +281,7 @@ public:
     for (const std::string_view rawLine : splitLines(text_)) {
       ++lineNo;
       lineNo_ = lineNo;
+      machine_.setLoc({lineNo_, 1});
       std::string_view line = trim(rawLine);
       // Strip trailing comment.
       if (const std::size_t comment = line.find(';');

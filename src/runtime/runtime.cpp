@@ -80,13 +80,15 @@ unsigned QuantumRuntime::resolveQubit(std::uint64_t address, ExternContext& ctx,
   if (address >= kDynamicHandleBase) {
     const auto it = qubitByHandle_.find(address);
     if (it == qubitByHandle_.end()) {
-      throw TrapError("use of released or invalid qubit handle");
+      throw TrapError("use of released or invalid qubit handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     return it->second;
   }
   if (isArenaAddress(address)) {
     if (!canDeref) {
-      throw TrapError("qubit argument is a memory address, not a handle");
+      throw TrapError("qubit argument is a memory address, not a handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     // Ex. 2 style: the array element pointer is passed directly; the
     // element stores the handle.
@@ -282,7 +284,8 @@ void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
                       [this](std::span<const RtValue> args, ExternContext&) {
                         const auto it = arraySizes_.find(argPtr(args, 0));
                         if (it == arraySizes_.end()) {
-                          throw TrapError("array_get_size_1d on unknown array");
+                          throw TrapError("array_get_size_1d on unknown array",
+                                          ErrorCode::TrapInvalidQubit);
                         }
                         return RtValue::makeInt(static_cast<std::int64_t>(it->second));
                       });
@@ -348,13 +351,15 @@ unsigned RecordingRuntime::resolveQubit(std::uint64_t address, ExternContext& ct
   if (address >= QuantumRuntime::kDynamicHandleBase) {
     const auto it = qubitByHandle_.find(address);
     if (it == qubitByHandle_.end()) {
-      throw TrapError("use of invalid qubit handle");
+      throw TrapError("use of invalid qubit handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     return it->second;
   }
   if (isArenaAddress(address)) {
     if (!canDeref) {
-      throw TrapError("qubit argument is a memory address, not a handle");
+      throw TrapError("qubit argument is a memory address, not a handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     std::uint64_t handle = 0;
     ctx.memory.load(address, &handle, sizeof handle);
@@ -479,7 +484,8 @@ void RecordingRuntime::bind(interp::ExternalRegistry& interp) {
 std::uint64_t CliffordRuntime::allocateQubitHandle() {
   if (nextIndex_ >= state_.numQubits()) {
     throw TrapError("Clifford runtime qubit budget exhausted (reserve more "
-                    "qubits up front)");
+                    "qubits up front)",
+                    ErrorCode::ResourceLimit);
   }
   const std::uint64_t handle = nextDynamicHandle_++;
   qubitByHandle_[handle] = nextIndex_++;
@@ -492,13 +498,15 @@ unsigned CliffordRuntime::resolveQubit(std::uint64_t address, ExternContext& ctx
   if (address >= QuantumRuntime::kDynamicHandleBase) {
     const auto it = qubitByHandle_.find(address);
     if (it == qubitByHandle_.end()) {
-      throw TrapError("use of released or invalid qubit handle");
+      throw TrapError("use of released or invalid qubit handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     return it->second;
   }
   if (isArenaAddress(address)) {
     if (!canDeref) {
-      throw TrapError("qubit argument is a memory address, not a handle");
+      throw TrapError("qubit argument is a memory address, not a handle",
+                      ErrorCode::TrapInvalidQubit);
     }
     std::uint64_t handle = 0;
     ctx.memory.load(address, &handle, sizeof handle);
@@ -507,8 +515,9 @@ unsigned CliffordRuntime::resolveQubit(std::uint64_t address, ExternContext& ctx
   // Static address: must fit the fixed register.
   if (address >= state_.numQubits()) {
     throw TrapError("static qubit address " + std::to_string(address) +
-                    " exceeds the Clifford runtime's register of " +
-                    std::to_string(state_.numQubits()));
+                        " exceeds the Clifford runtime's register of " +
+                        std::to_string(state_.numQubits()),
+                    ErrorCode::TrapInvalidQubit);
   }
   return static_cast<unsigned>(address);
 }
@@ -573,8 +582,9 @@ void CliffordRuntime::bind(interp::ExternalRegistry& interp) {
     interp.bindExternal(std::string(name),
                         [name](std::span<const RtValue>, ExternContext&) -> RtValue {
                           throw TrapError(std::string(name) +
-                                          " is not a Clifford operation; use "
-                                          "the statevector runtime");
+                                              " is not a Clifford operation; "
+                                              "use the statevector runtime",
+                                          ErrorCode::Semantic);
                         });
   }
   interp.bindExternal(std::string(qir::kRtInitialize),

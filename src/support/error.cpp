@@ -1,0 +1,63 @@
+#include "support/error.hpp"
+
+namespace qirkit {
+
+std::string SourceLoc::str() const {
+  if (!isValid()) {
+    return "<unknown>";
+  }
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string Diagnostic::str() const {
+  const char* sev = severity == Severity::Error     ? "error"
+                    : severity == Severity::Warning ? "warning"
+                                                    : "note";
+  return loc.str() + ": " + sev + ": " + message;
+}
+
+const char* errorCodeName(ErrorCode code) noexcept {
+  switch (code) {
+  case ErrorCode::Parse: return "parse";
+  case ErrorCode::Verify: return "verify";
+  case ErrorCode::Semantic: return "semantic";
+  case ErrorCode::Io: return "io";
+  case ErrorCode::Usage: return "usage";
+  case ErrorCode::Trap: return "trap";
+  case ErrorCode::TrapOutOfBounds: return "trap-out-of-bounds";
+  case ErrorCode::TrapUnboundExternal: return "trap-unbound-external";
+  case ErrorCode::TrapArithmetic: return "trap-arithmetic";
+  case ErrorCode::TrapInvalidQubit: return "trap-invalid-qubit";
+  case ErrorCode::TrapUnreachable: return "trap-unreachable";
+  case ErrorCode::StepBudgetExceeded: return "step-budget-exceeded";
+  case ErrorCode::ResourceLimit: return "resource-limit";
+  case ErrorCode::CompileFail: return "compile-fail";
+  case ErrorCode::InjectedFault: return "injected-fault";
+  case ErrorCode::Internal: return "internal";
+  }
+  return "internal";
+}
+
+std::string Error::formatted() const {
+  std::string out = "error[";
+  out += errorCodeName(code_);
+  out += "]: ";
+  out += message_;
+  if (loc_.isValid()) {
+    out += " at " + loc_.str();
+  }
+  return out;
+}
+
+std::string ParseError::format(SourceLoc loc, const std::string& message) {
+  return loc.str() + ": " + message;
+}
+
+ClassifiedError classifyException(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const Error*>(&e)) {
+    return {err->code(), err->transient(), err->loc(), err->message()};
+  }
+  return {ErrorCode::Internal, false, {}, e.what()};
+}
+
+} // namespace qirkit

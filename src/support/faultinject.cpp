@@ -1,0 +1,134 @@
+#include "support/faultinject.hpp"
+
+#include "support/rng.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace qirkit::fault {
+
+const char* siteName(Site site) noexcept {
+  switch (site) {
+  case Site::VmDispatch: return "vm-dispatch";
+  case Site::RuntimeCall: return "runtime-call";
+  case Site::CompileCache: return "compile-cache";
+  case Site::BytecodeCompile: return "bytecode-compile";
+  }
+  return "vm-dispatch";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const Plan& plan) {
+  enabled_.store(false, std::memory_order_relaxed);
+  plan_ = plan;
+  for (auto& count : probes_) {
+    count.store(0, std::memory_order_relaxed);
+  }
+  fired_.store(0, std::memory_order_relaxed);
+  enabled_.store(plan.at != 0 || plan.every != 0, std::memory_order_release);
+}
+
+void FaultInjector::disable() {
+  configure(Plan{}); // an all-zero plan never fires
+}
+
+std::uint64_t FaultInjector::probeCount(Site site) const noexcept {
+  return probes_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+}
+
+void FaultInjector::onProbe(Site site) {
+  const std::uint64_t count =
+      probes_[static_cast<std::size_t>(site)].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (site != plan_.site) {
+    return;
+  }
+  bool fire = false;
+  if (plan_.at != 0) {
+    fire = count == plan_.at;
+  } else if (plan_.every != 0) {
+    // Seeded pseudo-random sampling: hash the probe index so the fire
+    // pattern is irregular but identical run to run.
+    SplitMix64 mix(plan_.seed ^ (count * 0x9e3779b97f4a7c15ULL));
+    fire = mix() % plan_.every == 0;
+  }
+  if (fire) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    throw Error(ErrorCode::InjectedFault,
+                std::string("injected fault at ") + siteName(site) + " (probe #" +
+                    std::to_string(count) + ")",
+                {}, plan_.transient);
+  }
+}
+
+bool FaultInjector::configureFromEnv() {
+  const char* spec = std::getenv("QIRKIT_FAULT_INJECT");
+  if (spec == nullptr || *spec == '\0') {
+    return false;
+  }
+  Plan plan;
+  bool sawSite = false;
+  std::string text(spec);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = text.size();
+    }
+    const std::string field = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      throw Error(ErrorCode::Usage,
+                  "QIRKIT_FAULT_INJECT: expected key=value, got '" + field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    if (key == "site") {
+      sawSite = true;
+      if (value == "vm-dispatch") {
+        plan.site = Site::VmDispatch;
+      } else if (value == "runtime-call") {
+        plan.site = Site::RuntimeCall;
+      } else if (value == "compile-cache") {
+        plan.site = Site::CompileCache;
+      } else if (value == "bytecode-compile") {
+        plan.site = Site::BytecodeCompile;
+      } else {
+        throw Error(ErrorCode::Usage,
+                    "QIRKIT_FAULT_INJECT: unknown site '" + value + "'");
+      }
+    } else if (key == "at" || key == "every" || key == "seed" || key == "transient") {
+      std::uint64_t parsed = 0;
+      try {
+        parsed = std::stoull(value);
+      } catch (const std::exception&) {
+        throw Error(ErrorCode::Usage, "QIRKIT_FAULT_INJECT: bad number for '" +
+                                          key + "': '" + value + "'");
+      }
+      if (key == "at") {
+        plan.at = parsed;
+      } else if (key == "every") {
+        plan.every = parsed;
+      } else if (key == "seed") {
+        plan.seed = parsed;
+      } else {
+        plan.transient = parsed != 0;
+      }
+    } else {
+      throw Error(ErrorCode::Usage,
+                  "QIRKIT_FAULT_INJECT: unknown key '" + key + "'");
+    }
+  }
+  if (!sawSite || (plan.at == 0 && plan.every == 0)) {
+    throw Error(ErrorCode::Usage,
+                "QIRKIT_FAULT_INJECT: needs site=<name> and at=<N> or every=<N>");
+  }
+  configure(plan);
+  return true;
+}
+
+} // namespace qirkit::fault

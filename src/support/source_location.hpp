@@ -1,59 +1,8 @@
 /// \file source_location.hpp
-/// Source locations and diagnostics shared by all textual frontends
-/// (the LLVM-IR parser, the OpenQASM parser, and the base-profile
-/// pattern parser).
+/// Source locations and diagnostics shared by all textual frontends.
+/// The definitions (SourceLoc, Severity, Diagnostic, ParseError,
+/// SemanticError) live in error.hpp alongside the error taxonomy they
+/// participate in; this header remains as the historical include point.
 #pragma once
 
-#include <cstdint>
-#include <stdexcept>
-#include <string>
-
-namespace qirkit {
-
-/// A position in a source buffer. Lines and columns are 1-based; a value
-/// of 0 means "unknown".
-struct SourceLoc {
-  std::uint32_t line = 0;
-  std::uint32_t col = 0;
-
-  [[nodiscard]] bool isValid() const noexcept { return line != 0; }
-  [[nodiscard]] std::string str() const;
-
-  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
-};
-
-/// Severity of a diagnostic message.
-enum class Severity { Note, Warning, Error };
-
-/// A single diagnostic: severity, location, and message. Frontends collect
-/// these; fatal conditions are additionally thrown as ParseError.
-struct Diagnostic {
-  Severity severity = Severity::Error;
-  SourceLoc loc;
-  std::string message;
-
-  [[nodiscard]] std::string str() const;
-};
-
-/// Exception thrown by parsers on unrecoverable input errors. Carries the
-/// location of the offending token so callers can report it.
-class ParseError : public std::runtime_error {
-public:
-  ParseError(SourceLoc loc, const std::string& message)
-      : std::runtime_error(format(loc, message)), loc_(loc) {}
-
-  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
-
-private:
-  static std::string format(SourceLoc loc, const std::string& message);
-  SourceLoc loc_;
-};
-
-/// Exception thrown when a semantic invariant is violated (verifier
-/// failures, profile violations, infeasible programs).
-class SemanticError : public std::runtime_error {
-public:
-  using std::runtime_error::runtime_error;
-};
-
-} // namespace qirkit
+#include "support/error.hpp"

@@ -1,6 +1,7 @@
 #include "vm/cache.hpp"
 
 #include "ir/printer.hpp"
+#include "support/faultinject.hpp"
 #include "vm/compiler.hpp"
 
 namespace qirkit::vm {
@@ -19,6 +20,7 @@ std::uint64_t fnv1a(std::string_view text) noexcept {
 } // namespace
 
 std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Module& module) {
+  fault::probe(fault::Site::CompileCache);
   const std::string text = ir::printModule(module);
   const std::uint64_t hash = fnv1a(text);
   {

@@ -2,6 +2,7 @@
 
 #include "ir/constant.hpp"
 #include "ir/printer.hpp"
+#include "support/faultinject.hpp"
 
 #include <limits>
 #include <string_view>
@@ -490,6 +491,7 @@ private:
 } // namespace
 
 std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module) {
+  fault::probe(fault::Site::BytecodeCompile);
   auto out = std::make_shared<BytecodeModule>();
 
   std::map<const Function*, std::uint32_t> functionIndex;

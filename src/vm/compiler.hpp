@@ -14,10 +14,13 @@ namespace qirkit::vm {
 
 /// Thrown when a module cannot be lowered (e.g. malformed control flow
 /// that the verifier would reject). Derived from TrapError so callers
-/// treating compile+run as one execution route catch a single type.
+/// treating compile+run as one execution route catch a single type; the
+/// ErrorCode::CompileFail classification is what the shot executor keys
+/// its degrade-to-interpreter decision on.
 class CompileError : public interp::TrapError {
 public:
-  using interp::TrapError::TrapError;
+  explicit CompileError(const std::string& message)
+      : TrapError(message, ErrorCode::CompileFail) {}
 };
 
 /// Compile every defined function of \p module. The result is immutable

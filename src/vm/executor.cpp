@@ -1,5 +1,7 @@
 #include "vm/executor.hpp"
 
+#include "interp/interpreter.hpp"
+#include "support/rng.hpp"
 #include "vm/cache.hpp"
 #include "vm/compiler.hpp"
 
@@ -14,49 +16,155 @@ const char* engineName(Engine engine) noexcept {
   return engine == Engine::Vm ? "vm" : "interp";
 }
 
-namespace {
-
-struct ChunkResult {
-  std::map<std::string, std::uint64_t> histogram;
-};
-
-/// Run shots [begin, end) on the VM engine. One Vm + one bound runtime
-/// serve the whole chunk; reset() between shots replaces re-parsing,
-/// re-binding, and re-materializing from scratch.
-void runVmChunk(const std::shared_ptr<const BytecodeModule>& compiled,
-                const ShotOptions& opts, std::uint64_t begin, std::uint64_t end,
-                ChunkResult& out, ShotBatchResult& batch) {
-  Vm vm(compiled);
-  runtime::QuantumRuntime rt(0, nullptr);
-  rt.bind(vm);
-  for (std::uint64_t shot = begin; shot < end; ++shot) {
-    rt.reset(opts.seed + shot);
-    vm.reset();
-    vm.resetStats();
-    vm.runEntryPoint();
-    ++out.histogram[rt.outputBitString()];
-    if (shot + 1 == opts.shots) {
-      batch.lastShotStats = rt.stats();
-      batch.lastShotEngineStats = vm.stats();
-    }
-  }
+std::uint64_t deriveRetrySeed(std::uint64_t baseSeed, std::uint64_t shot,
+                              std::uint64_t attempt) noexcept {
+  SplitMix64 mix(baseSeed ^ (shot * 0x9e3779b97f4a7c15ULL) ^
+                 (attempt * 0xbf58476d1ce4e5b9ULL));
+  return mix();
 }
 
-/// Run shots [begin, end) on the interpreter engine — the reference
-/// behaviour: a fresh Interpreter and runtime per shot.
-void runInterpChunk(const ir::Module& module, const ShotOptions& opts,
-                    std::uint64_t begin, std::uint64_t end, ChunkResult& out,
-                    ShotBatchResult& batch) {
-  for (std::uint64_t shot = begin; shot < end; ++shot) {
-    interp::Interpreter interp(module);
-    runtime::QuantumRuntime rt(opts.seed + shot, nullptr);
-    rt.bind(interp);
-    interp.runEntryPoint();
-    ++out.histogram[rt.outputBitString()];
-    if (shot + 1 == opts.shots) {
-      batch.lastShotStats = rt.stats();
-      batch.lastShotEngineStats = interp.stats();
+namespace {
+
+/// Per-chunk accumulator, merged into the batch under a mutex (or moved
+/// directly in the sequential path).
+struct ChunkResult {
+  std::map<std::string, std::uint64_t> histogram;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t retryAttempts = 0;
+  std::uint64_t interpFallbackShots = 0;
+  std::map<ErrorCode, std::uint64_t> failureCounts;
+  std::vector<ShotFailure> failures;
+};
+
+/// The outcome of one successful shot attempt.
+struct ShotOutcome {
+  std::string bits;
+  runtime::RuntimeStats stats;
+  interp::InterpStats engineStats;
+};
+
+/// One shot on the reference engine: fresh Interpreter + runtime, as the
+/// historical interp chunk ran them. Shared by the interp engine path and
+/// the VM engine's per-shot fallback. Throws on trap.
+ShotOutcome runInterpShot(const ir::Module& module, std::uint64_t seed) {
+  interp::Interpreter interp(module);
+  runtime::QuantumRuntime rt(seed, nullptr);
+  rt.bind(interp);
+  interp.runEntryPoint();
+  return {rt.outputBitString(), rt.stats(), interp.stats()};
+}
+
+/// Executes the shots of one chunk with per-shot fault isolation: a
+/// trapping shot is classified, optionally rescued on the reference
+/// interpreter (VM engine only), retried when transient, and finally
+/// recorded as a failure — never allowed to abort the surrounding shots.
+class ChunkRunner {
+public:
+  ChunkRunner(const ir::Module& module,
+              const std::shared_ptr<const BytecodeModule>& compiled,
+              Engine engine, const ShotOptions& opts)
+      : module_(module), opts_(opts), engine_(engine) {
+    if (engine_ == Engine::Vm) {
+      vm_.emplace(compiled);
+      rt_.emplace(0, nullptr);
+      rt_->bind(*vm_);
     }
+  }
+
+  void run(std::uint64_t begin, std::uint64_t end, ChunkResult& out,
+           ShotBatchResult& batch) {
+    for (std::uint64_t shot = begin; shot < end; ++shot) {
+      runIsolated(shot, out, batch);
+    }
+  }
+
+private:
+  ShotOutcome runVmShot(std::uint64_t seed) {
+    rt_->reset(seed);
+    vm_->reset();
+    vm_->resetStats();
+    vm_->runEntryPoint();
+    return {rt_->outputBitString(), rt_->stats(), vm_->stats()};
+  }
+
+  ShotOutcome runAttempt(std::uint64_t seed) {
+    return engine_ == Engine::Vm ? runVmShot(seed) : runInterpShot(module_, seed);
+  }
+
+  void runIsolated(std::uint64_t shot, ChunkResult& out, ShotBatchResult& batch) {
+    std::uint64_t attempt = 0;
+    for (;;) {
+      const std::uint64_t seed = attempt == 0
+                                     ? opts_.seed + shot
+                                     : deriveRetrySeed(opts_.seed, shot, attempt);
+      ClassifiedError failure;
+      try {
+        record(shot, runAttempt(seed), out, batch);
+        return;
+      } catch (const std::exception& e) {
+        failure = classifyException(e);
+      }
+      if (engine_ == Engine::Vm && opts_.interpFallback) {
+        // Differential disagreement check: if the reference engine
+        // completes the shot the VM trapped on, the reference answer
+        // stands and the trap is the VM's problem, not the program's.
+        try {
+          record(shot, runInterpShot(module_, seed), out, batch);
+          ++out.interpFallbackShots;
+          return;
+        } catch (const std::exception& e) {
+          failure = classifyException(e); // the reference verdict wins
+        }
+      }
+      if (failure.transient && attempt < opts_.retries) {
+        ++attempt;
+        ++out.retryAttempts;
+        continue;
+      }
+      ++out.failed;
+      ++out.failureCounts[failure.code];
+      if (out.failures.size() < ShotBatchResult::kMaxFailureRecords) {
+        out.failures.push_back(
+            {shot, failure.code, failure.transient, failure.message});
+      }
+      return;
+    }
+  }
+
+  void record(std::uint64_t shot, ShotOutcome outcome, ChunkResult& out,
+              ShotBatchResult& batch) {
+    ++out.completed;
+    ++out.histogram[outcome.bits];
+    if (shot + 1 == opts_.shots) {
+      batch.lastShotStats = outcome.stats;
+      batch.lastShotEngineStats = outcome.engineStats;
+    }
+  }
+
+  const ir::Module& module_;
+  const ShotOptions& opts_;
+  Engine engine_;
+  std::optional<Vm> vm_;
+  std::optional<runtime::QuantumRuntime> rt_;
+};
+
+void mergeChunk(ChunkResult&& chunk, ShotBatchResult& result) {
+  for (const auto& [bits, count] : chunk.histogram) {
+    result.histogram[bits] += count;
+  }
+  result.completedShots += chunk.completed;
+  result.failedShots += chunk.failed;
+  result.retryAttempts += chunk.retryAttempts;
+  result.interpFallbackShots += chunk.interpFallbackShots;
+  for (const auto& [code, count] : chunk.failureCounts) {
+    result.failureCounts[code] += count;
+  }
+  for (ShotFailure& failure : chunk.failures) {
+    if (result.failures.size() >= ShotBatchResult::kMaxFailureRecords) {
+      break;
+    }
+    result.failures.push_back(std::move(failure));
   }
 }
 
@@ -64,42 +172,68 @@ void runInterpChunk(const ir::Module& module, const ShotOptions& opts,
 
 ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   ShotBatchResult result;
+  Engine engine = opts.engine;
 
   std::shared_ptr<const BytecodeModule> compiled;
-  if (opts.engine == Engine::Vm) {
-    if (opts.useCompileCache) {
-      const CompileCache::Stats before = CompileCache::global().stats();
-      compiled = CompileCache::global().getOrCompile(module);
-      const CompileCache::Stats after = CompileCache::global().stats();
-      result.cacheHits = after.hits - before.hits;
-      result.cacheMisses = after.misses - before.misses;
-    } else {
-      compiled = compileModule(module);
-      result.cacheMisses = 1;
+  if (engine == Engine::Vm) {
+    try {
+      if (opts.useCompileCache) {
+        const CompileCache::Stats before = CompileCache::global().stats();
+        compiled = CompileCache::global().getOrCompile(module);
+        const CompileCache::Stats after = CompileCache::global().stats();
+        result.cacheHits = after.hits - before.hits;
+        result.cacheMisses = after.misses - before.misses;
+      } else {
+        compiled = compileModule(module);
+        result.cacheMisses = 1;
+      }
+    } catch (const std::exception& e) {
+      const ClassifiedError failure = classifyException(e);
+      if (!opts.interpFallback) {
+        throw;
+      }
+      // Whole-batch graceful degradation: the reference engine needs no
+      // bytecode, so a failed compile costs speed, never the answer.
+      engine = Engine::Interp;
+      result.degradedToInterp = true;
+      result.degradeReason = std::string("bytecode compilation failed (") +
+                             errorCodeName(failure.code) +
+                             "): " + failure.message;
     }
   }
+  result.engineUsed = engine;
 
   const auto runChunk = [&](std::uint64_t begin, std::uint64_t end,
                             ChunkResult& out) {
-    if (opts.engine == Engine::Vm) {
-      runVmChunk(compiled, opts, begin, end, out, result);
-    } else {
-      runInterpChunk(module, opts, begin, end, out, result);
+    ChunkRunner runner(module, compiled, engine, opts);
+    runner.run(begin, end, out, result);
+  };
+
+  const auto finish = [&]() -> ShotBatchResult& {
+    if (result.failedShots > opts.maxFailedShots) {
+      const ShotFailure& first = result.failures.front();
+      throw TrapError("shot " + std::to_string(first.shot) +
+                          " failed: " + first.message + " (" +
+                          std::to_string(result.failedShots) + " of " +
+                          std::to_string(opts.shots) + " shots failed, " +
+                          std::to_string(opts.maxFailedShots) + " tolerated)",
+                      first.code, first.transient);
     }
+    return result;
   };
 
   if (opts.pool == nullptr || opts.pool->size() <= 1 || opts.shots <= 1) {
     ChunkResult chunk;
     runChunk(0, opts.shots, chunk);
-    result.histogram = std::move(chunk.histogram);
-    return result;
+    mergeChunk(std::move(chunk), result);
+    return finish();
   }
 
   const std::uint64_t workers =
       std::min<std::uint64_t>(opts.pool->size(), opts.shots);
   const std::uint64_t chunkSize = (opts.shots + workers - 1) / workers;
   std::mutex mergeMutex;
-  std::optional<std::string> firstError;
+  std::optional<ClassifiedError> infrastructureError;
   for (std::uint64_t w = 0; w < workers; ++w) {
     const std::uint64_t begin = w * chunkSize;
     const std::uint64_t end = std::min(opts.shots, begin + chunkSize);
@@ -111,23 +245,26 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
       try {
         runChunk(begin, end, chunk);
       } catch (const std::exception& e) {
+        // Per-shot isolation means a chunk only throws on infrastructure
+        // failures (engine construction, allocation) — still merged, so
+        // completed shots of other chunks are not discarded silently.
         const std::lock_guard<std::mutex> lock(mergeMutex);
-        if (!firstError.has_value()) {
-          firstError = e.what();
+        if (!infrastructureError.has_value()) {
+          infrastructureError = classifyException(e);
         }
+        mergeChunk(std::move(chunk), result);
         return;
       }
       const std::lock_guard<std::mutex> lock(mergeMutex);
-      for (const auto& [bits, count] : chunk.histogram) {
-        result.histogram[bits] += count;
-      }
+      mergeChunk(std::move(chunk), result);
     });
   }
   opts.pool->wait();
-  if (firstError.has_value()) {
-    throw TrapError(*firstError);
+  if (infrastructureError.has_value()) {
+    throw TrapError(infrastructureError->message, infrastructureError->code,
+                    infrastructureError->transient);
   }
-  return result;
+  return finish();
 }
 
 } // namespace qirkit::vm

@@ -10,16 +10,30 @@
 /// semantics). Shot s always runs with seed `seed + s`, independent of
 /// engine, thread count, and chunking, so histograms are reproducible
 /// and engine-comparable bit for bit.
+///
+/// Fault tolerance: a trapping shot no longer takes the batch down with
+/// it. Each failure is classified through the structured error taxonomy
+/// (support/error.hpp) and isolated to its shot; the batch records a
+/// per-code failure histogram, retries transient faults with a fresh
+/// derived seed (bounded by ShotOptions::retries), and only aborts when
+/// more than ShotOptions::maxFailedShots shots fail permanently. On the
+/// VM engine the executor additionally degrades gracefully to the
+/// reference interpreter — for the whole batch when bytecode compilation
+/// fails, and per shot when the VM traps where the interpreter does not
+/// (a differential disagreement) — so `qirkit run` never produces a worse
+/// answer than the reference engine.
 #pragma once
 
 #include "ir/module.hpp"
 #include "runtime/runtime.hpp"
+#include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "vm/vm.hpp"
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace qirkit::vm {
 
@@ -36,23 +50,75 @@ struct ShotOptions {
   qirkit::ThreadPool* pool = nullptr;
   /// Route compilation through CompileCache::global() (VM engine only).
   bool useCompileCache = true;
+  /// Failure-rate threshold: the batch tolerates up to this many
+  /// permanently failed shots (recorded, not thrown). One more and
+  /// runShots throws the first recorded failure. 0 preserves the
+  /// historical any-trap-aborts contract.
+  std::uint64_t maxFailedShots = 0;
+  /// Bounded retry budget per shot for *transient* faults (e.g. injected
+  /// ones): each attempt reruns the shot with a fresh deterministically
+  /// derived seed. Permanent faults are never retried.
+  std::uint64_t retries = 0;
+  /// VM engine only: when a shot traps on the VM, rerun it on the
+  /// reference interpreter with the same seed before declaring it failed;
+  /// when bytecode compilation fails, run the whole batch on the
+  /// interpreter. Disable to surface raw VM behaviour (differential
+  /// tests do).
+  bool interpFallback = true;
+};
+
+/// One permanently failed shot, classified.
+struct ShotFailure {
+  std::uint64_t shot = 0;
+  ErrorCode code = ErrorCode::Internal;
+  bool transient = false;
+  std::string message;
 };
 
 struct ShotBatchResult {
-  /// Recorded-output bit string -> occurrence count.
+  /// Recorded-output bit string -> occurrence count (successful shots).
   std::map<std::string, std::uint64_t> histogram;
   /// Runtime / engine statistics of the final shot (shot shots-1); every
   /// shot of a given program executes the same way, so one is
-  /// representative.
+  /// representative. Left default when the final shot failed.
   runtime::RuntimeStats lastShotStats;
   interp::InterpStats lastShotEngineStats;
   /// Compile-cache activity attributable to this batch.
   std::uint64_t cacheHits = 0;
   std::uint64_t cacheMisses = 0;
+
+  /// Shots that contributed an outcome to the histogram.
+  std::uint64_t completedShots = 0;
+  /// Shots that failed permanently (classified below).
+  std::uint64_t failedShots = 0;
+  /// Transient-fault retry attempts consumed across the batch.
+  std::uint64_t retryAttempts = 0;
+  /// VM shots rescued by the per-shot interpreter fallback.
+  std::uint64_t interpFallbackShots = 0;
+  /// The engine that actually executed the batch (Interp when a VM batch
+  /// degraded because bytecode compilation failed).
+  Engine engineUsed = Engine::Vm;
+  bool degradedToInterp = false;
+  std::string degradeReason;
+  /// Failure histogram: classified error code -> failed-shot count.
+  std::map<ErrorCode, std::uint64_t> failureCounts;
+  /// Detail records for the first kMaxFailureRecords failures (merge
+  /// order across worker chunks is unspecified under a thread pool).
+  std::vector<ShotFailure> failures;
+  static constexpr std::size_t kMaxFailureRecords = 32;
 };
 
+/// The seed for retry attempt \p attempt (>= 1) of \p shot: drawn from a
+/// SplitMix64 stream keyed on (base seed, shot, attempt), so retries are
+/// reproducible but decorrelated from every first-attempt shot seed.
+[[nodiscard]] std::uint64_t deriveRetrySeed(std::uint64_t baseSeed,
+                                            std::uint64_t shot,
+                                            std::uint64_t attempt) noexcept;
+
 /// Run \p opts.shots shots of \p module's entry point. Throws TrapError
-/// (with the failing shot's diagnostic) if any shot traps.
+/// (carrying the first failing shot's classified diagnostic) only when
+/// more than \p opts.maxFailedShots shots fail permanently; tolerated
+/// failures are reported in the result instead.
 [[nodiscard]] ShotBatchResult runShots(const ir::Module& module,
                                        const ShotOptions& opts = {});
 

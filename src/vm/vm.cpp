@@ -2,6 +2,7 @@
 
 #include "ir/instruction.hpp"
 #include "passes/folding.hpp"
+#include "support/faultinject.hpp"
 
 #include <algorithm>
 
@@ -85,9 +86,13 @@ RtValue Vm::runEntryPoint() {
 RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
                     unsigned depth) {
   if (depth > 512) {
-    throw TrapError("call stack overflow (depth > 512)");
+    throw TrapError("call stack overflow (depth > 512)",
+                    ErrorCode::ResourceLimit);
   }
   ++stats_.internalCalls;
+  // Cached per frame so the disabled case costs nothing in the dispatch
+  // loop beyond a predictable branch.
+  const bool injectFaults = fault::FaultInjector::instance().enabled();
   const CompiledFunction& fn = module_->functions[funcIndex];
 
   const std::size_t base = stack_.size();
@@ -103,9 +108,13 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
     const Inst in = code[pc++];
     if ((in.flags & kStep) != 0) {
       if (++stepsTaken_ > stepLimit_) {
-        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")");
+        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",
+                        ErrorCode::StepBudgetExceeded);
       }
       ++stats_.instructionsExecuted;
+      if (injectFaults) {
+        fault::probe(fault::Site::VmDispatch);
+      }
     }
     switch (in.op) {
     case Op::Nop:
@@ -118,8 +127,9 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
       if (!passes::evalIntBinOp(static_cast<ir::Opcode>(in.sub), in.d,
                                 regs[in.b].i, regs[in.c].i, result)) {
         throw TrapError(std::string("arithmetic trap in ") +
-                        ir::opcodeName(static_cast<ir::Opcode>(in.sub)) +
-                        " (division by zero or oversized shift)");
+                            ir::opcodeName(static_cast<ir::Opcode>(in.sub)) +
+                            " (division by zero or oversized shift)",
+                        ErrorCode::TrapArithmetic);
       }
       regs[in.a] = RtValue::makeInt(result);
       break;
@@ -276,10 +286,14 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
         // Same diagnostic as the interpreter (the paper's lli failure
         // mode when no runtime supplies the quantum instructions).
         throw TrapError("call to undefined external @" +
-                        module_->externNames[in.b] +
-                        " (no runtime binding registered)");
+                            module_->externNames[in.b] +
+                            " (no runtime binding registered)",
+                        ErrorCode::TrapUnboundExternal);
       }
       ++stats_.externalCalls;
+      if (injectFaults) {
+        fault::probe(fault::Site::RuntimeCall);
+      }
       const std::size_t argBase = argStack_.size() - in.c;
       ExternContext context{memory_};
       const RtValue result =
@@ -291,7 +305,7 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
       break;
     }
     case Op::Trap:
-      throw TrapError("executed 'unreachable'");
+      throw TrapError("executed 'unreachable'", ErrorCode::TrapUnreachable);
     }
   }
 }

@@ -11,10 +11,18 @@
 ///                  [-o out.ll]                  full compile (§III.B b2 + §IV.A)
 ///   qirkit run <file.ll|file.qasm> [--shots N]
 ///                  [--seed S] [--engine vm|interp]
-///                  [--jobs N]                   execute + runtime (§III.C);
+///                  [--jobs N]
+///                  [--max-failed-shots N]
+///                  [--retries N]
+///                  [--no-fallback]              execute + runtime (§III.C);
 ///                                               vm = bytecode engine with
 ///                                               compile cache, interp =
-///                                               reference tree-walker
+///                                               reference tree-walker;
+///                                               failed shots are classified
+///                                               and isolated (tolerating up
+///                                               to --max-failed-shots, with
+///                                               --retries attempts for
+///                                               transient faults)
 ///   qirkit translate <in> --to qir|qasm
 ///                  [--addressing A] [-o out]    format conversion (§III.A)
 ///   qirkit partition <file.ll>                  hybrid placement (§IV.B)
@@ -22,6 +30,13 @@
 ///                  [--model fpga|cpu]           coherence-budget check (§IV.B)
 ///
 /// Targets: line:N, ring:N, grid:RxC, full:N.
+///
+/// Exit-code contract: 0 success; 1 diagnostics (parse/verify/semantic
+/// errors, runtime traps, nonconforming input); 2 usage errors; 3 internal
+/// faults. Classified errors print to stderr as
+/// `qirkit: error[<code>]: <message> at <loc>`.
+/// QIRKIT_FAULT_INJECT arms the deterministic fault injector (see
+/// support/faultinject.hpp) for drilling the recovery paths.
 #include "circuit/executor.hpp"
 #include "circuit/mapping.hpp"
 #include "circuit/reuse.hpp"
@@ -37,8 +52,9 @@
 #include "qir/importer.hpp"
 #include "qir/profiles.hpp"
 #include "runtime/runtime.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/parallel.hpp"
-#include "support/source_location.hpp"
 #include "vm/executor.hpp"
 
 #include <fstream>
@@ -53,15 +69,29 @@ namespace {
 
 using namespace qirkit;
 
+/// Bad invocation: reported as error[usage], exit 2 per the contract.
 [[noreturn]] void fail(const std::string& message) {
-  std::cerr << "qirkit: error: " << message << "\n";
-  std::exit(1);
+  throw qirkit::Error(ErrorCode::Usage, message);
+}
+
+/// Parse a numeric option value; garbage is a usage error, not an abort.
+std::uint64_t parseUint(const std::string& value, const std::string& name) {
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t parsed = std::stoull(value, &consumed);
+    if (consumed != value.size()) {
+      throw std::invalid_argument(value);
+    }
+    return parsed;
+  } catch (const std::exception&) {
+    fail("--" + name + " expects a number, got '" + value + "'");
+  }
 }
 
 std::string readFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    fail("cannot open '" + path + "'");
+    throw qirkit::Error(ErrorCode::Io, "cannot open '" + path + "'");
   }
   std::ostringstream out;
   out << in.rdbuf();
@@ -75,7 +105,7 @@ void writeOutput(const std::optional<std::string>& path, const std::string& text
   }
   std::ofstream out(*path, std::ios::binary);
   if (!out) {
-    fail("cannot write '" + *path + "'");
+    throw qirkit::Error(ErrorCode::Io, "cannot write '" + *path + "'");
   }
   out << text;
 }
@@ -138,10 +168,11 @@ circuit::Target parseTarget(const std::string& spec) {
     if (x == std::string::npos) {
       fail("grid target must be grid:RxC");
     }
-    return circuit::Target::grid(static_cast<unsigned>(std::stoul(rest.substr(0, x))),
-                                 static_cast<unsigned>(std::stoul(rest.substr(x + 1))));
+    return circuit::Target::grid(
+        static_cast<unsigned>(parseUint(rest.substr(0, x), "target")),
+        static_cast<unsigned>(parseUint(rest.substr(x + 1), "target")));
   }
-  const auto n = static_cast<unsigned>(std::stoul(rest));
+  const auto n = static_cast<unsigned>(parseUint(rest, "target"));
   if (kind == "line") {
     return circuit::Target::line(n);
   }
@@ -275,10 +306,12 @@ int cmdRun(const Args& args) {
   ir::Context ctx;
   const auto module = loadModule(ctx, args.positional[0], qir::Addressing::Static);
   vm::ShotOptions options;
-  options.shots = static_cast<std::uint64_t>(
-      std::stoull(args.option("shots", "100")));
-  options.seed =
-      static_cast<std::uint64_t>(std::stoull(args.option("seed", "1")));
+  options.shots = parseUint(args.option("shots", "100"), "shots");
+  options.seed = parseUint(args.option("seed", "1"), "seed");
+  options.maxFailedShots =
+      parseUint(args.option("max-failed-shots", "0"), "max-failed-shots");
+  options.retries = parseUint(args.option("retries", "0"), "retries");
+  options.interpFallback = !args.flag("no-fallback");
   const std::string engine = args.option("engine", "vm");
   if (engine == "vm") {
     options.engine = vm::Engine::Vm;
@@ -288,19 +321,42 @@ int cmdRun(const Args& args) {
     fail("--engine must be vm or interp");
   }
   const auto jobs =
-      static_cast<std::size_t>(std::stoull(args.option("jobs", "1")));
+      static_cast<std::size_t>(parseUint(args.option("jobs", "1"), "jobs"));
   std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) {
     pool = std::make_unique<ThreadPool>(jobs);
     options.pool = pool.get();
   }
   const vm::ShotBatchResult result = vm::runShots(*module, options);
-  std::cerr << "engine: " << vm::engineName(options.engine);
-  if (options.engine == vm::Engine::Vm) {
+  std::cerr << "engine: " << vm::engineName(result.engineUsed);
+  if (result.engineUsed == vm::Engine::Vm) {
     std::cerr << " (compile cache "
               << (result.cacheHits != 0 ? "hit" : "miss") << ")";
   }
   std::cerr << "\n";
+  if (result.degradedToInterp) {
+    std::cerr << "warning: degraded to the reference interpreter: "
+              << result.degradeReason << "\n";
+  }
+  if (result.interpFallbackShots != 0) {
+    std::cerr << "warning: " << result.interpFallbackShots
+              << " shot(s) trapped on the vm and were rerun on the "
+                 "interpreter\n";
+  }
+  if (result.retryAttempts != 0) {
+    std::cerr << "warning: " << result.retryAttempts
+              << " transient-fault retry attempt(s)\n";
+  }
+  if (result.failedShots != 0) {
+    std::cerr << "warning: " << result.failedShots << " of " << options.shots
+              << " shot(s) failed:";
+    for (const auto& [code, count] : result.failureCounts) {
+      std::cerr << " " << qirkit::errorCodeName(code) << " x" << count;
+    }
+    std::cerr << "\n";
+  }
+  // stdout carries only the program's answer, so a degraded batch prints
+  // byte-identical output to a native interpreter run.
   std::cout << "shots: " << options.shots
             << ", gates/shot: " << result.lastShotStats.gatesApplied
             << ", measurements/shot: " << result.lastShotStats.measurements
@@ -362,7 +418,12 @@ int cmdPartition(const Args& args) {
 int cmdFeasibility(const Args& args) {
   ir::Context ctx;
   const auto module = ir::parseModule(ctx, readFile(args.positional[0]));
-  const double budget = std::stod(args.option("budget", "1000"));
+  double budget = 0.0;
+  try {
+    budget = std::stod(args.option("budget", "1000"));
+  } catch (const std::exception&) {
+    fail("--budget expects a number, got '" + args.option("budget") + "'");
+  }
   const hybrid::LatencyModel model =
       args.option("model", "fpga") == "cpu" ? hybrid::LatencyModel::ionTrapCPU()
                                             : hybrid::LatencyModel::superconductingFPGA();
@@ -384,23 +445,37 @@ void usage() {
                "see the header of tools/qirkit.cpp or README.md for details\n";
 }
 
+/// The documented exit-code contract: 0 success, 1 diagnostics/trap,
+/// 2 usage, 3 internal.
+int exitCodeFor(qirkit::ErrorCode code) noexcept {
+  switch (code) {
+  case ErrorCode::Usage:
+    return 2;
+  case ErrorCode::Internal:
+    return 3;
+  default:
+    return 1;
+  }
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    usage();
-    return 2;
-  }
-  const std::string command = argv[1];
-  const Args args = parseArgs(
-      argc, argv, 2,
-      {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
-       "to", "budget", "model", "output"});
-  if (args.positional.empty()) {
-    usage();
-    return 2;
-  }
   try {
+    qirkit::fault::FaultInjector::instance().configureFromEnv();
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    const std::string command = argv[1];
+    const Args args = parseArgs(
+        argc, argv, 2,
+        {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
+         "max-failed-shots", "retries", "to", "budget", "model", "output"});
+    if (args.positional.empty()) {
+      usage();
+      return 2;
+    }
     if (command == "parse") return cmdParse(args);
     if (command == "validate") return cmdValidate(args);
     if (command == "opt") return cmdOpt(args);
@@ -411,14 +486,11 @@ int main(int argc, char** argv) {
     if (command == "feasibility") return cmdFeasibility(args);
     usage();
     return 2;
-  } catch (const qirkit::ParseError& e) {
-    std::cerr << "qirkit: parse error: " << e.what() << "\n";
-    return 1;
-  } catch (const qirkit::SemanticError& e) {
-    std::cerr << "qirkit: " << e.what() << "\n";
-    return 1;
-  } catch (const qirkit::interp::TrapError& e) {
-    std::cerr << "qirkit: runtime trap: " << e.what() << "\n";
-    return 1;
+  } catch (const qirkit::Error& e) {
+    std::cerr << "qirkit: " << e.formatted() << "\n";
+    return exitCodeFor(e.code());
+  } catch (const std::exception& e) {
+    std::cerr << "qirkit: error[internal]: " << e.what() << "\n";
+    return 3;
   }
 }

@@ -87,8 +87,18 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 "$QIRKIT" partition "$WORK/bell.ll" | grep -q "quantum: " || fail "partition"
 "$QIRKIT" feasibility "$WORK/bell.ll" --budget 100 | grep -q "feasible: yes" || fail "feasibility"
 
-# error paths return nonzero
-"$QIRKIT" validate "$WORK/loop.ll" --profile base >/dev/null && fail "loop is not base profile"
-"$QIRKIT" parse "$WORK/nonexistent.ll" >/dev/null 2>&1 && fail "missing file accepted"
+# error paths honor the exit-code contract (0 ok, 1 diagnostics, 2 usage,
+# 3 internal) and report `error[<code>]` on stderr; test_exit_codes.sh
+# covers the full matrix.
+rc=0; "$QIRKIT" validate "$WORK/loop.ll" --profile base >/dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "nonconforming input must exit 1 (got $rc)"
+rc=0; "$QIRKIT" parse "$WORK/nonexistent.ll" >/dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 1 ] || fail "missing file must exit 1 (got $rc)"
+grep -q "qirkit: error\[io\]: " "$WORK/err" || fail "missing file diagnostic format"
+rc=0; "$QIRKIT" run "$WORK/bell.ll" --shots notanumber >/dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || fail "bad option value must exit 2 (got $rc)"
+grep -q "qirkit: error\[usage\]: " "$WORK/err" || fail "usage diagnostic format"
+rc=0; "$QIRKIT" bogus-command x y >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "unknown command must exit 2 (got $rc)"
 
 echo "CLI TEST PASSED"

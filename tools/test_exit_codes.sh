@@ -1,0 +1,138 @@
+#!/bin/sh
+# Exit-code contract + fault-injection e2e test of the qirkit CLI.
+# Run by ctest with the build dir as $1.
+#
+# Contract (see tools/qirkit.cpp): 0 success; 1 diagnostics (parse/verify
+# errors, runtime traps, nonconforming input); 2 usage errors; 3 internal
+# errors. All failure detail goes to stderr as
+# `qirkit: error[<code>]: <message> [at <line>:<col>]`.
+set -u
+QIRKIT="$1/tools/qirkit"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "EXIT CODE TEST FAILED: $1" >&2; exit 1; }
+
+# expect <wanted-exit> <label> -- cmd args...
+expect() {
+  wanted="$1"; label="$2"; shift 3
+  "$@" >"$WORK/out" 2>"$WORK/err"
+  got=$?
+  [ "$got" -eq "$wanted" ] || {
+    cat "$WORK/err" >&2
+    fail "$label: exit $got, want $wanted"
+  }
+}
+
+cat > "$WORK/bell.ll" <<'EOF'
+@lbl.array = internal constant [6 x i8] c"array\00"
+@lbl.r0 = internal constant [3 x i8] c"r0\00"
+@lbl.r1 = internal constant [3 x i8] c"r1\00"
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare void @__quantum__rt__array_record_output(i64, ptr)
+declare void @__quantum__rt__result_record_output(ptr, ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__rt__array_record_output(i64 2, ptr @lbl.array)
+  call void @__quantum__rt__result_record_output(ptr null, ptr @lbl.r0)
+  call void @__quantum__rt__result_record_output(ptr inttoptr (i64 1 to ptr), ptr @lbl.r1)
+  ret void
+}
+attributes #0 = { "entry_point" "qir_profiles"="base_profile" "required_num_qubits"="2" "required_num_results"="2" }
+EOF
+
+cat > "$WORK/trap.ll" <<'EOF'
+define i64 @main() #0 {
+entry:
+  %x = sdiv i64 1, 0
+  ret i64 %x
+}
+attributes #0 = { "entry_point" }
+EOF
+
+cat > "$WORK/broken.ll" <<'EOF'
+define void @main() {
+entry:
+  br label %missing
+}
+EOF
+
+# --- 0: success -----------------------------------------------------------
+expect 0 "successful run" -- "$QIRKIT" run "$WORK/bell.ll" --shots 10 --seed 3
+
+# --- 1: diagnostics -------------------------------------------------------
+expect 1 "parse error" -- "$QIRKIT" parse "$WORK/broken.ll"
+grep -q "qirkit: error\[parse\]: " "$WORK/err" || fail "parse error format"
+grep -q " at 3:" "$WORK/err" || fail "parse error carries the source location"
+
+expect 1 "runtime trap" -- "$QIRKIT" run "$WORK/trap.ll" --shots 2
+grep -q "qirkit: error\[trap-arithmetic\]: " "$WORK/err" || fail "trap code"
+
+expect 1 "missing input file" -- "$QIRKIT" parse "$WORK/nonexistent.ll"
+grep -q "qirkit: error\[io\]: " "$WORK/err" || fail "io error format"
+
+# --- 2: usage -------------------------------------------------------------
+expect 2 "no arguments" -- "$QIRKIT"
+expect 2 "unknown command" -- "$QIRKIT" frobnicate "$WORK/bell.ll"
+expect 2 "bad numeric option" -- "$QIRKIT" run "$WORK/bell.ll" --shots banana
+grep -q "error\[usage\]" "$WORK/err" || fail "bad option reported as usage"
+expect 2 "bad engine" -- "$QIRKIT" run "$WORK/bell.ll" --engine turbo
+expect 2 "malformed fault spec" -- \
+  env QIRKIT_FAULT_INJECT="nonsense" "$QIRKIT" run "$WORK/bell.ll"
+grep -q "error\[usage\]: QIRKIT_FAULT_INJECT" "$WORK/err" || fail "fault spec usage error"
+
+# --- fault injection: per-shot isolation ----------------------------------
+# One injected permanent fault lands in shot 0; the other 49 complete.
+expect 0 "isolated failed shot" -- \
+  env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 7 --engine interp \
+  --max-failed-shots 1
+grep -q "warning: 1 of 50 shot(s) failed: injected-fault x1" "$WORK/err" \
+  || fail "failure histogram on stderr"
+TOTAL=$(awk -F': ' '/^[01]+: /{n+=$2} END{print n+0}' "$WORK/out")
+[ "$TOTAL" -eq 49 ] || fail "histogram should hold the 49 surviving shots, got $TOTAL"
+
+# The same fault without the threshold aborts the batch (historical contract).
+expect 1 "threshold zero aborts" -- \
+  env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 7 --engine interp
+grep -q "error\[injected-fault\]" "$WORK/err" || fail "injected fault code"
+
+# A transient fault is retried away: batch succeeds, retry reported.
+expect 0 "transient retry" -- \
+  env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=1" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 20 --seed 7 --engine interp --retries 2
+grep -q "warning: 1 transient-fault retry attempt(s)" "$WORK/err" || fail "retry warning"
+
+# A VM-only trap is rescued per shot on the reference interpreter.
+expect 0 "vm shot rescued" -- \
+  env QIRKIT_FAULT_INJECT="site=vm-dispatch,at=1" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 10 --seed 7 --engine vm
+grep -q "trapped on the vm and were rerun" "$WORK/err" || fail "rescue warning"
+
+# --- graceful degradation: VM -> interpreter ------------------------------
+env QIRKIT_FAULT_INJECT="site=bytecode-compile,at=1" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 40 --seed 11 --engine vm \
+  >"$WORK/degraded.out" 2>"$WORK/degraded.err" \
+  || fail "degraded run should still succeed"
+grep -q "engine: interp" "$WORK/degraded.err" || fail "degraded engine report"
+grep -q "warning: degraded to the reference interpreter" "$WORK/degraded.err" \
+  || fail "degradation warning"
+"$QIRKIT" run "$WORK/bell.ll" --shots 40 --seed 11 --engine interp \
+  >"$WORK/native.out" 2>/dev/null || fail "native interp run"
+cmp -s "$WORK/degraded.out" "$WORK/native.out" \
+  || fail "degraded stdout must be byte-identical to a native interpreter run"
+
+# Degradation can be refused: --no-fallback propagates the compile failure.
+expect 1 "no-fallback propagates" -- \
+  env QIRKIT_FAULT_INJECT="site=bytecode-compile,at=1" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 4 --engine vm --no-fallback
+grep -q "error\[injected-fault\]" "$WORK/err" || fail "compile failure code"
+
+echo "EXIT CODE TEST PASSED"
