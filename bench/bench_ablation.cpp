@@ -19,6 +19,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -148,7 +150,5 @@ BENCHMARK(BM_MapperTopology)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Unit(benchmark::kM
 
 int main(int argc, char** argv) {
   std::cout << "# E10: ablations of qirkit design choices\n\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_ablation");
 }

@@ -13,6 +13,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -72,7 +74,5 @@ int main(int argc, char** argv) {
               << " chars\n";
   }
   std::cout << "\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_addressing");
 }

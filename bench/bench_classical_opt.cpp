@@ -13,6 +13,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -80,7 +82,5 @@ int main(int argc, char** argv) {
               << before.interpStats.instructionsExecuted << " -> "
               << after.interpStats.instructionsExecuted << " instructions\n\n";
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_classical_opt");
 }

@@ -21,6 +21,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -137,7 +139,5 @@ BENCHMARK(BM_ShotBatch)
 int main(int argc, char** argv) {
   std::cout << "# E4 (paper III.C / Ex. 5): interpreted QIR + runtime vs "
                "direct circuit simulation vs bytecode VM\n\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_execute");
 }

@@ -15,6 +15,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -116,7 +118,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n\n";
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_fig1_bell");
 }

@@ -14,6 +14,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -83,7 +85,5 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << "\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_hybrid_feasibility");
 }

@@ -14,6 +14,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -87,7 +89,5 @@ int main(int argc, char** argv) {
               << " instructions (1 block), circuit sees " << c.gateCount()
               << " H gates on " << c.numQubits() << " qubits\n\n";
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_loop_unroll");
 }

@@ -15,6 +15,8 @@
 #include <iostream>
 #include <map>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -117,7 +119,5 @@ int main(int argc, char** argv) {
     std::cout << "full AST route on the same input: imported " << c.size()
               << " operations\n\n";
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_parse_routes");
 }

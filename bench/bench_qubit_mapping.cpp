@@ -11,6 +11,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -82,7 +84,5 @@ int main(int argc, char** argv) {
     std::cout << "9-qubit program on a 2x4 grid: ACCEPTED — BUG\n";
   }
   std::cout << "\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_qubit_mapping");
 }

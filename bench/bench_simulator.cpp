@@ -11,6 +11,8 @@
 #include <iostream>
 #include <thread>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -117,7 +119,5 @@ BENCHMARK(BM_SampleShots)->Arg(10)->Arg(16)->Arg(20)->Unit(benchmark::kMicroseco
 int main(int argc, char** argv) {
   std::cout << "# E9: statevector simulator scaling (hardware threads: "
             << std::thread::hardware_concurrency() << ")\n\n";
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_simulator");
 }

@@ -15,6 +15,8 @@
 
 #include <iostream>
 
+#include "bench_report.hpp"
+
 namespace {
 
 using namespace qirkit;
@@ -98,7 +100,5 @@ attributes #0 = { "entry_point" }
                       : "ACCEPTED — BUG")
               << "\n\n";
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return qirkit::bench::runAndReport(&argc, argv, "bench_transform_routes");
 }

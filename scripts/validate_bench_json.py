@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts written by bench/bench_report.hpp.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Checks each artifact against the version-1 schema: required top-level
+fields, a non-empty benchmarks array, and sane per-benchmark numbers.
+Exits non-zero with a message on the first violation. Stdlib only, so it
+runs anywhere CI has a python3.
+"""
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"not readable as JSON: {e}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(path, f"schema_version must be {SCHEMA_VERSION}, "
+                   f"got {doc.get('schema_version')!r}")
+    if doc.get("tool") != "qirkit-bench":
+        fail(path, f"tool must be 'qirkit-bench', got {doc.get('tool')!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "bench must be a non-empty string")
+
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        fail(path, "benchmarks must be a non-empty array")
+    for i, b in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        if not isinstance(b, dict):
+            fail(path, f"{where} is not an object")
+        if not isinstance(b.get("name"), str) or not b["name"]:
+            fail(path, f"{where}.name must be a non-empty string")
+        if not isinstance(b.get("iterations"), int) or b["iterations"] <= 0:
+            fail(path, f"{where}.iterations must be a positive integer")
+        for key in ("real_time_ns", "cpu_time_ns"):
+            if not isinstance(b.get(key), (int, float)) or b[key] < 0:
+                fail(path, f"{where}.{key} must be a non-negative number")
+        if not isinstance(b.get("counters"), dict):
+            fail(path, f"{where}.counters must be an object")
+
+    telemetry = doc.get("telemetry")
+    if telemetry is not None:
+        if not isinstance(telemetry, dict):
+            fail(path, "telemetry must be an object when present")
+        if telemetry.get("schema_version") != SCHEMA_VERSION:
+            fail(path, "telemetry.schema_version mismatch")
+
+    print(f"{path}: OK ({len(benchmarks)} benchmarks)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        validate(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

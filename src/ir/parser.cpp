@@ -3,7 +3,10 @@
 #include "ir/builder.hpp"
 #include "support/source_location.hpp"
 #include "support/string_utils.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <map>
@@ -1284,11 +1287,27 @@ private:
 
 } // namespace
 
+namespace {
+// The "full IR parser" adoption route (paper §III.A, route a2).
+telemetry::Counter g_parseFullCalls{"parse.full.calls"};
+telemetry::Counter g_parseFullNs{"parse.full.ns"};
+telemetry::Counter g_parseFullLines{"parse.full.lines"};
+telemetry::Counter g_parseFullInstructions{"parse.full.instructions"};
+} // namespace
+
 std::unique_ptr<Module> parseModule(Context& context, std::string_view text,
                                     std::string moduleName) {
+  const telemetry::trace::Span span("parse.full");
+  const telemetry::ScopedTimer timer(g_parseFullNs, &g_parseFullCalls);
   Lexer lexer(text);
   Parser parser(context, lexer.lexAll(), std::move(moduleName));
-  return parser.run();
+  std::unique_ptr<Module> module = parser.run();
+  if (telemetry::enabled()) {
+    g_parseFullLines.addUnchecked(static_cast<std::uint64_t>(
+        std::count(text.begin(), text.end(), '\n') + 1));
+    g_parseFullInstructions.addUnchecked(module->instructionCount());
+  }
+  return module;
 }
 
 } // namespace qirkit::ir

@@ -1,6 +1,8 @@
 #include "passes/pass.hpp"
 
 #include "ir/verifier.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 
 #include <sstream>
 
@@ -17,10 +19,15 @@ void PassManager::add(std::unique_ptr<ModulePass> pass) {
 }
 
 bool PassManager::run(ir::Module& module) {
+  // IR sizing (an O(module) walk) happens only with telemetry armed; the
+  // disabled path keeps the historical cost.
+  const bool telemetryOn = telemetry::enabled();
   bool changed = false;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
     Entry& entry = entries_[i];
     PassStatistics& stat = stats_[i];
+    const telemetry::trace::Span span(stat.name);
+    const std::uint64_t irBefore = telemetryOn ? module.instructionCount() : 0;
     const auto start = std::chrono::steady_clock::now();
     bool passChanged = false;
     if (entry.modulePass != nullptr) {
@@ -34,11 +41,20 @@ bool PassManager::run(ir::Module& module) {
         }
       }
     }
-    stat.elapsed += std::chrono::steady_clock::now() - start;
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stat.elapsed += elapsed;
     if (passChanged) {
       ++stat.changes;
     }
     changed |= passChanged;
+    if (telemetryOn) {
+      telemetry::recordPassRun(
+          stat.name,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()),
+          passChanged, irBefore, module.instructionCount());
+    }
     if (verifyEach_) {
       ir::verifyModuleOrThrow(module);
     }

@@ -2,10 +2,12 @@
 
 #include "circuit/optimizer.hpp"
 #include "qir/importer.hpp"
+#include "support/telemetry/trace.hpp"
 
 namespace qirkit::qir {
 
 std::size_t transformDirect(ir::Module& module, std::size_t maxUnrollTripCount) {
+  const telemetry::trace::Span span("opt.pipeline");
   passes::PassManager pm;
   passes::addFullPipeline(pm, maxUnrollTripCount);
   return pm.runToFixpoint(module);
@@ -13,6 +15,7 @@ std::size_t transformDirect(ir::Module& module, std::size_t maxUnrollTripCount) 
 
 CompileResult compileToTarget(ir::Context& context, ir::Module& module,
                               const CompileOptions& options) {
+  const telemetry::trace::Span span("compile.to_target");
   CompileResult result;
   if (options.runClassicalPipeline) {
     result.passSweeps = transformDirect(module, options.maxUnrollTripCount);

@@ -3,6 +3,8 @@
 #include "qir/names.hpp"
 #include "support/source_location.hpp"
 #include "support/string_utils.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 
 #include <algorithm>
 #include <map>
@@ -747,11 +749,28 @@ private:
 
 } // namespace
 
+namespace {
+// The "custom parser" adoption route (paper §III.A, route a1 / Ex. 3).
+telemetry::Counter g_parseCustomCalls{"parse.custom.calls"};
+telemetry::Counter g_parseCustomNs{"parse.custom.ns"};
+telemetry::Counter g_parseCustomLines{"parse.custom.lines"};
+telemetry::Counter g_parseCustomGates{"parse.custom.gates"};
+} // namespace
+
 Circuit importBaseProfileText(std::string_view qirText) {
-  return PatternParser(qirText).run();
+  const telemetry::trace::Span span("parse.custom");
+  const telemetry::ScopedTimer timer(g_parseCustomNs, &g_parseCustomCalls);
+  Circuit c = PatternParser(qirText).run();
+  if (telemetry::enabled()) {
+    g_parseCustomLines.addUnchecked(static_cast<std::uint64_t>(
+        std::count(qirText.begin(), qirText.end(), '\n') + 1));
+    g_parseCustomGates.addUnchecked(c.gateCount());
+  }
+  return c;
 }
 
 Circuit importFromModule(const ir::Module& module) {
+  const telemetry::trace::Span span("qir.import");
   return ModuleImporter(module).run();
 }
 

@@ -1,10 +1,18 @@
 #include "sim/stabilizer.hpp"
 
 #include "support/source_location.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 #include <cassert>
 
 namespace qirkit::sim {
+
+namespace {
+telemetry::Counter g_stabGates{"sim.stabilizer.gate_applications"};
+telemetry::Counter g_stabMeasurements{"sim.stabilizer.measurements"};
+} // namespace
+
+StabilizerSimulator::~StabilizerSimulator() { g_stabGates.add(gateCount_); }
 
 StabilizerSimulator::StabilizerSimulator(unsigned numQubits) : n_(numQubits) {
   if (numQubits == 0) {
@@ -137,6 +145,7 @@ bool StabilizerSimulator::isDeterministic(unsigned q) const {
 }
 
 bool StabilizerSimulator::measure(unsigned q, SplitMix64& rng) {
+  g_stabMeasurements.add();
   assert(q < n_);
   // Find a stabilizer row with an X component on q (anticommutes with Z_q).
   unsigned p = 2 * n_;

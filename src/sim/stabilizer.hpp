@@ -18,6 +18,12 @@ namespace qirkit::sim {
 class StabilizerSimulator {
 public:
   explicit StabilizerSimulator(unsigned numQubits);
+  /// Flushes the lifetime gate count into the telemetry counter
+  /// sim.stabilizer.gate_applications (composite gates count once, so the
+  /// per-call running tally cannot be published incrementally).
+  ~StabilizerSimulator();
+  StabilizerSimulator(const StabilizerSimulator&) = default;
+  StabilizerSimulator& operator=(const StabilizerSimulator&) = default;
 
   [[nodiscard]] unsigned numQubits() const noexcept { return n_; }
 

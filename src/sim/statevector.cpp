@@ -1,6 +1,7 @@
 #include "sim/statevector.hpp"
 
 #include "support/source_location.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -9,6 +10,10 @@
 namespace qirkit::sim {
 
 namespace {
+telemetry::Counter g_svGates{"sim.statevector.gate_applications"};
+telemetry::Counter g_svMeasurements{"sim.statevector.measurements"};
+telemetry::MaxGauge g_svPeakBytes{"sim.statevector.peak_bytes"};
+
 constexpr unsigned kMaxQubits = 30;
 
 /// Insert a 0 bit at position \p pos of \p i (spreading higher bits up).
@@ -27,6 +32,7 @@ StateVector::StateVector(unsigned numQubits, qirkit::ThreadPool* pool)
   }
   amplitudes_.assign(dimension(), Complex{});
   amplitudes_[0] = 1.0;
+  g_svPeakBytes.updateMax(dimension() * sizeof(Complex));
 }
 
 void StateVector::resetAll() {
@@ -41,6 +47,7 @@ unsigned StateVector::addQubit() {
   }
   ++numQubits_;
   amplitudes_.resize(dimension(), Complex{}); // appended qubit is |0>
+  g_svPeakBytes.updateMax(dimension() * sizeof(Complex));
   return numQubits_ - 1;
 }
 
@@ -71,6 +78,7 @@ void StateVector::forRange(
 void StateVector::apply1(const GateMatrix2& gate, unsigned target) {
   assert(target < numQubits_);
   ++gateCount_;
+  g_svGates.add();
   const std::uint64_t bit = std::uint64_t{1} << target;
   forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
     for (std::uint64_t i = begin; i < end; ++i) {
@@ -88,6 +96,7 @@ void StateVector::applyControlled1(const GateMatrix2& gate, unsigned control,
                                    unsigned target) {
   assert(control < numQubits_ && target < numQubits_ && control != target);
   ++gateCount_;
+  g_svGates.add();
   const std::uint64_t cbit = std::uint64_t{1} << control;
   const std::uint64_t tbit = std::uint64_t{1} << target;
   forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
@@ -108,6 +117,7 @@ void StateVector::applyControlled1(const GateMatrix2& gate, unsigned control,
 void StateVector::applyCCX(unsigned control1, unsigned control2, unsigned target) {
   assert(control1 != control2 && control1 != target && control2 != target);
   ++gateCount_;
+  g_svGates.add();
   const std::uint64_t c1 = std::uint64_t{1} << control1;
   const std::uint64_t c2 = std::uint64_t{1} << control2;
   const std::uint64_t tbit = std::uint64_t{1} << target;
@@ -129,6 +139,7 @@ void StateVector::applySwap(unsigned a, unsigned b) {
     return;
   }
   ++gateCount_;
+  g_svGates.add();
   const std::uint64_t abit = std::uint64_t{1} << a;
   const std::uint64_t bbit = std::uint64_t{1} << b;
   forRange(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
@@ -157,6 +168,7 @@ double StateVector::probabilityOfOne(unsigned q) const {
 }
 
 bool StateVector::measure(unsigned q, SplitMix64& rng) {
+  g_svMeasurements.add();
   const double p1 = probabilityOfOne(q);
   const bool outcome = rng.uniform() < p1;
   const double keep = outcome ? p1 : 1.0 - p1;

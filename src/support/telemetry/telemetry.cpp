@@ -1,0 +1,420 @@
+#include "support/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace qirkit::telemetry {
+
+namespace detail {
+
+std::atomic<bool>& enabledFlag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+} // namespace detail
+
+namespace {
+
+constexpr std::size_t kNumErrorCodes =
+    static_cast<std::size_t>(ErrorCode::Internal) + 1;
+
+/// Registration lists. Metrics have static storage duration and register
+/// themselves on construction; the mutex-guarded vectors inside a
+/// function-local struct sidestep static-initialization-order hazards.
+struct Registry {
+  std::mutex mutex;
+  std::vector<Counter*> counters;
+  std::vector<MaxGauge*> gauges;
+  std::vector<LatencyHistogram*> histograms;
+
+  std::mutex passMutex;
+  std::vector<PassRecord> passes; // first-run order, merged by name
+
+  std::array<std::atomic<std::uint64_t>, kNumErrorCodes> shotFailures{};
+
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+};
+
+} // namespace
+
+Counter::Counter(const char* name) : name_(name) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.counters.push_back(this);
+}
+
+MaxGauge::MaxGauge(const char* name) : name_(name) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.gauges.push_back(this);
+}
+
+LatencyHistogram::LatencyHistogram(const char* name) : name_(name) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.histograms.push_back(this);
+}
+
+void LatencyHistogram::recordUnchecked(std::uint64_t ns) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (ns < cur &&
+         !min_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+  std::size_t bucket = 0;
+  while (bucket + 1 < kBuckets && (std::uint64_t{1} << (bucket + 1)) <= ns) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~std::uint64_t{0} ? 0 : v;
+}
+
+std::uint64_t LatencyHistogram::quantileNs(double p) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen > rank || seen == total) {
+      // Upper bucket bound, clamped to the exact observed max.
+      const std::uint64_t bound = std::uint64_t{1} << std::min<std::size_t>(i + 1, 63);
+      return std::min(bound, max());
+    }
+  }
+  return max();
+}
+
+void LatencyHistogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+}
+
+void setEnabled(bool on) noexcept {
+  detail::enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+void resetAll() {
+  Registry& r = Registry::instance();
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (Counter* c : r.counters) {
+      c->reset();
+    }
+    for (MaxGauge* g : r.gauges) {
+      g->reset();
+    }
+    for (LatencyHistogram* h : r.histograms) {
+      h->reset();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(r.passMutex);
+    r.passes.clear();
+  }
+  for (auto& f : r.shotFailures) {
+    f.store(0, std::memory_order_relaxed);
+  }
+}
+
+void recordPassRun(std::string_view name, std::uint64_t ns, bool changed,
+                   std::uint64_t irBefore, std::uint64_t irAfter) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.passMutex);
+  for (PassRecord& rec : r.passes) {
+    if (rec.name == name) {
+      ++rec.invocations;
+      rec.changes += changed ? 1 : 0;
+      rec.ns += ns;
+      rec.irDelta += static_cast<std::int64_t>(irAfter) -
+                     static_cast<std::int64_t>(irBefore);
+      return;
+    }
+  }
+  PassRecord rec;
+  rec.name = std::string(name);
+  rec.invocations = 1;
+  rec.changes = changed ? 1 : 0;
+  rec.ns = ns;
+  rec.irDelta =
+      static_cast<std::int64_t>(irAfter) - static_cast<std::int64_t>(irBefore);
+  r.passes.push_back(std::move(rec));
+}
+
+std::vector<PassRecord> passRecords() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.passMutex);
+  return r.passes;
+}
+
+void recordShotFailure(ErrorCode code) noexcept {
+  const auto i = static_cast<std::size_t>(code);
+  if (i < kNumErrorCodes) {
+    Registry::instance().shotFailures[i].fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t shotFailureCount(ErrorCode code) noexcept {
+  const auto i = static_cast<std::size_t>(code);
+  return i < kNumErrorCodes
+             ? Registry::instance().shotFailures[i].load(std::memory_order_relaxed)
+             : 0;
+}
+
+std::uint64_t counterValue(std::string_view name) noexcept {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const Counter* c : r.counters) {
+    if (name == c->name()) {
+      return c->value();
+    }
+  }
+  for (const MaxGauge* g : r.gauges) {
+    if (name == g->name()) {
+      return g->value();
+    }
+  }
+  return 0;
+}
+
+const LatencyHistogram* findHistogram(std::string_view name) noexcept {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  for (const LatencyHistogram* h : r.histograms) {
+    if (name == h->name()) {
+      return h;
+    }
+  }
+  return nullptr;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Tree of dotted metric names: "vm.cache.hits" nests hits under cache
+/// under vm. Leaves hold pre-rendered JSON fragments.
+struct Node {
+  std::map<std::string, Node> children;
+  std::string leaf; // rendered JSON when non-empty
+};
+
+void insert(Node& root, std::string_view path, std::string leafJson) {
+  Node* node = &root;
+  while (true) {
+    const auto dot = path.find('.');
+    if (dot == std::string_view::npos) {
+      node = &node->children[std::string(path)];
+      break;
+    }
+    node = &node->children[std::string(path.substr(0, dot))];
+    path = path.substr(dot + 1);
+  }
+  node->leaf = std::move(leafJson);
+}
+
+void render(const Node& node, std::ostringstream& out) {
+  if (!node.leaf.empty()) {
+    out << node.leaf;
+    return;
+  }
+  out << "{";
+  bool first = true;
+  for (const auto& [key, child] : node.children) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(key) << "\":";
+    render(child, out);
+  }
+  out << "}";
+}
+
+std::string histogramJson(const LatencyHistogram& h) {
+  std::ostringstream out;
+  out << "{\"count\":" << h.count() << ",\"sum_ns\":" << h.sum()
+      << ",\"min_ns\":" << h.min() << ",\"max_ns\":" << h.max()
+      << ",\"p50_ns\":" << h.quantileNs(0.50)
+      << ",\"p90_ns\":" << h.quantileNs(0.90)
+      << ",\"p99_ns\":" << h.quantileNs(0.99) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t n = h.bucketCount(i);
+    if (n == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"le_ns\":" << (std::uint64_t{1} << std::min<std::size_t>(i + 1, 63))
+        << ",\"count\":" << n << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string passesJson() {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const PassRecord& rec : passRecords()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"name\":\"" << jsonEscape(rec.name)
+        << "\",\"invocations\":" << rec.invocations
+        << ",\"changes\":" << rec.changes << ",\"ns\":" << rec.ns
+        << ",\"ir_delta\":" << rec.irDelta << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string shotFailuresJson() {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (std::size_t i = 0; i < kNumErrorCodes; ++i) {
+    const std::uint64_t n = shotFailureCount(static_cast<ErrorCode>(i));
+    if (n == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << errorCodeName(static_cast<ErrorCode>(i)) << "\":" << n;
+  }
+  out << "}";
+  return out.str();
+}
+
+} // namespace
+
+std::string statsJson(std::string_view command) {
+  Registry& r = Registry::instance();
+  Node root;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (const Counter* c : r.counters) {
+      insert(root, c->name(), std::to_string(c->value()));
+    }
+    for (const MaxGauge* g : r.gauges) {
+      insert(root, g->name(), std::to_string(g->value()));
+    }
+    for (const LatencyHistogram* h : r.histograms) {
+      insert(root, h->name(), histogramJson(*h));
+    }
+  }
+  insert(root, "passes", passesJson());
+  insert(root, "shots.failure_counts", shotFailuresJson());
+
+  std::ostringstream out;
+  out << "{\"schema_version\":" << kStatsSchemaVersion << ",\"tool\":\"qirkit\""
+      << ",\"command\":\"" << jsonEscape(command) << "\",";
+  bool first = true;
+  for (const auto& [key, child] : root.children) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(key) << "\":";
+    render(child, out);
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string statsText() {
+  Registry& r = Registry::instance();
+  std::ostringstream out;
+  out << "-- qirkit telemetry (schema v" << kStatsSchemaVersion << ") --\n";
+  std::vector<std::pair<std::string, std::uint64_t>> scalars;
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (const Counter* c : r.counters) {
+      scalars.emplace_back(c->name(), c->value());
+    }
+    for (const MaxGauge* g : r.gauges) {
+      scalars.emplace_back(g->name(), g->value());
+    }
+  }
+  std::sort(scalars.begin(), scalars.end());
+  for (const auto& [name, value] : scalars) {
+    out << name << " = " << value << "\n";
+  }
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    for (const LatencyHistogram* h : r.histograms) {
+      out << h->name() << ": count=" << h->count() << " sum=" << h->sum()
+          << "ns min=" << h->min() << "ns p50~" << h->quantileNs(0.5)
+          << "ns p99~" << h->quantileNs(0.99) << "ns max=" << h->max() << "ns\n";
+    }
+  }
+  const std::vector<PassRecord> passes = passRecords();
+  if (!passes.empty()) {
+    out << "passes (pipeline order):\n";
+    for (const PassRecord& rec : passes) {
+      out << "  " << rec.name << ": " << rec.invocations << " invocations, "
+          << rec.changes << " changing, " << rec.ns / 1000 << " us, ir delta "
+          << rec.irDelta << "\n";
+    }
+  }
+  for (std::size_t i = 0; i < kNumErrorCodes; ++i) {
+    const std::uint64_t n = shotFailureCount(static_cast<ErrorCode>(i));
+    if (n != 0) {
+      out << "shots.failure_counts." << errorCodeName(static_cast<ErrorCode>(i))
+          << " = " << n << "\n";
+    }
+  }
+  return out.str();
+}
+
+} // namespace qirkit::telemetry

@@ -1,0 +1,231 @@
+/// \file telemetry.hpp
+/// Process-wide observability registry: counters, max-gauges, and
+/// latency histograms, named with dotted paths ("vm.cache.hits") that
+/// become the nesting of the machine-readable `--stats` report.
+///
+/// Probe-cost discipline (shared with support/faultinject.hpp): every
+/// probe is gated on a single process-wide flag read with one relaxed
+/// atomic load. Disabled telemetry therefore costs one predictable
+/// branch per probe — no clock reads, no atomics RMW, no locks — so the
+/// instrumentation can live permanently in hot paths (VM dispatch, gate
+/// kernels, per-shot bookkeeping). Hot loops additionally cache the flag
+/// per call frame, exactly as the VM caches the fault-injection flag.
+///
+/// Metrics register themselves with the registry at static
+/// initialization; the registry renders them either as a human-readable
+/// table (`statsText`) or as versioned JSON (`statsJson`,
+/// kStatsSchemaVersion) for the CLI's `--stats[=text|json]` flag and the
+/// bench harness's BENCH_<name>.json artifacts.
+#pragma once
+
+#include "support/error.hpp"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qirkit::telemetry {
+
+/// Version of the JSON document emitted by statsJson / the bench
+/// artifacts ("schema_version" field). Bump on breaking shape changes.
+inline constexpr int kStatsSchemaVersion = 1;
+
+namespace detail {
+/// The process-wide enabled flag every probe gates on.
+[[nodiscard]] std::atomic<bool>& enabledFlag() noexcept;
+} // namespace detail
+
+/// One relaxed atomic load: the per-probe cost when telemetry is off.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::enabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Arm / disarm every probe in the process.
+void setEnabled(bool on) noexcept;
+
+/// Zero every registered metric and the dynamic per-pass records.
+void resetAll();
+
+/// Monotonic nanoseconds (steady clock) — the time base of every latency
+/// metric and trace span.
+[[nodiscard]] inline std::uint64_t nowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// -- metrics ------------------------------------------------------------------
+
+/// Monotonically increasing event count. Thread-safe; `add` is a no-op
+/// (one relaxed load) while telemetry is disabled.
+class Counter {
+public:
+  explicit Counter(const char* name);
+
+  void add(std::uint64_t n = 1) noexcept {
+    if (enabled()) {
+      value_.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  /// Unconditional add for call sites already under an enabled() check.
+  void addUnchecked(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// High-watermark gauge (e.g. peak statevector bytes). Thread-safe.
+class MaxGauge {
+public:
+  explicit MaxGauge(const char* name);
+
+  void updateMax(std::uint64_t v) noexcept {
+    if (!enabled()) {
+      return;
+    }
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+private:
+  const char* name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram with power-of-two nanosecond buckets: bucket i
+/// counts samples in [2^i, 2^(i+1)); sub-nanosecond samples land in
+/// bucket 0. Tracks count/sum/min/max exactly and serves approximate
+/// quantiles (upper bucket bound) from the buckets. Thread-safe.
+class LatencyHistogram {
+public:
+  static constexpr std::size_t kBuckets = 48; // up to ~78 hours in ns
+
+  explicit LatencyHistogram(const char* name);
+
+  void record(std::uint64_t ns) noexcept {
+    if (enabled()) {
+      recordUnchecked(ns);
+    }
+  }
+  void recordUnchecked(std::uint64_t ns) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  /// Approximate p-quantile (0 < p <= 1): the upper bound of the bucket
+  /// containing the p*count-th sample; 0 when empty.
+  [[nodiscard]] std::uint64_t quantileNs(double p) const noexcept;
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+private:
+  const char* name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// RAII wall-clock probe: adds the elapsed nanoseconds to \p nsCounter
+/// (and bumps \p callsCounter) on destruction. Inert — no clock read —
+/// while telemetry is disabled.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Counter& nsCounter, Counter* callsCounter = nullptr) noexcept
+      : ns_(nsCounter), calls_(callsCounter), start_(enabled() ? nowNs() : 0) {}
+  ~ScopedTimer() {
+    if (start_ != 0) {
+      ns_.addUnchecked(nowNs() - start_);
+      if (calls_ != nullptr) {
+        calls_->addUnchecked(1);
+      }
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+private:
+  Counter& ns_;
+  Counter* calls_;
+  std::uint64_t start_;
+};
+
+// -- dynamic records ----------------------------------------------------------
+
+/// Accumulated statistics of one named optimization pass, merged across
+/// sweeps and PassManager instances in first-run order.
+struct PassRecord {
+  std::string name;
+  std::uint64_t invocations = 0;
+  std::uint64_t changes = 0; ///< pipeline entries that reported a change
+  std::uint64_t ns = 0;
+  /// Net IR growth across all runs: sum of (instructions after -
+  /// instructions before). Negative for shrinking passes like DCE.
+  std::int64_t irDelta = 0;
+};
+
+/// Record one pass execution (PassManager calls this only while enabled).
+void recordPassRun(std::string_view name, std::uint64_t ns, bool changed,
+                   std::uint64_t irBefore, std::uint64_t irAfter);
+[[nodiscard]] std::vector<PassRecord> passRecords();
+
+/// Count a permanently failed shot by classified error code.
+void recordShotFailure(ErrorCode code) noexcept;
+[[nodiscard]] std::uint64_t shotFailureCount(ErrorCode code) noexcept;
+
+// -- snapshot & reports -------------------------------------------------------
+
+/// Value of a registered counter/gauge by dotted name; 0 when the metric
+/// has not been registered (nothing linked in / nothing ran).
+[[nodiscard]] std::uint64_t counterValue(std::string_view name) noexcept;
+/// Registered histogram by name; nullptr when absent.
+[[nodiscard]] const LatencyHistogram* findHistogram(std::string_view name) noexcept;
+
+/// The versioned machine-readable report (see README "Observability" for
+/// the schema): dotted metric names become nested objects, plus the
+/// "passes" array and the "shots.failure_counts" object. \p command
+/// labels the producing subcommand ("run", "bench:execute", ...).
+[[nodiscard]] std::string statsJson(std::string_view command);
+
+/// Human-readable rendering of the same data.
+[[nodiscard]] std::string statsText();
+
+/// Minimal JSON string escaping (used by the trace writer and the bench
+/// harness as well).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+} // namespace qirkit::telemetry

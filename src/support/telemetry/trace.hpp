@@ -1,0 +1,70 @@
+/// \file trace.hpp
+/// RAII trace spans emitting Chrome trace-event JSON ("Trace Event
+/// Format", complete "X" events) loadable in Perfetto or
+/// chrome://tracing. Spans nest naturally per thread: parse → opt →
+/// compile → execute show up as a flame chart.
+///
+/// Tracing is armed by the CLI from the QIRKIT_TRACE=<file> environment
+/// variable (or programmatically via begin()). The probe-cost discipline
+/// matches telemetry counters: a Span constructed while tracing is
+/// disabled costs one relaxed atomic load and stores nothing. Events are
+/// buffered in memory (bounded; drops are counted) and written by
+/// flush() — call it once at process/tool exit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qirkit::telemetry::trace {
+
+namespace detail {
+[[nodiscard]] std::atomic<bool>& enabledFlag() noexcept;
+void endSpan(std::string&& name, std::uint64_t startNs) noexcept;
+} // namespace detail
+
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::enabledFlag().load(std::memory_order_relaxed);
+}
+
+/// Arm tracing; events will be written to \p path by flush().
+void begin(std::string path);
+
+/// Arm from QIRKIT_TRACE when set. Returns true when tracing was armed.
+bool initFromEnv();
+
+/// Write the buffered events as Chrome trace JSON and disarm. Safe to
+/// call when tracing was never armed (no-op). Returns false when the
+/// output file cannot be written.
+bool flush();
+
+/// Number of events dropped because the in-memory buffer was full.
+[[nodiscard]] std::uint64_t droppedEvents() noexcept;
+
+/// One traced region. The name is captured by value so dynamically built
+/// names (pass names) are safe.
+class Span {
+public:
+  explicit Span(std::string_view name)
+      : start_(enabled() ? nowNsOrZero() : 0) {
+    if (start_ != 0) {
+      name_ = name;
+    }
+  }
+  ~Span() {
+    if (start_ != 0) {
+      detail::endSpan(std::move(name_), start_);
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+private:
+  [[nodiscard]] static std::uint64_t nowNsOrZero() noexcept;
+
+  std::string name_;
+  std::uint64_t start_ = 0;
+};
+
+} // namespace qirkit::telemetry::trace

@@ -2,11 +2,16 @@
 
 #include "ir/printer.hpp"
 #include "support/faultinject.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "vm/compiler.hpp"
 
 namespace qirkit::vm {
 
 namespace {
+
+telemetry::Counter g_cacheHits{"vm.cache.hits"};
+telemetry::Counter g_cacheMisses{"vm.cache.misses"};
+telemetry::Counter g_cacheEvictions{"vm.cache.evictions"};
 
 std::uint64_t fnv1a(std::string_view text) noexcept {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -27,9 +32,11 @@ std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Modul
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(hash);
     if (it != entries_.end()) {
-      for (const Entry& entry : it->second) {
+      for (Entry& entry : it->second) {
         if (entry.text == text) {
           ++stats_.hits;
+          g_cacheHits.add();
+          entry.lastUse = ++tick_;
           return entry.compiled;
         }
       }
@@ -39,15 +46,46 @@ std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Modul
   // compile of the same program is cheaper than serializing all misses.
   std::shared_ptr<const BytecodeModule> compiled = compileModule(module);
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (const Entry& entry : entries_[hash]) {
+  for (Entry& entry : entries_[hash]) {
     if (entry.text == text) { // another thread won the race
       ++stats_.hits;
+      g_cacheHits.add();
+      entry.lastUse = ++tick_;
       return entry.compiled;
     }
   }
   ++stats_.misses;
-  entries_[hash].push_back(Entry{text, compiled});
+  g_cacheMisses.add();
+  while (sizeLocked() >= capacity_) {
+    evictLRULocked();
+  }
+  entries_[hash].push_back(Entry{text, compiled, ++tick_});
   return compiled;
+}
+
+void CompileCache::evictLRULocked() {
+  auto victimMap = entries_.end();
+  std::size_t victimIndex = 0;
+  std::uint64_t oldest = ~std::uint64_t{0};
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i].lastUse < oldest) {
+        oldest = it->second[i].lastUse;
+        victimMap = it;
+        victimIndex = i;
+      }
+    }
+  }
+  if (victimMap == entries_.end()) {
+    return;
+  }
+  victimMap->second.erase(victimMap->second.begin() +
+                          static_cast<std::ptrdiff_t>(victimIndex));
+  if (victimMap->second.empty()) {
+    entries_.erase(victimMap);
+  }
+  ++stats_.evictions;
+  g_cacheEvictions.add();
 }
 
 CompileCache::Stats CompileCache::stats() const {
@@ -55,8 +93,7 @@ CompileCache::Stats CompileCache::stats() const {
   return stats_;
 }
 
-std::size_t CompileCache::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+std::size_t CompileCache::sizeLocked() const {
   std::size_t n = 0;
   for (const auto& [hash, chain] : entries_) {
     n += chain.size();
@@ -64,10 +101,29 @@ std::size_t CompileCache::size() const {
   return n;
 }
 
+std::size_t CompileCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sizeLocked();
+}
+
+std::size_t CompileCache::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+void CompileCache::setCapacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (sizeLocked() > capacity_) {
+    evictLRULocked();
+  }
+}
+
 void CompileCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   stats_ = {};
+  tick_ = 0;
 }
 
 CompileCache& CompileCache::global() {

@@ -4,6 +4,12 @@
 /// compared on hash hits so collisions cannot alias programs). One
 /// process-wide instance makes repeated runs of the same program — across
 /// shots, worker threads, and CLI subcommands — compile exactly once.
+///
+/// The cache is bounded: once `capacity()` entries are resident, inserting
+/// a new program evicts the least-recently-used entry (handed-out
+/// shared_ptrs stay valid — eviction only drops the cache's reference).
+/// Hits, misses, and evictions are reported both in Stats and through the
+/// telemetry counters vm.cache.{hits,misses,evictions}.
 #pragma once
 
 #include "ir/module.hpp"
@@ -21,7 +27,11 @@ public:
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
   };
+
+  /// Default resident-entry bound of the process-wide cache.
+  static constexpr std::size_t kDefaultCapacity = 128;
 
   /// Look up \p module by content; compile and insert on miss. Thread-safe.
   /// The returned module is immutable and outlives the cache entry.
@@ -29,6 +39,10 @@ public:
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  /// Shrink/grow the resident bound (>= 1); shrinking evicts LRU entries
+  /// immediately.
+  void setCapacity(std::size_t capacity);
   void clear();
 
   /// The process-wide instance used by the CLI and the shot executor.
@@ -38,11 +52,17 @@ private:
   struct Entry {
     std::string text; // full printed module, for collision safety
     std::shared_ptr<const BytecodeModule> compiled;
+    std::uint64_t lastUse = 0; // tick of the most recent hit/insert
   };
+
+  void evictLRULocked();
+  [[nodiscard]] std::size_t sizeLocked() const;
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
   Stats stats_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t tick_ = 0;
 };
 
 } // namespace qirkit::vm

@@ -3,6 +3,8 @@
 #include "ir/constant.hpp"
 #include "ir/printer.hpp"
 #include "support/faultinject.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 
 #include <limits>
 #include <string_view>
@@ -490,8 +492,15 @@ private:
 
 } // namespace
 
+namespace {
+telemetry::Counter g_compileCalls{"vm.compile.calls"};
+telemetry::Counter g_compileNs{"vm.compile.ns"};
+} // namespace
+
 std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module) {
   fault::probe(fault::Site::BytecodeCompile);
+  const telemetry::trace::Span span("vm.compile");
+  const telemetry::ScopedTimer timer(g_compileNs, &g_compileCalls);
   auto out = std::make_shared<BytecodeModule>();
 
   std::map<const Function*, std::uint32_t> functionIndex;

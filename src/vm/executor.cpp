@@ -2,6 +2,8 @@
 
 #include "interp/interpreter.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 #include "vm/cache.hpp"
 #include "vm/compiler.hpp"
 
@@ -24,6 +26,14 @@ std::uint64_t deriveRetrySeed(std::uint64_t baseSeed, std::uint64_t shot,
 }
 
 namespace {
+
+telemetry::Counter g_shotsCompleted{"shots.completed"};
+telemetry::Counter g_shotsFailed{"shots.failed"};
+telemetry::Counter g_shotsRetries{"shots.retries"};
+telemetry::Counter g_shotsInterpFallbacks{"shots.interp_fallbacks"};
+telemetry::Counter g_shotsBatches{"shots.batches"};
+telemetry::Counter g_shotsDegradedBatches{"shots.degraded_batches"};
+telemetry::LatencyHistogram g_shotLatency{"shots.latency_ns"};
 
 /// Per-chunk accumulator, merged into the batch under a mutex (or moved
 /// directly in the sequential path).
@@ -93,6 +103,18 @@ private:
   }
 
   void runIsolated(std::uint64_t shot, ChunkResult& out, ShotBatchResult& batch) {
+    // One clock pair per shot, only while telemetry is armed; the latency
+    // includes retries and fallback reruns — it is the user-visible cost
+    // of delivering (or giving up on) this shot.
+    const std::uint64_t t0 = telemetry::enabled() ? telemetry::nowNs() : 0;
+    runIsolatedImpl(shot, out, batch);
+    if (t0 != 0) {
+      g_shotLatency.recordUnchecked(telemetry::nowNs() - t0);
+    }
+  }
+
+  void runIsolatedImpl(std::uint64_t shot, ChunkResult& out,
+                       ShotBatchResult& batch) {
     std::uint64_t attempt = 0;
     for (;;) {
       const std::uint64_t seed = attempt == 0
@@ -124,6 +146,11 @@ private:
       }
       ++out.failed;
       ++out.failureCounts[failure.code];
+      if (telemetry::enabled()) {
+        // Same per-code taxonomy as ShotBatchResult::failureCounts,
+        // surfaced process-wide as shots.failure_counts.
+        telemetry::recordShotFailure(failure.code);
+      }
       if (out.failures.size() < ShotBatchResult::kMaxFailureRecords) {
         out.failures.push_back(
             {shot, failure.code, failure.transient, failure.message});
@@ -171,6 +198,8 @@ void mergeChunk(ChunkResult&& chunk, ShotBatchResult& result) {
 } // namespace
 
 ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
+  const telemetry::trace::Span span("execute.batch");
+  g_shotsBatches.add();
   ShotBatchResult result;
   Engine engine = opts.engine;
 
@@ -203,13 +232,22 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   }
   result.engineUsed = engine;
 
+  if (result.degradedToInterp) {
+    g_shotsDegradedBatches.add();
+  }
+
   const auto runChunk = [&](std::uint64_t begin, std::uint64_t end,
                             ChunkResult& out) {
+    const telemetry::trace::Span chunkSpan("execute.chunk");
     ChunkRunner runner(module, compiled, engine, opts);
     runner.run(begin, end, out, result);
   };
 
   const auto finish = [&]() -> ShotBatchResult& {
+    g_shotsCompleted.add(result.completedShots);
+    g_shotsFailed.add(result.failedShots);
+    g_shotsRetries.add(result.retryAttempts);
+    g_shotsInterpFallbacks.add(result.interpFallbackShots);
     if (result.failedShots > opts.maxFailedShots) {
       const ShotFailure& first = result.failures.front();
       throw TrapError("shot " + std::to_string(first.shot) +

@@ -3,14 +3,92 @@
 #include "ir/instruction.hpp"
 #include "passes/folding.hpp"
 #include "support/faultinject.hpp"
+#include "support/telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace qirkit::vm {
 
 using interp::ExternContext;
 using interp::RtValue;
 using interp::TrapError;
+
+namespace {
+
+/// Dispatch accounting groups every opcode into one of six classes; the
+/// counters surface as vm.dispatch.* in the --stats report.
+enum OpClass : std::uint8_t {
+  kClassData,         // moves, selects, casts, Nop
+  kClassArithmetic,   // int/float binops and comparisons
+  kClassMemory,       // alloca, loads, stores
+  kClassControlFlow,  // jumps, switch, ret, trap
+  kClassCallInternal, // PushArg + Call
+  kClassCallExternal, // CallExtern (runtime dispatch)
+  kNumOpClasses,
+};
+
+constexpr OpClass opClassOf(Op op) noexcept {
+  switch (op) {
+  case Op::IntBin:
+  case Op::FloatBin:
+  case Op::ICmp:
+  case Op::ICmpPtr:
+  case Op::FCmp:
+    return kClassArithmetic;
+  case Op::Alloca:
+  case Op::LoadInt:
+  case Op::LoadDouble:
+  case Op::LoadPtr:
+  case Op::StoreInt:
+  case Op::StoreDouble:
+  case Op::StorePtr:
+    return kClassMemory;
+  case Op::Jmp:
+  case Op::JmpIf:
+  case Op::SwitchI:
+  case Op::Ret:
+  case Op::RetVoid:
+  case Op::Trap:
+    return kClassControlFlow;
+  case Op::PushArg:
+  case Op::Call:
+    return kClassCallInternal;
+  case Op::CallExtern:
+    return kClassCallExternal;
+  default:
+    return kClassData;
+  }
+}
+
+telemetry::Counter g_dispatchData{"vm.dispatch.data"};
+telemetry::Counter g_dispatchArithmetic{"vm.dispatch.arithmetic"};
+telemetry::Counter g_dispatchMemory{"vm.dispatch.memory"};
+telemetry::Counter g_dispatchControlFlow{"vm.dispatch.control_flow"};
+telemetry::Counter g_dispatchCallInternal{"vm.dispatch.call_internal"};
+telemetry::Counter g_dispatchCallExternal{"vm.dispatch.call_external"};
+
+/// Per-frame dispatch tally: plain local increments in the hot loop,
+/// flushed to the process-wide counters once per frame (also on unwind).
+/// Inactive frames (telemetry disabled) cost nothing here.
+struct DispatchTally {
+  std::array<std::uint64_t, kNumOpClasses> counts{};
+  bool active = false;
+
+  ~DispatchTally() {
+    if (!active) {
+      return;
+    }
+    g_dispatchData.addUnchecked(counts[kClassData]);
+    g_dispatchArithmetic.addUnchecked(counts[kClassArithmetic]);
+    g_dispatchMemory.addUnchecked(counts[kClassMemory]);
+    g_dispatchControlFlow.addUnchecked(counts[kClassControlFlow]);
+    g_dispatchCallInternal.addUnchecked(counts[kClassCallInternal]);
+    g_dispatchCallExternal.addUnchecked(counts[kClassCallExternal]);
+  }
+};
+
+} // namespace
 
 Vm::Vm(std::shared_ptr<const BytecodeModule> module) : module_(std::move(module)) {
   materializeGlobals();
@@ -93,6 +171,10 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
   // Cached per frame so the disabled case costs nothing in the dispatch
   // loop beyond a predictable branch.
   const bool injectFaults = fault::FaultInjector::instance().enabled();
+  // Same per-frame caching as the fault-injection flag: the disabled
+  // dispatch loop pays one predictable branch per instruction, no atomics.
+  DispatchTally tally;
+  tally.active = telemetry::enabled();
   const CompiledFunction& fn = module_->functions[funcIndex];
 
   const std::size_t base = stack_.size();
@@ -106,6 +188,9 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
   std::uint32_t pc = 0;
   for (;;) {
     const Inst in = code[pc++];
+    if (tally.active) {
+      ++tally.counts[opClassOf(in.op)];
+    }
     if ((in.flags & kStep) != 0) {
       if (++stepsTaken_ > stepLimit_) {
         throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",

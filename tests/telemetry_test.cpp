@@ -1,0 +1,275 @@
+/// Telemetry layer tests: probe gating (disabled probes record nothing
+/// and change no program output), counter/gauge/histogram semantics, the
+/// compile-cache counters agreeing with CompileCache's own observable
+/// Stats across repeated runShots batches, pass records, the versioned
+/// --stats JSON report, and the Chrome trace-event writer.
+#include "circuit/generators.hpp"
+#include "ir/parser.hpp"
+#include "passes/pass.hpp"
+#include "qir/compile.hpp"
+#include "qir/exporter.hpp"
+#include "support/error.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
+#include "vm/cache.hpp"
+#include "vm/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace qirkit {
+namespace {
+
+/// Every test runs with a clean, enabled registry and a clean global
+/// compile cache, and leaves telemetry disabled (the process default).
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    vm::CompileCache::global().clear();
+    vm::CompileCache::global().setCapacity(vm::CompileCache::kDefaultCapacity);
+    telemetry::setEnabled(true);
+    telemetry::resetAll();
+  }
+  void TearDown() override {
+    telemetry::resetAll();
+    telemetry::setEnabled(false);
+    vm::CompileCache::global().clear();
+    vm::CompileCache::global().setCapacity(vm::CompileCache::kDefaultCapacity);
+  }
+};
+
+TEST_F(TelemetryTest, DisabledProbesRecordNothing) {
+  telemetry::setEnabled(false);
+  static telemetry::Counter counter{"test.disabled.counter"};
+  static telemetry::MaxGauge gauge{"test.disabled.gauge"};
+  static telemetry::LatencyHistogram hist{"test.disabled.hist"};
+  counter.add(7);
+  gauge.updateMax(42);
+  hist.record(1000);
+  { telemetry::ScopedTimer t(counter); }
+  EXPECT_EQ(counter.value(), 0U);
+  EXPECT_EQ(gauge.value(), 0U);
+  EXPECT_EQ(hist.count(), 0U);
+}
+
+TEST_F(TelemetryTest, CounterGaugeHistogramSemantics) {
+  static telemetry::Counter counter{"test.counter"};
+  static telemetry::MaxGauge gauge{"test.gauge"};
+  static telemetry::LatencyHistogram hist{"test.hist"};
+  counter.reset();
+  gauge.reset();
+  hist.reset();
+
+  counter.add();
+  counter.add(9);
+  EXPECT_EQ(counter.value(), 10U);
+  EXPECT_EQ(telemetry::counterValue("test.counter"), 10U);
+
+  gauge.updateMax(5);
+  gauge.updateMax(3); // lower value must not overwrite the high-watermark
+  EXPECT_EQ(gauge.value(), 5U);
+
+  hist.record(3);    // bucket [2,4)
+  hist.record(1000); // bucket [512, 1024)... -> [2^9, 2^10)
+  hist.record(1500);
+  EXPECT_EQ(hist.count(), 3U);
+  EXPECT_EQ(hist.sum(), 2503U);
+  EXPECT_EQ(hist.min(), 3U);
+  EXPECT_EQ(hist.max(), 1500U);
+  EXPECT_EQ(hist.bucketCount(1), 1U);
+  // Quantiles are bucket upper bounds, clamped to the observed max.
+  EXPECT_GE(hist.quantileNs(0.99), 1500U);
+  ASSERT_NE(telemetry::findHistogram("test.hist"), nullptr);
+  EXPECT_EQ(telemetry::findHistogram("test.hist")->count(), 3U);
+}
+
+TEST_F(TelemetryTest, CacheCountersMatchObservableCacheStats) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+  vm::ShotOptions opts;
+  opts.shots = 5;
+  opts.engine = vm::Engine::Vm;
+
+  const auto before = vm::CompileCache::global().stats();
+  const auto first = vm::runShots(*m, opts);
+  const auto second = vm::runShots(*m, opts);
+  const auto after = vm::CompileCache::global().stats();
+
+  // The batches themselves observed one miss then one hit.
+  EXPECT_EQ(first.cacheMisses, 1U);
+  EXPECT_EQ(second.cacheHits, 1U);
+  // Telemetry counters agree with the cache's own Stats delta.
+  EXPECT_EQ(telemetry::counterValue("vm.cache.misses"), after.misses - before.misses);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.hits"), after.hits - before.hits);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.misses"), 1U);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.hits"), 1U);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.evictions"), 0U);
+  // Compilation happened exactly once across both batches.
+  EXPECT_EQ(telemetry::counterValue("vm.compile.calls"), 1U);
+}
+
+TEST_F(TelemetryTest, EvictionCountersMatchAtCapacityOne) {
+  vm::CompileCache::global().setCapacity(1);
+  ir::Context ctx;
+  const auto bell = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+  const auto ghz = qir::exportCircuit(ctx, circuit::ghz(3, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 2;
+  opts.engine = vm::Engine::Vm;
+
+  (void)vm::runShots(*bell, opts); // miss, insert
+  (void)vm::runShots(*ghz, opts);  // miss, evicts bell
+  (void)vm::runShots(*bell, opts); // miss again (was evicted), evicts ghz
+
+  const auto stats = vm::CompileCache::global().stats();
+  EXPECT_EQ(vm::CompileCache::global().size(), 1U);
+  EXPECT_EQ(stats.evictions, 2U);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.evictions"), stats.evictions);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.misses"), stats.misses);
+  EXPECT_EQ(telemetry::counterValue("vm.cache.hits"), stats.hits);
+}
+
+TEST_F(TelemetryTest, DisabledTelemetryChangesNoProgramOutput) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(3, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 50;
+  opts.seed = 11;
+
+  const auto withTelemetry = vm::runShots(*m, opts);
+  telemetry::setEnabled(false);
+  vm::CompileCache::global().clear();
+  const auto without = vm::runShots(*m, opts);
+
+  EXPECT_EQ(withTelemetry.histogram, without.histogram);
+  EXPECT_EQ(withTelemetry.completedShots, without.completedShots);
+  // And nothing was recorded while disabled: the shot counters still show
+  // only the first (enabled) batch.
+  EXPECT_EQ(telemetry::counterValue("shots.completed"), 50U);
+  const auto* hist = telemetry::findHistogram("shots.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 50U);
+}
+
+TEST_F(TelemetryTest, ShotHistogramAndFailureCounters) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+  vm::ShotOptions opts;
+  opts.shots = 20;
+  (void)vm::runShots(*m, opts);
+
+  const auto* hist = telemetry::findHistogram("shots.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 20U);
+  EXPECT_GT(hist->sum(), 0U);
+  EXPECT_LE(hist->min(), hist->max());
+
+  telemetry::recordShotFailure(ErrorCode::TrapOutOfBounds);
+  telemetry::recordShotFailure(ErrorCode::TrapOutOfBounds);
+  EXPECT_EQ(telemetry::shotFailureCount(ErrorCode::TrapOutOfBounds), 2U);
+  EXPECT_EQ(telemetry::shotFailureCount(ErrorCode::Trap), 0U);
+}
+
+TEST_F(TelemetryTest, PassRecordsAccumulateAcrossSweeps) {
+  ir::Context ctx;
+  auto module = ir::parseModule(ctx, R"(
+define i64 @main() #0 {
+entry:
+  %a = add i64 2, 3
+  %b = mul i64 %a, 4
+  ret i64 %b
+}
+attributes #0 = { "entry_point" }
+)");
+  qir::transformDirect(*module);
+
+  const auto records = telemetry::passRecords();
+  ASSERT_FALSE(records.empty());
+  bool sawSccp = false;
+  for (const auto& rec : records) {
+    EXPECT_GE(rec.invocations, 1U);
+    if (rec.name == "sccp") {
+      sawSccp = true;
+      EXPECT_GE(rec.changes, 1U);
+      EXPECT_LT(rec.irDelta, 0); // folding away the arithmetic shrinks the IR
+    }
+  }
+  EXPECT_TRUE(sawSccp);
+}
+
+TEST_F(TelemetryTest, StatsJsonIsVersionedAndNested) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+  vm::ShotOptions opts;
+  opts.shots = 3;
+  (void)vm::runShots(*m, opts);
+
+  const std::string json = telemetry::statsJson("test");
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tool\":\"qirkit\""), std::string::npos);
+  EXPECT_NE(json.find("\"command\":\"test\""), std::string::npos);
+  // Dotted names render as nesting: vm.cache.misses -> "vm":{"cache":{...}}.
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"passes\":["), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos); // single line for tail -1
+
+  const std::string text = telemetry::statsText();
+  EXPECT_NE(text.find("qirkit telemetry"), std::string::npos);
+  EXPECT_NE(text.find("vm.cache.misses"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonEscape) {
+  EXPECT_EQ(telemetry::jsonEscape("plain"), "plain");
+  EXPECT_EQ(telemetry::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(telemetry::jsonEscape("x\ny"), "x\\ny");
+}
+
+TEST_F(TelemetryTest, TraceWriterEmitsChromeEvents) {
+  const std::string path = ::testing::TempDir() + "/qirkit_trace_test.json";
+  std::remove(path.c_str());
+  telemetry::trace::begin(path);
+  ASSERT_TRUE(telemetry::trace::enabled());
+  {
+    telemetry::trace::Span outer("outer.region");
+    telemetry::trace::Span inner("inner.region");
+  }
+  ASSERT_TRUE(telemetry::trace::flush());
+  EXPECT_FALSE(telemetry::trace::enabled());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"outer.region\""), std::string::npos);
+  EXPECT_NE(content.find("\"inner.region\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, DisabledTraceSpansStoreNothing) {
+  ASSERT_FALSE(telemetry::trace::enabled());
+  { telemetry::trace::Span span("never.recorded"); }
+  EXPECT_EQ(telemetry::trace::droppedEvents(), 0U);
+}
+
+TEST_F(TelemetryTest, ResetAllZeroesEverything) {
+  static telemetry::Counter counter{"test.reset.counter"};
+  counter.add(3);
+  telemetry::recordShotFailure(ErrorCode::Trap);
+  telemetry::recordPassRun("some-pass", 10, true, 5, 4);
+  telemetry::resetAll();
+  EXPECT_EQ(counter.value(), 0U);
+  EXPECT_EQ(telemetry::shotFailureCount(ErrorCode::Trap), 0U);
+  EXPECT_TRUE(telemetry::passRecords().empty());
+}
+
+} // namespace
+} // namespace qirkit

@@ -31,6 +31,12 @@
 ///
 /// Targets: line:N, ring:N, grid:RxC, full:N.
 ///
+/// Observability: `--stats[=text|json]` (run|compile|opt) arms the
+/// process-wide telemetry registry and prints the report on stderr after
+/// the command; json is the versioned schema documented in README
+/// "Observability". QIRKIT_TRACE=<file> writes Chrome trace-event JSON
+/// (Perfetto / chrome://tracing) spanning parse → opt → compile → execute.
+///
 /// Exit-code contract: 0 success; 1 diagnostics (parse/verify/semantic
 /// errors, runtime traps, nonconforming input); 2 usage errors; 3 internal
 /// faults. Classified errors print to stderr as
@@ -55,7 +61,12 @@
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
 #include "support/parallel.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 #include "vm/executor.hpp"
+
+#include <algorithm>
+#include <cctype>
 
 #include <fstream>
 #include <iostream>
@@ -74,17 +85,20 @@ using namespace qirkit;
   throw qirkit::Error(ErrorCode::Usage, message);
 }
 
-/// Parse a numeric option value; garbage is a usage error, not an abort.
+/// Parse a numeric option value; garbage — including negative values,
+/// which std::stoull would silently wrap — is a usage error, not an abort.
 std::uint64_t parseUint(const std::string& value, const std::string& name) {
+  const bool digitsOnly =
+      !value.empty() && std::all_of(value.begin(), value.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  if (!digitsOnly) {
+    fail("--" + name + " expects a non-negative integer, got '" + value + "'");
+  }
   try {
-    std::size_t consumed = 0;
-    const std::uint64_t parsed = std::stoull(value, &consumed);
-    if (consumed != value.size()) {
-      throw std::invalid_argument(value);
-    }
-    return parsed;
+    return std::stoull(value);
   } catch (const std::exception&) {
-    fail("--" + name + " expects a number, got '" + value + "'");
+    fail("--" + name + " value '" + value + "' is out of range");
   }
 }
 
@@ -132,15 +146,34 @@ Args parseArgs(int argc, char** argv, int start,
   for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
-      const std::string key = arg.substr(2);
+      std::string key = arg.substr(2);
+      std::optional<std::string> inlineValue; // --key=value form
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        inlineValue = key.substr(eq + 1);
+        key = key.substr(0, eq);
+      }
       const bool takesValue =
           std::find(valueOptions.begin(), valueOptions.end(), key) !=
           valueOptions.end();
-      if (takesValue) {
+      // --stats takes an *optional* format: bare --stats means text.
+      const bool optionalValue = key == "stats";
+      if (inlineValue) {
+        if (!takesValue && !optionalValue) {
+          fail("option --" + key + " does not take a value");
+        }
+        args.options[key] = *inlineValue;
+      } else if (takesValue) {
         if (i + 1 >= argc) {
           fail("option --" + key + " expects a value");
         }
         args.options[key] = argv[++i];
+      } else if (optionalValue) {
+        const std::string next = i + 1 < argc ? argv[i + 1] : "";
+        if (next == "text" || next == "json") {
+          args.options[key] = argv[++i];
+        } else {
+          args.options[key] = "text";
+        }
       } else {
         args.flags[key] = true;
       }
@@ -440,9 +473,22 @@ int cmdFeasibility(const Args& args) {
 }
 
 void usage() {
-  std::cerr << "usage: qirkit <parse|validate|opt|compile|run|translate|"
-               "partition|feasibility> <file> [options]\n"
-               "see the header of tools/qirkit.cpp or README.md for details\n";
+  std::cerr
+      << "usage: qirkit <parse|validate|opt|compile|run|translate|"
+         "partition|feasibility> <file> [options]\n"
+         "common options:\n"
+         "  --stats[=text|json]   print telemetry (parse/pass/vm/cache/shot\n"
+         "                        metrics) on stderr after the command\n"
+         "  -o <path>             write primary output to a file\n"
+         "run options: --shots N --seed S --engine vm|interp --jobs N\n"
+         "             --retries N --max-failed-shots N --no-fallback\n"
+         "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
+         "             --addressing static|dynamic --reuse --defer-mz\n"
+         "environment:\n"
+         "  QIRKIT_TRACE=<file>       write Chrome trace-event JSON "
+         "(Perfetto)\n"
+         "  QIRKIT_FAULT_INJECT=...   arm the deterministic fault injector\n"
+         "see the header of tools/qirkit.cpp or README.md for details\n";
 }
 
 /// The documented exit-code contract: 0 success, 1 diagnostics/trap,
@@ -461,8 +507,18 @@ int exitCodeFor(qirkit::ErrorCode code) noexcept {
 } // namespace
 
 int main(int argc, char** argv) {
+  // Flush any armed trace on every exit path (including thrown
+  // diagnostics) so a failed run still yields a loadable trace.
+  struct TraceFlusher {
+    ~TraceFlusher() {
+      if (!qirkit::telemetry::trace::flush()) {
+        std::cerr << "qirkit: warning: could not write QIRKIT_TRACE file\n";
+      }
+    }
+  } traceFlusher;
   try {
     qirkit::fault::FaultInjector::instance().configureFromEnv();
+    qirkit::telemetry::trace::initFromEnv();
     if (argc < 3) {
       usage();
       return 2;
@@ -476,16 +532,36 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
-    if (command == "parse") return cmdParse(args);
-    if (command == "validate") return cmdValidate(args);
-    if (command == "opt") return cmdOpt(args);
-    if (command == "compile") return cmdCompile(args);
-    if (command == "run") return cmdRun(args);
-    if (command == "translate") return cmdTranslate(args);
-    if (command == "partition") return cmdPartition(args);
-    if (command == "feasibility") return cmdFeasibility(args);
-    usage();
-    return 2;
+    const bool statsRequested = args.options.count("stats") != 0U;
+    const std::string statsFormat = args.option("stats", "text");
+    if (statsRequested) {
+      if (statsFormat != "text" && statsFormat != "json") {
+        fail("--stats expects text or json, got '" + statsFormat + "'");
+      }
+      qirkit::telemetry::setEnabled(true);
+    }
+    int rc = -1;
+    if (command == "parse") rc = cmdParse(args);
+    else if (command == "validate") rc = cmdValidate(args);
+    else if (command == "opt") rc = cmdOpt(args);
+    else if (command == "compile") rc = cmdCompile(args);
+    else if (command == "run") rc = cmdRun(args);
+    else if (command == "translate") rc = cmdTranslate(args);
+    else if (command == "partition") rc = cmdPartition(args);
+    else if (command == "feasibility") rc = cmdFeasibility(args);
+    else {
+      usage();
+      return 2;
+    }
+    if (statsRequested) {
+      // stderr keeps stdout byte-identical with and without --stats.
+      if (statsFormat == "json") {
+        std::cerr << qirkit::telemetry::statsJson(command) << "\n";
+      } else {
+        std::cerr << qirkit::telemetry::statsText();
+      }
+    }
+    return rc;
   } catch (const qirkit::Error& e) {
     std::cerr << "qirkit: " << e.formatted() << "\n";
     return exitCodeFor(e.code());

@@ -87,6 +87,44 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 "$QIRKIT" partition "$WORK/bell.ll" | grep -q "quantum: " || fail "partition"
 "$QIRKIT" feasibility "$WORK/bell.ll" --budget 100 | grep -q "feasible: yes" || fail "feasibility"
 
+# usage text stays in sync with the documented flags: every flag/env var
+# the README documents must appear when qirkit is invoked without args.
+"$QIRKIT" 2>"$WORK/usage" || true
+for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine --target; do
+  grep -q -- "$doc" "$WORK/usage" || fail "usage text does not mention $doc"
+done
+
+# numeric options reject negative values as usage errors (exit 2)
+for opt in shots jobs retries max-failed-shots; do
+  rc=0; "$QIRKIT" run "$WORK/bell.ll" --$opt -3 >/dev/null 2>"$WORK/err" || rc=$?
+  [ "$rc" -eq 2 ] || fail "--$opt -3 must exit 2 (got $rc)"
+  grep -q "qirkit: error\[usage\]: " "$WORK/err" || fail "--$opt -3 diagnostic format"
+done
+
+# --stats json: stdout stays byte-identical, stderr's last line is the
+# versioned JSON report with the documented sections
+"$QIRKIT" run "$WORK/bell.ll" --shots 40 --seed 3 >"$WORK/out.plain" 2>/dev/null \
+  || fail "run without stats"
+"$QIRKIT" run "$WORK/bell.ll" --shots 40 --seed 3 --stats json \
+  >"$WORK/out.stats" 2>"$WORK/stats.err" || fail "run with stats"
+cmp -s "$WORK/out.plain" "$WORK/out.stats" || fail "--stats changed stdout"
+tail -n 1 "$WORK/stats.err" > "$WORK/stats.json"
+for section in schema_version \"parse\" \"passes\" \"vm\" \"cache\" \"shots\" latency_ns; do
+  grep -q "$section" "$WORK/stats.json" || fail "stats json missing $section"
+done
+"$QIRKIT" run "$WORK/bell.ll" --shots 5 --stats >/dev/null 2>"$WORK/stats.txt" \
+  || fail "run with text stats"
+grep -q "qirkit telemetry" "$WORK/stats.txt" || fail "text stats header"
+rc=0; "$QIRKIT" run "$WORK/bell.ll" --stats=bogus >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--stats=bogus must exit 2 (got $rc)"
+
+# QIRKIT_TRACE writes Chrome trace-event JSON
+rc=0; QIRKIT_TRACE="$WORK/trace.json" "$QIRKIT" run "$WORK/bell.ll" --shots 5 \
+  >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 0 ] || fail "run with QIRKIT_TRACE (got $rc)"
+grep -q "traceEvents" "$WORK/trace.json" || fail "trace file missing traceEvents"
+grep -q "execute.batch" "$WORK/trace.json" || fail "trace file missing spans"
+
 # error paths honor the exit-code contract (0 ok, 1 diagnostics, 2 usage,
 # 3 internal) and report `error[<code>]` on stderr; test_exit_codes.sh
 # covers the full matrix.
