@@ -121,6 +121,10 @@ void BM_ShotBatch(benchmark::State& state) {
   vm::ShotOptions options;
   options.shots = 100;
   options.engine = engine;
+  // This benchmark measures the per-shot engines, so it pins resim; the
+  // auto default would route these terminal workloads to the sampling
+  // fast path (measured separately by BM_ExecMode below).
+  options.execMode = vm::ExecMode::Resim;
   for (auto _ : state) {
     options.seed += options.shots; // fresh shots each iteration
     benchmark::DoNotOptimize(vm::runShots(*module, options));
@@ -133,6 +137,47 @@ void BM_ShotBatch(benchmark::State& state) {
 BENCHMARK(BM_ShotBatch)
     ->ArgsProduct({{0, 1}, {4, 8}, {0, 1}})
     ->Unit(benchmark::kMicrosecond);
+
+/// The execution-mode acceptance workload: 1024 shots of a 20-qubit GHZ
+/// state through the same executor entry point, per-shot resimulation vs
+/// the terminal-measurement sampling fast path (simulate once, sample N).
+/// Resim costs O(shots * gates * 2^n), sampling O(gates * 2^n + shots * n):
+/// the shots_per_second counters are the headline comparison.
+void BM_ExecMode(benchmark::State& state) {
+  const vm::ExecMode mode =
+      state.range(0) == 0 ? vm::ExecMode::Resim : vm::ExecMode::Sample;
+  constexpr unsigned kQubits = 20;
+  constexpr std::uint64_t kShots = 1024;
+  static std::string text; // built once: the 20-qubit export is not free
+  if (text.empty()) {
+    text = bench::qirTextFor(circuit::ghz(kQubits, true),
+                             qir::Addressing::Static, true);
+  }
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, text);
+  vm::ShotOptions options;
+  options.shots = kShots;
+  options.execMode = mode;
+  std::uint64_t shotsCompleted = 0;
+  for (auto _ : state) {
+    options.seed += kShots;
+    const vm::ShotBatchResult result = vm::runShots(*module, options);
+    shotsCompleted += result.completedShots;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(std::string("ghz/") + vm::execModeName(mode));
+  state.counters["qubits"] = kQubits;
+  state.counters["shots"] = static_cast<double>(kShots);
+  state.counters["shots_per_second"] = benchmark::Counter(
+      static_cast<double>(shotsCompleted), benchmark::Counter::kIsRate);
+}
+// Resim re-simulates the 20-qubit state 1024 times — one iteration is
+// plenty (and keeps the smoke run inside CI budgets).
+BENCHMARK(BM_ExecMode)
+    ->Arg(0)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ExecMode)->Arg(1)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

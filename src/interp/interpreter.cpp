@@ -17,7 +17,11 @@ using namespace qirkit::ir;
 // ---------------------------------------------------------------------------
 
 Interpreter::Interpreter(const ir::Module& module) : module_(module) {
-  for (const auto& global : module.globals()) {
+  materializeGlobals();
+}
+
+void Interpreter::materializeGlobals() {
+  for (const auto& global : module_.globals()) {
     const std::string& bytes = global->initializer();
     const std::uint64_t address = memory_.allocate(std::max<std::uint64_t>(
         1, bytes.size()));
@@ -26,6 +30,14 @@ Interpreter::Interpreter(const ir::Module& module) : module_(module) {
     }
     globalAddresses_[global.get()] = address;
   }
+}
+
+void Interpreter::reset() {
+  memory_ = Memory();
+  globalAddresses_.clear();
+  materializeGlobals();
+  stats_ = {};
+  stepsTaken_ = 0;
 }
 
 std::uint64_t Interpreter::globalAddress(const GlobalVariable* g) const {

@@ -48,6 +48,14 @@ public:
   [[nodiscard]] const InterpStats& stats() const noexcept { return stats_; }
   void resetStats() noexcept { stats_ = {}; }
 
+  /// Return to the freshly-constructed state: fresh memory with globals
+  /// re-materialized (the deterministic bump allocator reproduces the
+  /// exact same addresses) and zeroed statistics, keeping every external
+  /// binding. The batched shot executor uses this to run N shots on one
+  /// Interpreter instead of constructing one per shot — the interp-engine
+  /// analog of Vm::reset().
+  void reset();
+
   /// Address of a materialized global (byte-array) in memory.
   [[nodiscard]] std::uint64_t globalAddress(const ir::GlobalVariable* g) const;
 
@@ -64,6 +72,7 @@ public:
   void setStepLimit(std::uint64_t limit) noexcept { stepLimit_ = limit; }
 
 private:
+  void materializeGlobals();
   RtValue execute(const ir::Function& fn, std::span<const RtValue> args,
                   unsigned depth);
   RtValue evalConstant(const ir::Value* v) const;

@@ -43,6 +43,8 @@ void QuantumRuntime::reset(std::uint64_t seed) {
   results_.clear();
   arraySizes_.clear();
   output_.clear();
+  resultQubit_.clear();
+  deferredOutput_.clear();
 }
 
 void QuantumRuntime::reserveStaticQubits(unsigned n) {
@@ -119,6 +121,25 @@ std::string QuantumRuntime::outputBitString() const {
   return out;
 }
 
+std::map<std::string, std::uint64_t> QuantumRuntime::sampleRecordedHistogram(
+    std::uint64_t shots, SplitMix64& rng) const {
+  std::map<std::string, std::uint64_t> histogram;
+  // Joint Z-measurements commute, so the whole record is one draw from the
+  // final state; each distinct basis state expands to its bit string once.
+  for (const auto& [basis, count] : state_.sampleShots(shots, rng)) {
+    std::string bits;
+    bits.reserve(deferredOutput_.size());
+    for (const auto& [label, key] : deferredOutput_) {
+      const auto it = resultQubit_.find(key);
+      const bool value =
+          it != resultQubit_.end() && ((basis >> it->second) & 1) != 0;
+      bits.push_back(value ? '1' : '0');
+    }
+    histogram[bits] += count;
+  }
+  return histogram;
+}
+
 void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
   using Handler = interp::ExternalRegistry::ExternalHandler;
   const auto gate1 = [this](void (*apply)(sim::StateVector&, unsigned)) -> Handler {
@@ -164,7 +185,21 @@ void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
                       }));
   interp.bindExternal(std::string(qir::kQisReset),
                       [this](std::span<const RtValue> args, ExternContext& ctx) {
-                        state_.resetQubit(resolveQubit(argPtr(args, 0), ctx), rng_);
+                        const unsigned q = resolveQubit(argPtr(args, 0), ctx);
+                        if (mode_ == MeasurementMode::Defer) {
+                          // Shot analysis only admits resets of fresh
+                          // qubits (a no-op); verify so an unsound caller
+                          // trips the resim fallback instead of sampling
+                          // from a silently wrong state.
+                          if (state_.probabilityOfOne(q) > 1e-9) {
+                            throw TrapError(
+                                "reset of a non-|0> qubit in "
+                                "deferred-measurement mode",
+                                ErrorCode::Semantic);
+                          }
+                        } else {
+                          state_.resetQubit(q, rng_);
+                        }
                         return RtValue::makeVoid();
                       });
   interp.bindExternal(std::string(qir::kQisRX),
@@ -213,8 +248,14 @@ void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
   interp.bindExternal(std::string(qir::kQisMz),
                       [this](std::span<const RtValue> args, ExternContext& ctx) {
                         const unsigned q = resolveQubit(argPtr(args, 0), ctx);
-                        const bool outcome = state_.measure(q, rng_);
-                        results_[resultKey(argPtr(args, 1))] = outcome;
+                        if (mode_ == MeasurementMode::Defer) {
+                          // Record which qubit backs the result key; the
+                          // outcome is drawn jointly at sampling time.
+                          resultQubit_[resultKey(argPtr(args, 1))] = q;
+                        } else {
+                          const bool outcome = state_.measure(q, rng_);
+                          results_[resultKey(argPtr(args, 1))] = outcome;
+                        }
                         ++stats_.measurements;
                         return RtValue::makeVoid();
                       });
@@ -299,8 +340,13 @@ void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
                         const std::string label =
                             labelPtr == 0 ? std::string{}
                                           : ctx.readCString(labelPtr);
-                        output_.emplace_back(label,
-                                             resultValue(resultKey(argPtr(args, 0))));
+                        if (mode_ == MeasurementMode::Defer) {
+                          deferredOutput_.emplace_back(
+                              label, resultKey(argPtr(args, 0)));
+                        } else {
+                          output_.emplace_back(
+                              label, resultValue(resultKey(argPtr(args, 0))));
+                        }
                         return RtValue::makeVoid();
                       });
   interp.bindExternal(std::string(qir::kRtArrayRecordOutput),

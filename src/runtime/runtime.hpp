@@ -45,11 +45,24 @@ public:
   /// Reserved address region for dynamic qubit handles.
   static constexpr std::uint64_t kDynamicHandleBase = 0x5151000000000000ULL;
 
+  /// How mz is realized. Collapse is the per-shot semantics (projective
+  /// measurement, result table). Defer is the terminal-measurement
+  /// sampling path: mz only records which simulator qubit backs each
+  /// result key — the state never collapses — and the joint outcome
+  /// distribution is drawn afterwards via sampleRecordedHistogram(). Only
+  /// sound for programs vm::analyzeShotProfile classifies as Terminal
+  /// (reset traps defensively on a non-|0> qubit, read_result sees an
+  /// empty result table).
+  enum class MeasurementMode : std::uint8_t { Collapse, Defer };
+
   explicit QuantumRuntime(std::uint64_t seed = 1, qirkit::ThreadPool* pool = nullptr)
       : state_(0, pool), pool_(pool), rng_(seed) {}
 
   /// Register every qis/rt handler with \p interp.
   void bind(interp::ExternalRegistry& interp);
+
+  void setMeasurementMode(MeasurementMode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] MeasurementMode measurementMode() const noexcept { return mode_; }
 
   /// Return to the freshly-constructed state with a new RNG seed, keeping
   /// every registered binding valid (handlers capture `this`). The batched
@@ -84,6 +97,14 @@ public:
   /// Recorded output as a bit string (first-recorded bit leftmost).
   [[nodiscard]] std::string outputBitString() const;
 
+  /// Defer mode only: draw \p shots joint outcomes from the final state
+  /// (StateVector::sampleShots) and expand each sampled basis state into
+  /// the bit-string format outputBitString() produces under Collapse —
+  /// one bit per result_record_output call, first-recorded leftmost.
+  /// Returns bit string -> shot count.
+  [[nodiscard]] std::map<std::string, std::uint64_t> sampleRecordedHistogram(
+      std::uint64_t shots, SplitMix64& rng) const;
+
 private:
   std::uint64_t allocateQubitHandle();
   /// Resolve a Qubit* argument to a simulator index (see file comment).
@@ -101,6 +122,11 @@ private:
   std::map<std::uint64_t, bool> results_;
   std::map<std::uint64_t, std::uint64_t> arraySizes_;
   std::vector<std::pair<std::string, bool>> output_;
+  MeasurementMode mode_ = MeasurementMode::Collapse;
+  /// Defer mode: result key -> simulator qubit index backing it.
+  std::map<std::uint64_t, unsigned> resultQubit_;
+  /// Defer mode: result_record_output calls as (label, result key).
+  std::vector<std::pair<std::string, std::uint64_t>> deferredOutput_;
 };
 
 /// A runtime that *records* the instruction trace as a circuit instead of

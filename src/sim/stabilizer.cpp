@@ -219,4 +219,24 @@ void StabilizerSimulator::reset(unsigned q, SplitMix64& rng) {
   }
 }
 
+std::vector<std::uint64_t> StabilizerSimulator::sampleShots(
+    std::span<const unsigned> qubits, std::uint64_t shots, SplitMix64& rng) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(shots);
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    StabilizerSimulator scratch(*this);
+    // The copy inherits the source's gate tally; zero it so the scratch
+    // destructor does not flush those gates into telemetry again.
+    scratch.gateCount_ = 0;
+    std::uint64_t bits = 0;
+    for (std::size_t j = 0; j < qubits.size(); ++j) {
+      if (scratch.measure(qubits[j], rng)) {
+        bits |= std::uint64_t{1} << j;
+      }
+    }
+    out.push_back(bits);
+  }
+  return out;
+}
+
 } // namespace qirkit::sim

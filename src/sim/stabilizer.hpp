@@ -11,6 +11,7 @@
 #include "support/rng.hpp"
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace qirkit::sim {
@@ -45,6 +46,14 @@ public:
   void reset(unsigned q, SplitMix64& rng);
   /// True if measuring \p q would give a deterministic outcome.
   [[nodiscard]] bool isDeterministic(unsigned q) const;
+  /// Terminal-measurement sampling: for each of \p shots, measure the
+  /// listed qubits in order on a scratch copy of the tableau (the original
+  /// is untouched) and pack the outcomes into a bit mask, bit j holding
+  /// qubits[j]'s outcome. The stabilizer analog of
+  /// StateVector::sampleShots.
+  [[nodiscard]] std::vector<std::uint64_t> sampleShots(std::span<const unsigned> qubits,
+                                                       std::uint64_t shots,
+                                                       SplitMix64& rng) const;
 
   /// Number of gate applications performed.
   [[nodiscard]] std::uint64_t gateCount() const noexcept { return gateCount_; }

@@ -3,6 +3,7 @@
 #include "support/source_location.hpp"
 #include "support/telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -67,7 +68,8 @@ void StateVector::removeQubit(unsigned q, SplitMix64& rng) {
 }
 
 void StateVector::forRange(
-    std::uint64_t n, const std::function<void(std::uint64_t, std::uint64_t)>& body) {
+    std::uint64_t n,
+    const std::function<void(std::uint64_t, std::uint64_t)>& body) const {
   if (pool_ != nullptr && n >= (std::uint64_t{1} << 14)) {
     qirkit::parallelForChunked(*pool_, n, body, std::uint64_t{1} << 12);
   } else {
@@ -99,12 +101,14 @@ void StateVector::applyControlled1(const GateMatrix2& gate, unsigned control,
   g_svGates.add();
   const std::uint64_t cbit = std::uint64_t{1} << control;
   const std::uint64_t tbit = std::uint64_t{1} << target;
-  forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+  // Enumerate only the control=1, target=0 subspace: insert zero bits at
+  // both positions (ascending, so the second insertion sees final
+  // coordinates), then force the control bit on.
+  const unsigned lo = control < target ? control : target;
+  const unsigned hi = control < target ? target : control;
+  forRange(dimension() >> 2, [&](std::uint64_t begin, std::uint64_t end) {
     for (std::uint64_t i = begin; i < end; ++i) {
-      const std::uint64_t i0 = insertZeroBit(i, target);
-      if ((i0 & cbit) == 0) {
-        continue;
-      }
+      const std::uint64_t i0 = insertZeroBit(insertZeroBit(i, lo), hi) | cbit;
       const std::uint64_t i1 = i0 | tbit;
       const Complex a0 = amplitudes_[i0];
       const Complex a1 = amplitudes_[i1];
@@ -121,12 +125,23 @@ void StateVector::applyCCX(unsigned control1, unsigned control2, unsigned target
   const std::uint64_t c1 = std::uint64_t{1} << control1;
   const std::uint64_t c2 = std::uint64_t{1} << control2;
   const std::uint64_t tbit = std::uint64_t{1} << target;
-  forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+  // Enumerate only the control1=1, control2=1, target=0 subspace.
+  unsigned pos[3] = {control1, control2, target};
+  if (pos[0] > pos[1]) {
+    std::swap(pos[0], pos[1]);
+  }
+  if (pos[1] > pos[2]) {
+    std::swap(pos[1], pos[2]);
+  }
+  if (pos[0] > pos[1]) {
+    std::swap(pos[0], pos[1]);
+  }
+  forRange(dimension() >> 3, [&](std::uint64_t begin, std::uint64_t end) {
     for (std::uint64_t i = begin; i < end; ++i) {
-      const std::uint64_t i0 = insertZeroBit(i, target);
-      if ((i0 & c1) == 0 || (i0 & c2) == 0) {
-        continue;
-      }
+      const std::uint64_t i0 =
+          (insertZeroBit(insertZeroBit(insertZeroBit(i, pos[0]), pos[1]), pos[2]) |
+           c1) |
+          c2;
       std::swap(amplitudes_[i0],
                 amplitudes_[i0 | tbit]);
     }
@@ -207,6 +222,41 @@ std::map<std::uint64_t, std::uint64_t> StateVector::sampleCounts(std::uint64_t s
   std::map<std::uint64_t, std::uint64_t> counts;
   for (std::uint64_t s = 0; s < shots; ++s) {
     ++counts[sample(rng)];
+  }
+  return counts;
+}
+
+std::map<std::uint64_t, std::uint64_t> StateVector::sampleShots(
+    std::uint64_t shots, SplitMix64& rng) const {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  if (shots == 0) {
+    return counts;
+  }
+  // Cumulative probabilities. The sum is sequential so the distribution is
+  // bit-identical regardless of pool size; the per-shot searches below are
+  // the parallel part.
+  std::vector<double> cdf(dimension());
+  double total = 0;
+  for (std::uint64_t i = 0; i < dimension(); ++i) {
+    total += std::norm(amplitudes_[i]);
+    cdf[i] = total;
+  }
+  // Pre-draw every uniform from the caller's stream (scaled by the actual
+  // total to absorb rounding), then binary-search each shot independently.
+  std::vector<double> draws(shots);
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    draws[s] = rng.uniform() * total;
+  }
+  std::vector<std::uint64_t> basis(shots);
+  forRange(shots, [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t s = begin; s < end; ++s) {
+      const auto it = std::upper_bound(cdf.begin(), cdf.end(), draws[s]);
+      basis[s] = it == cdf.end() ? dimension() - 1
+                                 : static_cast<std::uint64_t>(it - cdf.begin());
+    }
+  });
+  for (std::uint64_t s = 0; s < shots; ++s) {
+    ++counts[basis[s]];
   }
   return counts;
 }

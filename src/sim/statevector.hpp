@@ -65,6 +65,15 @@ public:
   /// Counts of \p shots independent samples, keyed by basis state.
   [[nodiscard]] std::map<std::uint64_t, std::uint64_t> sampleCounts(std::uint64_t shots,
                                                                     SplitMix64& rng) const;
+  /// Batched sampling kernel for the shot executor's terminal-measurement
+  /// fast path: builds the cumulative probability distribution once
+  /// (O(2^n)), then draws \p shots basis states by binary search
+  /// (O(shots log 2^n) = O(shots · n)), parallelized over the thread pool
+  /// when the batch is large. All uniforms are pre-drawn sequentially from
+  /// \p rng, so the result is independent of pool size and identical to a
+  /// sequential run.
+  [[nodiscard]] std::map<std::uint64_t, std::uint64_t> sampleShots(std::uint64_t shots,
+                                                                   SplitMix64& rng) const;
 
   // -- inspection --------------------------------------------------------
   [[nodiscard]] Complex amplitude(std::uint64_t basis) const {
@@ -86,7 +95,8 @@ public:
   [[nodiscard]] std::uint64_t gateCount() const noexcept { return gateCount_; }
 
 private:
-  void forRange(std::uint64_t n, const std::function<void(std::uint64_t, std::uint64_t)>& body);
+  void forRange(std::uint64_t n,
+                const std::function<void(std::uint64_t, std::uint64_t)>& body) const;
 
   unsigned numQubits_;
   std::vector<Complex> amplitudes_;

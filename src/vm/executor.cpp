@@ -6,6 +6,7 @@
 #include "support/telemetry/trace.hpp"
 #include "vm/cache.hpp"
 #include "vm/compiler.hpp"
+#include "vm/shot_analysis.hpp"
 
 #include <mutex>
 #include <optional>
@@ -16,6 +17,18 @@ using interp::TrapError;
 
 const char* engineName(Engine engine) noexcept {
   return engine == Engine::Vm ? "vm" : "interp";
+}
+
+const char* execModeName(ExecMode mode) noexcept {
+  switch (mode) {
+  case ExecMode::Auto:
+    return "auto";
+  case ExecMode::Resim:
+    return "resim";
+  case ExecMode::Sample:
+    return "sample";
+  }
+  return "auto";
 }
 
 std::uint64_t deriveRetrySeed(std::uint64_t baseSeed, std::uint64_t shot,
@@ -33,6 +46,11 @@ telemetry::Counter g_shotsRetries{"shots.retries"};
 telemetry::Counter g_shotsInterpFallbacks{"shots.interp_fallbacks"};
 telemetry::Counter g_shotsBatches{"shots.batches"};
 telemetry::Counter g_shotsDegradedBatches{"shots.degraded_batches"};
+telemetry::Counter g_sampleBatches{"shots.sample_mode_batches"};
+telemetry::Counter g_shotsSampled{"shots.sampled"};
+telemetry::Counter g_sampleFallbacks{"shots.sample_fallbacks"};
+telemetry::Counter g_analysisTerminal{"shots.analysis.terminal"};
+telemetry::Counter g_analysisFeedback{"shots.analysis.feedback_dependent"};
 telemetry::LatencyHistogram g_shotLatency{"shots.latency_ns"};
 
 /// Per-chunk accumulator, merged into the batch under a mutex (or moved
@@ -45,6 +63,12 @@ struct ChunkResult {
   std::uint64_t interpFallbackShots = 0;
   std::map<ErrorCode, std::uint64_t> failureCounts;
   std::vector<ShotFailure> failures;
+  /// Stats of the batch's final shot, when this chunk ran it successfully.
+  /// Merged into the batch under the merge lock — workers never write the
+  /// shared result directly.
+  bool hasLastShot = false;
+  runtime::RuntimeStats lastShotStats;
+  interp::InterpStats lastShotEngineStats;
 };
 
 /// The outcome of one successful shot attempt.
@@ -75,17 +99,23 @@ public:
               const std::shared_ptr<const BytecodeModule>& compiled,
               Engine engine, const ShotOptions& opts)
       : module_(module), opts_(opts), engine_(engine) {
+    // Both engines are constructed once per chunk and reset per shot; the
+    // deterministic bump allocator makes a reset Interpreter
+    // indistinguishable from a fresh one (identical arena addresses).
     if (engine_ == Engine::Vm) {
       vm_.emplace(compiled);
       rt_.emplace(0, nullptr);
       rt_->bind(*vm_);
+    } else {
+      interp_.emplace(module_);
+      rt_.emplace(0, nullptr);
+      rt_->bind(*interp_);
     }
   }
 
-  void run(std::uint64_t begin, std::uint64_t end, ChunkResult& out,
-           ShotBatchResult& batch) {
+  void run(std::uint64_t begin, std::uint64_t end, ChunkResult& out) {
     for (std::uint64_t shot = begin; shot < end; ++shot) {
-      runIsolated(shot, out, batch);
+      runIsolated(shot, out);
     }
   }
 
@@ -98,23 +128,29 @@ private:
     return {rt_->outputBitString(), rt_->stats(), vm_->stats()};
   }
 
-  ShotOutcome runAttempt(std::uint64_t seed) {
-    return engine_ == Engine::Vm ? runVmShot(seed) : runInterpShot(module_, seed);
+  ShotOutcome runHostedInterpShot(std::uint64_t seed) {
+    rt_->reset(seed);
+    interp_->reset();
+    interp_->runEntryPoint();
+    return {rt_->outputBitString(), rt_->stats(), interp_->stats()};
   }
 
-  void runIsolated(std::uint64_t shot, ChunkResult& out, ShotBatchResult& batch) {
+  ShotOutcome runAttempt(std::uint64_t seed) {
+    return engine_ == Engine::Vm ? runVmShot(seed) : runHostedInterpShot(seed);
+  }
+
+  void runIsolated(std::uint64_t shot, ChunkResult& out) {
     // One clock pair per shot, only while telemetry is armed; the latency
     // includes retries and fallback reruns — it is the user-visible cost
     // of delivering (or giving up on) this shot.
     const std::uint64_t t0 = telemetry::enabled() ? telemetry::nowNs() : 0;
-    runIsolatedImpl(shot, out, batch);
+    runIsolatedImpl(shot, out);
     if (t0 != 0) {
       g_shotLatency.recordUnchecked(telemetry::nowNs() - t0);
     }
   }
 
-  void runIsolatedImpl(std::uint64_t shot, ChunkResult& out,
-                       ShotBatchResult& batch) {
+  void runIsolatedImpl(std::uint64_t shot, ChunkResult& out) {
     std::uint64_t attempt = 0;
     for (;;) {
       const std::uint64_t seed = attempt == 0
@@ -122,7 +158,7 @@ private:
                                      : deriveRetrySeed(opts_.seed, shot, attempt);
       ClassifiedError failure;
       try {
-        record(shot, runAttempt(seed), out, batch);
+        record(shot, runAttempt(seed), out);
         return;
       } catch (const std::exception& e) {
         failure = classifyException(e);
@@ -132,7 +168,7 @@ private:
         // completes the shot the VM trapped on, the reference answer
         // stands and the trap is the VM's problem, not the program's.
         try {
-          record(shot, runInterpShot(module_, seed), out, batch);
+          record(shot, runInterpShot(module_, seed), out);
           ++out.interpFallbackShots;
           return;
         } catch (const std::exception& e) {
@@ -159,13 +195,13 @@ private:
     }
   }
 
-  void record(std::uint64_t shot, ShotOutcome outcome, ChunkResult& out,
-              ShotBatchResult& batch) {
+  void record(std::uint64_t shot, ShotOutcome outcome, ChunkResult& out) {
     ++out.completed;
     ++out.histogram[outcome.bits];
     if (shot + 1 == opts_.shots) {
-      batch.lastShotStats = outcome.stats;
-      batch.lastShotEngineStats = outcome.engineStats;
+      out.hasLastShot = true;
+      out.lastShotStats = outcome.stats;
+      out.lastShotEngineStats = outcome.engineStats;
     }
   }
 
@@ -173,12 +209,54 @@ private:
   const ShotOptions& opts_;
   Engine engine_;
   std::optional<Vm> vm_;
+  std::optional<interp::Interpreter> interp_;
   std::optional<runtime::QuantumRuntime> rt_;
 };
+
+/// The terminal-measurement fast path: run the program exactly once on
+/// the selected engine with deferred (non-collapsing) measurements, then
+/// draw all N shots from the final state. The single simulation may use
+/// the batch's thread pool for gate kernels — unlike per-shot resim there
+/// is no outer shot parallelism to collide with — and stays bit-identical
+/// to a sequential run (disjoint-index kernels, sequential reductions).
+/// Throws on any trap; the caller degrades to resim.
+void runSampledBatch(const ir::Module& module,
+                     const std::shared_ptr<const BytecodeModule>& compiled,
+                     Engine engine, const ShotOptions& opts,
+                     ShotBatchResult& result) {
+  const telemetry::trace::Span span("execute.sample");
+  runtime::QuantumRuntime rt(opts.seed, opts.pool);
+  rt.setMeasurementMode(runtime::QuantumRuntime::MeasurementMode::Defer);
+  interp::InterpStats engineStats;
+  if (engine == Engine::Vm) {
+    Vm machine(compiled);
+    rt.bind(machine);
+    machine.runEntryPoint();
+    engineStats = machine.stats();
+  } else {
+    interp::Interpreter interp(module);
+    rt.bind(interp);
+    interp.runEntryPoint();
+    engineStats = interp.stats();
+  }
+  // One uniform per shot, drawn sequentially from a stream keyed on the
+  // batch seed: the histogram depends only on (program, seed, shots),
+  // never on engine or pool size.
+  SplitMix64 rng(opts.seed);
+  result.histogram = rt.sampleRecordedHistogram(opts.shots, rng);
+  result.completedShots = opts.shots;
+  result.lastShotStats = rt.stats();
+  result.lastShotEngineStats = engineStats;
+  result.sampled = true;
+}
 
 void mergeChunk(ChunkResult&& chunk, ShotBatchResult& result) {
   for (const auto& [bits, count] : chunk.histogram) {
     result.histogram[bits] += count;
+  }
+  if (chunk.hasLastShot) {
+    result.lastShotStats = chunk.lastShotStats;
+    result.lastShotEngineStats = chunk.lastShotEngineStats;
   }
   result.completedShots += chunk.completed;
   result.failedShots += chunk.failed;
@@ -236,13 +314,6 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     g_shotsDegradedBatches.add();
   }
 
-  const auto runChunk = [&](std::uint64_t begin, std::uint64_t end,
-                            ChunkResult& out) {
-    const telemetry::trace::Span chunkSpan("execute.chunk");
-    ChunkRunner runner(module, compiled, engine, opts);
-    runner.run(begin, end, out, result);
-  };
-
   const auto finish = [&]() -> ShotBatchResult& {
     g_shotsCompleted.add(result.completedShots);
     g_shotsFailed.add(result.failedShots);
@@ -258,6 +329,54 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
                       first.code, first.transient);
     }
     return result;
+  };
+
+  // Execution-mode selection: unless resim was requested, classify the
+  // program and serve terminal batches from one simulation. Any fault on
+  // the sampling path degrades to the per-shot machinery below.
+  if (opts.execMode != ExecMode::Resim) {
+    ShotAnalysis analysis;
+    {
+      const telemetry::trace::Span analysisSpan("execute.analyze");
+      analysis = analyzeShotProfile(module);
+    }
+    (analysis.profile == ShotProfile::Terminal ? g_analysisTerminal
+                                               : g_analysisFeedback)
+        .add();
+    if (analysis.profile != ShotProfile::Terminal) {
+      if (opts.execMode == ExecMode::Sample) {
+        throw qirkit::Error(ErrorCode::Usage,
+                            "--exec-mode=sample requires a "
+                            "measurement-terminal program, but the shot "
+                            "analysis found: " +
+                                analysis.reason);
+      }
+    } else if (opts.shots > 0) {
+      try {
+        runSampledBatch(module, compiled, engine, opts, result);
+        g_sampleBatches.add();
+        g_shotsSampled.add(result.completedShots);
+        return finish();
+      } catch (const std::exception& e) {
+        const ClassifiedError failure = classifyException(e);
+        g_sampleFallbacks.add();
+        result.sampleFallback = true;
+        result.sampleFallbackReason =
+            std::string(errorCodeName(failure.code)) + ": " + failure.message;
+        result.sampled = false;
+        result.histogram.clear();
+        result.completedShots = 0;
+        result.lastShotStats = {};
+        result.lastShotEngineStats = {};
+      }
+    }
+  }
+
+  const auto runChunk = [&](std::uint64_t begin, std::uint64_t end,
+                            ChunkResult& out) {
+    const telemetry::trace::Span chunkSpan("execute.chunk");
+    ChunkRunner runner(module, compiled, engine, opts);
+    runner.run(begin, end, out);
   };
 
   if (opts.pool == nullptr || opts.pool->size() <= 1 || opts.shots <= 1) {

@@ -41,6 +41,19 @@ enum class Engine { Interp, Vm };
 
 [[nodiscard]] const char* engineName(Engine engine) noexcept;
 
+/// How the batch turns one program into N shot outcomes.
+///  * Resim — re-simulate the full program once per shot (the historical
+///    behaviour, and the only sound strategy for feedback-dependent
+///    programs).
+///  * Sample — simulate once with deferred measurements and draw all N
+///    shots from the final state. Requires the terminal-measurement
+///    analysis (shot_analysis.hpp) to hold; forcing it on an
+///    analysis-negative program is a usage error.
+///  * Auto — Sample when the analysis proves it sound, Resim otherwise.
+enum class ExecMode : std::uint8_t { Auto, Resim, Sample };
+
+[[nodiscard]] const char* execModeName(ExecMode mode) noexcept;
+
 struct ShotOptions {
   std::uint64_t shots = 100;
   std::uint64_t seed = 1;
@@ -65,6 +78,10 @@ struct ShotOptions {
   /// interpreter. Disable to surface raw VM behaviour (differential
   /// tests do).
   bool interpFallback = true;
+  /// Shot delivery strategy (see ExecMode). Any fault inside the sampling
+  /// path degrades to the per-shot resim machinery, mirroring the
+  /// VM->interpreter fallback discipline.
+  ExecMode execMode = ExecMode::Auto;
 };
 
 /// One permanently failed shot, classified.
@@ -100,6 +117,15 @@ struct ShotBatchResult {
   Engine engineUsed = Engine::Vm;
   bool degradedToInterp = false;
   std::string degradeReason;
+  /// True when the batch was served by the terminal-measurement sampling
+  /// path (one simulation, N sampled shots). False means per-shot resim —
+  /// either by choice, because the analysis said feedback-dependent, or
+  /// because the sampling path faulted (see sampleFallback).
+  bool sampled = false;
+  /// The sampling path was attempted but faulted, and the batch degraded
+  /// to per-shot resim.
+  bool sampleFallback = false;
+  std::string sampleFallbackReason;
   /// Failure histogram: classified error code -> failed-shot count.
   std::map<ErrorCode, std::uint64_t> failureCounts;
   /// Detail records for the first kMaxFailureRecords failures (merge

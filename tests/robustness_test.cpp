@@ -39,11 +39,17 @@ fault::Plan countingPlan(fault::Site site) {
 /// RuntimeCall probes one shot of \p module makes on the interpreter
 /// engine (identical on the VM engine — that is the parity the probes
 /// are keyed on).
+///
+/// Every test built on this probe arithmetic pins ExecMode::Resim: the
+/// per-shot probe numbering it measures only holds on the per-shot resim
+/// path, not under the single-simulation sampling fast path that the
+/// default auto mode would pick for these terminal circuits.
 std::uint64_t runtimeCallsPerShot(const ir::Module& module) {
   const fault::ScopedPlan counting(countingPlan(fault::Site::RuntimeCall));
   vm::ShotOptions opts;
   opts.shots = 1;
   opts.engine = vm::Engine::Interp;
+  opts.execMode = vm::ExecMode::Resim;
   (void)vm::runShots(module, opts);
   return fault::FaultInjector::instance().probeCount(fault::Site::RuntimeCall);
 }
@@ -300,6 +306,7 @@ TEST(ShotIsolation, OneInjectedTrapFailsOneShotAndCompletesTheRest) {
   opts.shots = 100;
   opts.seed = 5;
   opts.engine = vm::Engine::Interp;
+  opts.execMode = vm::ExecMode::Resim;
   opts.maxFailedShots = 1;
   const vm::ShotBatchResult batch = vm::runShots(*m, opts);
 
@@ -331,6 +338,7 @@ TEST(ShotIsolation, DefaultThresholdPreservesAnyTrapAborts) {
   vm::ShotOptions opts;
   opts.shots = 10;
   opts.engine = vm::Engine::Interp; // maxFailedShots stays 0
+  opts.execMode = vm::ExecMode::Resim;
   try {
     (void)vm::runShots(*m, opts);
     FAIL() << "expected the batch to abort";
@@ -353,6 +361,7 @@ TEST(ShotIsolation, TransientFaultIsRetriedWithDerivedSeed) {
   vm::ShotOptions opts;
   opts.shots = 20;
   opts.engine = vm::Engine::Interp;
+  opts.execMode = vm::ExecMode::Resim;
   opts.retries = 2;
   const vm::ShotBatchResult batch = vm::runShots(*m, opts);
 
@@ -376,6 +385,7 @@ TEST(ShotIsolation, PermanentFaultIsNeverRetried) {
   vm::ShotOptions opts;
   opts.shots = 10;
   opts.engine = vm::Engine::Interp;
+  opts.execMode = vm::ExecMode::Resim;
   opts.retries = 5;
   opts.maxFailedShots = 1;
   const vm::ShotBatchResult batch = vm::runShots(*m, opts);
@@ -458,6 +468,7 @@ TEST(Degradation, VmDispatchFaultIsRescuedPerShotByTheInterpreter) {
   opts.shots = 32;
   opts.seed = 13;
   opts.useCompileCache = false;
+  opts.execMode = vm::ExecMode::Resim;
 
   opts.engine = vm::Engine::Interp;
   const vm::ShotBatchResult reference = vm::runShots(*m, opts);
@@ -511,6 +522,7 @@ TEST(TrapParity, EnginesFailTheSameShotUnderRuntimeCallInjection) {
     opts.shots = 12;
     opts.seed = 3;
     opts.engine = engine;
+    opts.execMode = vm::ExecMode::Resim;
     opts.useCompileCache = false;
     opts.interpFallback = false; // surface the raw VM fault
     opts.maxFailedShots = 12;

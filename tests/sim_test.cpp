@@ -178,6 +178,42 @@ TEST(StateVectorTest, SampleMatchesAmplitudes) {
   EXPECT_NEAR(static_cast<double>(counts.at(0b00)) / 10000, 0.5, 0.03);
 }
 
+TEST(StateVectorTest, SampleShotsMatchesBornRuleAndPreservesState) {
+  StateVector sv(2);
+  sv.apply1(gateH(), 0);
+  sv.applyControlled1(gateX(), 0, 1); // Bell: only |00> and |11>
+  SplitMix64 rng(123);
+  const auto counts = sv.sampleShots(10000, rng);
+  std::uint64_t total = 0;
+  for (const auto& [basis, count] : counts) {
+    EXPECT_TRUE(basis == 0b00 || basis == 0b11) << basis;
+    total += count;
+  }
+  EXPECT_EQ(total, 10000U);
+  EXPECT_NEAR(static_cast<double>(counts.at(0b00)) / 10000, 0.5, 0.03);
+  // Sampling is non-destructive: the state is untouched (no collapse).
+  EXPECT_NEAR(std::norm(sv.amplitude(0b00)), 0.5, kEps);
+  EXPECT_NEAR(std::norm(sv.amplitude(0b11)), 0.5, kEps);
+}
+
+TEST(StateVectorTest, SampleShotsIsDeterministicAndPoolIndependent) {
+  ThreadPool pool(4);
+  StateVector seq(10);
+  StateVector par(10, &pool);
+  for (unsigned q = 0; q < 10; ++q) {
+    seq.apply1(gateH(), q);
+    par.apply1(gateH(), q);
+  }
+  SplitMix64 rngA(7);
+  SplitMix64 rngB(7);
+  const auto a = seq.sampleShots(5000, rngA);
+  const auto b = par.sampleShots(5000, rngB);
+  // Same seed => identical histogram, regardless of the worker pool: the
+  // uniform draws are pre-drawn sequentially and the binary searches are
+  // pure. This is what keeps batched sampling engine- and jobs-stable.
+  EXPECT_EQ(a, b);
+}
+
 TEST(StateVectorTest, FidelityOfIdenticalStatesIsOne) {
   StateVector a(3);
   StateVector b(3);

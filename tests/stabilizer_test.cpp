@@ -96,6 +96,27 @@ TEST(Stabilizer, BellPairCorrelations) {
   }
 }
 
+TEST(Stabilizer, SampleShotsBellCorrelationsWithoutCollapsingSource) {
+  StabilizerSimulator sv(2);
+  sv.h(0);
+  sv.cx(0, 1);
+  SplitMix64 rng(3);
+  const std::vector<unsigned> qubits = {0, 1};
+  const auto outcomes = sv.sampleShots(qubits, 2000, rng);
+  ASSERT_EQ(outcomes.size(), 2000U);
+  std::uint64_t ones = 0;
+  for (const std::uint64_t bits : outcomes) {
+    EXPECT_TRUE(bits == 0b00 || bits == 0b11) << bits; // perfectly correlated
+    ones += bits == 0b11 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 2000, 0.5, 0.05);
+  // The source tableau is untouched: qubit 0 is still nondeterministic.
+  EXPECT_FALSE(sv.isDeterministic(0));
+  // And reproducible: same seed, same outcome stream.
+  SplitMix64 rng2(3);
+  EXPECT_EQ(outcomes, sv.sampleShots(qubits, 2000, rng2));
+}
+
 TEST(Stabilizer, CZIsSymmetricPhaseGate) {
   // CZ between |+>|1> flips the first qubit's phase: H CZ(q1=|1>) H = Z-effect.
   StabilizerSimulator sv(2);

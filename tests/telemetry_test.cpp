@@ -139,6 +139,9 @@ TEST_F(TelemetryTest, DisabledTelemetryChangesNoProgramOutput) {
   vm::ShotOptions opts;
   opts.shots = 50;
   opts.seed = 11;
+  // Pin per-shot resim: the per-shot latency histogram asserted below is
+  // only fed by that path (the sampling fast path runs one simulation).
+  opts.execMode = vm::ExecMode::Resim;
 
   const auto withTelemetry = vm::runShots(*m, opts);
   telemetry::setEnabled(false);
@@ -160,6 +163,7 @@ TEST_F(TelemetryTest, ShotHistogramAndFailureCounters) {
   const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
   vm::ShotOptions opts;
   opts.shots = 20;
+  opts.execMode = vm::ExecMode::Resim; // per-shot latency needs resim
   (void)vm::runShots(*m, opts);
 
   const auto* hist = telemetry::findHistogram("shots.latency_ns");

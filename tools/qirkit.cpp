@@ -12,6 +12,7 @@
 ///   qirkit run <file.ll|file.qasm> [--shots N]
 ///                  [--seed S] [--engine vm|interp]
 ///                  [--jobs N]
+///                  [--exec-mode auto|resim|sample]
 ///                  [--max-failed-shots N]
 ///                  [--retries N]
 ///                  [--no-fallback]              execute + runtime (§III.C);
@@ -353,6 +354,16 @@ int cmdRun(const Args& args) {
   } else {
     fail("--engine must be vm or interp");
   }
+  const std::string execMode = args.option("exec-mode", "auto");
+  if (execMode == "auto") {
+    options.execMode = vm::ExecMode::Auto;
+  } else if (execMode == "resim") {
+    options.execMode = vm::ExecMode::Resim;
+  } else if (execMode == "sample") {
+    options.execMode = vm::ExecMode::Sample;
+  } else {
+    fail("--exec-mode must be auto, resim, or sample");
+  }
   const auto jobs =
       static_cast<std::size_t>(parseUint(args.option("jobs", "1"), "jobs"));
   std::unique_ptr<ThreadPool> pool;
@@ -367,6 +378,14 @@ int cmdRun(const Args& args) {
               << (result.cacheHits != 0 ? "hit" : "miss") << ")";
   }
   std::cerr << "\n";
+  if (result.sampled) {
+    std::cerr << "exec mode: sample (simulated once, sampled "
+              << result.completedShots << " shots)\n";
+  }
+  if (result.sampleFallback) {
+    std::cerr << "warning: sampling path degraded to per-shot resimulation: "
+              << result.sampleFallbackReason << "\n";
+  }
   if (result.degradedToInterp) {
     std::cerr << "warning: degraded to the reference interpreter: "
               << result.degradeReason << "\n";
@@ -481,6 +500,7 @@ void usage() {
          "                        metrics) on stderr after the command\n"
          "  -o <path>             write primary output to a file\n"
          "run options: --shots N --seed S --engine vm|interp --jobs N\n"
+         "             --exec-mode auto|resim|sample\n"
          "             --retries N --max-failed-shots N --no-fallback\n"
          "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
          "             --addressing static|dynamic --reuse --defer-mz\n"
@@ -527,7 +547,8 @@ int main(int argc, char** argv) {
     const Args args = parseArgs(
         argc, argv, 2,
         {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
-         "max-failed-shots", "retries", "to", "budget", "model", "output"});
+         "exec-mode", "max-failed-shots", "retries", "to", "budget", "model",
+         "output"});
     if (args.positional.empty()) {
       usage();
       return 2;

@@ -50,6 +50,50 @@ OUT_VM="$("$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --engine vm 2>/dev/n
 OUT_INTERP="$("$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --engine interp 2>/dev/null)"
 [ "$OUT_VM" = "$OUT_INTERP" ] || fail "vm and interp engines disagree"
 
+# execution modes: the default auto routes this terminal program to the
+# sampling fast path (reported on stderr); forcing resim and sample both
+# keep the Bell correlations; every mode is deterministic per seed.
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 2>"$WORK/mode.err" \
+  >"$WORK/mode.auto" || fail "auto exec mode run"
+grep -q "exec mode: sample" "$WORK/mode.err" || fail "auto did not sample"
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --exec-mode sample \
+  2>/dev/null >"$WORK/mode.sample" || fail "sample exec mode run"
+cmp -s "$WORK/mode.auto" "$WORK/mode.sample" || fail "auto and sample disagree"
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --exec-mode resim \
+  2>"$WORK/mode.err" >"$WORK/mode.resim" || fail "resim exec mode run"
+grep -q "exec mode: sample" "$WORK/mode.err" && fail "resim must not sample"
+grep -qE "^(00|11): " "$WORK/mode.resim" || fail "resim histogram"
+rc=0; "$QIRKIT" run "$WORK/bell.ll" --exec-mode turbo >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--exec-mode turbo must exit 2 (got $rc)"
+
+# forcing sample on a feedback-dependent program is a usage error
+cat > "$WORK/feedback.ll" <<'EOF'
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %flip, label %done
+flip:
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  br label %done
+done:
+  ret void
+}
+attributes #0 = { "entry_point" }
+EOF
+rc=0; "$QIRKIT" run "$WORK/feedback.ll" --exec-mode sample \
+  >/dev/null 2>"$WORK/err" || rc=$?
+[ "$rc" -eq 2 ] || fail "sample on feedback program must exit 2 (got $rc)"
+grep -q "error\[usage\]" "$WORK/err" || fail "feedback sample usage diagnostic"
+"$QIRKIT" run "$WORK/feedback.ll" --shots 10 >/dev/null 2>"$WORK/err" \
+  || fail "feedback program under auto"
+grep -q "exec mode: sample" "$WORK/err" && fail "auto sampled a feedback program"
+
 # run an OpenQASM 3 program directly
 "$QIRKIT" run "$WORK/rus.qasm3" --shots 20 | grep -qE "^(000|111): " || fail "qasm3 run"
 
@@ -90,7 +134,8 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 # usage text stays in sync with the documented flags: every flag/env var
 # the README documents must appear when qirkit is invoked without args.
 "$QIRKIT" 2>"$WORK/usage" || true
-for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine --target; do
+for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine \
+    --exec-mode --target; do
   grep -q -- "$doc" "$WORK/usage" || fail "usage text does not mention $doc"
 done
 

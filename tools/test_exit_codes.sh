@@ -88,11 +88,15 @@ expect 2 "malformed fault spec" -- \
 grep -q "error\[usage\]: QIRKIT_FAULT_INJECT" "$WORK/err" || fail "fault spec usage error"
 
 # --- fault injection: per-shot isolation ----------------------------------
+# These drills target the per-shot resim machinery, so they pin
+# --exec-mode resim: under the default auto mode this terminal program
+# would be served by the single-simulation sampling path, which consumes
+# fault-injector probes on a different schedule.
 # One injected permanent fault lands in shot 0; the other 49 complete.
 expect 0 "isolated failed shot" -- \
   env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
   "$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 7 --engine interp \
-  --max-failed-shots 1
+  --exec-mode resim --max-failed-shots 1
 grep -q "warning: 1 of 50 shot(s) failed: injected-fault x1" "$WORK/err" \
   || fail "failure histogram on stderr"
 TOTAL=$(awk -F': ' '/^[01]+: /{n+=$2} END{print n+0}' "$WORK/out")
@@ -101,20 +105,33 @@ TOTAL=$(awk -F': ' '/^[01]+: /{n+=$2} END{print n+0}' "$WORK/out")
 # The same fault without the threshold aborts the batch (historical contract).
 expect 1 "threshold zero aborts" -- \
   env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
-  "$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 7 --engine interp
+  "$QIRKIT" run "$WORK/bell.ll" --shots 50 --seed 7 --engine interp \
+  --exec-mode resim
 grep -q "error\[injected-fault\]" "$WORK/err" || fail "injected fault code"
 
 # A transient fault is retried away: batch succeeds, retry reported.
 expect 0 "transient retry" -- \
   env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=1" \
-  "$QIRKIT" run "$WORK/bell.ll" --shots 20 --seed 7 --engine interp --retries 2
+  "$QIRKIT" run "$WORK/bell.ll" --shots 20 --seed 7 --engine interp \
+  --exec-mode resim --retries 2
 grep -q "warning: 1 transient-fault retry attempt(s)" "$WORK/err" || fail "retry warning"
 
 # A VM-only trap is rescued per shot on the reference interpreter.
 expect 0 "vm shot rescued" -- \
   env QIRKIT_FAULT_INJECT="site=vm-dispatch,at=1" \
-  "$QIRKIT" run "$WORK/bell.ll" --shots 10 --seed 7 --engine vm
+  "$QIRKIT" run "$WORK/bell.ll" --shots 10 --seed 7 --engine vm \
+  --exec-mode resim
 grep -q "trapped on the vm and were rerun" "$WORK/err" || fail "rescue warning"
+
+# A fault inside the sampling path degrades to per-shot resim: the batch
+# still completes every shot and reports the fallback on stderr.
+expect 0 "sampling fault degrades" -- \
+  env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
+  "$QIRKIT" run "$WORK/bell.ll" --shots 10 --seed 7 --engine interp
+grep -q "warning: sampling path degraded to per-shot resimulation" "$WORK/err" \
+  || fail "sampling fallback warning"
+TOTAL=$(awk -F': ' '/^[01]+: /{n+=$2} END{print n+0}' "$WORK/out")
+[ "$TOTAL" -eq 10 ] || fail "degraded sampling batch should keep all 10 shots, got $TOTAL"
 
 # --- graceful degradation: VM -> interpreter ------------------------------
 env QIRKIT_FAULT_INJECT="site=bytecode-compile,at=1" \
