@@ -179,6 +179,68 @@ BENCHMARK(BM_ExecMode)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ExecMode)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// The gate-fusion acceptance workload: per-shot resimulation of a
+/// rotation-dense 16-qubit circuit (four constant-angle rotations per
+/// qubit per layer — a generic Euler unitary plus one — then a CX
+/// ladder), fused vs --fusion=off. The static export turns every operand
+/// into a compile-time constant, so the fusion pass folds each rotation
+/// chain into a single 2x2 sweep (rule 1: 4 sweeps -> 1); the
+/// shots_per_second ratio between the two rows is the headline number
+/// (expected >= 2x).
+circuit::Circuit rotationDense(unsigned n, unsigned layers) {
+  circuit::Circuit c(n, n);
+  for (unsigned layer = 0; layer < layers; ++layer) {
+    for (unsigned q = 0; q < n; ++q) {
+      c.rz(0.1 + 0.01 * q, q);
+      c.rx(0.7 + 0.02 * layer, q);
+      c.ry(0.4 + 0.03 * q, q);
+      c.rz(0.3, q);
+    }
+    for (unsigned q = 0; q + 1 < n; ++q) {
+      c.cx(q, q + 1);
+    }
+  }
+  for (unsigned q = 0; q < n; ++q) {
+    c.measure(q, q);
+  }
+  return c;
+}
+
+void BM_FusionResim(benchmark::State& state) {
+  const bool fusion = state.range(0) != 0;
+  constexpr unsigned kQubits = 16;
+  constexpr unsigned kLayers = 8;
+  constexpr std::uint64_t kShots = 32;
+  static std::string text;
+  if (text.empty()) {
+    text = bench::qirTextFor(rotationDense(kQubits, kLayers),
+                             qir::Addressing::Static, true);
+  }
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, text);
+  vm::ShotOptions options;
+  options.shots = kShots;
+  options.execMode = vm::ExecMode::Resim;
+  options.fusion = fusion;
+  std::uint64_t shotsCompleted = 0;
+  for (auto _ : state) {
+    options.seed += kShots;
+    const vm::ShotBatchResult result = vm::runShots(*module, options);
+    shotsCompleted += result.completedShots;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(fusion ? "rotdense/fused" : "rotdense/unfused");
+  state.counters["qubits"] = kQubits;
+  state.counters["shots"] = static_cast<double>(kShots);
+  state.counters["shots_per_second"] = benchmark::Counter(
+      static_cast<double>(shotsCompleted), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FusionResim)
+    ->Arg(0)
+    ->Arg(1)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 int main(int argc, char** argv) {

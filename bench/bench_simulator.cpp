@@ -102,6 +102,74 @@ void BM_Measurement(benchmark::State& state) {
 }
 BENCHMARK(BM_Measurement)->Arg(10)->Arg(16)->Arg(20)->Unit(benchmark::kMicrosecond);
 
+/// The gate-fusion kernels vs the gate-by-gate sweeps they replace. Each
+/// mode applies the same unitary (a 3-rotation chain per qubit):
+///   0: three apply1 sweeps per qubit (what unfused execution does),
+///   1: one precomposed apply1 per qubit (fusion rule 1),
+///   2: one precomposed apply2 per qubit pair folding all six gates
+///      (fusion rule 2 — 6 sweeps become 1),
+///   3: one applyDiagonal per 6-qubit group vs six RZ sweeps (rule 3;
+///      timed side is the fused one, mode 4 is its unfused reference).
+void BM_Fusion(benchmark::State& state) {
+  const auto mode = static_cast<int>(state.range(0));
+  const auto n = static_cast<unsigned>(state.range(1));
+  sim::StateVector sv(n);
+  applyLayer(sv); // spread population so kernels see a dense state
+  const sim::GateMatrix2 chain = sim::matmul(
+      sim::gateRZ(0.3), sim::matmul(sim::gateRX(0.7), sim::gateRZ(0.1)));
+  sim::GateMatrix4 window = sim::matmul(
+      sim::embed2(chain, 1), sim::embed2(chain, 0));
+  std::vector<sim::Complex> diag(1U << 6, 1.0);
+  for (unsigned bit = 0; bit < 6; ++bit) {
+    const sim::GateMatrix2 rz = sim::gateRZ(0.2 + 0.1 * bit);
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      diag[i] *= ((i >> bit) & 1) != 0 ? rz.m11 : rz.m00;
+    }
+  }
+  for (auto _ : state) {
+    switch (mode) {
+    case 0:
+      for (unsigned q = 0; q < n; ++q) {
+        sv.apply1(sim::gateRZ(0.1), q);
+        sv.apply1(sim::gateRX(0.7), q);
+        sv.apply1(sim::gateRZ(0.3), q);
+      }
+      break;
+    case 1:
+      for (unsigned q = 0; q < n; ++q) {
+        sv.apply1(chain, q);
+      }
+      break;
+    case 2:
+      for (unsigned q = 0; q + 1 < n; q += 2) {
+        sv.apply2(window, q, q + 1);
+      }
+      break;
+    case 3:
+      for (unsigned q = 0; q + 6 <= n; q += 6) {
+        const unsigned qubits[] = {q, q + 1, q + 2, q + 3, q + 4, q + 5};
+        sv.applyDiagonal(diag, qubits);
+      }
+      break;
+    default:
+      for (unsigned q = 0; q + 6 <= n; q += 6) {
+        for (unsigned bit = 0; bit < 6; ++bit) {
+          sv.apply1(sim::gateRZ(0.2 + 0.1 * bit), q + bit);
+        }
+      }
+      break;
+    }
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  static const char* const kModeNames[] = {"unfused_1q", "fused_1q", "fused_2q",
+                                           "fused_diag", "unfused_diag"};
+  state.SetLabel(kModeNames[mode]);
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_Fusion)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {18, 22}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SampleShots(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));
   sim::StateVector sv(n);

@@ -93,6 +93,8 @@ struct ExternContext {
   }
 };
 
+class FusedGateHost; // fused.hpp — the fused-gate fast path (optional)
+
 /// Named external-function bindings (the QIR runtime surface). Execution
 /// engines derive from this; runtimes call bindExternal() against it.
 class ExternalRegistry {
@@ -106,6 +108,10 @@ public:
   virtual void bindExternal(std::string name, ExternalHandler handler) {
     externals_[std::move(name)] = std::move(handler);
   }
+  /// Offer the engine a fused-gate fast path (nullptr withdraws it).
+  /// Engines without fused dispatch ignore the offer — they never see
+  /// fused ops, so the per-gate bindings above remain authoritative.
+  virtual void bindFusedHost(FusedGateHost* host) { (void)host; }
   [[nodiscard]] bool hasExternal(const std::string& name) const {
     return externals_.find(name) != externals_.end();
   }

@@ -1,0 +1,60 @@
+/// \file fused.hpp
+/// The fused-gate extension of the execution ABI. The bytecode compiler's
+/// gate-fusion pass folds runs of adjacent `__quantum__qis__*` calls into
+/// FusedBlock descriptors; an engine dispatches a whole block through a
+/// FusedGateHost when the bound runtime provides one (the statevector
+/// runtime does), and otherwise replays the original per-gate calls
+/// through the ordinary extern bindings — so a runtime that has never
+/// heard of fusion (circuit recorder, stabilizer backend) still observes
+/// the exact source gate sequence.
+#pragma once
+
+#include "interp/abi.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace qirkit::interp {
+
+/// One source `__quantum__qis__*` call preserved for replay: the extern
+/// slot it was compiled to and its fully-evaluated (constant) arguments.
+struct FusedReplayCall {
+  std::uint32_t slot = 0;
+  std::vector<RtValue> args;
+};
+
+/// A fused run of gates, precomposed at compile time.
+///  * Unitary1 — matrix is a 2x2 (row-major, 4 entries) on qubits[0].
+///  * Unitary2 — matrix is a 4x4 (row-major, 16 entries) on qubits[0..1];
+///    local basis index bit j corresponds to qubits[j].
+///  * Diagonal — matrix holds the 2^k diagonal phases over qubits[0..k-1],
+///    indexed by the same bit convention.
+/// Qubit entries are *static* QIR addresses in first-use order, so a host
+/// allocating qubits on the fly (paper §IV.A) assigns the same simulator
+/// indices the unfused gate sequence would have.
+struct FusedBlock {
+  enum class Kind : std::uint8_t { Unitary1, Unitary2, Diagonal };
+
+  Kind kind = Kind::Unitary1;
+  std::uint32_t sourceGates = 0;
+  std::vector<std::uint64_t> qubits;
+  std::vector<std::complex<double>> matrix;
+  std::vector<FusedReplayCall> replay;
+
+  /// Upper bound on qubits.size() (Diagonal blocks; unitaries use 1 or 2).
+  static constexpr unsigned kMaxQubits = 6;
+};
+
+/// Optional fast path a runtime can register via
+/// ExternalRegistry::bindFusedHost. applyFusedBlock must be observably
+/// equivalent to replaying block.replay through the runtime's own extern
+/// handlers (same state evolution, same statistics attribution for
+/// block.sourceGates gates).
+class FusedGateHost {
+public:
+  virtual ~FusedGateHost() = default;
+  virtual void applyFusedBlock(const FusedBlock& block) = 0;
+};
+
+} // namespace qirkit::interp

@@ -98,6 +98,10 @@ unsigned QuantumRuntime::resolveQubit(std::uint64_t address, ExternContext& ctx,
     ctx.memory.load(address, &handle, sizeof handle);
     return resolveQubit(handle, ctx, /*canDeref=*/false);
   }
+  return resolveStaticQubit(address);
+}
+
+unsigned QuantumRuntime::resolveStaticQubit(std::uint64_t address) {
   // Static qubit address (Ex. 6): allocate on the fly at first use (§IV.A).
   const auto [it, inserted] = qubitByHandle_.try_emplace(address, 0U);
   if (inserted) {
@@ -105,6 +109,38 @@ unsigned QuantumRuntime::resolveQubit(std::uint64_t address, ExternContext& ctx,
     ++stats_.staticQubitsAllocated;
   }
   return it->second;
+}
+
+void QuantumRuntime::applyFusedBlock(const interp::FusedBlock& block) {
+  unsigned qubits[interp::FusedBlock::kMaxQubits] = {};
+  for (std::size_t i = 0; i < block.qubits.size(); ++i) {
+    qubits[i] = resolveStaticQubit(block.qubits[i]);
+  }
+  switch (block.kind) {
+  case interp::FusedBlock::Kind::Unitary1:
+    state_.apply1(sim::GateMatrix2{block.matrix[0], block.matrix[1],
+                                   block.matrix[2], block.matrix[3]},
+                  qubits[0]);
+    break;
+  case interp::FusedBlock::Kind::Unitary2: {
+    sim::GateMatrix4 gate;
+    for (int r = 0; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) {
+        gate.m[r][c] = block.matrix[static_cast<std::size_t>(r * 4 + c)];
+      }
+    }
+    state_.apply2(gate, qubits[0], qubits[1]);
+    break;
+  }
+  case interp::FusedBlock::Kind::Diagonal:
+    state_.applyDiagonal(
+        block.matrix,
+        std::span<const unsigned>(qubits, block.qubits.size()));
+    break;
+  }
+  // Stats stay per source gate, so fused and unfused runs report the same
+  // gatesApplied.
+  stats_.gatesApplied += block.sourceGates;
 }
 
 bool QuantumRuntime::resultValue(std::uint64_t key) const {
@@ -141,6 +177,9 @@ std::map<std::string, std::uint64_t> QuantumRuntime::sampleRecordedHistogram(
 }
 
 void QuantumRuntime::bind(interp::ExternalRegistry& interp) {
+  // Engines that execute fused blocks (the bytecode VM) get the direct
+  // kernel path; the interpreter's default bindFusedHost is a no-op.
+  interp.bindFusedHost(this);
   using Handler = interp::ExternalRegistry::ExternalHandler;
   const auto gate1 = [this](void (*apply)(sim::StateVector&, unsigned)) -> Handler {
     return [this, apply](std::span<const RtValue> args, ExternContext& ctx) {
@@ -421,6 +460,9 @@ unsigned RecordingRuntime::resolveQubit(std::uint64_t address, ExternContext& ct
 }
 
 void RecordingRuntime::bind(interp::ExternalRegistry& interp) {
+  // No fused kernels here: clear any previously-bound host so the VM
+  // replays fused blocks call by call and every gate is recorded.
+  interp.bindFusedHost(nullptr);
   using circuit::OpKind;
   using circuit::Operation;
   // Gate recorder shared by all qis handlers.
@@ -574,6 +616,9 @@ bool CliffordRuntime::resultValue(std::uint64_t key) const {
 }
 
 void CliffordRuntime::bind(interp::ExternalRegistry& interp) {
+  // No fused kernels on the stabilizer backend: fused blocks replay call
+  // by call (and non-Clifford gates keep trapping with their own names).
+  interp.bindFusedHost(nullptr);
   using Handler = interp::ExternalRegistry::ExternalHandler;
   const auto gate1 =
       [this](void (sim::StabilizerSimulator::*apply)(unsigned)) -> Handler {

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "circuit/circuit.hpp"
+#include "interp/fused.hpp"
 #include "interp/interpreter.hpp"
 #include "sim/stabilizer.hpp"
 #include "sim/statevector.hpp"
@@ -39,8 +40,11 @@ struct RuntimeStats {
 };
 
 /// The simulator-backed runtime. Bind to an interpreter, run the entry
-/// point, then inspect the state / recorded output.
-class QuantumRuntime {
+/// point, then inspect the state / recorded output. Also implements the
+/// FusedGateHost fast path: the VM hands precomposed fused blocks (from
+/// the compile-time gate-fusion pass) straight to the statevector's
+/// apply1/apply2/applyDiagonal kernels.
+class QuantumRuntime : public interp::FusedGateHost {
 public:
   /// Reserved address region for dynamic qubit handles.
   static constexpr std::uint64_t kDynamicHandleBase = 0x5151000000000000ULL;
@@ -58,8 +62,15 @@ public:
   explicit QuantumRuntime(std::uint64_t seed = 1, qirkit::ThreadPool* pool = nullptr)
       : state_(0, pool), pool_(pool), rng_(seed) {}
 
-  /// Register every qis/rt handler with \p interp.
+  /// Register every qis/rt handler with \p interp (and this runtime as
+  /// the engine's fused-gate host, when the engine supports one).
   void bind(interp::ExternalRegistry& interp);
+
+  /// Apply one precomposed fused block to the statevector. Qubit entries
+  /// are static QIR addresses (the fusion pass only fuses those),
+  /// resolved with the same on-the-fly first-seen allocation as ordinary
+  /// gate calls.
+  void applyFusedBlock(const interp::FusedBlock& block) override;
 
   void setMeasurementMode(MeasurementMode mode) noexcept { mode_ = mode; }
   [[nodiscard]] MeasurementMode measurementMode() const noexcept { return mode_; }
@@ -110,6 +121,9 @@ private:
   /// Resolve a Qubit* argument to a simulator index (see file comment).
   unsigned resolveQubit(std::uint64_t address, interp::ExternContext& ctx,
                         bool canDeref = true);
+  /// The static-address leg of resolveQubit: first-seen on-the-fly
+  /// allocation (§IV.A), shared with the fused-block path.
+  unsigned resolveStaticQubit(std::uint64_t address);
   /// Resolve a Result* argument to a result-table key.
   static std::uint64_t resultKey(std::uint64_t address) noexcept { return address; }
 

@@ -57,6 +57,97 @@ GateMatrix2 adjoint(const GateMatrix2& g) noexcept {
   return {std::conj(g.m00), std::conj(g.m10), std::conj(g.m01), std::conj(g.m11)};
 }
 
+GateMatrix4 identity4() noexcept {
+  GateMatrix4 out{};
+  for (unsigned i = 0; i < 4; ++i) {
+    out.m[i][i] = 1;
+  }
+  return out;
+}
+
+GateMatrix4 matmul(const GateMatrix4& a, const GateMatrix4& b) noexcept {
+  GateMatrix4 out{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      Complex sum = 0;
+      for (unsigned k = 0; k < 4; ++k) {
+        sum += a.m[r][k] * b.m[k][c];
+      }
+      out.m[r][c] = sum;
+    }
+  }
+  return out;
+}
+
+GateMatrix4 embed2(const GateMatrix2& g, unsigned slot) noexcept {
+  const Complex gm[2][2] = {{g.m00, g.m01}, {g.m10, g.m11}};
+  GateMatrix4 out{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      const unsigned otherR = (r >> (1 - slot)) & 1;
+      const unsigned otherC = (c >> (1 - slot)) & 1;
+      if (otherR == otherC) {
+        out.m[r][c] = gm[(r >> slot) & 1][(c >> slot) & 1];
+      }
+    }
+  }
+  return out;
+}
+
+GateMatrix4 controlled4(const GateMatrix2& g, unsigned control,
+                        unsigned target) noexcept {
+  const Complex gm[2][2] = {{g.m00, g.m01}, {g.m10, g.m11}};
+  GateMatrix4 out{};
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned c = 0; c < 4; ++c) {
+      if (((r >> control) & 1) != ((c >> control) & 1)) {
+        continue; // the control bit is preserved
+      }
+      if (((r >> control) & 1) == 0) {
+        out.m[r][c] = r == c ? 1 : 0;
+      } else {
+        out.m[r][c] = gm[(r >> target) & 1][(c >> target) & 1];
+      }
+    }
+  }
+  return out;
+}
+
+GateMatrix4 swap4() noexcept {
+  GateMatrix4 out{};
+  out.m[0][0] = 1;
+  out.m[1][2] = 1;
+  out.m[2][1] = 1;
+  out.m[3][3] = 1;
+  return out;
+}
+
+double distanceUpToPhase(const GateMatrix4& a, const GateMatrix4& b) noexcept {
+  const Complex* entriesA = &a.m[0][0];
+  const Complex* entriesB = &b.m[0][0];
+  int pivot = 0;
+  double best = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (std::abs(entriesB[i]) > best) {
+      best = std::abs(entriesB[i]);
+      pivot = i;
+    }
+  }
+  if (best == 0) {
+    double sum = 0;
+    for (int i = 0; i < 16; ++i) {
+      sum += std::abs(entriesA[i]);
+    }
+    return sum;
+  }
+  const Complex phase = entriesA[pivot] / entriesB[pivot];
+  double dist = 0;
+  for (int i = 0; i < 16; ++i) {
+    dist += std::norm(entriesA[i] - phase * entriesB[i]);
+  }
+  return std::sqrt(dist);
+}
+
 double distanceUpToPhase(const GateMatrix2& a, const GateMatrix2& b) noexcept {
   // Find the phase that aligns the largest entry of b with a.
   const Complex entriesA[4] = {a.m00, a.m01, a.m10, a.m11};

@@ -36,4 +36,31 @@ struct GateMatrix2 {
 /// Frobenius distance ||a-b|| up to global phase — used by tests.
 [[nodiscard]] double distanceUpToPhase(const GateMatrix2& a, const GateMatrix2& b) noexcept;
 
+/// A dense 4x4 unitary over a two-qubit window. Row/column index bit 0 is
+/// window slot 0, bit 1 is window slot 1 — the convention shared by the
+/// gate-fusion pass and StateVector::apply2.
+struct GateMatrix4 {
+  Complex m[4][4];
+};
+
+[[nodiscard]] GateMatrix4 identity4() noexcept;
+
+/// Matrix product a*b (apply b first).
+[[nodiscard]] GateMatrix4 matmul(const GateMatrix4& a, const GateMatrix4& b) noexcept;
+
+/// Lift a single-qubit gate onto window slot \p slot (0 or 1): identity on
+/// the other slot.
+[[nodiscard]] GateMatrix4 embed2(const GateMatrix2& g, unsigned slot) noexcept;
+
+/// Controlled single-qubit gate within the window: \p g acts on slot
+/// \p target when slot \p control is 1 (CNOT = controlled X, CZ = Z).
+[[nodiscard]] GateMatrix4 controlled4(const GateMatrix2& g, unsigned control,
+                                      unsigned target) noexcept;
+
+/// The two-qubit SWAP (slot-symmetric).
+[[nodiscard]] GateMatrix4 swap4() noexcept;
+
+/// Frobenius distance ||a-b|| up to global phase — used by tests.
+[[nodiscard]] double distanceUpToPhase(const GateMatrix4& a, const GateMatrix4& b) noexcept;
+
 } // namespace qirkit::sim

@@ -82,14 +82,90 @@ void StateVector::apply1(const GateMatrix2& gate, unsigned target) {
   ++gateCount_;
   g_svGates.add();
   const std::uint64_t bit = std::uint64_t{1} << target;
+  // Copy the matrix into locals so amplitude stores cannot force reloads
+  // through the const reference (see the comment in apply2).
+  const Complex m00 = gate.m00, m01 = gate.m01, m10 = gate.m10,
+                m11 = gate.m11;
   forRange(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+    Complex* const amps = amplitudes_.data();
     for (std::uint64_t i = begin; i < end; ++i) {
       const std::uint64_t i0 = insertZeroBit(i, target);
       const std::uint64_t i1 = i0 | bit;
-      const Complex a0 = amplitudes_[i0];
-      const Complex a1 = amplitudes_[i1];
-      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
-      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
+      const Complex a0 = amps[i0];
+      const Complex a1 = amps[i1];
+      amps[i0] = m00 * a0 + m01 * a1;
+      amps[i1] = m10 * a0 + m11 * a1;
+    }
+  });
+}
+
+void StateVector::apply2(const GateMatrix4& gate, unsigned q0, unsigned q1) {
+  assert(q0 < numQubits_ && q1 < numQubits_ && q0 != q1);
+  ++gateCount_;
+  g_svGates.add();
+  const std::uint64_t b0 = std::uint64_t{1} << q0;
+  const std::uint64_t b1 = std::uint64_t{1} << q1;
+  const unsigned lo = q0 < q1 ? q0 : q1;
+  const unsigned hi = q0 < q1 ? q1 : q0;
+  // Hoist the matrix into locals: indexing gate.m[r][c] inside the loop
+  // forces a reload of all 16 entries after every amplitude store (the
+  // compiler cannot prove the reference does not alias the state), which
+  // triples the per-iteration cost of this kernel.
+  const Complex m00 = gate.m[0][0], m01 = gate.m[0][1], m02 = gate.m[0][2],
+                m03 = gate.m[0][3];
+  const Complex m10 = gate.m[1][0], m11 = gate.m[1][1], m12 = gate.m[1][2],
+                m13 = gate.m[1][3];
+  const Complex m20 = gate.m[2][0], m21 = gate.m[2][1], m22 = gate.m[2][2],
+                m23 = gate.m[2][3];
+  const Complex m30 = gate.m[3][0], m31 = gate.m[3][1], m32 = gate.m[3][2],
+                m33 = gate.m[3][3];
+  forRange(dimension() >> 2, [&](std::uint64_t begin, std::uint64_t end) {
+    Complex* const amps = amplitudes_.data();
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const std::uint64_t i00 = insertZeroBit(insertZeroBit(i, lo), hi);
+      const std::uint64_t i01 = i00 | b0;
+      const std::uint64_t i10 = i00 | b1;
+      const std::uint64_t i11 = i01 | b1;
+      const Complex a00 = amps[i00];
+      const Complex a01 = amps[i01];
+      const Complex a10 = amps[i10];
+      const Complex a11 = amps[i11];
+      amps[i00] = m00 * a00 + m01 * a01 + m02 * a10 + m03 * a11;
+      amps[i01] = m10 * a00 + m11 * a01 + m12 * a10 + m13 * a11;
+      amps[i10] = m20 * a00 + m21 * a01 + m22 * a10 + m23 * a11;
+      amps[i11] = m30 * a00 + m31 * a01 + m32 * a10 + m33 * a11;
+    }
+  });
+}
+
+void StateVector::applyDiagonal(std::span<const Complex> diag,
+                                std::span<const unsigned> qubits) {
+  assert(!qubits.empty() &&
+         diag.size() == (std::size_t{1} << qubits.size()));
+#ifndef NDEBUG
+  for (const unsigned q : qubits) {
+    assert(q < numQubits_);
+  }
+#endif
+  ++gateCount_;
+  g_svGates.add();
+  // Hoist the qubit list out of the span (one indirect load per qubit per
+  // amplitude otherwise) and keep the phase table behind a raw pointer so
+  // the stores to amplitudes_ cannot force reloads of either.
+  unsigned shifts[64];
+  const std::size_t numBits = qubits.size();
+  for (std::size_t j = 0; j < numBits; ++j) {
+    shifts[j] = qubits[j];
+  }
+  const Complex* const table = diag.data();
+  forRange(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
+    Complex* const amps = amplitudes_.data();
+    for (std::uint64_t i = begin; i < end; ++i) {
+      std::size_t idx = 0;
+      for (std::size_t j = 0; j < numBits; ++j) {
+        idx |= ((i >> shifts[j]) & 1) << j;
+      }
+      amps[i] *= table[idx];
     }
   });
 }
@@ -106,14 +182,17 @@ void StateVector::applyControlled1(const GateMatrix2& gate, unsigned control,
   // coordinates), then force the control bit on.
   const unsigned lo = control < target ? control : target;
   const unsigned hi = control < target ? target : control;
+  const Complex m00 = gate.m00, m01 = gate.m01, m10 = gate.m10,
+                m11 = gate.m11;
   forRange(dimension() >> 2, [&](std::uint64_t begin, std::uint64_t end) {
+    Complex* const amps = amplitudes_.data();
     for (std::uint64_t i = begin; i < end; ++i) {
       const std::uint64_t i0 = insertZeroBit(insertZeroBit(i, lo), hi) | cbit;
       const std::uint64_t i1 = i0 | tbit;
-      const Complex a0 = amplitudes_[i0];
-      const Complex a1 = amplitudes_[i1];
-      amplitudes_[i0] = gate.m00 * a0 + gate.m01 * a1;
-      amplitudes_[i1] = gate.m10 * a0 + gate.m11 * a1;
+      const Complex a0 = amps[i0];
+      const Complex a1 = amps[i1];
+      amps[i0] = m00 * a0 + m01 * a1;
+      amps[i1] = m10 * a0 + m11 * a1;
     }
   });
 }
@@ -157,29 +236,56 @@ void StateVector::applySwap(unsigned a, unsigned b) {
   g_svGates.add();
   const std::uint64_t abit = std::uint64_t{1} << a;
   const std::uint64_t bbit = std::uint64_t{1} << b;
-  forRange(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
+  // Enumerate only the a=1, b=0 subspace (dim/4), like the other
+  // controlled kernels: each such index pairs with its a=0, b=1 partner.
+  const unsigned lo = a < b ? a : b;
+  const unsigned hi = a < b ? b : a;
+  forRange(dimension() >> 2, [&](std::uint64_t begin, std::uint64_t end) {
     for (std::uint64_t i = begin; i < end; ++i) {
-      const bool hasA = (i & abit) != 0;
-      const bool hasB = (i & bbit) != 0;
-      if (hasA && !hasB) {
-        const std::uint64_t j = (i & ~abit) | bbit;
-        std::swap(amplitudes_[i],
-                  amplitudes_[j]);
-      }
+      const std::uint64_t i10 = insertZeroBit(insertZeroBit(i, lo), hi) | abit;
+      std::swap(amplitudes_[i10], amplitudes_[(i10 ^ abit) | bbit]);
     }
   });
+}
+
+double StateVector::blockSum(
+    std::uint64_t n,
+    const std::function<double(std::uint64_t, std::uint64_t)>& partial) const {
+  constexpr std::uint64_t kBlock = std::uint64_t{1} << 12;
+  if (n <= kBlock) {
+    return partial(0, n);
+  }
+  const std::uint64_t numBlocks = (n + kBlock - 1) / kBlock;
+  std::vector<double> partials(numBlocks);
+  const auto runBlocks = [&](std::uint64_t beginBlock, std::uint64_t endBlock) {
+    for (std::uint64_t b = beginBlock; b < endBlock; ++b) {
+      partials[b] = partial(b * kBlock, std::min(n, (b + 1) * kBlock));
+    }
+  };
+  if (pool_ != nullptr && n >= (std::uint64_t{1} << 14)) {
+    qirkit::parallelForChunked(*pool_, numBlocks, runBlocks, 1);
+  } else {
+    runBlocks(0, numBlocks);
+  }
+  double total = 0;
+  for (const double p : partials) {
+    total += p;
+  }
+  return total;
 }
 
 double StateVector::probabilityOfOne(unsigned q) const {
   assert(q < numQubits_);
   const std::uint64_t bit = std::uint64_t{1} << q;
-  double p = 0;
-  for (std::uint64_t i = 0; i < dimension(); ++i) {
-    if ((i & bit) != 0) {
-      p += std::norm(amplitudes_[i]);
+  // Enumerate only the q=1 half (ascending, so the term order matches a
+  // full-dimension scan); partial sums reduce deterministically.
+  return blockSum(dimension() >> 1, [&](std::uint64_t begin, std::uint64_t end) {
+    double p = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      p += std::norm(amplitudes_[insertZeroBit(i, q) | bit]);
     }
-  }
-  return p;
+    return p;
+  });
 }
 
 bool StateVector::measure(unsigned q, SplitMix64& rng) {
@@ -189,14 +295,16 @@ bool StateVector::measure(unsigned q, SplitMix64& rng) {
   const double keep = outcome ? p1 : 1.0 - p1;
   const double scale = keep > 0 ? 1.0 / std::sqrt(keep) : 0.0;
   const std::uint64_t bit = std::uint64_t{1} << q;
-  for (std::uint64_t i = 0; i < dimension(); ++i) {
-    const bool isOne = (i & bit) != 0;
-    if (isOne == outcome) {
-      amplitudes_[i] *= scale;
-    } else {
-      amplitudes_[i] = 0;
+  forRange(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const bool isOne = (i & bit) != 0;
+      if (isOne == outcome) {
+        amplitudes_[i] *= scale;
+      } else {
+        amplitudes_[i] = 0;
+      }
     }
-  }
+  });
   return outcome;
 }
 
@@ -219,11 +327,7 @@ std::uint64_t StateVector::sample(SplitMix64& rng) const {
 
 std::map<std::uint64_t, std::uint64_t> StateVector::sampleCounts(std::uint64_t shots,
                                                                  SplitMix64& rng) const {
-  std::map<std::uint64_t, std::uint64_t> counts;
-  for (std::uint64_t s = 0; s < shots; ++s) {
-    ++counts[sample(rng)];
-  }
-  return counts;
+  return sampleShots(shots, rng);
 }
 
 std::map<std::uint64_t, std::uint64_t> StateVector::sampleShots(
@@ -262,11 +366,13 @@ std::map<std::uint64_t, std::uint64_t> StateVector::sampleShots(
 }
 
 double StateVector::normSquared() const {
-  double n = 0;
-  for (const Complex& a : amplitudes_) {
-    n += std::norm(a);
-  }
-  return n;
+  return blockSum(dimension(), [&](std::uint64_t begin, std::uint64_t end) {
+    double n = 0;
+    for (std::uint64_t i = begin; i < end; ++i) {
+      n += std::norm(amplitudes_[i]);
+    }
+    return n;
+  });
 }
 
 double StateVector::fidelity(const StateVector& other) const {

@@ -47,6 +47,15 @@ public:
 
   // -- gates -------------------------------------------------------------
   void apply1(const GateMatrix2& gate, unsigned target);
+  /// Generic two-qubit gate: one sweep over the dim/4 index pairs of the
+  /// (q0, q1) window. Local basis index bit 0 is q0, bit 1 is q1 (the
+  /// GateMatrix4 convention) — the target kernel of the fusion pass's
+  /// two-qubit-window rule.
+  void apply2(const GateMatrix4& gate, unsigned q0, unsigned q1);
+  /// Diagonal gate over \p qubits: one multiply per amplitude, no pair
+  /// indexing. diag holds the 2^k phases, indexed by bit j = qubits[j] —
+  /// the target kernel of the fusion pass's diagonal-run rule.
+  void applyDiagonal(std::span<const Complex> diag, std::span<const unsigned> qubits);
   /// Controlled single-qubit gate (CNOT = controlled X, CZ = controlled Z).
   void applyControlled1(const GateMatrix2& gate, unsigned control, unsigned target);
   /// Doubly-controlled X (Toffoli).
@@ -62,7 +71,10 @@ public:
   void resetQubit(unsigned q, SplitMix64& rng);
   /// Sample a full basis state without collapsing (for repeated shots).
   [[nodiscard]] std::uint64_t sample(SplitMix64& rng) const;
-  /// Counts of \p shots independent samples, keyed by basis state.
+  /// Counts of \p shots independent samples, keyed by basis state. Routed
+  /// through the sampleShots CDF path: one O(2^n) prefix sum for the whole
+  /// batch instead of an O(2^n) linear scan per shot, and the two samplers
+  /// cannot diverge (identical draws from \p rng, identical search).
   [[nodiscard]] std::map<std::uint64_t, std::uint64_t> sampleCounts(std::uint64_t shots,
                                                                     SplitMix64& rng) const;
   /// Batched sampling kernel for the shot executor's terminal-measurement
@@ -97,6 +109,13 @@ public:
 private:
   void forRange(std::uint64_t n,
                 const std::function<void(std::uint64_t, std::uint64_t)>& body) const;
+  /// Deterministic parallel sum reduction: [0, n) is split into fixed
+  /// 4096-element blocks whose partial sums (computed by \p partial,
+  /// possibly in parallel) are combined sequentially in block order. The
+  /// summation tree depends only on n — never on the pool — so the result
+  /// is bit-identical across pool sizes and sequential runs.
+  double blockSum(std::uint64_t n,
+                  const std::function<double(std::uint64_t, std::uint64_t)>& partial) const;
 
   unsigned numQubits_;
   std::vector<Complex> amplitudes_;

@@ -40,6 +40,9 @@ const char* opName(Op op) noexcept {
   case Op::Call: return "call";
   case Op::CallExtern: return "call.ext";
   case Op::Trap: return "trap";
+  case Op::Fused1: return "fused1";
+  case Op::Fused2: return "fused2";
+  case Op::FusedDiag: return "fused.diag";
   }
   return "?";
 }
@@ -82,6 +85,15 @@ std::string BytecodeModule::disassemble() const {
       }
       if (in.op == Op::Call && in.b < functions.size()) {
         out << " ; @" << functions[in.b].name;
+      }
+      if ((in.op == Op::Fused1 || in.op == Op::Fused2 ||
+           in.op == Op::FusedDiag) &&
+          in.a < fn.fusedBlocks.size()) {
+        const interp::FusedBlock& block = fn.fusedBlocks[in.a];
+        out << " ; " << block.sourceGates << " gates on";
+        for (const std::uint64_t q : block.qubits) {
+          out << " q" << q;
+        }
       }
       if ((in.flags & kStep) != 0) {
         out << " [step]";

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "interp/abi.hpp"
+#include "interp/fused.hpp"
 
 #include <cstdint>
 #include <map>
@@ -61,6 +62,13 @@ enum class Op : std::uint8_t {
   Call,        // r[a] = functions[b](last c pushed args); a == kNoReg: void
   CallExtern,  // r[a] = externSlots[b](last c pushed args)
   Trap,        // throw TrapError("executed 'unreachable'")
+  // Fused quantum ops (gate-fusion pass, fusion.hpp): a = index into
+  // CompiledFunction::fusedBlocks, b = number of folded source gates.
+  // Each accounts for b source instructions (steps, stats, fault probes)
+  // so fused and unfused execution stay bit-compatible.
+  Fused1,      // apply fusedBlocks[a]: 2x2 unitary on one qubit
+  Fused2,      // apply fusedBlocks[a]: 4x4 unitary on a two-qubit window
+  FusedDiag,   // apply fusedBlocks[a]: diagonal phases on up to 6 qubits
 };
 
 [[nodiscard]] const char* opName(Op op) noexcept;
@@ -108,6 +116,10 @@ struct CompiledFunction {
   std::vector<interp::RtValue> constants;
   std::vector<Inst> code;
   std::vector<SwitchTable> switchTables;
+  /// Precomposed gate runs referenced by Fused1/Fused2/FusedDiag. A fused
+  /// instruction replaces the first instruction of its source run; the
+  /// remainder become Nops, so every code offset (jump target) survives.
+  std::vector<interp::FusedBlock> fusedBlocks;
 };
 
 /// A compiled module: every defined function, the extern-slot table

@@ -24,9 +24,15 @@ std::uint64_t fnv1a(std::string_view text) noexcept {
 
 } // namespace
 
-std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Module& module) {
+std::shared_ptr<const BytecodeModule>
+CompileCache::getOrCompile(const ir::Module& module, const CompileOptions& options) {
   fault::probe(fault::Site::CompileCache);
-  const std::string text = ir::printModule(module);
+  std::string text = ir::printModule(module);
+  if (!options.fuseGates) {
+    // Fold the option into the content key so fused and unfused compiles
+    // of the same program never alias.
+    text += "\n; compile-option: fusion=off";
+  }
   const std::uint64_t hash = fnv1a(text);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -44,7 +50,7 @@ std::shared_ptr<const BytecodeModule> CompileCache::getOrCompile(const ir::Modul
   }
   // Compile outside the lock: compilation is pure, and a rare duplicate
   // compile of the same program is cheaper than serializing all misses.
-  std::shared_ptr<const BytecodeModule> compiled = compileModule(module);
+  std::shared_ptr<const BytecodeModule> compiled = compileModule(module, options);
   const std::lock_guard<std::mutex> lock(mutex_);
   for (Entry& entry : entries_[hash]) {
     if (entry.text == text) { // another thread won the race

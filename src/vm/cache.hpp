@@ -14,6 +14,7 @@
 
 #include "ir/module.hpp"
 #include "vm/bytecode.hpp"
+#include "vm/compiler.hpp"
 
 #include <cstdint>
 #include <memory>
@@ -35,7 +36,11 @@ public:
 
   /// Look up \p module by content; compile and insert on miss. Thread-safe.
   /// The returned module is immutable and outlives the cache entry.
-  std::shared_ptr<const BytecodeModule> getOrCompile(const ir::Module& module);
+  /// Non-default \p options become part of the cache key (as an appended
+  /// pseudo-comment), so the same program compiled with and without fusion
+  /// occupies distinct entries instead of aliasing.
+  std::shared_ptr<const BytecodeModule>
+  getOrCompile(const ir::Module& module, const CompileOptions& options = {});
 
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;

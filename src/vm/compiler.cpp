@@ -1,5 +1,7 @@
 #include "vm/compiler.hpp"
 
+#include "vm/fusion.hpp"
+
 #include "ir/constant.hpp"
 #include "ir/printer.hpp"
 #include "support/faultinject.hpp"
@@ -495,9 +497,13 @@ private:
 namespace {
 telemetry::Counter g_compileCalls{"vm.compile.calls"};
 telemetry::Counter g_compileNs{"vm.compile.ns"};
+telemetry::Counter g_fusionOps{"sim.fusion.ops_fused"};
+telemetry::Counter g_fusionBlocks{"sim.fusion.blocks"};
+telemetry::Counter g_fusionSweepsSaved{"sim.fusion.sweeps_saved"};
 } // namespace
 
-std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module) {
+std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module,
+                                                    const CompileOptions& options) {
   fault::probe(fault::Site::BytecodeCompile);
   const telemetry::trace::Span span("vm.compile");
   const telemetry::ScopedTimer timer(g_compileNs, &g_compileCalls);
@@ -531,6 +537,15 @@ std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module) {
   }
   if (entry != nullptr && !entry->isDeclaration()) {
     out->entryIndex = static_cast<int>(functionIndex.at(entry));
+  }
+  if (options.fuseGates) {
+    const telemetry::trace::Span fuseSpan("compile.fuse");
+    for (CompiledFunction& fn : out->functions) {
+      const FusionStats stats = fuseGates(fn, out->externNames);
+      g_fusionOps.add(stats.fusedOps);
+      g_fusionBlocks.add(stats.blocks);
+      g_fusionSweepsSaved.add(stats.sweepsSaved());
+    }
   }
   out->sourceHash = fnv1a(ir::printModule(module));
   return out;

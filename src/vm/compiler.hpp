@@ -23,8 +23,17 @@ public:
       : TrapError(message, ErrorCode::CompileFail) {}
 };
 
+/// Compilation knobs. Defaults produce the fastest correct code; the
+/// flags exist as escape hatches (CLI --fusion=off) and as the reference
+/// configuration for differential tests.
+struct CompileOptions {
+  /// Run the gate-fusion pass (fusion.hpp) after lowering.
+  bool fuseGates = true;
+};
+
 /// Compile every defined function of \p module. The result is immutable
 /// and shareable; prefer CompileCache::getOrCompile for repeated use.
-[[nodiscard]] std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module);
+[[nodiscard]] std::shared_ptr<const BytecodeModule>
+compileModule(const ir::Module& module, const CompileOptions& options = {});
 
 } // namespace qirkit::vm

@@ -284,14 +284,15 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   std::shared_ptr<const BytecodeModule> compiled;
   if (engine == Engine::Vm) {
     try {
+      const CompileOptions compileOptions{.fuseGates = opts.fusion};
       if (opts.useCompileCache) {
         const CompileCache::Stats before = CompileCache::global().stats();
-        compiled = CompileCache::global().getOrCompile(module);
+        compiled = CompileCache::global().getOrCompile(module, compileOptions);
         const CompileCache::Stats after = CompileCache::global().stats();
         result.cacheHits = after.hits - before.hits;
         result.cacheMisses = after.misses - before.misses;
       } else {
-        compiled = compileModule(module);
+        compiled = compileModule(module, compileOptions);
         result.cacheMisses = 1;
       }
     } catch (const std::exception& e) {

@@ -82,6 +82,10 @@ struct ShotOptions {
   /// path degrades to the per-shot resim machinery, mirroring the
   /// VM->interpreter fallback discipline.
   ExecMode execMode = ExecMode::Auto;
+  /// VM engine only: run the compile-time gate-fusion pass (fusion.hpp).
+  /// The CLI's --fusion=off escape hatch and the reference leg of the
+  /// fused-vs-unfused differential tests set this to false.
+  bool fusion = true;
 };
 
 /// One permanently failed shot, classified.

@@ -1,0 +1,51 @@
+/// \file fusion.hpp
+/// The gate-fusion pass: a compile-time peephole over linear bytecode that
+/// folds runs of adjacent, fully-constant `__quantum__qis__*` calls into
+/// single fused instructions (Op::Fused1/Fused2/FusedDiag) backed by
+/// precomposed matrices. Running at bytecode-compile time means the pass
+/// lands in the LRU compile cache, so its cost amortizes across every
+/// shot of a batch while each shot pays one statevector sweep per fused
+/// block instead of one per gate.
+///
+/// Three fusion rules, applied greedily left to right:
+///  1. chains of single-qubit gates on the same qubit -> one 2x2 matrix;
+///  2. adjacent one-/two-qubit gates whose supports fit in a shared
+///     two-qubit window -> one 4x4 matrix (StateVector::apply2);
+///  3. runs of diagonal gates (Z/S/Sdg/T/Tdg/RZ/CZ) -> one diagonal-phase
+///     table over up to FusedBlock::kMaxQubits qubits.
+///
+/// Soundness barriers — a run never extends across:
+///  * any non-gate instruction (mz, reset, read_result, rt calls,
+///    branches, classical ops): measurement and control flow observe the
+///    state, so gate order around them is preserved;
+///  * a gate with a non-constant operand (classically-controlled angle or
+///    qubit): its value is only known per shot;
+///  * a gate whose qubit operand is not a static QIR address: dynamic
+///    handles and arena pointers resolve through runtime state;
+///  * any jump target: control may enter there, so the instructions
+///    before it must have executed exactly; a fused instruction sits at
+///    its run's first offset and the rest are Nops, hence a run that a
+///    branch could enter mid-way is never formed.
+#pragma once
+
+#include "vm/bytecode.hpp"
+
+namespace qirkit::vm {
+
+struct FusionStats {
+  std::uint64_t fusedOps = 0;    // source gate calls folded away
+  std::uint64_t blocks = 0;      // fused instructions emitted
+  /// Amplitude-array sweeps removed per execution of the fused code
+  /// (fusedOps - blocks): the quantity the pass exists to minimize.
+  [[nodiscard]] std::uint64_t sweepsSaved() const noexcept {
+    return fusedOps - blocks;
+  }
+};
+
+/// Run the fusion peephole over \p fn (in place). \p externNames is the
+/// module's slot table (gate recognition is by extern name). Must run
+/// after jump fixups; preserves every instruction offset.
+FusionStats fuseGates(CompiledFunction& fn,
+                      const std::vector<std::string>& externNames);
+
+} // namespace qirkit::vm

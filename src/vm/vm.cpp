@@ -25,6 +25,7 @@ enum OpClass : std::uint8_t {
   kClassControlFlow,  // jumps, switch, ret, trap
   kClassCallInternal, // PushArg + Call
   kClassCallExternal, // CallExtern (runtime dispatch)
+  kClassFused,        // Fused1/Fused2/FusedDiag (gate-fusion pass)
   kNumOpClasses,
 };
 
@@ -56,6 +57,10 @@ constexpr OpClass opClassOf(Op op) noexcept {
     return kClassCallInternal;
   case Op::CallExtern:
     return kClassCallExternal;
+  case Op::Fused1:
+  case Op::Fused2:
+  case Op::FusedDiag:
+    return kClassFused;
   default:
     return kClassData;
   }
@@ -67,6 +72,7 @@ telemetry::Counter g_dispatchMemory{"vm.dispatch.memory"};
 telemetry::Counter g_dispatchControlFlow{"vm.dispatch.control_flow"};
 telemetry::Counter g_dispatchCallInternal{"vm.dispatch.call_internal"};
 telemetry::Counter g_dispatchCallExternal{"vm.dispatch.call_external"};
+telemetry::Counter g_dispatchFused{"vm.dispatch.fused"};
 
 /// Per-frame dispatch tally: plain local increments in the hot loop,
 /// flushed to the process-wide counters once per frame (also on unwind).
@@ -85,6 +91,7 @@ struct DispatchTally {
     g_dispatchControlFlow.addUnchecked(counts[kClassControlFlow]);
     g_dispatchCallInternal.addUnchecked(counts[kClassCallInternal]);
     g_dispatchCallExternal.addUnchecked(counts[kClassCallExternal]);
+    g_dispatchFused.addUnchecked(counts[kClassFused]);
   }
 };
 
@@ -391,6 +398,55 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
     }
     case Op::Trap:
       throw TrapError("executed 'unreachable'", ErrorCode::TrapUnreachable);
+    case Op::Fused1:
+    case Op::Fused2:
+    case Op::FusedDiag: {
+      // One instruction stands in for in.b source gate calls; account for
+      // all of them (steps, stats, fault probes) so fused runs are
+      // indistinguishable from unfused ones to every observer but the
+      // wall clock. The fused instruction itself carries no kStep flag.
+      const interp::FusedBlock& block = fn.fusedBlocks[in.a];
+      const std::uint64_t gates = in.b;
+      if (stepsTaken_ + gates > stepLimit_) {
+        // Partial credit exactly as if the gates ran one by one: the
+        // first (stepLimit_ - stepsTaken_) complete, the next one trips
+        // the budget before counting as executed.
+        const std::uint64_t executed = stepLimit_ - stepsTaken_;
+        stepsTaken_ = stepLimit_ + 1;
+        stats_.instructionsExecuted += executed;
+        stats_.externalCalls += executed;
+        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",
+                        ErrorCode::StepBudgetExceeded);
+      }
+      stepsTaken_ += gates;
+      stats_.instructionsExecuted += gates;
+      stats_.externalCalls += gates;
+      if (injectFaults) {
+        for (std::uint64_t g = 0; g < gates; ++g) {
+          fault::probe(fault::Site::VmDispatch);
+          fault::probe(fault::Site::RuntimeCall);
+        }
+      }
+      if (fusedHost_ != nullptr) {
+        fusedHost_->applyFusedBlock(block);
+        break;
+      }
+      // No fused kernels on this host: replay the original calls so
+      // recording/Clifford runtimes (and unbound slots' diagnostics)
+      // behave identically to unfused execution.
+      ExternContext context{memory_};
+      for (const interp::FusedReplayCall& call : block.replay) {
+        const ExternalHandler* handler = externSlots_[call.slot];
+        if (handler == nullptr) {
+          throw TrapError("call to undefined external @" +
+                              module_->externNames[call.slot] +
+                              " (no runtime binding registered)",
+                          ErrorCode::TrapUnboundExternal);
+        }
+        (*handler)({call.args.data(), call.args.size()}, context);
+      }
+      break;
+    }
     }
   }
 }

@@ -58,6 +58,13 @@ public:
 
   void bindExternal(std::string name, ExternalHandler handler) override;
 
+  /// Direct kernel path for fused instructions. When a host is bound,
+  /// Fused1/Fused2/FusedDiag hand it the precomposed block; when none is
+  /// (recording/Clifford runtimes, or no binding at all), the VM replays
+  /// the block's original extern calls one by one, so fusion is
+  /// observationally invisible to hosts without fused kernels.
+  void bindFusedHost(interp::FusedGateHost* host) override { fusedHost_ = host; }
+
 private:
   interp::RtValue execute(std::uint32_t funcIndex,
                           std::span<const interp::RtValue> args, unsigned depth);
@@ -80,6 +87,7 @@ private:
   std::vector<interp::RtValue> argStack_;
 
   interp::InterpStats stats_;
+  interp::FusedGateHost* fusedHost_ = nullptr;
   std::uint64_t stepLimit_ = interp::Interpreter::kDefaultStepLimit;
   std::uint64_t stepsTaken_ = 0;
 };

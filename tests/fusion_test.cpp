@@ -1,0 +1,534 @@
+/// Tests for the gate-fusion engine: GateMatrix4 composition helpers and
+/// the fused statevector kernels (apply2 / applyDiagonal / the subspace
+/// applySwap), the compile-time fusion pass (rules, barriers, window
+/// limits), VM dispatch parity (stats, step budget, recording replay),
+/// cache keying by compile options, and the fused-vs-unfused differential
+/// on random circuits (identical histograms, fidelity >= 1 - 1e-10).
+#include "circuit/generators.hpp"
+#include "interp/interpreter.hpp"
+#include "ir/parser.hpp"
+#include "qir/exporter.hpp"
+#include "runtime/runtime.hpp"
+#include "support/rng.hpp"
+#include "vm/cache.hpp"
+#include "vm/compiler.hpp"
+#include "vm/executor.hpp"
+#include "vm/fusion.hpp"
+#include "vm/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <string>
+
+namespace qirkit {
+namespace {
+
+using interp::RtValue;
+using sim::Complex;
+using sim::GateMatrix2;
+using sim::GateMatrix4;
+using sim::StateVector;
+
+// ---------------------------------------------------------------------------
+// Matrix composition helpers and fused kernels
+// ---------------------------------------------------------------------------
+
+/// A 3-qubit state with population in every basis state.
+StateVector scrambledState() {
+  StateVector sv(3);
+  sv.apply1(sim::gateH(), 0);
+  sv.apply1(sim::gateRY(0.3), 1);
+  sv.apply1(sim::gateRX(1.1), 2);
+  sv.applyControlled1(sim::gateX(), 0, 1);
+  sv.apply1(sim::gateT(), 2);
+  sv.applyControlled1(sim::gateX(), 1, 2);
+  return sv;
+}
+
+void expectSameState(const StateVector& a, const StateVector& b, double tol) {
+  ASSERT_EQ(a.numQubits(), b.numQubits());
+  for (std::uint64_t i = 0; i < a.dimension(); ++i) {
+    EXPECT_NEAR(std::abs(a.amplitude(i) - b.amplitude(i)), 0.0, tol)
+        << "basis state " << i;
+  }
+}
+
+TEST(FusionMatrix, Embed2MatchesApply1) {
+  for (const unsigned slot : {0U, 1U}) {
+    StateVector direct = scrambledState();
+    StateVector fused = scrambledState();
+    const unsigned q0 = 0;
+    const unsigned q1 = 2;
+    direct.apply1(sim::gateRY(0.7), slot == 0 ? q0 : q1);
+    fused.apply2(sim::embed2(sim::gateRY(0.7), slot), q0, q1);
+    expectSameState(direct, fused, 1e-12);
+  }
+}
+
+TEST(FusionMatrix, Controlled4MatchesApplyControlled1) {
+  for (const bool flip : {false, true}) {
+    StateVector direct = scrambledState();
+    StateVector fused = scrambledState();
+    const unsigned control = flip ? 2 : 1;
+    const unsigned target = flip ? 1 : 2;
+    direct.applyControlled1(sim::gateX(), control, target);
+    // Window (q0=1, q1=2): slot of qubit 1 is 0, slot of qubit 2 is 1.
+    fused.apply2(sim::controlled4(sim::gateX(), flip ? 1 : 0, flip ? 0 : 1), 1, 2);
+    expectSameState(direct, fused, 1e-12);
+  }
+}
+
+TEST(FusionMatrix, Swap4MatchesApplySwap) {
+  StateVector direct = scrambledState();
+  StateVector fused = scrambledState();
+  direct.applySwap(0, 2);
+  fused.apply2(sim::swap4(), 0, 2);
+  expectSameState(direct, fused, 1e-12);
+}
+
+TEST(FusionMatrix, MatmulComposesRightToLeft) {
+  // matmul(a, b) applies b first — the composition order the pass uses.
+  const GateMatrix4 a = sim::controlled4(sim::gateX(), 0, 1);
+  const GateMatrix4 b = sim::embed2(sim::gateH(), 0);
+  StateVector sequential = scrambledState();
+  sequential.apply2(b, 0, 1);
+  sequential.apply2(a, 0, 1);
+  StateVector composed = scrambledState();
+  composed.apply2(sim::matmul(a, b), 0, 1);
+  expectSameState(sequential, composed, 1e-12);
+}
+
+TEST(FusionMatrix, DistanceUpToPhaseSeesThroughGlobalPhase) {
+  const GateMatrix4 a = sim::embed2(sim::gateT(), 1);
+  GateMatrix4 b = a;
+  const Complex phase = std::polar(1.0, 1.234);
+  for (auto& row : b.m) {
+    for (auto& entry : row) {
+      entry *= phase;
+    }
+  }
+  EXPECT_LT(sim::distanceUpToPhase(a, b), 1e-12);
+  EXPECT_GT(sim::distanceUpToPhase(a, sim::swap4()), 0.1);
+}
+
+TEST(FusionKernel, ApplyDiagonalMatchesGateSequence) {
+  StateVector direct = scrambledState();
+  direct.apply1(sim::gateZ(), 0);
+  direct.apply1(sim::gateS(), 1);
+  direct.apply1(sim::gateRZ(0.4), 2);
+  direct.applyControlled1(sim::gateZ(), 0, 2);
+
+  // Compose the same run into one phase table: bit j of the index is
+  // qubits[j].
+  const unsigned qubits[] = {0, 1, 2};
+  std::vector<Complex> diag(8, 1.0);
+  const auto fold1 = [&diag](const GateMatrix2& g, unsigned bit) {
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      diag[i] *= ((i >> bit) & 1) != 0 ? g.m11 : g.m00;
+    }
+  };
+  fold1(sim::gateZ(), 0);
+  fold1(sim::gateS(), 1);
+  fold1(sim::gateRZ(0.4), 2);
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    if ((i & 1) != 0 && ((i >> 2) & 1) != 0) {
+      diag[i] = -diag[i]; // CZ(0, 2)
+    }
+  }
+  StateVector fused = scrambledState();
+  fused.applyDiagonal(diag, qubits);
+  expectSameState(direct, fused, 1e-12);
+}
+
+TEST(FusionKernel, SampleCountsMatchesSampleShots) {
+  const StateVector sv = scrambledState();
+  SplitMix64 rngA(42);
+  SplitMix64 rngB(42);
+  EXPECT_EQ(sv.sampleCounts(500, rngA), sv.sampleShots(500, rngB));
+}
+
+// ---------------------------------------------------------------------------
+// The fusion pass: rules and barriers, observed through the disassembly
+// ---------------------------------------------------------------------------
+
+std::size_t countSubstr(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::shared_ptr<const vm::BytecodeModule> compileText(const std::string& text,
+                                                      bool fusion = true) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, text);
+  return vm::compileModule(*module, vm::CompileOptions{.fuseGates = fusion});
+}
+
+const std::string kGateDecls = R"(
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__z__body(ptr)
+declare void @__quantum__qis__s__body(ptr)
+declare void @__quantum__qis__t__body(ptr)
+declare void @__quantum__qis__rx__body(double, ptr)
+declare void @__quantum__qis__rz__body(double, ptr)
+declare void @__quantum__qis__cnot__body(ptr, ptr)
+declare void @__quantum__qis__cz__body(ptr, ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare void @__quantum__qis__reset__body(ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+)";
+
+std::string entryPoint(const std::string& body) {
+  return kGateDecls + "define void @main() #0 {\nentry:\n" + body +
+         "  ret void\n}\nattributes #0 = { \"entry_point\" }\n";
+}
+
+TEST(FusionPass, SingleQubitChainFusesToOneBlock) {
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__rx__body(double 0.5, ptr null)
+  call void @__quantum__qis__h__body(ptr null)
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused1"), 1U) << listing;
+  EXPECT_EQ(countSubstr(listing, "call.ext"), 0U) << listing;
+  ASSERT_EQ(compiled->functions.size(), 1U);
+  ASSERT_EQ(compiled->functions[0].fusedBlocks.size(), 1U);
+  const interp::FusedBlock& block = compiled->functions[0].fusedBlocks[0];
+  EXPECT_EQ(block.kind, interp::FusedBlock::Kind::Unitary1);
+  EXPECT_EQ(block.sourceGates, 3U);
+  EXPECT_EQ(block.replay.size(), 3U);
+  // H RX(0.5) H == RZ(0.5) up to global phase.
+  ASSERT_EQ(block.matrix.size(), 4U);
+  const GateMatrix2 got{block.matrix[0], block.matrix[1], block.matrix[2],
+                        block.matrix[3]};
+  EXPECT_LT(sim::distanceUpToPhase(got, sim::gateRZ(0.5)), 1e-12);
+}
+
+TEST(FusionPass, TwoQubitWindowFusesMixedGates) {
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 1 to ptr))
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused2"), 1U) << listing;
+  EXPECT_EQ(countSubstr(listing, "call.ext"), 0U) << listing;
+  const interp::FusedBlock& block = compiled->functions[0].fusedBlocks[0];
+  EXPECT_EQ(block.kind, interp::FusedBlock::Kind::Unitary2);
+  EXPECT_EQ(block.qubits, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(block.sourceGates, 3U);
+}
+
+TEST(FusionPass, DiagonalRunFusesAcrossManyQubits) {
+  // Five diagonal gates over three qubits: too wide for a 4x4 window but
+  // one diagonal block.
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__z__body(ptr null)
+  call void @__quantum__qis__s__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cz__body(ptr null, ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__t__body(ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__rz__body(double 0.25, ptr null)
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused.diag"), 1U) << listing;
+  EXPECT_EQ(countSubstr(listing, "call.ext"), 0U) << listing;
+  const interp::FusedBlock& block = compiled->functions[0].fusedBlocks[0];
+  EXPECT_EQ(block.kind, interp::FusedBlock::Kind::Diagonal);
+  EXPECT_EQ(block.sourceGates, 5U);
+  ASSERT_EQ(block.qubits.size(), 3U);
+  EXPECT_EQ(block.matrix.size(), 8U);
+}
+
+TEST(FusionPass, MeasurementIsABarrier) {
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused1"), 2U) << listing;
+  EXPECT_EQ(countSubstr(listing, "@__quantum__qis__mz__body"), 1U) << listing;
+}
+
+TEST(FusionPass, ResetIsABarrier) {
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+  call void @__quantum__qis__reset__body(ptr null)
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused1"), 2U) << listing;
+}
+
+TEST(FusionPass, WindowOverlapBreaksRuns) {
+  // CX ladder: (0,1), (1,2), (2,3). No two adjacent gates share a
+  // two-qubit window with the next, and nothing is diagonal, so nothing
+  // fuses.
+  const auto compiled = compileText(entryPoint(R"(
+  call void @__quantum__qis__cnot__body(ptr null, ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cnot__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__cnot__body(ptr inttoptr (i64 2 to ptr), ptr inttoptr (i64 3 to ptr))
+)"));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused"), 0U) << listing;
+  EXPECT_EQ(countSubstr(listing, "call.ext"), 3U) << listing;
+}
+
+TEST(FusionPass, ClassicallyControlledGatesStaySeparate) {
+  // The branch terminators (and the read_result call feeding them) are
+  // barriers; gates in different blocks never fuse together.
+  const auto compiled = compileText(kGateDecls + R"(
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %flip, label %done
+flip:
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__z__body(ptr inttoptr (i64 1 to ptr))
+  br label %done
+done:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const std::string listing = compiled->disassemble();
+  // Only the X;Z pair inside %flip forms a run (single-qubit chain).
+  EXPECT_EQ(countSubstr(listing, "fused1"), 1U) << listing;
+  const interp::FusedBlock& block = compiled->functions[0].fusedBlocks[0];
+  EXPECT_EQ(block.sourceGates, 2U);
+}
+
+TEST(FusionPass, DynamicQubitHandlesPreventFusion) {
+  // Dynamic addressing: qubit operands come from qubit_allocate calls,
+  // not the constant pool, so the pass must leave everything alone.
+  ir::Context ctx;
+  qir::ExportOptions options;
+  options.addressing = qir::Addressing::Dynamic;
+  const auto module = qir::exportCircuit(ctx, circuit::ghz(4, false), options);
+  const auto compiled = vm::compileModule(*module);
+  EXPECT_EQ(countSubstr(compiled->disassemble(), "fused"), 0U);
+}
+
+TEST(FusionPass, GhzLadderFusesOnlyTheFrontWindow) {
+  // ghz(4): H q0; CX(0,1); CX(1,2); CX(2,3) — the H+first CX share a
+  // window, the ladder tail does not.
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::ghz(4, false), {});
+  const auto compiled = vm::compileModule(*module);
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused2"), 1U) << listing;
+  EXPECT_EQ(countSubstr(listing, "fused1"), 0U) << listing;
+}
+
+TEST(FusionPass, StatsCountFoldedGatesAndBlocks) {
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(5, false), {});
+  const auto reference = vm::compileModule(*module, {.fuseGates = false});
+  vm::CompiledFunction fn = reference->functions[0];
+  const vm::FusionStats stats = vm::fuseGates(fn, reference->externNames);
+  EXPECT_GT(stats.blocks, 0U);
+  EXPECT_GT(stats.fusedOps, stats.blocks);
+  EXPECT_EQ(stats.sweepsSaved(), stats.fusedOps - stats.blocks);
+  std::uint64_t folded = 0;
+  for (const interp::FusedBlock& block : fn.fusedBlocks) {
+    folded += block.sourceGates;
+  }
+  EXPECT_EQ(folded, stats.fusedOps);
+  // Offset preservation: replacement never changes the code size.
+  EXPECT_EQ(fn.code.size(), reference->functions[0].code.size());
+}
+
+// ---------------------------------------------------------------------------
+// VM dispatch parity: stats, step budget, replay for hosts without kernels
+// ---------------------------------------------------------------------------
+
+struct QuantumRun {
+  std::vector<std::pair<std::string, bool>> output;
+  runtime::RuntimeStats runtimeStats;
+  interp::InterpStats engineStats;
+};
+
+QuantumRun runVm(const ir::Module& m, std::uint64_t seed, bool fusion) {
+  vm::Vm machine(vm::compileModule(m, vm::CompileOptions{.fuseGates = fusion}));
+  runtime::QuantumRuntime rt(seed);
+  rt.bind(machine);
+  machine.runEntryPoint();
+  return {rt.recordedOutput(), rt.stats(), machine.stats()};
+}
+
+TEST(FusionVm, StatsMatchUnfusedExecution) {
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(4, true), {});
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const QuantumRun fused = runVm(*module, seed, true);
+    const QuantumRun unfused = runVm(*module, seed, false);
+    EXPECT_EQ(fused.output, unfused.output) << "seed " << seed;
+    EXPECT_EQ(fused.runtimeStats.gatesApplied, unfused.runtimeStats.gatesApplied);
+    EXPECT_EQ(fused.runtimeStats.measurements, unfused.runtimeStats.measurements);
+    EXPECT_EQ(fused.runtimeStats.staticQubitsAllocated,
+              unfused.runtimeStats.staticQubitsAllocated);
+    EXPECT_EQ(fused.engineStats.instructionsExecuted,
+              unfused.engineStats.instructionsExecuted);
+    EXPECT_EQ(fused.engineStats.externalCalls, unfused.engineStats.externalCalls);
+    EXPECT_EQ(fused.engineStats.blocksEntered, unfused.engineStats.blocksEntered);
+  }
+}
+
+TEST(FusionVm, StepLimitTrapsMidBlockWithIdenticalAccounting) {
+  const std::string program = entryPoint(R"(
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__x__body(ptr null)
+)");
+  for (const std::uint64_t limit : {1ULL, 2ULL, 3ULL}) {
+    auto runWith = [&](bool fusion) {
+      ir::Context ctx;
+      vm::Vm machine(
+          vm::compileModule(*ir::parseModule(ctx, program),
+                            vm::CompileOptions{.fuseGates = fusion}));
+      runtime::QuantumRuntime rt(1);
+      rt.bind(machine);
+      machine.setStepLimit(limit);
+      std::string message;
+      try {
+        machine.runEntryPoint();
+      } catch (const interp::TrapError& e) {
+        message = e.what();
+      }
+      return std::make_tuple(message, machine.stats().instructionsExecuted,
+                             machine.stats().externalCalls);
+    };
+    EXPECT_EQ(runWith(true), runWith(false)) << "limit " << limit;
+  }
+}
+
+TEST(FusionVm, RecordingRuntimeSeesEveryGateViaReplay) {
+  // The recording runtime has no fused kernels; the VM must replay the
+  // folded calls so the reconstructed circuit is identical.
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(4, false), {});
+  vm::Vm fusedVm(vm::compileModule(*module));
+  EXPECT_FALSE(fusedVm.module().functions[0].fusedBlocks.empty());
+  runtime::RecordingRuntime fusedRecorder;
+  fusedRecorder.bind(fusedVm);
+  fusedVm.runEntryPoint();
+
+  interp::Interpreter interp(*module);
+  runtime::RecordingRuntime reference;
+  reference.bind(interp);
+  interp.runEntryPoint();
+
+  EXPECT_EQ(fusedRecorder.recorded(), reference.recorded());
+}
+
+TEST(FusionVm, RebindingARecorderDisablesTheKernelPath) {
+  // A QuantumRuntime bound first must not leave a stale fused host behind
+  // when a recorder takes over the same VM.
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::ghz(3, false), {});
+  vm::Vm machine(vm::compileModule(*module));
+  runtime::QuantumRuntime rt(1);
+  rt.bind(machine);
+  machine.runEntryPoint();
+  runtime::RecordingRuntime recorder;
+  recorder.bind(machine);
+  machine.runEntryPoint();
+  EXPECT_EQ(recorder.recorded().ops().size(), circuit::ghz(3, false).ops().size());
+}
+
+// ---------------------------------------------------------------------------
+// Compile cache keying
+// ---------------------------------------------------------------------------
+
+TEST(FusionCache, FusionOptionIsPartOfTheKey) {
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(4, false), {});
+  vm::CompileCache cache;
+  const auto fused = cache.getOrCompile(*module);
+  const auto unfused = cache.getOrCompile(*module, {.fuseGates = false});
+  EXPECT_EQ(cache.stats().misses, 2U);
+  EXPECT_EQ(cache.stats().hits, 0U);
+  EXPECT_FALSE(fused->functions[0].fusedBlocks.empty());
+  EXPECT_TRUE(unfused->functions[0].fusedBlocks.empty());
+  // Each configuration hits its own entry afterwards.
+  cache.getOrCompile(*module);
+  cache.getOrCompile(*module, {.fuseGates = false});
+  EXPECT_EQ(cache.stats().hits, 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: fused vs unfused on random circuits
+// ---------------------------------------------------------------------------
+
+TEST(FusionDifferential, RandomCircuitStatesStayFaithful) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ir::Context ctx;
+    const auto module = qir::exportCircuit(
+        ctx, circuit::randomCircuit(5, 8, seed, false), {});
+
+    vm::Vm fusedVm(vm::compileModule(*module));
+    runtime::QuantumRuntime fusedRt(seed);
+    fusedRt.bind(fusedVm);
+    fusedVm.runEntryPoint();
+
+    vm::Vm plainVm(vm::compileModule(*module, {.fuseGates = false}));
+    runtime::QuantumRuntime plainRt(seed);
+    plainRt.bind(plainVm);
+    plainVm.runEntryPoint();
+
+    EXPECT_GE(fusedRt.state().fidelity(plainRt.state()), 1.0 - 1e-10)
+        << "seed " << seed;
+  }
+}
+
+TEST(FusionDifferential, ResimHistogramsAreIdenticalPerSeed) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ir::Context ctx;
+    const auto module = qir::exportCircuit(
+        ctx, circuit::randomCircuit(4, 6, seed, true), {});
+    vm::ShotOptions opts;
+    opts.shots = 50;
+    opts.seed = seed * 977;
+    opts.execMode = vm::ExecMode::Resim;
+    opts.useCompileCache = false;
+    opts.interpFallback = false;
+    opts.fusion = true;
+    const vm::ShotBatchResult fused = vm::runShots(*module, opts);
+    opts.fusion = false;
+    const vm::ShotBatchResult unfused = vm::runShots(*module, opts);
+    EXPECT_EQ(fused.histogram, unfused.histogram) << "seed " << seed;
+    EXPECT_EQ(fused.failures.size(), 0U);
+  }
+}
+
+TEST(FusionDifferential, SamplingPathMatchesToo) {
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(4, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 200;
+  opts.seed = 13;
+  opts.execMode = vm::ExecMode::Sample;
+  opts.useCompileCache = false;
+  opts.interpFallback = false;
+  const vm::ShotBatchResult fused = vm::runShots(*module, opts);
+  opts.fusion = false;
+  const vm::ShotBatchResult unfused = vm::runShots(*module, opts);
+  EXPECT_EQ(fused.histogram, unfused.histogram);
+}
+
+} // namespace
+} // namespace qirkit

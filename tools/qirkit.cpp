@@ -13,6 +13,7 @@
 ///                  [--seed S] [--engine vm|interp]
 ///                  [--jobs N]
 ///                  [--exec-mode auto|resim|sample]
+///                  [--fusion on|off]
 ///                  [--max-failed-shots N]
 ///                  [--retries N]
 ///                  [--no-fallback]              execute + runtime (§III.C);
@@ -364,6 +365,14 @@ int cmdRun(const Args& args) {
   } else {
     fail("--exec-mode must be auto, resim, or sample");
   }
+  const std::string fusion = args.option("fusion", "on");
+  if (fusion == "on") {
+    options.fusion = true;
+  } else if (fusion == "off") {
+    options.fusion = false;
+  } else {
+    fail("--fusion must be on or off");
+  }
   const auto jobs =
       static_cast<std::size_t>(parseUint(args.option("jobs", "1"), "jobs"));
   std::unique_ptr<ThreadPool> pool;
@@ -500,7 +509,7 @@ void usage() {
          "                        metrics) on stderr after the command\n"
          "  -o <path>             write primary output to a file\n"
          "run options: --shots N --seed S --engine vm|interp --jobs N\n"
-         "             --exec-mode auto|resim|sample\n"
+         "             --exec-mode auto|resim|sample --fusion on|off\n"
          "             --retries N --max-failed-shots N --no-fallback\n"
          "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
          "             --addressing static|dynamic --reuse --defer-mz\n"
@@ -547,8 +556,8 @@ int main(int argc, char** argv) {
     const Args args = parseArgs(
         argc, argv, 2,
         {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
-         "exec-mode", "max-failed-shots", "retries", "to", "budget", "model",
-         "output"});
+         "exec-mode", "fusion", "max-failed-shots", "retries", "to", "budget",
+         "model", "output"});
     if (args.positional.empty()) {
       usage();
       return 2;

@@ -66,6 +66,14 @@ grep -qE "^(00|11): " "$WORK/mode.resim" || fail "resim histogram"
 rc=0; "$QIRKIT" run "$WORK/bell.ll" --exec-mode turbo >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || fail "--exec-mode turbo must exit 2 (got $rc)"
 
+# gate fusion is transparent: fused (default) and unfused runs produce
+# identical histograms per seed, and bad values are usage errors
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --fusion off \
+  2>/dev/null >"$WORK/nofuse" || fail "--fusion off run"
+cmp -s "$WORK/mode.auto" "$WORK/nofuse" || fail "--fusion on/off disagree"
+rc=0; "$QIRKIT" run "$WORK/bell.ll" --fusion maybe >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--fusion maybe must exit 2 (got $rc)"
+
 # forcing sample on a feedback-dependent program is a usage error
 cat > "$WORK/feedback.ll" <<'EOF'
 declare void @__quantum__qis__h__body(ptr)
@@ -135,7 +143,7 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 # the README documents must appear when qirkit is invoked without args.
 "$QIRKIT" 2>"$WORK/usage" || true
 for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine \
-    --exec-mode --target; do
+    --exec-mode --fusion --target; do
   grep -q -- "$doc" "$WORK/usage" || fail "usage text does not mention $doc"
 done
 
