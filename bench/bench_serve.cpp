@@ -1,0 +1,267 @@
+/// Service-mode throughput: `qirkit serve` answering cached submits over
+/// its Unix-domain socket vs the one-CLI-process-per-request baseline the
+/// daemon replaces. The baseline spawns the real `qirkit run` binary per
+/// iteration (fork/exec + dynamic loading + cold parse/compile), which is
+/// exactly the workflow `serve` exists to amortize; a second in-process
+/// reference isolates just the parse+compile cost with no process spawn.
+/// The served path pays the socket round-trip and the admission queue but
+/// reuses the shared parsed-program registry and compile cache, which is
+/// where the (expected >= 5x) win comes from on a cached workload.
+#include "ir/context.hpp"
+#include "ir/parser.hpp"
+#include "qasm/parser.hpp"
+#include "qir/exporter.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "vm/cache.hpp"
+#include "vm/executor.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+
+extern char** environ;
+
+namespace {
+
+using namespace qirkit;
+
+/// A deep-but-narrow workload (4 qubits, 300 gates): the per-request cost
+/// a cold process pays is dominated by spawn + parse + export + bytecode
+/// compilation, which is exactly what the daemon's program registry and
+/// compile cache amortize. Simulation itself is cheap (16 amplitudes) and
+/// paid by both sides, so the ratio isolates the caching win.
+std::string workloadText() {
+  std::string s = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                  "qreg q[4];\ncreg c[4];\n";
+  for (int i = 0; i < 150; ++i) {
+    const std::string a = std::to_string(i % 4);
+    const std::string b = std::to_string((i + 1) % 4);
+    s += "h q[" + a + "];\ncx q[" + a + "], q[" + b + "];\n";
+  }
+  s += "measure q -> c;\n";
+  return s;
+}
+
+const std::string& workloadQasm() {
+  static const std::string text = workloadText();
+  return text;
+}
+
+constexpr std::uint64_t kShots = 100;
+
+/// One daemon shared by every serve benchmark in this process, started on
+/// first use and torn down at exit through the Server destructor.
+service::Server& daemon() {
+  static std::unique_ptr<service::Server> server = [] {
+    service::ServerOptions options;
+    options.socketPath =
+        "/tmp/qirkit_bench_serve_" + std::to_string(::getpid()) + ".sock";
+    options.runners = 2;
+    options.poolThreads = 2;
+    auto s = std::make_unique<service::Server>(options);
+    s->start();
+    return s;
+  }();
+  return *server;
+}
+
+std::string submitLine(const std::string& tenant, const std::string& ref) {
+  service::SubmitRequest request;
+  request.tenant = tenant;
+  request.programRef = ref;
+  request.shots = kShots;
+  request.seed = 7;
+  return service::submitRequestJson(request);
+}
+
+/// Register the workload once and return its content id.
+std::string registerProgram(service::Client& client) {
+  service::SubmitRequest request;
+  request.tenant = "bench";
+  request.program = workloadQasm();
+  request.shots = kShots;
+  request.seed = 7;
+  const service::json::Value response =
+      service::json::parse(client.call(service::submitRequestJson(request)));
+  return response.find("program_id")->string;
+}
+
+double cacheHitRate() {
+  const vm::CompileCache::Stats stats = daemon().cache().stats();
+  const std::uint64_t lookups = stats.hits + stats.coalesced + stats.misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(stats.hits + stats.coalesced) /
+                            static_cast<double>(lookups);
+}
+
+/// Locate the qirkit CLI next to this benchmark binary (build/bench/
+/// bench_serve -> build/tools/qirkit); QIRKIT_BIN overrides.
+std::string qirkitBinaryPath() {
+  if (const char* env = ::getenv("QIRKIT_BIN"); env != nullptr && *env != '\0')
+    return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0)
+    return {};
+  std::string self(buf, static_cast<std::size_t>(n));
+  const std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos)
+    return {};
+  const std::string candidate =
+      self.substr(0, slash) + "/../tools/qirkit";
+  return ::access(candidate.c_str(), X_OK) == 0 ? candidate : std::string();
+}
+
+/// The workload written to disk once for the per-process baseline, removed
+/// at exit.
+const std::string& workloadFile() {
+  static const std::string path = [] {
+    std::string p =
+        "/tmp/qirkit_bench_serve_" + std::to_string(::getpid()) + ".qasm";
+    std::ofstream out(p);
+    out << workloadQasm();
+    return p;
+  }();
+  static const struct Cleanup {
+    const std::string& path;
+    ~Cleanup() { ::unlink(path.c_str()); }
+  } cleanup{path};
+  return path;
+}
+
+/// Run one `qirkit run` child to completion with output discarded.
+/// Returns false if spawning or the child failed.
+bool runCliOnce(const std::string& bin) {
+  std::vector<std::string> args = {bin,  "run",     workloadFile(),
+                                   "--shots", "100", "--seed", "7"};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args)
+    argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO, "/dev/null",
+                                   O_WRONLY, 0);
+  posix_spawn_file_actions_addopen(&actions, STDERR_FILENO, "/dev/null",
+                                   O_WRONLY, 0);
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, bin.c_str(), &actions, nullptr, argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  if (rc != 0)
+    return false;
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid)
+    return false;
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/// The served hot path: persistent connection, program resubmitted by
+/// content id, every request a compile-cache + program-registry hit.
+void BM_ServeSubmitCached(benchmark::State& state) {
+  service::Client client(daemon().options().socketPath);
+  const std::string ref = registerProgram(client);
+  const std::string line = submitLine("bench", ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] = cacheHitRate();
+  state.counters["shots_per_request"] = static_cast<double>(kShots);
+}
+BENCHMARK(BM_ServeSubmitCached)->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+/// Several tenants hammering the daemon at once over their own
+/// connections: measures multiplexing of the queue, runners, and the
+/// shared pool rather than single-connection latency.
+void BM_ServeConcurrentTenants(benchmark::State& state) {
+  service::Client client(daemon().options().socketPath);
+  const std::string ref = registerProgram(client);
+  const std::string line =
+      submitLine("tenant" + std::to_string(state.thread_index()), ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["cache_hit_rate"] =
+      benchmark::Counter(cacheHitRate(), benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeConcurrentTenants)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// The baseline the daemon replaces: one `qirkit run` process per request,
+/// each paying fork/exec + dynamic loading + cold parse + compile before a
+/// single shot executes.
+void BM_ServePerProcessBaseline(benchmark::State& state) {
+  const std::string bin = qirkitBinaryPath();
+  if (bin.empty()) {
+    state.SkipWithError("qirkit CLI not found next to bench_serve "
+                        "(set QIRKIT_BIN to override)");
+    return;
+  }
+  for (auto _ : state) {
+    if (!runCliOnce(bin)) {
+      state.SkipWithError("qirkit run child failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["shots_per_request"] = static_cast<double>(kShots);
+}
+BENCHMARK(BM_ServePerProcessBaseline)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+/// In-process reference: the same cold parse + uncached compile + execute
+/// a fresh CLI process performs, minus the spawn. Isolates how much of the
+/// per-process cost is compilation (amortized by the daemon's caches)
+/// versus process startup.
+void BM_ServeColdCompileInProcess(benchmark::State& state) {
+  for (auto _ : state) {
+    ir::Context ctx;
+    const circuit::Circuit c = qasm::parse(workloadQasm());
+    qir::ExportOptions exportOptions;
+    exportOptions.addressing = qir::Addressing::Static;
+    const auto module = qir::exportCircuit(ctx, c, exportOptions);
+    vm::ShotOptions options;
+    options.shots = kShots;
+    options.seed = 7;
+    options.useCompileCache = false; // a fresh process has an empty cache
+    benchmark::DoNotOptimize(vm::runShots(*module, options));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["requests_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["shots_per_request"] = static_cast<double>(kShots);
+}
+BENCHMARK(BM_ServeColdCompileInProcess)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return qirkit::bench::runAndReport(&argc, argv, "bench_serve");
+}

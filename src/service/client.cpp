@@ -1,0 +1,90 @@
+#include "service/client.hpp"
+
+#include "support/error.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qirkit::service {
+
+Client::Client(const std::string& socketPath) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socketPath.size() >= sizeof(addr.sun_path)) {
+    throw qirkit::Error(ErrorCode::Usage,
+                        "socket path longer than " +
+                            std::to_string(sizeof(addr.sun_path) - 1) +
+                            " bytes: '" + socketPath + "'");
+  }
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw qirkit::Error(ErrorCode::Io,
+                        std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw qirkit::Error(ErrorCode::Io, "cannot connect to '" + socketPath +
+                                           "': " + why +
+                                           " (is the daemon running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+void Client::sendRaw(std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      throw qirkit::Error(ErrorCode::Io,
+                          std::string("send: ") +
+                              (n < 0 ? std::strerror(errno)
+                                     : "connection closed by the daemon"));
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::readLine() {
+  char chunk[65536];
+  while (true) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      throw qirkit::Error(ErrorCode::Io,
+                          "connection closed by the daemon before a full "
+                          "response arrived");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::call(std::string_view requestLine) {
+  sendRaw(std::string(requestLine) + "\n");
+  return readLine();
+}
+
+} // namespace qirkit::service

@@ -1,0 +1,41 @@
+/// \file client.hpp
+/// Minimal blocking client for the `qirkit serve` socket protocol: connect
+/// to the daemon's Unix-domain socket, send one request line, read one
+/// response line. Used by `qirkit submit`, the smoke harness, and the
+/// service bench; tests drive the raw line API to exercise the server's
+/// malformed-frame handling.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qirkit::service {
+
+class Client {
+public:
+  /// Connect to the daemon at \p socketPath. Throws Error(ErrorCode::Io)
+  /// when the socket cannot be reached (daemon not running, bad path).
+  explicit Client(const std::string& socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request frame (newline appended) and block for the
+  /// response line. Throws Error(ErrorCode::Io) when the connection
+  /// drops mid-call.
+  [[nodiscard]] std::string call(std::string_view requestLine);
+
+  /// Send raw bytes verbatim — no newline appended. Lets tests emit
+  /// partial, oversized, or multi-frame writes.
+  void sendRaw(std::string_view bytes);
+
+  /// Block for the next newline-terminated response (newline stripped).
+  [[nodiscard]] std::string readLine();
+
+private:
+  int fd_ = -1;
+  std::string buffer_; // bytes past the last returned line
+};
+
+} // namespace qirkit::service

@@ -1,0 +1,244 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace qirkit::service::json {
+
+namespace {
+
+[[noreturn]] void malformed(std::size_t at, const std::string& what) {
+  throw qirkit::Error(ErrorCode::Parse,
+                      "malformed JSON at byte " + std::to_string(at) + ": " + what);
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    Value v = value(0);
+    skipWs();
+    if (pos_ != text_.size()) {
+      malformed(pos_, "trailing content after document");
+    }
+    return v;
+  }
+
+private:
+  void skipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) {
+      malformed(pos_, "unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      malformed(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      malformed(pos_, "nesting deeper than " + std::to_string(kMaxDepth));
+    }
+    skipWs();
+    Value v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = Value::Kind::Object;
+      ++pos_;
+      skipWs();
+      if (!consume('}')) {
+        do {
+          skipWs();
+          std::string key = parseString();
+          skipWs();
+          expect(':');
+          v.object[std::move(key)] = value(depth + 1);
+          skipWs();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      v.kind = Value::Kind::Array;
+      ++pos_;
+      skipWs();
+      if (!consume(']')) {
+        do {
+          v.array.push_back(value(depth + 1));
+          skipWs();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = Value::Kind::String;
+      v.string = parseString();
+    } else if (c == 't') {
+      if (!consumeWord("true")) {
+        malformed(pos_, "bad literal");
+      }
+      v.kind = Value::Kind::Bool;
+      v.boolean = true;
+    } else if (c == 'f') {
+      if (!consumeWord("false")) {
+        malformed(pos_, "bad literal");
+      }
+      v.kind = Value::Kind::Bool;
+    } else if (c == 'n') {
+      if (!consumeWord("null")) {
+        malformed(pos_, "bad literal");
+      }
+    } else if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
+      v.kind = Value::Kind::Number;
+      v.number = parseNumber();
+    } else {
+      malformed(pos_, "unexpected character");
+    }
+    return v;
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        malformed(pos_, "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        malformed(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        malformed(pos_, "unterminated escape");
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) {
+          malformed(pos_, "truncated \\u escape");
+        }
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text_[pos_++];
+          code <<= 4U;
+          if (h >= '0' && h <= '9') {
+            code += static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code += static_cast<unsigned>(h - 'a') + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            code += static_cast<unsigned>(h - 'A') + 10;
+          } else {
+            malformed(pos_ - 1, "bad hex digit in \\u escape");
+          }
+        }
+        // UTF-8 encode the code point (surrogate pairs are passed through
+        // as two 3-byte sequences — protocol strings are program text and
+        // tenant names, not arbitrary unicode prose).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0U | (code >> 6U));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        } else {
+          out += static_cast<char>(0xE0U | (code >> 12U));
+          out += static_cast<char>(0x80U | ((code >> 6U) & 0x3FU));
+          out += static_cast<char>(0x80U | (code & 0x3FU));
+        }
+        break;
+      }
+      default:
+        malformed(pos_ - 1, "unknown escape");
+      }
+    }
+  }
+
+  double parseNumber() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty()) {
+      malformed(start, "bad number '" + token + "'");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::Object) {
+    return nullptr;
+  }
+  const auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Value::asU64(std::string_view key, ErrorCode code) const {
+  if (kind != Kind::Number || number < 0 || std::floor(number) != number ||
+      number > 9.007199254740992e15) { // 2^53: exact integer range
+    throw qirkit::Error(code, "field '" + std::string(key) +
+                                  "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+Value parse(std::string_view text) {
+  return Parser(text).document();
+}
+
+} // namespace qirkit::service::json

@@ -1,0 +1,55 @@
+/// \file json.hpp
+/// A minimal JSON value + recursive-descent parser for the service's
+/// line-delimited protocol. Scope is exactly what the protocol needs:
+/// objects, arrays, strings (with escapes), numbers, booleans, null; a
+/// depth limit instead of a schema. Rendering goes the other way through
+/// telemetry::jsonEscape and ostringstream composition in protocol.cpp —
+/// this type only carries *parsed* requests.
+#pragma once
+
+#include "support/error.hpp"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qirkit::service::json {
+
+/// Maximum nesting depth accepted by parse(); deeper input is a parse
+/// error, not a stack overflow.
+inline constexpr std::size_t kMaxDepth = 64;
+
+class Value {
+public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::map<std::string, Value> object; // sorted: deterministic iteration
+  std::vector<Value> array;
+
+  [[nodiscard]] bool isNull() const noexcept { return kind == Kind::Null; }
+  [[nodiscard]] bool isBool() const noexcept { return kind == Kind::Bool; }
+  [[nodiscard]] bool isNumber() const noexcept { return kind == Kind::Number; }
+  [[nodiscard]] bool isString() const noexcept { return kind == Kind::String; }
+  [[nodiscard]] bool isObject() const noexcept { return kind == Kind::Object; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// The member as a non-negative integer; throws Error(code, ...) naming
+  /// \p key when present but not a non-negative integral number.
+  [[nodiscard]] std::uint64_t asU64(std::string_view key,
+                                    ErrorCode code = ErrorCode::Usage) const;
+};
+
+/// Parse one JSON document (the full \p text, trailing whitespace aside).
+/// Throws qirkit::Error(ErrorCode::Parse) with a byte offset on malformed
+/// input.
+[[nodiscard]] Value parse(std::string_view text);
+
+} // namespace qirkit::service::json

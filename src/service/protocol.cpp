@@ -1,0 +1,213 @@
+#include "service/protocol.hpp"
+
+#include "service/json.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace qirkit::service {
+
+namespace {
+
+using telemetry::jsonEscape;
+
+[[noreturn]] void badField(const std::string& message) {
+  throw qirkit::Error(ErrorCode::Usage, message);
+}
+
+std::string stringField(const json::Value& root, std::string_view key,
+                        std::string fallback = {}) {
+  const json::Value* v = root.find(key);
+  if (v == nullptr) {
+    return fallback;
+  }
+  if (!v->isString()) {
+    badField("field '" + std::string(key) + "' must be a string");
+  }
+  return v->string;
+}
+
+SubmitRequest parseSubmit(const json::Value& root) {
+  SubmitRequest req;
+  req.tenant = stringField(root, "tenant");
+  if (req.tenant.empty()) {
+    badField("submit requires a non-empty 'tenant'");
+  }
+  req.program = stringField(root, "program");
+  req.programRef = stringField(root, "program_ref");
+  if (req.program.empty() == req.programRef.empty()) {
+    badField("submit requires exactly one of 'program' or 'program_ref'");
+  }
+  if (const json::Value* v = root.find("shots")) {
+    req.shots = v->asU64("shots");
+  }
+  if (const json::Value* v = root.find("seed")) {
+    req.seed = v->asU64("seed");
+  }
+  const std::string engine = stringField(root, "engine", "vm");
+  if (engine == "vm") {
+    req.engine = vm::Engine::Vm;
+  } else if (engine == "interp") {
+    req.engine = vm::Engine::Interp;
+  } else {
+    badField("field 'engine' must be vm or interp");
+  }
+  const std::string mode = stringField(root, "exec_mode", "auto");
+  if (mode == "auto") {
+    req.execMode = vm::ExecMode::Auto;
+  } else if (mode == "resim") {
+    req.execMode = vm::ExecMode::Resim;
+  } else if (mode == "sample") {
+    req.execMode = vm::ExecMode::Sample;
+  } else {
+    badField("field 'exec_mode' must be auto, resim, or sample");
+  }
+  if (const json::Value* v = root.find("fusion")) {
+    if (!v->isBool()) {
+      badField("field 'fusion' must be a boolean");
+    }
+    req.fusion = v->boolean;
+  }
+  if (const json::Value* v = root.find("priority")) {
+    if (!v->isNumber() || std::floor(v->number) != v->number) {
+      badField("field 'priority' must be an integer");
+    }
+    req.priority = static_cast<std::int64_t>(v->number);
+  }
+  return req;
+}
+
+} // namespace
+
+Request parseRequest(std::string_view line) {
+  const json::Value root = json::parse(line);
+  if (!root.isObject()) {
+    badField("request must be a JSON object");
+  }
+  const std::string type = stringField(root, "type");
+  Request req;
+  if (type == "submit") {
+    req.type = RequestType::Submit;
+    req.submit = parseSubmit(root);
+  } else if (type == "metrics") {
+    req.type = RequestType::Metrics;
+  } else if (type == "ping") {
+    req.type = RequestType::Ping;
+  } else if (type == "shutdown") {
+    req.type = RequestType::Shutdown;
+  } else {
+    badField(type.empty() ? "request is missing 'type'"
+                          : "unknown request type '" + type + "'");
+  }
+  return req;
+}
+
+std::string submitRequestJson(const SubmitRequest& request) {
+  std::ostringstream out;
+  out << "{\"type\":\"submit\",\"tenant\":\"" << jsonEscape(request.tenant)
+      << "\"";
+  if (!request.program.empty()) {
+    out << ",\"program\":\"" << jsonEscape(request.program) << "\"";
+  }
+  if (!request.programRef.empty()) {
+    out << ",\"program_ref\":\"" << jsonEscape(request.programRef) << "\"";
+  }
+  out << ",\"shots\":" << request.shots;
+  if (request.seed.has_value()) {
+    out << ",\"seed\":" << *request.seed;
+  }
+  out << ",\"engine\":\"" << vm::engineName(request.engine)
+      << "\",\"exec_mode\":\"" << vm::execModeName(request.execMode)
+      << "\",\"fusion\":" << (request.fusion ? "true" : "false")
+      << ",\"priority\":" << request.priority << "}";
+  return out.str();
+}
+
+std::string simpleRequestJson(RequestType type) {
+  const char* name = type == RequestType::Metrics    ? "metrics"
+                     : type == RequestType::Shutdown ? "shutdown"
+                                                     : "ping";
+  return std::string("{\"type\":\"") + name + "\"}";
+}
+
+std::string errorResponseJson(ErrorCode code, const std::string& message) {
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion
+      << ",\"ok\":false,\"error\":{\"code\":\"" << errorCodeName(code)
+      << "\",\"message\":\"" << jsonEscape(message) << "\"}}";
+  return out.str();
+}
+
+ErrorCode errorCodeFromName(std::string_view name) noexcept {
+  static constexpr ErrorCode kCodes[] = {
+      ErrorCode::Parse,           ErrorCode::Verify,
+      ErrorCode::Semantic,        ErrorCode::Io,
+      ErrorCode::Usage,           ErrorCode::Trap,
+      ErrorCode::TrapOutOfBounds, ErrorCode::TrapUnboundExternal,
+      ErrorCode::TrapArithmetic,  ErrorCode::TrapInvalidQubit,
+      ErrorCode::TrapUnreachable, ErrorCode::StepBudgetExceeded,
+      ErrorCode::ResourceLimit,   ErrorCode::CompileFail,
+      ErrorCode::InjectedFault,   ErrorCode::Internal,
+  };
+  for (const ErrorCode code : kCodes) {
+    if (name == errorCodeName(code)) {
+      return code;
+    }
+  }
+  return ErrorCode::Internal;
+}
+
+std::string pingResponseJson() {
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"pong\"}";
+  return out.str();
+}
+
+std::string submitResponseJson(const SubmitResponse& response) {
+  const vm::ShotBatchResult& batch = response.batch;
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"result\""
+      << ",\"job_id\":" << response.jobId << ",\"program_id\":\""
+      << jsonEscape(response.programId) << "\",\"shots\":" << response.shots
+      << ",\"seed\":" << response.seed << ",\"engine\":\""
+      << vm::engineName(batch.engineUsed) << "\",\"sampled\":"
+      << (batch.sampled ? "true" : "false")
+      << ",\"gates_per_shot\":" << batch.lastShotStats.gatesApplied
+      << ",\"measurements_per_shot\":" << batch.lastShotStats.measurements
+      << ",\"completed_shots\":" << batch.completedShots
+      << ",\"failed_shots\":" << batch.failedShots << ",\"histogram\":{";
+  bool first = true;
+  for (const auto& [bits, count] : batch.histogram) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(bits) << "\":" << count;
+  }
+  out << "},\"failure_counts\":{";
+  first = true;
+  for (const auto& [code, count] : batch.failureCounts) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << errorCodeName(code) << "\":" << count;
+  }
+  out << "},\"cache\":{\"hits\":" << batch.cacheHits
+      << ",\"misses\":" << batch.cacheMisses << "}"
+      << ",\"queue_wait_ns\":" << response.queueWaitNs
+      << ",\"exec_ns\":" << response.execNs << ",\"metrics\":"
+      << (response.metricsDeltaJson.empty() ? "{}" : response.metricsDeltaJson);
+  if (batch.degradedToInterp) {
+    out << ",\"degraded\":\"" << jsonEscape(batch.degradeReason) << "\"";
+  }
+  if (batch.sampleFallback) {
+    out << ",\"sample_fallback\":\"" << jsonEscape(batch.sampleFallbackReason)
+        << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+} // namespace qirkit::service

@@ -1,0 +1,103 @@
+/// \file protocol.hpp
+/// The wire protocol of `qirkit serve`: line-delimited JSON over a local
+/// stream socket. Each request is one JSON object on one line; each
+/// response is one JSON object on one line. The connection is persistent —
+/// a malformed or oversized frame earns a structured error response (and a
+/// telemetry counter), never a torn-down connection, mirroring how the CLI
+/// turns bad numeric options into error[usage] instead of an abort.
+///
+/// Requests ("type" selects the verb):
+///   {"type":"submit","tenant":T,"program":TEXT,...}   run a shot batch
+///   {"type":"submit","tenant":T,"program_ref":ID,...} rerun a registered
+///                                                     program by content id
+///   {"type":"metrics"}                                service gauges + cache
+///                                                     + telemetry snapshot
+///   {"type":"ping"}                                   liveness probe
+///   {"type":"shutdown"}                               drain and exit
+///
+/// Submit fields: shots (default 100), seed (default: the tenant's seed
+/// stream), engine ("vm"|"interp"), exec_mode ("auto"|"resim"|"sample"),
+/// fusion (bool), priority (higher runs earlier within the tenant).
+///
+/// Responses: {"ok":true,...} per verb, or
+///   {"ok":false,"error":{"code":"<kebab-case ErrorCode>","message":M}}
+/// — the same taxonomy (support/error.hpp) the CLI maps to exit codes, so
+/// `qirkit submit` preserves the exit-code contract end to end.
+#pragma once
+
+#include "support/error.hpp"
+#include "vm/executor.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qirkit::service {
+
+/// Protocol revision carried in every response ("v" field).
+inline constexpr int kProtocolVersion = 1;
+
+/// Frames longer than this (bytes, excluding the newline) are rejected
+/// with error[usage] and skipped; the connection stays usable.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4U << 20U;
+
+enum class RequestType : std::uint8_t { Submit, Metrics, Ping, Shutdown };
+
+struct SubmitRequest {
+  std::string tenant;
+  std::string program;    // inline program text (QIR .ll or OpenQASM 2/3)
+  std::string programRef; // content id returned by an earlier submit
+  std::uint64_t shots = 100;
+  std::optional<std::uint64_t> seed; // absent: drawn from the tenant stream
+  vm::Engine engine = vm::Engine::Vm;
+  vm::ExecMode execMode = vm::ExecMode::Auto;
+  bool fusion = true;
+  std::int64_t priority = 0;
+};
+
+struct Request {
+  RequestType type = RequestType::Ping;
+  SubmitRequest submit; // meaningful when type == Submit
+};
+
+/// Parse one request line. Throws qirkit::Error — ErrorCode::Parse for
+/// malformed JSON, ErrorCode::Usage for a structurally valid frame with a
+/// missing/invalid field — for the server to map onto an error response.
+[[nodiscard]] Request parseRequest(std::string_view line);
+
+/// Serialize a submit request to one frame (no trailing newline).
+[[nodiscard]] std::string submitRequestJson(const SubmitRequest& request);
+
+/// Serialize a bodyless request (metrics / ping / shutdown).
+[[nodiscard]] std::string simpleRequestJson(RequestType type);
+
+/// Render the structured error response for a classified failure.
+[[nodiscard]] std::string errorResponseJson(ErrorCode code,
+                                            const std::string& message);
+
+/// Reverse of errorCodeName: map a response's kebab-case code back onto
+/// the taxonomy so `qirkit submit` can honor the exit-code contract.
+/// Unknown names classify as Internal, the conservative default.
+[[nodiscard]] ErrorCode errorCodeFromName(std::string_view name) noexcept;
+
+/// Render the ping response.
+[[nodiscard]] std::string pingResponseJson();
+
+/// The submit response: histogram plus the per-shot stats `qirkit run`
+/// prints, the program's content id, cache attribution, queue/exec
+/// timings, and the per-request telemetry delta (a snapshotJson object).
+struct SubmitResponse {
+  std::string programId;
+  std::uint64_t jobId = 0;
+  std::uint64_t shots = 0;
+  std::uint64_t seed = 0;
+  vm::ShotBatchResult batch;
+  std::uint64_t queueWaitNs = 0;
+  std::uint64_t execNs = 0;
+  std::string metricsDeltaJson; // "{}" when telemetry is disabled
+};
+
+[[nodiscard]] std::string submitResponseJson(const SubmitResponse& response);
+
+} // namespace qirkit::service

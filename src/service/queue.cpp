@@ -1,0 +1,150 @@
+#include "service/queue.hpp"
+
+#include "support/rng.hpp"
+#include "support/telemetry/telemetry.hpp"
+
+#include <algorithm>
+
+namespace qirkit::service {
+
+namespace {
+
+telemetry::Counter g_admitted{"serve.queue.admitted"};
+telemetry::Counter g_rejected{"serve.queue.rejected"};
+telemetry::MaxGauge g_peakDepth{"serve.queue.peak_depth"};
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+} // namespace
+
+void AdmissionQueue::push(Job job) {
+  const std::string& tenantName = job.request.tenant;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto reject = [&](const std::string& why) {
+      ++rejected_;
+      g_rejected.add();
+      throw qirkit::Error(ErrorCode::ResourceLimit, why);
+    };
+    if (closed_) {
+      reject("service is shutting down");
+    }
+    if (job.request.shots > limits_.maxShotsPerJob) {
+      reject("job requests " + std::to_string(job.request.shots) +
+             " shots; per-job limit is " +
+             std::to_string(limits_.maxShotsPerJob));
+    }
+    if (depthLocked() >= limits_.capacity) {
+      reject("admission queue is full (" + std::to_string(limits_.capacity) +
+             " jobs)");
+    }
+    Tenant& tenant = tenants_[tenantName];
+    if (tenant.pending >= limits_.tenantMaxPending) {
+      reject("tenant '" + tenantName + "' already has " +
+             std::to_string(tenant.pending) + " pending jobs (limit " +
+             std::to_string(limits_.tenantMaxPending) + ")");
+    }
+    job.id = nextJobId_++;
+    if (job.request.seed.has_value()) {
+      job.seed = *job.request.seed;
+    } else {
+      if (!tenant.seeded) {
+        tenant.seedState = fnv1a(tenantName);
+        tenant.seeded = true;
+      }
+      SplitMix64 stream(tenant.seedState);
+      job.seed = stream();
+      tenant.seedState = job.seed;
+    }
+    job.enqueuedNs = telemetry::nowNs();
+    // Priority ordering within the tenant: higher priority first, FIFO
+    // among equals.
+    auto at = tenant.queued.end();
+    while (at != tenant.queued.begin() &&
+           std::prev(at)->request.priority < job.request.priority) {
+      --at;
+    }
+    tenant.queued.insert(at, std::move(job));
+    ++tenant.pending;
+    ++tenant.admitted;
+    ++admitted_;
+    g_admitted.add();
+    g_peakDepth.updateMax(depthLocked());
+  }
+  ready_.notify_one();
+}
+
+std::optional<Job> AdmissionQueue::pop() {
+  std::unique_lock lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || depthLocked() != 0; });
+  if (depthLocked() == 0) {
+    return std::nullopt; // closed and drained
+  }
+  // Fair pick: the first non-empty tenant strictly after the cursor in
+  // map order, wrapping around.
+  auto it = tenants_.upper_bound(cursor_);
+  for (std::size_t scanned = 0; scanned <= tenants_.size(); ++scanned, ++it) {
+    if (it == tenants_.end()) {
+      it = tenants_.begin();
+    }
+    if (!it->second.queued.empty()) {
+      break;
+    }
+  }
+  cursor_ = it->first;
+  Job job = std::move(it->second.queued.front());
+  it->second.queued.pop_front();
+  return job;
+}
+
+void AdmissionQueue::onJobFinished(const std::string& tenant) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.pending > 0) {
+    --it->second.pending;
+  }
+  ++finished_;
+}
+
+void AdmissionQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t AdmissionQueue::depthLocked() const {
+  std::size_t n = 0;
+  for (const auto& [name, tenant] : tenants_) {
+    n += tenant.queued.size();
+  }
+  return n;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return depthLocked();
+}
+
+QueueStats AdmissionQueue::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats stats;
+  stats.depth = depthLocked();
+  stats.admitted = admitted_;
+  stats.rejected = rejected_;
+  stats.finished = finished_;
+  for (const auto& [name, tenant] : tenants_) {
+    stats.tenants.push_back({name, tenant.pending, tenant.admitted});
+  }
+  return stats;
+}
+
+} // namespace qirkit::service

@@ -1,0 +1,119 @@
+/// \file queue.hpp
+/// The service's admission queue: the single point where multi-tenancy is
+/// enforced. Admission applies the quotas (global queue capacity, per-
+/// tenant pending bound, per-job shot ceiling) and resolves each job's
+/// seed; scheduling is round-robin across tenants with per-tenant priority
+/// ordering, so one chatty tenant can delay its own jobs but never starve
+/// another tenant's.
+///
+/// Seeds: a job that names no seed draws the next value from its tenant's
+/// deterministic SplitMix64 stream (keyed on the tenant name), so a
+/// tenant's unseeded jobs are reproducible across daemon restarts yet
+/// decorrelated from every other tenant's.
+#pragma once
+
+#include "service/protocol.hpp"
+#include "support/error.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qirkit::service {
+
+/// One admitted unit of work. The runner fulfills `deliver` with the final
+/// response line (result or structured error); the connection thread holds
+/// the matching future.
+struct Job {
+  std::uint64_t id = 0;
+  SubmitRequest request;
+  std::uint64_t seed = 0;       // resolved at admission
+  std::string programId;        // content id of the resolved program
+  /// The resolved program registry entry, held alive for the job's whole
+  /// lifetime (opaque here: the registry type lives in server.hpp).
+  std::shared_ptr<void> program;
+  std::uint64_t enqueuedNs = 0; // for queue-wait attribution
+  std::function<void(std::string)> deliver;
+};
+
+struct QueueLimits {
+  /// Total queued jobs across all tenants; admission beyond it is
+  /// error[resource-limit].
+  std::size_t capacity = 256;
+  /// Queued + running jobs per tenant.
+  std::size_t tenantMaxPending = 16;
+  /// Largest shot count one job may request.
+  std::uint64_t maxShotsPerJob = 1U << 20U;
+};
+
+/// Point-in-time view for the metrics endpoint.
+struct QueueStats {
+  std::size_t depth = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t finished = 0;
+  struct Tenant {
+    std::string name;
+    std::size_t pending = 0; // queued + running
+    std::uint64_t admitted = 0;
+  };
+  std::vector<Tenant> tenants;
+};
+
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(QueueLimits limits) : limits_(limits) {}
+
+  /// Admit \p job (assigning id, seed, and enqueue tick) or throw
+  /// Error(ErrorCode::ResourceLimit) naming the violated quota.
+  /// Thread-safe; wakes one blocked pop().
+  void push(Job job);
+
+  /// Next job in fair order; blocks while the queue is open and empty.
+  /// Returns nullopt once close()d and drained.
+  [[nodiscard]] std::optional<Job> pop();
+
+  /// Release the tenant's pending slot after its job ran (or failed).
+  void onJobFinished(const std::string& tenant);
+
+  /// Stop admitting (push throws ResourceLimit) and wake every pop().
+  /// Already-queued jobs still drain.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] QueueStats stats() const;
+  [[nodiscard]] const QueueLimits& limits() const noexcept { return limits_; }
+
+private:
+  struct Tenant {
+    std::deque<Job> queued; // priority-ordered, FIFO within a priority
+    std::size_t pending = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t seedState = 0; // SplitMix64 state, lazily keyed on name
+    bool seeded = false;
+  };
+
+  [[nodiscard]] std::size_t depthLocked() const;
+
+  QueueLimits limits_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::map<std::string, Tenant> tenants_;
+  /// Round-robin cursor: the tenant scheduled *after* this name (map
+  /// order) serves next, so no tenant is drained twice in a row while
+  /// another waits.
+  std::string cursor_;
+  std::uint64_t nextJobId_ = 1;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t finished_ = 0;
+  bool closed_ = false;
+};
+
+} // namespace qirkit::service

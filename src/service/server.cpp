@@ -1,0 +1,542 @@
+#include "service/server.hpp"
+
+#include "ir/context.hpp"
+#include "ir/module.hpp"
+#include "ir/parser.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/qasm3.hpp"
+#include "qir/exporter.hpp"
+#include "support/telemetry/telemetry.hpp"
+#include "vm/executor.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <sstream>
+
+namespace qirkit::service {
+
+namespace {
+
+telemetry::Counter g_requests{"serve.requests"};
+telemetry::Counter g_rejectedFrames{"serve.protocol.rejected_frames"};
+telemetry::Counter g_jobsCompleted{"serve.jobs.completed"};
+telemetry::Counter g_jobsFailed{"serve.jobs.failed"};
+telemetry::Counter g_programHits{"serve.programs.hits"};
+telemetry::Counter g_programMisses{"serve.programs.misses"};
+telemetry::Counter g_programEvictions{"serve.programs.evictions"};
+telemetry::LatencyHistogram g_jobLatency{"serve.job.latency_ns"};
+
+/// Frame-reject bookkeeping that must work with telemetry disabled: the
+/// metrics endpoint reports these unconditionally.
+std::atomic<std::uint64_t> g_rejectedFramesExact{0};
+std::atomic<std::uint64_t> g_jobsCompletedExact{0};
+std::atomic<std::uint64_t> g_jobsFailedExact{0};
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool looksLikeQasmText(std::string_view text) {
+  return text.find("OPENQASM") != std::string_view::npos;
+}
+
+bool isQasm3Text(std::string_view text) {
+  const auto pos = text.find("OPENQASM");
+  return pos != std::string_view::npos &&
+         text.substr(pos).rfind("OPENQASM 3", 0) == 0;
+}
+
+/// Write the whole buffer; MSG_NOSIGNAL so a vanished client costs an
+/// error return, not a SIGPIPE. Returns false when the peer is gone.
+bool writeAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), queue_(options_.queue),
+      pool_(options_.poolThreads) {
+  cache_.setCapacity(options_.cacheCapacity);
+}
+
+Server::~Server() {
+  stop();
+}
+
+void Server::start() {
+  if (options_.socketPath.empty()) {
+    throw qirkit::Error(ErrorCode::Usage, "serve requires a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socketPath.size() >= sizeof(addr.sun_path)) {
+    throw qirkit::Error(ErrorCode::Usage,
+                        "socket path longer than " +
+                            std::to_string(sizeof(addr.sun_path) - 1) +
+                            " bytes: '" + options_.socketPath + "'");
+  }
+  std::memcpy(addr.sun_path, options_.socketPath.c_str(),
+              options_.socketPath.size() + 1);
+
+  // A stale socket file from a dead daemon would make bind fail forever;
+  // reclaim it, but never delete something that is not a socket.
+  struct stat st{};
+  if (::lstat(options_.socketPath.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw qirkit::Error(ErrorCode::Io, "socket path '" + options_.socketPath +
+                                             "' exists and is not a socket");
+    }
+    ::unlink(options_.socketPath.c_str());
+  }
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listenFd_ < 0) {
+    throw qirkit::Error(ErrorCode::Io,
+                        std::string("socket: ") + std::strerror(errno));
+  }
+  if (::bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listenFd_, 64) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listenFd_);
+    listenFd_ = -1;
+    throw qirkit::Error(ErrorCode::Io, "cannot listen on '" +
+                                           options_.socketPath + "': " + why);
+  }
+
+  startedNs_ = telemetry::nowNs();
+  const std::size_t runners = std::max<std::size_t>(1, options_.runners);
+  runnerThreads_.reserve(runners);
+  for (std::size_t i = 0; i < runners; ++i) {
+    runnerThreads_.emplace_back([this] { runnerLoop(); });
+  }
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void Server::run() {
+  std::unique_lock lock(shutdownMutex_);
+  // Polling wait: requestShutdown() may be invoked from a signal handler,
+  // where notifying a condition variable is not async-signal-safe.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    shutdownCv_.wait_for(lock, std::chrono::milliseconds(100));
+  }
+  lock.unlock();
+  stop();
+}
+
+void Server::requestShutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+}
+
+void Server::stop() {
+  {
+    const std::lock_guard lock(shutdownMutex_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_relaxed);
+
+  // Order matters: close admission first so queued jobs drain, join the
+  // runners (fulfilling every pending submit future), and only then break
+  // the connections those futures were answering.
+  queue_.close();
+  for (std::thread& runner : runnerThreads_) {
+    runner.join();
+  }
+  runnerThreads_.clear();
+
+  if (acceptThread_.joinable()) {
+    acceptThread_.join();
+  }
+  {
+    const std::lock_guard lock(connectionsMutex_);
+    for (auto& [fd, thread] : connections_) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  while (true) {
+    std::pair<int, std::thread> conn(-1, std::thread());
+    {
+      const std::lock_guard lock(connectionsMutex_);
+      if (connections_.empty()) {
+        break;
+      }
+      conn = std::move(connections_.front());
+      connections_.pop_front();
+    }
+    conn.second.join();
+    ::close(conn.first);
+  }
+
+  if (listenFd_ >= 0) {
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(options_.socketPath.c_str());
+  }
+}
+
+void Server::acceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd p{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 100);
+    if (ready <= 0) {
+      continue;
+    }
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    const std::lock_guard lock(connectionsMutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    connections_.emplace_back(
+        std::piecewise_construct, std::forward_as_tuple(fd),
+        std::forward_as_tuple([this, fd] { connectionLoop(fd); }));
+  }
+}
+
+void Server::connectionLoop(int fd) {
+  std::string buffer;
+  char chunk[65536];
+  // After an oversized frame is rejected, input is discarded up to the
+  // next newline so the connection resynchronizes instead of tearing down.
+  bool discarding = false;
+
+  const auto respond = [&](const std::string& line) {
+    return writeAll(fd, line + "\n");
+  };
+  const auto rejectFrame = [&](ErrorCode code, const std::string& message) {
+    g_rejectedFrames.add();
+    g_rejectedFramesExact.fetch_add(1, std::memory_order_relaxed);
+    return respond(errorResponseJson(code, message));
+  };
+
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0 || (n < 0 && errno != EINTR)) {
+      break;
+    }
+    if (n < 0) {
+      continue;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    bool connectionAlive = true;
+    while (connectionAlive) {
+      const auto newline = buffer.find('\n');
+      if (newline == std::string::npos) {
+        if (!discarding && buffer.size() > options_.maxFrameBytes) {
+          connectionAlive = rejectFrame(
+              ErrorCode::Usage,
+              "frame exceeds " + std::to_string(options_.maxFrameBytes) +
+                  " bytes; dropping input until the next newline");
+          discarding = true;
+          buffer.clear();
+        }
+        break;
+      }
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (discarding) {
+        discarding = false;
+        continue;
+      }
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      if (line.size() > options_.maxFrameBytes) {
+        connectionAlive = rejectFrame(
+            ErrorCode::Usage,
+            "frame of " + std::to_string(line.size()) + " bytes exceeds the " +
+                std::to_string(options_.maxFrameBytes) + "-byte limit");
+        continue;
+      }
+      g_requests.add();
+      // Frame decoding and request handling fail differently: a frame
+      // that is not valid JSON is a *protocol* reject (counted, like the
+      // CLI's error[usage] for bad options); a well-formed frame whose
+      // handling throws — including a program that fails to parse — is an
+      // ordinary structured error. Both keep the connection alive.
+      Request request;
+      bool frameOk = false;
+      try {
+        request = parseRequest(line);
+        frameOk = true;
+      } catch (const qirkit::Error& e) {
+        if (e.code() == ErrorCode::Parse) {
+          connectionAlive = rejectFrame(e.code(), e.message());
+        } else {
+          connectionAlive = respond(errorResponseJson(e.code(), e.message()));
+        }
+      }
+      if (!frameOk) {
+        continue;
+      }
+      std::string response;
+      try {
+        response = handleRequest(request);
+      } catch (const qirkit::Error& e) {
+        response = errorResponseJson(e.code(), e.message());
+      } catch (const std::exception& e) {
+        response = errorResponseJson(ErrorCode::Internal, e.what());
+      }
+      connectionAlive = respond(response);
+    }
+    if (!connectionAlive) {
+      break;
+    }
+  }
+}
+
+std::string Server::handleRequest(const Request& request) {
+  switch (request.type) {
+  case RequestType::Ping:
+    return pingResponseJson();
+  case RequestType::Metrics:
+    return metricsJson();
+  case RequestType::Shutdown:
+    requestShutdown();
+    return "{\"v\":" + std::to_string(kProtocolVersion) +
+           ",\"ok\":true,\"type\":\"shutdown\"}";
+  case RequestType::Submit:
+    return handleSubmit(request.submit);
+  }
+  throw qirkit::Error(ErrorCode::Internal, "unhandled request type");
+}
+
+std::string Server::handleSubmit(const SubmitRequest& request) {
+  std::shared_ptr<ProgramEntry> program = resolveProgram(request);
+
+  auto delivered = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = delivered->get_future();
+
+  Job job;
+  job.request = request;
+  job.programId = program->id;
+  job.program = program;
+  job.deliver = [delivered](std::string response) {
+    delivered->set_value(std::move(response));
+  };
+  queue_.push(std::move(job)); // throws ResourceLimit on quota violations
+  return future.get();
+}
+
+void Server::runnerLoop() {
+  while (true) {
+    std::optional<Job> job = queue_.pop();
+    if (!job.has_value()) {
+      return;
+    }
+    executeJob(*job);
+    queue_.onJobFinished(job->request.tenant);
+  }
+}
+
+void Server::executeJob(Job& job) {
+  const auto& program = *std::static_pointer_cast<ProgramEntry>(job.program);
+  const std::uint64_t startNs = telemetry::nowNs();
+  const telemetry::Snapshot before = telemetry::snapshot();
+
+  vm::ShotOptions opts;
+  opts.shots = job.request.shots;
+  opts.seed = job.seed;
+  opts.engine = job.request.engine;
+  opts.execMode = job.request.execMode;
+  opts.fusion = job.request.fusion;
+  opts.pool = &pool_;
+  opts.cache = &cache_;
+
+  SubmitResponse response;
+  response.programId = job.programId;
+  response.jobId = job.id;
+  response.shots = job.request.shots;
+  response.seed = job.seed;
+  try {
+    response.batch = vm::runShots(*program.module, opts);
+  } catch (const std::exception& e) {
+    const ClassifiedError failure = classifyException(e);
+    g_jobsFailed.add();
+    g_jobsFailedExact.fetch_add(1, std::memory_order_relaxed);
+    job.deliver(errorResponseJson(failure.code, failure.message));
+    return;
+  }
+  const std::uint64_t endNs = telemetry::nowNs();
+  response.queueWaitNs = startNs - job.enqueuedNs;
+  response.execNs = endNs - startNs;
+  response.metricsDeltaJson =
+      telemetry::snapshotJson(telemetry::diff(before, telemetry::snapshot()));
+  g_jobLatency.record(endNs - job.enqueuedNs);
+  g_jobsCompleted.add();
+  g_jobsCompletedExact.fetch_add(1, std::memory_order_relaxed);
+  job.deliver(submitResponseJson(response));
+}
+
+std::shared_ptr<Server::ProgramEntry>
+Server::resolveProgram(const SubmitRequest& request) {
+  if (!request.programRef.empty()) {
+    const std::lock_guard lock(programsMutex_);
+    const auto it = programs_.find(request.programRef);
+    if (it == programs_.end()) {
+      throw qirkit::Error(ErrorCode::Usage,
+                          "unknown program_ref '" + request.programRef +
+                              "' (evicted or never submitted); resubmit the "
+                              "program text");
+    }
+    it->second->lastUse = ++programTick_;
+    g_programHits.add();
+    return it->second;
+  }
+
+  const std::string id = hex16(fnv1a(request.program));
+  {
+    const std::lock_guard lock(programsMutex_);
+    const auto it = programs_.find(id);
+    if (it != programs_.end()) {
+      it->second->lastUse = ++programTick_;
+      g_programHits.add();
+      return it->second;
+    }
+  }
+
+  // Parse outside the lock: a slow parse must not stall other tenants'
+  // lookups. A racing duplicate parse of the same text is harmless — the
+  // loser's entry simply wins the second insert below.
+  auto entry = std::make_shared<ProgramEntry>();
+  entry->id = id;
+  entry->context = std::make_unique<ir::Context>();
+  const std::string& text = request.program;
+  if (looksLikeQasmText(text)) {
+    if (isQasm3Text(text)) {
+      entry->module = qasm::compileQasm3(*entry->context, text);
+    } else {
+      const circuit::Circuit c = qasm::parse(text);
+      qir::ExportOptions options;
+      options.addressing = qir::Addressing::Static;
+      entry->module = qir::exportCircuit(*entry->context, c, options);
+    }
+  } else {
+    entry->module = ir::parseModule(*entry->context, text);
+  }
+  g_programMisses.add();
+
+  const std::lock_guard lock(programsMutex_);
+  entry->lastUse = ++programTick_;
+  auto [it, inserted] = programs_.emplace(id, entry);
+  if (!inserted) {
+    it->second->lastUse = programTick_;
+    return it->second;
+  }
+  while (programs_.size() > options_.programCapacity) {
+    auto victim = programs_.end();
+    for (auto pit = programs_.begin(); pit != programs_.end(); ++pit) {
+      if (pit == it) {
+        continue; // never evict what we just inserted
+      }
+      if (victim == programs_.end() ||
+          pit->second->lastUse < victim->second->lastUse) {
+        victim = pit;
+      }
+    }
+    if (victim == programs_.end()) {
+      break;
+    }
+    programs_.erase(victim);
+    g_programEvictions.add();
+  }
+  return entry;
+}
+
+std::string Server::metricsJson() {
+  const QueueStats queue = queue_.stats();
+  const vm::CompileCache::Stats cache = cache_.stats();
+  const std::uint64_t lookups = cache.hits + cache.coalesced + cache.misses;
+  const double hitRate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(cache.hits + cache.coalesced) /
+                         static_cast<double>(lookups);
+  char hitRateBuf[32];
+  std::snprintf(hitRateBuf, sizeof(hitRateBuf), "%.4f", hitRate);
+
+  std::size_t programCount = 0;
+  {
+    const std::lock_guard lock(programsMutex_);
+    programCount = programs_.size();
+  }
+
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"metrics\""
+      << ",\"uptime_ns\":" << (telemetry::nowNs() - startedNs_)
+      << ",\"queue\":{\"depth\":" << queue.depth
+      << ",\"capacity\":" << queue_.limits().capacity
+      << ",\"admitted\":" << queue.admitted
+      << ",\"rejected\":" << queue.rejected
+      << ",\"finished\":" << queue.finished << ",\"tenants\":{";
+  bool first = true;
+  for (const QueueStats::Tenant& tenant : queue.tenants) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << telemetry::jsonEscape(tenant.name)
+        << "\":{\"pending\":" << tenant.pending
+        << ",\"admitted\":" << tenant.admitted << "}";
+  }
+  out << "}},\"cache\":{\"hits\":" << cache.hits
+      << ",\"coalesced\":" << cache.coalesced
+      << ",\"misses\":" << cache.misses
+      << ",\"evictions\":" << cache.evictions << ",\"size\":" << cache_.size()
+      << ",\"capacity\":" << cache_.capacity() << ",\"hit_rate\":" << hitRateBuf
+      << "},\"programs\":{\"size\":" << programCount
+      << ",\"capacity\":" << options_.programCapacity
+      << "},\"pool\":{\"workers\":" << pool_.size()
+      << "},\"runners\":" << runnerThreads_.size()
+      << ",\"jobs\":{\"completed\":"
+      << g_jobsCompletedExact.load(std::memory_order_relaxed)
+      << ",\"failed\":" << g_jobsFailedExact.load(std::memory_order_relaxed)
+      << "},\"protocol\":{\"rejected_frames\":"
+      << g_rejectedFramesExact.load(std::memory_order_relaxed)
+      << "},\"telemetry\":" << telemetry::snapshotJson(telemetry::snapshot())
+      << "}";
+  return out.str();
+}
+
+} // namespace qirkit::service

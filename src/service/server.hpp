@@ -1,0 +1,140 @@
+/// \file server.hpp
+/// The `qirkit serve` daemon: a Unix-domain stream socket speaking the
+/// line-delimited JSON protocol (protocol.hpp), an admission queue
+/// (queue.hpp), a bounded registry of parsed programs (content-addressed,
+/// so tenants can resubmit by id and pay parsing once), one shared
+/// CompileCache, and one shared ThreadPool that every job's shot chunks
+/// multiplex onto.
+///
+/// Threading model: one accept thread, one thread per live connection
+/// (reads frames, admits jobs, blocks on the job's completion), and
+/// `runners` job-runner threads popping the queue and calling the existing
+/// shot executor with the injected pool + cache. Runner threads are the
+/// only place programs execute, so `runners` bounds concurrent batches
+/// while the pool bounds total shot-kernel parallelism — nothing
+/// oversubscribes.
+///
+/// Everything the per-process CLI treats as a singleton is a member here:
+/// the cache, the pool, and the program registry live and die with the
+/// Server, which is why a test (or bench) can run several servers in one
+/// process.
+#pragma once
+
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "support/parallel.hpp"
+#include "vm/cache.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qirkit::ir {
+class Context;
+class Module;
+} // namespace qirkit::ir
+
+namespace qirkit::service {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain socket. Created on start(),
+  /// unlinked on stop().
+  std::string socketPath;
+  /// Job-runner threads: concurrent batches in flight.
+  std::size_t runners = 2;
+  /// Shot worker pool shared by every batch; 0 sizes to the hardware.
+  std::size_t poolThreads = 0;
+  /// Resident bound of the shared compile cache.
+  std::size_t cacheCapacity = vm::CompileCache::kDefaultCapacity;
+  /// Resident bound of the parsed-program registry.
+  std::size_t programCapacity = 64;
+  /// Longest accepted request frame in bytes.
+  std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  QueueLimits queue;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the socket and spawn the accept + runner threads. Throws
+  /// Error(ErrorCode::Io) when the path cannot be bound.
+  void start();
+
+  /// Block until a shutdown request (or requestShutdown()) arrives, then
+  /// drain and join everything.
+  void run();
+
+  /// Ask the daemon to stop: close admission, stop accepting, wake run().
+  void requestShutdown();
+
+  /// Drain and join without blocking in run() (used by in-process tests
+  /// and the bench fixture; idempotent).
+  void stop();
+
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+  [[nodiscard]] vm::CompileCache& cache() noexcept { return cache_; }
+
+  /// The metrics document served for {"type":"metrics"}: queue depth and
+  /// quotas, per-tenant gauges, cache hit rate, program-registry size,
+  /// protocol rejects, and the full telemetry snapshot.
+  [[nodiscard]] std::string metricsJson();
+
+private:
+  /// One parsed program, shared by every job that references it. The
+  /// Context owns the IR; jobs only read the module, which is safe
+  /// concurrently.
+  struct ProgramEntry {
+    std::string id; // 16-hex FNV-1a of the program text
+    std::unique_ptr<ir::Context> context;
+    std::unique_ptr<ir::Module> module;
+    std::uint64_t lastUse = 0;
+  };
+
+  void acceptLoop();
+  void connectionLoop(int fd);
+  void runnerLoop();
+  /// Dispatch one well-formed frame; returns the response line.
+  std::string handleRequest(const Request& request);
+  /// Admission path of a submit: resolve the program, enqueue, and wait
+  /// for the runner's response.
+  std::string handleSubmit(const SubmitRequest& request);
+  void executeJob(Job& job);
+  /// Parse-or-lookup in the program registry (single-flight per id).
+  std::shared_ptr<ProgramEntry> resolveProgram(const SubmitRequest& request);
+
+  ServerOptions options_;
+  AdmissionQueue queue_;
+  vm::CompileCache cache_;
+  ThreadPool pool_;
+  std::uint64_t startedNs_ = 0;
+
+  int listenFd_ = -1;
+  std::thread acceptThread_;
+  std::vector<std::thread> runnerThreads_;
+
+  std::mutex connectionsMutex_;
+  std::list<std::pair<int, std::thread>> connections_;
+
+  std::mutex programsMutex_;
+  std::unordered_map<std::string, std::shared_ptr<ProgramEntry>> programs_;
+  std::uint64_t programTick_ = 0;
+
+  std::mutex shutdownMutex_;
+  std::condition_variable shutdownCv_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+};
+
+} // namespace qirkit::service

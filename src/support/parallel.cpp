@@ -1,8 +1,27 @@
 #include "support/parallel.hpp"
 
 #include <algorithm>
+#include <optional>
 
 namespace qirkit {
+
+namespace {
+
+/// configureGlobal() must observe whether global() has run, and global()
+/// must observe the configured size, without static-init-order surprises:
+/// both go through one mutex-guarded record.
+struct GlobalPoolConfig {
+  std::mutex mutex;
+  std::size_t numThreads = 0; // 0 = hardware
+  bool created = false;
+
+  static GlobalPoolConfig& instance() {
+    static GlobalPoolConfig c;
+    return c;
+  }
+};
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t numThreads) {
   if (numThreads == 0) {
@@ -25,6 +44,30 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::workerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskAvailable_.wait(lock,
+                          [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return; // stopping and drained
+      }
+      task.emplace(std::move(tasks_.front()));
+      tasks_.pop();
+    }
+    (*task)();
+    {
+      const std::lock_guard lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) {
+        allDone_.notify_all();
+      }
+    }
+  }
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     const std::lock_guard lock(mutex_);
@@ -40,31 +83,47 @@ void ThreadPool::wait() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  GlobalPoolConfig& config = GlobalPoolConfig::instance();
+  std::size_t numThreads = 0;
+  {
+    const std::lock_guard lock(config.mutex);
+    config.created = true;
+    numThreads = config.numThreads;
+  }
+  static ThreadPool pool(numThreads);
   return pool;
 }
 
-void ThreadPool::workerLoop() {
-  while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      taskAvailable_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        return; // stopping_ and drained
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
-    }
+bool ThreadPool::configureGlobal(std::size_t numThreads) {
+  GlobalPoolConfig& config = GlobalPoolConfig::instance();
+  const std::lock_guard lock(config.mutex);
+  if (config.created) {
+    return false;
+  }
+  config.numThreads = numThreads;
+  return true;
+}
+
+void TaskGroup::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit([this, task = std::move(task)] {
     task();
     {
       const std::lock_guard lock(mutex_);
-      --inFlight_;
-      if (inFlight_ == 0) {
-        allDone_.notify_all();
+      --pending_;
+      if (pending_ == 0) {
+        done_.notify_all();
       }
     }
-  }
+  });
+}
+
+void TaskGroup::wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
 }
 
 void parallelForChunked(ThreadPool& pool, std::size_t n,
@@ -80,12 +139,13 @@ void parallelForChunked(ThreadPool& pool, std::size_t n,
   }
   const std::size_t chunks = std::min(workers, (n + grainSize - 1) / grainSize);
   const std::size_t chunkSize = (n + chunks - 1) / chunks;
+  TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunkSize;
     const std::size_t end = std::min(n, begin + chunkSize);
-    pool.submit([&body, begin, end] { body(begin, end); });
+    group.submit([&body, begin, end] { body(begin, end); });
   }
-  pool.wait();
+  group.wait();
 }
 
 } // namespace qirkit

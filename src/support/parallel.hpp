@@ -1,13 +1,23 @@
 /// \file parallel.hpp
-/// A small thread pool and a blocking parallel_for built on top of it.
-/// The statevector simulator uses this to parallelize gate kernels; all
+/// A small thread pool, a per-batch TaskGroup, and a blocking parallel_for
+/// built on top of them. The statevector simulator uses this to parallelize
+/// gate kernels; the shot executor uses it to multiplex shot chunks; all
 /// other modules are single-threaded by design (compiler passes mutate
 /// shared IR).
+///
+/// Sharing discipline: a ThreadPool may serve many concurrent batches (the
+/// service runs every tenant's shot chunks on one pool). Waiting therefore
+/// happens through TaskGroup, which tracks only its own submissions —
+/// ThreadPool::wait() drains the *whole* pool and is only correct for an
+/// exclusively-owned pool. Never wait on a group from inside a pool worker:
+/// the waited-for tasks may be queued behind the waiter (the executor keeps
+/// per-shot simulators pool-free for exactly this reason).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -33,11 +43,18 @@ public:
   /// Enqueue a task for asynchronous execution.
   void submit(std::function<void()> task);
 
-  /// Block until every submitted task has finished.
+  /// Block until every submitted task has finished — across *all* clients
+  /// of the pool. Prefer TaskGroup::wait() whenever the pool is shared.
   void wait();
 
-  /// Process-wide pool, sized to the hardware. Created on first use.
+  /// Process-wide pool. Created on first use, sized to the hardware unless
+  /// configureGlobal() ran first.
   static ThreadPool& global();
+
+  /// Set the size of the process-wide pool before anything touches it.
+  /// Returns false (and changes nothing) once global() has been created —
+  /// callers that need an exact size after that point own a pool instead.
+  static bool configureGlobal(std::size_t numThreads);
 
 private:
   void workerLoop();
@@ -51,9 +68,37 @@ private:
   bool stopping_ = false;
 };
 
+/// One batch's handle on a shared pool: counts its own submissions so
+/// wait() returns when *this group's* tasks are done, regardless of what
+/// other batches have in flight. A group may be reused after wait().
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  [[nodiscard]] ThreadPool& pool() const noexcept { return pool_; }
+
+  /// Enqueue \p task on the underlying pool, tracked by this group.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted through this group has finished.
+  void wait();
+
+private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+};
+
 /// Run `body(begin, end)` over [0, n) split into contiguous chunks, one per
 /// worker, blocking until all chunks complete. Falls back to a direct call
-/// when the range is small or the pool has a single worker.
+/// when the range is small or the pool has a single worker. Waits through a
+/// TaskGroup, so concurrent callers can share \p pool without observing
+/// each other's work.
 void parallelForChunked(ThreadPool& pool, std::size_t n,
                         const std::function<void(std::size_t, std::size_t)>& body,
                         std::size_t grainSize = 1024);

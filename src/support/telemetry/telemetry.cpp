@@ -184,6 +184,94 @@ std::uint64_t shotFailureCount(ErrorCode code) noexcept {
              : 0;
 }
 
+std::uint64_t Snapshot::value(std::string_view name) const noexcept {
+  for (const Scalar& s : scalars) {
+    if (s.name == name) {
+      return s.value;
+    }
+  }
+  return 0;
+}
+
+Snapshot snapshot() {
+  Registry& r = Registry::instance();
+  Snapshot snap;
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  snap.scalars.reserve(r.counters.size() + r.gauges.size());
+  for (const Counter* c : r.counters) {
+    snap.scalars.push_back({c->name(), c->value(), /*monotonic=*/true});
+  }
+  for (const MaxGauge* g : r.gauges) {
+    snap.scalars.push_back({g->name(), g->value(), /*monotonic=*/false});
+  }
+  snap.histograms.reserve(r.histograms.size());
+  for (const LatencyHistogram* h : r.histograms) {
+    snap.histograms.push_back({h->name(), h->count(), h->sum()});
+  }
+  return snap;
+}
+
+Snapshot diff(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  out.scalars.reserve(after.scalars.size());
+  for (const Snapshot::Scalar& s : after.scalars) {
+    std::uint64_t base = 0;
+    if (s.monotonic) {
+      for (const Snapshot::Scalar& b : before.scalars) {
+        if (b.name == s.name) {
+          base = b.value;
+          break;
+        }
+      }
+    }
+    // A reset between the snapshots can make a counter go backwards;
+    // clamp so the delta never underflows into garbage.
+    out.scalars.push_back(
+        {s.name, s.value >= base ? s.value - base : s.value, s.monotonic});
+  }
+  out.histograms.reserve(after.histograms.size());
+  for (const Snapshot::Hist& h : after.histograms) {
+    std::uint64_t baseCount = 0;
+    std::uint64_t baseSum = 0;
+    for (const Snapshot::Hist& b : before.histograms) {
+      if (b.name == h.name) {
+        baseCount = b.count;
+        baseSum = b.sumNs;
+        break;
+      }
+    }
+    out.histograms.push_back(
+        {h.name, h.count >= baseCount ? h.count - baseCount : h.count,
+         h.sumNs >= baseSum ? h.sumNs - baseSum : h.sumNs});
+  }
+  return out;
+}
+
+std::string snapshotJson(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  const auto emit = [&](const std::string& name, std::uint64_t value) {
+    if (value == 0) {
+      return;
+    }
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(name) << "\":" << value;
+  };
+  for (const Snapshot::Scalar& s : snap.scalars) {
+    emit(s.name, s.value);
+  }
+  for (const Snapshot::Hist& h : snap.histograms) {
+    emit(h.name + ".count", h.count);
+    emit(h.name + ".sum_ns", h.sumNs);
+  }
+  out << "}";
+  return out.str();
+}
+
 std::uint64_t counterValue(std::string_view name) noexcept {
   Registry& r = Registry::instance();
   const std::lock_guard<std::mutex> lock(r.mutex);

@@ -209,6 +209,45 @@ void recordShotFailure(ErrorCode code) noexcept;
 
 // -- snapshot & reports -------------------------------------------------------
 
+/// A point-in-time copy of every registered metric, cheap enough to take
+/// per request: the service's metrics endpoint and per-request deltas are
+/// built from two of these, and tests assert on diffs instead of absolute
+/// process-lifetime totals.
+struct Snapshot {
+  struct Scalar {
+    std::string name;
+    std::uint64_t value = 0;
+    /// Counters are monotonic (diff subtracts); gauges are high-watermarks
+    /// (diff keeps the later value).
+    bool monotonic = true;
+  };
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sumNs = 0;
+  };
+  std::vector<Scalar> scalars; // counters then gauges, registration order
+  std::vector<Hist> histograms;
+
+  /// Value of a scalar by dotted name; 0 when absent.
+  [[nodiscard]] std::uint64_t value(std::string_view name) const noexcept;
+};
+
+/// Copy the registry's current values (one relaxed load per metric).
+[[nodiscard]] Snapshot snapshot();
+
+/// Per-metric delta `after - before`: counters and histogram counts/sums
+/// subtract (metrics absent in \p before count from zero); gauges keep the
+/// \p after value, since a high-watermark cannot be meaningfully
+/// subtracted. Metrics absent in \p after are dropped.
+[[nodiscard]] Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+/// Flat JSON rendering of a snapshot — {"vm.cache.hits":3,...} plus
+/// "<name>.count"/"<name>.sum_ns" per histogram — used for the service's
+/// per-request metrics deltas. Zero-valued entries are omitted so a
+/// request's delta stays proportional to what it actually did.
+[[nodiscard]] std::string snapshotJson(const Snapshot& snap);
+
 /// Value of a registered counter/gauge by dotted name; 0 when the metric
 /// has not been registered (nothing linked in / nothing ran).
 [[nodiscard]] std::uint64_t counterValue(std::string_view name) noexcept;

@@ -5,6 +5,8 @@
 #include "support/telemetry/telemetry.hpp"
 #include "vm/compiler.hpp"
 
+#include <algorithm>
+
 namespace qirkit::vm {
 
 namespace {
@@ -12,6 +14,7 @@ namespace {
 telemetry::Counter g_cacheHits{"vm.cache.hits"};
 telemetry::Counter g_cacheMisses{"vm.cache.misses"};
 telemetry::Counter g_cacheEvictions{"vm.cache.evictions"};
+telemetry::Counter g_cacheCoalesced{"vm.cache.coalesced"};
 
 std::uint64_t fnv1a(std::string_view text) noexcept {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -34,6 +37,9 @@ CompileCache::getOrCompile(const ir::Module& module, const CompileOptions& optio
     text += "\n; compile-option: fusion=off";
   }
   const std::uint64_t hash = fnv1a(text);
+
+  std::promise<std::shared_ptr<const BytecodeModule>> promise;
+  CompiledFuture joined;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = entries_.find(hash);
@@ -47,25 +53,64 @@ CompileCache::getOrCompile(const ir::Module& module, const CompileOptions& optio
         }
       }
     }
-  }
-  // Compile outside the lock: compilation is pure, and a rare duplicate
-  // compile of the same program is cheaper than serializing all misses.
-  std::shared_ptr<const BytecodeModule> compiled = compileModule(module, options);
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (Entry& entry : entries_[hash]) {
-    if (entry.text == text) { // another thread won the race
-      ++stats_.hits;
-      g_cacheHits.add();
-      entry.lastUse = ++tick_;
-      return entry.compiled;
+    // Single-flight: join a compile already in progress for this key
+    // rather than duplicating it.
+    const auto inflightIt = inflight_.find(hash);
+    if (inflightIt != inflight_.end()) {
+      for (const InFlight& flight : inflightIt->second) {
+        if (flight.text == text) {
+          ++stats_.coalesced;
+          g_cacheCoalesced.add();
+          joined = flight.future;
+          break;
+        }
+      }
+    }
+    if (!joined.valid()) {
+      inflight_[hash].push_back(InFlight{text, promise.get_future().share()});
     }
   }
-  ++stats_.misses;
-  g_cacheMisses.add();
-  while (sizeLocked() >= capacity_) {
-    evictLRULocked();
+  if (joined.valid()) {
+    // Blocks until the owning thread finishes; rethrows its compile error,
+    // mirroring what compiling ourselves would have raised.
+    return joined.get();
   }
-  entries_[hash].push_back(Entry{text, compiled, ++tick_});
+
+  // Compile outside the lock — compilation is pure and may be slow; the
+  // in-flight registration above keeps it from ever running twice.
+  std::shared_ptr<const BytecodeModule> compiled;
+  try {
+    compiled = compileModule(module, options);
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto& flights = inflight_[hash];
+      std::erase_if(flights, [&](const InFlight& f) { return f.text == text; });
+      if (flights.empty()) {
+        inflight_.erase(hash);
+      }
+    }
+    // Wake the joiners with the same failure; nothing is cached, so the
+    // next request retries the compile.
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& flights = inflight_[hash];
+    std::erase_if(flights, [&](const InFlight& f) { return f.text == text; });
+    if (flights.empty()) {
+      inflight_.erase(hash);
+    }
+    ++stats_.misses;
+    g_cacheMisses.add();
+    while (sizeLocked() >= capacity_) {
+      evictLRULocked();
+    }
+    entries_[hash].push_back(Entry{text, compiled, ++tick_});
+  }
+  promise.set_value(compiled);
   return compiled;
 }
 

@@ -3,13 +3,25 @@
 /// textual form of the module (hashed with FNV-1a 64; the stored text is
 /// compared on hash hits so collisions cannot alias programs). One
 /// process-wide instance makes repeated runs of the same program — across
-/// shots, worker threads, and CLI subcommands — compile exactly once.
+/// shots, worker threads, and CLI subcommands — compile exactly once; the
+/// service gives each daemon its own instance shared by every tenant
+/// (ShotOptions::cache injects it into the executor).
+///
+/// Concurrency: lookups and insertions are mutex-guarded; compilation runs
+/// outside the lock with *single-flight* deduplication — the first thread
+/// to miss on a key registers an in-flight compile, and every concurrent
+/// requester of the same key blocks on its future instead of compiling the
+/// module again. N tenants submitting the same program therefore cost one
+/// compile, not N (Stats::coalesced counts the joiners). A failed compile
+/// propagates its exception to every joiner and leaves no entry behind, so
+/// a later request retries from scratch.
 ///
 /// The cache is bounded: once `capacity()` entries are resident, inserting
 /// a new program evicts the least-recently-used entry (handed-out
 /// shared_ptrs stay valid — eviction only drops the cache's reference).
-/// Hits, misses, and evictions are reported both in Stats and through the
-/// telemetry counters vm.cache.{hits,misses,evictions}.
+/// Hits, misses, coalesced joins, and evictions are reported both in Stats
+/// and through the telemetry counters vm.cache.{hits,misses,coalesced,
+/// evictions}.
 #pragma once
 
 #include "ir/module.hpp"
@@ -17,6 +29,7 @@
 #include "vm/compiler.hpp"
 
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -29,12 +42,16 @@ public:
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// Requests that joined another thread's in-flight compile of the same
+    /// key instead of compiling (single-flight deduplication).
+    std::uint64_t coalesced = 0;
   };
 
   /// Default resident-entry bound of the process-wide cache.
   static constexpr std::size_t kDefaultCapacity = 128;
 
-  /// Look up \p module by content; compile and insert on miss. Thread-safe.
+  /// Look up \p module by content; compile and insert on miss. Thread-safe;
+  /// concurrent misses on the same key compile once (see file comment).
   /// The returned module is immutable and outlives the cache entry.
   /// Non-default \p options become part of the cache key (as an appended
   /// pseudo-comment), so the same program compiled with and without fusion
@@ -54,10 +71,20 @@ public:
   static CompileCache& global();
 
 private:
+  using CompiledFuture =
+      std::shared_future<std::shared_ptr<const BytecodeModule>>;
+
   struct Entry {
     std::string text; // full printed module, for collision safety
     std::shared_ptr<const BytecodeModule> compiled;
     std::uint64_t lastUse = 0; // tick of the most recent hit/insert
+  };
+
+  /// One compile in progress: joiners block on the future while the owner
+  /// compiles outside the lock.
+  struct InFlight {
+    std::string text;
+    CompiledFuture future;
   };
 
   void evictLRULocked();
@@ -65,6 +92,7 @@ private:
 
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, std::vector<Entry>> entries_;
+  std::unordered_map<std::uint64_t, std::vector<InFlight>> inflight_;
   Stats stats_;
   std::size_t capacity_ = kDefaultCapacity;
   std::uint64_t tick_ = 0;

@@ -286,10 +286,16 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     try {
       const CompileOptions compileOptions{.fuseGates = opts.fusion};
       if (opts.useCompileCache) {
-        const CompileCache::Stats before = CompileCache::global().stats();
-        compiled = CompileCache::global().getOrCompile(module, compileOptions);
-        const CompileCache::Stats after = CompileCache::global().stats();
-        result.cacheHits = after.hits - before.hits;
+        CompileCache& cache =
+            opts.cache != nullptr ? *opts.cache : CompileCache::global();
+        const CompileCache::Stats before = cache.stats();
+        compiled = cache.getOrCompile(module, compileOptions);
+        const CompileCache::Stats after = cache.stats();
+        // Under a shared cache these are process-wide deltas and may
+        // include concurrent batches' activity; a coalesced join counts
+        // as the hit it effectively is.
+        result.cacheHits =
+            (after.hits + after.coalesced) - (before.hits + before.coalesced);
         result.cacheMisses = after.misses - before.misses;
       } else {
         compiled = compileModule(module, compileOptions);
@@ -392,13 +398,17 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   const std::uint64_t chunkSize = (opts.shots + workers - 1) / workers;
   std::mutex mergeMutex;
   std::optional<ClassifiedError> infrastructureError;
+  // A TaskGroup waits for exactly this batch's chunks: the pool may be
+  // serving other batches (every service tenant shares one), and
+  // ThreadPool::wait() would block on their work too.
+  TaskGroup group(*opts.pool);
   for (std::uint64_t w = 0; w < workers; ++w) {
     const std::uint64_t begin = w * chunkSize;
     const std::uint64_t end = std::min(opts.shots, begin + chunkSize);
     if (begin >= end) {
       break;
     }
-    opts.pool->submit([&, begin, end] {
+    group.submit([&, begin, end] {
       ChunkResult chunk;
       try {
         runChunk(begin, end, chunk);
@@ -417,7 +427,7 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
       mergeChunk(std::move(chunk), result);
     });
   }
-  opts.pool->wait();
+  group.wait();
   if (infrastructureError.has_value()) {
     throw TrapError(infrastructureError->message, infrastructureError->code,
                     infrastructureError->transient);

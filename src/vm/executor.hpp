@@ -37,6 +37,8 @@
 
 namespace qirkit::vm {
 
+class CompileCache;
+
 enum class Engine { Interp, Vm };
 
 [[nodiscard]] const char* engineName(Engine engine) noexcept;
@@ -58,11 +60,18 @@ struct ShotOptions {
   std::uint64_t shots = 100;
   std::uint64_t seed = 1;
   Engine engine = Engine::Vm;
-  /// Worker pool for chunked shots; nullptr runs sequentially. Per-shot
-  /// simulators never nest parallelism (their pool is always null).
+  /// Worker pool for chunked shots; nullptr runs sequentially. The pool
+  /// may be shared with other concurrent batches (the service multiplexes
+  /// every tenant's chunks onto one pool) — the executor waits through a
+  /// TaskGroup, never ThreadPool::wait(). Per-shot simulators never nest
+  /// parallelism (their pool is always null).
   qirkit::ThreadPool* pool = nullptr;
-  /// Route compilation through CompileCache::global() (VM engine only).
+  /// Route compilation through the compile cache (VM engine only).
   bool useCompileCache = true;
+  /// The cache to route it through; nullptr means CompileCache::global().
+  /// The service injects its own instance here so tenants share one
+  /// cross-request cache that lives and dies with the daemon.
+  CompileCache* cache = nullptr;
   /// Failure-rate threshold: the batch tolerates up to this many
   /// permanently failed shots (recorded, not thrown). One more and
   /// runShots throws the first recorded failure. 0 preserves the

@@ -1,0 +1,208 @@
+/// Multi-threaded hammer tests for the compile cache's single-flight
+/// concurrency contract: N concurrent requests for one key cost exactly
+/// one compilation (the rest join the in-flight future or hit the
+/// resident entry), LRU eviction stays consistent under contention while
+/// handed-out modules remain valid, and a failed compile propagates its
+/// exception to every joiner without leaving a poisoned entry behind.
+/// These tests are part of the ASan/UBSan CI matrix — they exist to fail
+/// loudly under the sanitizers if the locking discipline regresses.
+#include "ir/context.hpp"
+#include "ir/module.hpp"
+#include "ir/parser.hpp"
+#include "support/error.hpp"
+#include "vm/cache.hpp"
+#include "vm/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qirkit {
+namespace {
+
+/// A family of distinct-by-content classical modules: the returned
+/// constant makes each program its own cache key.
+std::string programText(unsigned variant) {
+  return "define i64 @main() {\n"
+         "entry:\n"
+         "  %a = add i64 " +
+         std::to_string(variant) +
+         ", 1\n"
+         "  %b = mul i64 %a, 3\n"
+         "  ret i64 %b\n"
+         "}\n";
+}
+
+/// This module parses and verifies but cannot be lowered to bytecode
+/// (the compiler rejects allocas past 4 GiB), so getOrCompile throws.
+constexpr const char* kUncompilableText =
+    "define i64 @main() {\n"
+    "entry:\n"
+    "  %p = alloca [1000000000 x i64]\n"
+    "  ret i64 0\n"
+    "}\n";
+
+/// Spawn \p threads workers, release them simultaneously, join them all.
+void runConcurrently(unsigned threads, const std::function<void()>& body) {
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      body();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+TEST(CacheConcurrencyTest, SingleKeyCompilesExactlyOnce) {
+  constexpr unsigned kThreads = 16;
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, programText(0));
+
+  vm::CompileCache cache;
+  std::mutex resultsMutex;
+  std::vector<std::shared_ptr<const vm::BytecodeModule>> results;
+  runConcurrently(kThreads, [&] {
+    auto compiled = cache.getOrCompile(*module);
+    const std::lock_guard lock(resultsMutex);
+    results.push_back(std::move(compiled));
+  });
+
+  // One miss does the work; every other request either joined the
+  // in-flight compile (coalesced) or arrived after insertion (hit).
+  const vm::CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_EQ(stats.hits + stats.coalesced, kThreads - 1U);
+  ASSERT_EQ(results.size(), kThreads);
+  for (const auto& compiled : results) {
+    ASSERT_NE(compiled, nullptr);
+    EXPECT_EQ(compiled, results.front()) << "joiners must share one module";
+  }
+  EXPECT_EQ(cache.size(), 1U);
+}
+
+TEST(CacheConcurrencyTest, DistinctKeysNeverCoalesceIntoEachOther) {
+  constexpr unsigned kPrograms = 8;
+  constexpr unsigned kThreadsPerProgram = 4;
+  ir::Context ctx;
+  std::vector<std::unique_ptr<ir::Module>> modules;
+  for (unsigned p = 0; p < kPrograms; ++p) {
+    modules.push_back(ir::parseModule(ctx, programText(p)));
+  }
+
+  vm::CompileCache cache;
+  std::atomic<unsigned> next{0};
+  runConcurrently(kPrograms * kThreadsPerProgram, [&] {
+    const unsigned slot = next.fetch_add(1) % kPrograms;
+    ASSERT_NE(cache.getOrCompile(*modules[slot]), nullptr);
+  });
+
+  const vm::CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, kPrograms);
+  EXPECT_EQ(stats.hits + stats.coalesced,
+            kPrograms * (kThreadsPerProgram - 1U));
+  EXPECT_EQ(cache.size(), kPrograms);
+}
+
+TEST(CacheConcurrencyTest, EvictionUnderContentionKeepsHandedOutModules) {
+  constexpr unsigned kPrograms = 12;
+  constexpr unsigned kThreads = 8;
+  constexpr unsigned kIterations = 200;
+  constexpr std::size_t kCapacity = 4;
+  ir::Context ctx;
+  std::vector<std::unique_ptr<ir::Module>> modules;
+  for (unsigned p = 0; p < kPrograms; ++p) {
+    modules.push_back(ir::parseModule(ctx, programText(100 + p)));
+  }
+
+  vm::CompileCache cache;
+  cache.setCapacity(kCapacity);
+  std::atomic<unsigned> ticket{0};
+  runConcurrently(kThreads, [&] {
+    // Deterministic per-thread stride so every thread cycles through all
+    // programs from a different phase, maximizing eviction churn.
+    const unsigned phase = ticket.fetch_add(1);
+    std::vector<std::shared_ptr<const vm::BytecodeModule>> held;
+    for (unsigned i = 0; i < kIterations; ++i) {
+      const unsigned slot = (phase * 5 + i * 7) % kPrograms;
+      auto compiled = cache.getOrCompile(*modules[slot]);
+      ASSERT_NE(compiled, nullptr);
+      // Evicted-but-held modules must stay readable: dereference a field.
+      held.push_back(std::move(compiled));
+      ASSERT_FALSE(held.back()->functions.empty());
+      if (held.size() > 8) {
+        held.erase(held.begin());
+      }
+    }
+  });
+
+  const vm::CompileCache::Stats stats = cache.stats();
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_GE(stats.misses, kPrograms); // every program missed at least once
+  EXPECT_GT(stats.evictions, 0U);
+  EXPECT_EQ(stats.hits + stats.coalesced + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST(CacheConcurrencyTest, FailedCompileThrowsEverywhereAndLeavesNoEntry) {
+  constexpr unsigned kThreads = 8;
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, kUncompilableText);
+
+  vm::CompileCache cache;
+  std::atomic<unsigned> threw{0};
+  runConcurrently(kThreads, [&] {
+    try {
+      (void)cache.getOrCompile(*module);
+    } catch (const qirkit::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::CompileFail);
+      threw.fetch_add(1);
+    }
+  });
+
+  // Owner and every joiner observe the failure...
+  EXPECT_EQ(threw.load(), kThreads);
+  // ...and nothing poisoned stays resident: the next request retries the
+  // compile from scratch instead of replaying a cached exception forever.
+  EXPECT_EQ(cache.size(), 0U);
+  const std::uint64_t missesBefore = cache.stats().misses;
+  EXPECT_THROW((void)cache.getOrCompile(*module), qirkit::Error);
+  EXPECT_GT(cache.stats().misses + 1, missesBefore); // still counting work
+}
+
+TEST(CacheConcurrencyTest, SharedCacheInjectedIntoConcurrentBatches) {
+  // The service-shaped usage: many batches, one injected cache, one shared
+  // pool. Every batch after the first must reuse the single compilation.
+  constexpr unsigned kBatches = 6;
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, programText(7));
+
+  vm::CompileCache cache;
+  ThreadPool pool(4);
+  runConcurrently(kBatches, [&] {
+    vm::ShotOptions options;
+    options.shots = 20;
+    options.seed = 11;
+    options.pool = &pool;
+    options.cache = &cache;
+    const vm::ShotBatchResult result = vm::runShots(*module, options);
+    EXPECT_EQ(result.completedShots, 20U);
+  });
+
+  const vm::CompileCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1U);
+  EXPECT_GE(stats.hits + stats.coalesced, kBatches - 1U);
+}
+
+} // namespace
+} // namespace qirkit

@@ -1,0 +1,452 @@
+/// Tests for the `qirkit serve` subsystem: the JSON micro-parser, the
+/// wire-protocol request validation, the admission queue's quotas /
+/// fairness / deterministic per-tenant seed streams, and a live in-process
+/// server exercised over a real Unix-domain socket — concurrent tenants,
+/// cross-request compile-cache hits in the metrics document, structured
+/// error responses for malformed and oversized frames that leave the
+/// connection usable, and the resource-limit taxonomy for quota rejects.
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qirkit::service {
+namespace {
+
+constexpr const char* kBellQasm =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[2];\n"
+    "creg c[2];\n"
+    "h q[0];\n"
+    "cx q[0], q[1];\n"
+    "measure q -> c;\n";
+
+// ---------------------------------------------------------------- json --
+
+TEST(ServiceJsonTest, ParsesNestedDocument) {
+  const json::Value v = json::parse(
+      R"({"a":1,"b":"x\n\"y\"","c":[true,false,null],"d":{"e":-2.5}})");
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.find("a")->asU64("a"), 1U);
+  EXPECT_EQ(v.find("b")->string, "x\n\"y\"");
+  ASSERT_EQ(v.find("c")->array.size(), 3U);
+  EXPECT_TRUE(v.find("c")->array[0].boolean);
+  EXPECT_TRUE(v.find("c")->array[2].isNull());
+  EXPECT_DOUBLE_EQ(v.find("d")->find("e")->number, -2.5);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(ServiceJsonTest, RejectsMalformedInputWithByteOffset) {
+  for (const char* bad : {"{", "{\"a\":}", "[1,]", "tru", "\"unterminated",
+                          "{\"a\":1} trailing", "{'a':1}"}) {
+    try {
+      (void)json::parse(bad);
+      FAIL() << "accepted malformed input: " << bad;
+    } catch (const qirkit::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Parse) << bad;
+      EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos) << bad;
+    }
+  }
+}
+
+TEST(ServiceJsonTest, RejectsPathologicalNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += "[";
+  }
+  EXPECT_THROW((void)json::parse(deep), qirkit::Error);
+}
+
+TEST(ServiceJsonTest, AsU64RejectsNonIntegers) {
+  const json::Value v = json::parse(R"({"neg":-1,"frac":1.5,"str":"9"})");
+  EXPECT_THROW((void)v.find("neg")->asU64("neg"), qirkit::Error);
+  EXPECT_THROW((void)v.find("frac")->asU64("frac"), qirkit::Error);
+  EXPECT_THROW((void)v.find("str")->asU64("str"), qirkit::Error);
+}
+
+// ------------------------------------------------------------ protocol --
+
+TEST(ServiceProtocolTest, ParsesFullSubmitRequest) {
+  const Request req = parseRequest(
+      R"({"type":"submit","tenant":"alice","program":"text","shots":64,)"
+      R"("seed":7,"engine":"interp","exec_mode":"resim","fusion":false,)"
+      R"("priority":-3})");
+  ASSERT_EQ(req.type, RequestType::Submit);
+  EXPECT_EQ(req.submit.tenant, "alice");
+  EXPECT_EQ(req.submit.program, "text");
+  EXPECT_EQ(req.submit.shots, 64U);
+  ASSERT_TRUE(req.submit.seed.has_value());
+  EXPECT_EQ(*req.submit.seed, 7U);
+  EXPECT_EQ(req.submit.engine, vm::Engine::Interp);
+  EXPECT_EQ(req.submit.execMode, vm::ExecMode::Resim);
+  EXPECT_FALSE(req.submit.fusion);
+  EXPECT_EQ(req.submit.priority, -3);
+}
+
+TEST(ServiceProtocolTest, SubmitRequestJsonRoundTrips) {
+  SubmitRequest original;
+  original.tenant = "t\"quoted\"";
+  original.program = "line1\nline2";
+  original.shots = 9;
+  original.seed = 123;
+  original.engine = vm::Engine::Interp;
+  original.execMode = vm::ExecMode::Sample;
+  original.fusion = false;
+  original.priority = 4;
+  const Request parsed = parseRequest(submitRequestJson(original));
+  EXPECT_EQ(parsed.submit.tenant, original.tenant);
+  EXPECT_EQ(parsed.submit.program, original.program);
+  EXPECT_EQ(parsed.submit.shots, original.shots);
+  EXPECT_EQ(parsed.submit.seed, original.seed);
+  EXPECT_EQ(parsed.submit.engine, original.engine);
+  EXPECT_EQ(parsed.submit.execMode, original.execMode);
+  EXPECT_EQ(parsed.submit.fusion, original.fusion);
+  EXPECT_EQ(parsed.submit.priority, original.priority);
+}
+
+TEST(ServiceProtocolTest, RejectsStructurallyInvalidRequests) {
+  const auto expectUsage = [](const char* line) {
+    try {
+      (void)parseRequest(line);
+      FAIL() << "accepted: " << line;
+    } catch (const qirkit::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Usage) << line;
+    }
+  };
+  expectUsage(R"({"type":"warp"})");
+  expectUsage(R"({"shots":5})"); // missing type
+  expectUsage(R"({"type":"submit","program":"x"})"); // missing tenant
+  expectUsage(R"({"type":"submit","tenant":"a"})"); // no program
+  expectUsage(
+      R"({"type":"submit","tenant":"a","program":"x","program_ref":"y"})");
+  expectUsage(R"({"type":"submit","tenant":"a","program":"x","shots":-1})");
+  expectUsage(
+      R"({"type":"submit","tenant":"a","program":"x","engine":"gpu"})");
+  expectUsage(
+      R"({"type":"submit","tenant":"a","program":"x","fusion":"yes"})");
+  expectUsage(
+      R"({"type":"submit","tenant":"a","program":"x","priority":1.5})");
+  EXPECT_THROW((void)parseRequest("not json"), qirkit::Error);
+}
+
+TEST(ServiceProtocolTest, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::Parse, ErrorCode::Usage, ErrorCode::ResourceLimit,
+        ErrorCode::TrapInvalidQubit, ErrorCode::Internal}) {
+    EXPECT_EQ(errorCodeFromName(errorCodeName(code)), code);
+  }
+  EXPECT_EQ(errorCodeFromName("never-heard-of-it"), ErrorCode::Internal);
+}
+
+// --------------------------------------------------------------- queue --
+
+Job makeJob(const std::string& tenant, std::int64_t priority = 0,
+            std::uint64_t shots = 10) {
+  Job job;
+  job.request.tenant = tenant;
+  job.request.priority = priority;
+  job.request.shots = shots;
+  return job;
+}
+
+TEST(AdmissionQueueTest, EnforcesEveryQuota) {
+  QueueLimits limits;
+  limits.capacity = 3;
+  limits.tenantMaxPending = 2;
+  limits.maxShotsPerJob = 100;
+  AdmissionQueue queue(limits);
+
+  EXPECT_THROW(queue.push(makeJob("a", 0, 101)), qirkit::Error); // shot cap
+  queue.push(makeJob("a"));
+  queue.push(makeJob("a"));
+  EXPECT_THROW(queue.push(makeJob("a")), qirkit::Error); // tenant pending
+  queue.push(makeJob("b"));
+  EXPECT_THROW(queue.push(makeJob("c")), qirkit::Error); // global capacity
+  EXPECT_EQ(queue.stats().rejected, 3U);
+  EXPECT_EQ(queue.stats().admitted, 3U);
+
+  // Finishing a job frees the tenant slot (capacity frees on pop).
+  ASSERT_TRUE(queue.pop().has_value());
+  queue.onJobFinished("a");
+  queue.push(makeJob("a"));
+
+  queue.close();
+  EXPECT_THROW(queue.push(makeJob("a")), qirkit::Error); // closed
+}
+
+TEST(AdmissionQueueTest, RoundRobinAcrossTenantsPriorityWithin) {
+  AdmissionQueue queue(QueueLimits{});
+  queue.push(makeJob("alice", 0)); // id 1
+  queue.push(makeJob("alice", 5)); // id 2, jumps the tenant queue
+  queue.push(makeJob("alice", 0)); // id 3
+  queue.push(makeJob("bob", 0));   // id 4
+
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) {
+    auto job = queue.pop();
+    ASSERT_TRUE(job.has_value());
+    order.push_back(job->id);
+  }
+  // Fair interleave between tenants; alice's high-priority job first
+  // among hers: alice(2), bob(4), alice(1), alice(3).
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 4, 1, 3}));
+
+  queue.close();
+  EXPECT_FALSE(queue.pop().has_value()); // closed and drained
+}
+
+TEST(AdmissionQueueTest, TenantSeedStreamsAreDeterministicAndDistinct) {
+  AdmissionQueue first{QueueLimits{}};
+  AdmissionQueue second{QueueLimits{}};
+  std::vector<std::uint64_t> seedsA;
+  std::vector<std::uint64_t> seedsB;
+  for (int i = 0; i < 3; ++i) {
+    first.push(makeJob("alice"));
+    first.push(makeJob("bob"));
+  }
+  for (int i = 0; i < 6; ++i) {
+    auto job = first.pop();
+    ASSERT_TRUE(job.has_value());
+    (job->request.tenant == "alice" ? seedsA : seedsB).push_back(job->seed);
+  }
+  // A fresh daemon replays the identical per-tenant stream...
+  for (int i = 0; i < 3; ++i) {
+    second.push(makeJob("alice"));
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto job = second.pop();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->seed, seedsA[static_cast<std::size_t>(i)]);
+  }
+  // ...streams advance (no repeated seeds) and tenants are decorrelated.
+  EXPECT_NE(seedsA[0], seedsA[1]);
+  EXPECT_NE(seedsA[0], seedsB[0]);
+
+  // An explicit seed bypasses the stream entirely.
+  Job pinned = makeJob("alice");
+  pinned.request.seed = 42;
+  second.push(std::move(pinned));
+  auto job = second.pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->seed, 42U);
+}
+
+// -------------------------------------------------------------- server --
+
+/// A live daemon on a unique temp socket, torn down with the fixture.
+class ServeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    socketPath_ = "/tmp/qirkit_serve_test_" + std::to_string(::getpid()) +
+                  "_" + std::to_string(counter_++) + ".sock";
+    ServerOptions options;
+    options.socketPath = socketPath_;
+    options.runners = 2;
+    options.poolThreads = 2;
+    options.queue.maxShotsPerJob = 1000;
+    server_ = std::make_unique<Server>(options);
+    server_->start();
+  }
+  void TearDown() override {
+    server_->stop();
+    server_.reset();
+  }
+
+  std::string submitLine(const std::string& tenant, std::uint64_t shots,
+                         std::uint64_t seed) const {
+    SubmitRequest req;
+    req.tenant = tenant;
+    req.program = kBellQasm;
+    req.shots = shots;
+    req.seed = seed;
+    return submitRequestJson(req);
+  }
+
+  static int counter_;
+  std::string socketPath_;
+  std::unique_ptr<Server> server_;
+};
+
+int ServeTest::counter_ = 0;
+
+TEST_F(ServeTest, PingAndShutdownVerbs) {
+  Client client(socketPath_);
+  const json::Value pong = json::parse(client.call(R"({"type":"ping"})"));
+  EXPECT_TRUE(pong.find("ok")->boolean);
+  EXPECT_EQ(pong.find("type")->string, "pong");
+}
+
+TEST_F(ServeTest, ConcurrentTenantsShareTheCompileCache) {
+  constexpr int kClients = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::string> histograms(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        Client client(socketPath_);
+        for (int i = 0; i < 3; ++i) {
+          const json::Value v = json::parse(
+              client.call(submitLine("tenant" + std::to_string(c % 2),
+                                     /*shots=*/40, /*seed=*/9)));
+          if (!v.find("ok")->boolean) {
+            ++failures;
+            return;
+          }
+          std::string bits;
+          for (const auto& [key, count] : v.find("histogram")->object) {
+            bits += key + "=" + std::to_string(
+                                    static_cast<std::uint64_t>(count.number)) +
+                    ";";
+          }
+          histograms[static_cast<std::size_t>(c)] = bits;
+        }
+      } catch (...) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  ASSERT_EQ(failures.load(), 0);
+  // Same program + same seed must mean the same histogram for everyone,
+  // whichever runner/pool thread served it.
+  for (int c = 1; c < kClients; ++c) {
+    EXPECT_EQ(histograms[static_cast<std::size_t>(c)], histograms[0]);
+  }
+  EXPECT_FALSE(histograms[0].empty());
+
+  // The metrics document must show cross-request cache reuse: 12 submits
+  // of one program = 1 miss, the rest hits/coalesced.
+  Client metricsClient(socketPath_);
+  const json::Value metrics =
+      json::parse(metricsClient.call(R"({"type":"metrics"})"));
+  const json::Value* cache = metrics.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->find("misses")->asU64("misses"), 1U);
+  EXPECT_GE(cache->find("hits")->asU64("hits") +
+                cache->find("coalesced")->asU64("coalesced"),
+            11U);
+  EXPECT_EQ(metrics.find("queue")->find("admitted")->asU64("admitted"), 12U);
+  EXPECT_EQ(metrics.find("jobs")->find("completed")->asU64("completed"), 12U);
+}
+
+TEST_F(ServeTest, MalformedFrameKeepsConnectionAlive) {
+  Client client(socketPath_);
+  client.sendRaw("this is not json\n");
+  const json::Value error = json::parse(client.readLine());
+  EXPECT_FALSE(error.find("ok")->boolean);
+  EXPECT_EQ(error.find("error")->find("code")->string, "parse");
+
+  // Same connection, next frame: fully functional.
+  const json::Value pong = json::parse(client.call(R"({"type":"ping"})"));
+  EXPECT_TRUE(pong.find("ok")->boolean);
+
+  const json::Value metrics =
+      json::parse(client.call(R"({"type":"metrics"})"));
+  EXPECT_GE(metrics.find("protocol")
+                ->find("rejected_frames")
+                ->asU64("rejected_frames"),
+            1U);
+}
+
+TEST_F(ServeTest, OversizedFrameIsRejectedAndSkipped) {
+  // Rebuild the server with a tiny frame limit.
+  server_->stop();
+  ServerOptions options;
+  options.socketPath = socketPath_;
+  options.maxFrameBytes = 64;
+  server_ = std::make_unique<Server>(options);
+  server_->start();
+
+  Client client(socketPath_);
+  client.sendRaw(std::string(500, 'x') + "\n");
+  const json::Value error = json::parse(client.readLine());
+  EXPECT_FALSE(error.find("ok")->boolean);
+  EXPECT_EQ(error.find("error")->find("code")->string, "usage");
+  // The oversized frame was discarded, not interpreted; the connection
+  // still answers the next (small) request.
+  const json::Value pong = json::parse(client.call(R"({"type":"ping"})"));
+  EXPECT_TRUE(pong.find("ok")->boolean);
+}
+
+TEST_F(ServeTest, QuotaViolationsMapToResourceLimit) {
+  Client client(socketPath_);
+  SubmitRequest req;
+  req.tenant = "greedy";
+  req.program = kBellQasm;
+  req.shots = 5000; // over the fixture's 1000-shot ceiling
+  const json::Value error = json::parse(client.call(submitRequestJson(req)));
+  EXPECT_FALSE(error.find("ok")->boolean);
+  EXPECT_EQ(error.find("error")->find("code")->string, "resource-limit");
+}
+
+TEST_F(ServeTest, ProgramRefResubmissionSkipsReparsing) {
+  Client client(socketPath_);
+  const json::Value first =
+      json::parse(client.call(submitLine("alice", 30, 5)));
+  ASSERT_TRUE(first.find("ok")->boolean);
+  const std::string programId = first.find("program_id")->string;
+  ASSERT_FALSE(programId.empty());
+
+  SubmitRequest byRef;
+  byRef.tenant = "alice";
+  byRef.programRef = programId;
+  byRef.shots = 30;
+  byRef.seed = 5;
+  const json::Value second =
+      json::parse(client.call(submitRequestJson(byRef)));
+  ASSERT_TRUE(second.find("ok")->boolean);
+  EXPECT_EQ(second.find("program_id")->string, programId);
+
+  // Identical program + seed: identical histogram through either route.
+  std::string h1;
+  std::string h2;
+  for (const auto& [k, v] : first.find("histogram")->object) {
+    h1 += k + ":" + std::to_string(static_cast<std::uint64_t>(v.number)) + ",";
+  }
+  for (const auto& [k, v] : second.find("histogram")->object) {
+    h2 += k + ":" + std::to_string(static_cast<std::uint64_t>(v.number)) + ",";
+  }
+  EXPECT_EQ(h1, h2);
+
+  // An unknown ref is a usage error, and says so.
+  SubmitRequest bogus;
+  bogus.tenant = "alice";
+  bogus.programRef = "doesnotexist12345";
+  const json::Value error = json::parse(client.call(submitRequestJson(bogus)));
+  EXPECT_FALSE(error.find("ok")->boolean);
+  EXPECT_EQ(error.find("error")->find("code")->string, "usage");
+}
+
+TEST_F(ServeTest, BrokenProgramsReturnClassifiedErrors) {
+  Client client(socketPath_);
+  SubmitRequest req;
+  req.tenant = "alice";
+  req.program = "this is not a program";
+  const json::Value error = json::parse(client.call(submitRequestJson(req)));
+  EXPECT_FALSE(error.find("ok")->boolean);
+  EXPECT_EQ(error.find("error")->find("code")->string, "parse");
+
+  // The daemon survives a parse failure and still executes real work.
+  const json::Value good = json::parse(client.call(submitLine("alice", 10, 1)));
+  EXPECT_TRUE(good.find("ok")->boolean);
+}
+
+} // namespace
+} // namespace qirkit::service

@@ -275,5 +275,83 @@ TEST_F(TelemetryTest, ResetAllZeroesEverything) {
   EXPECT_TRUE(telemetry::passRecords().empty());
 }
 
+TEST_F(TelemetryTest, SnapshotCapturesRegisteredProbes) {
+  static telemetry::Counter counter{"test.snap.counter"};
+  static telemetry::MaxGauge gauge{"test.snap.gauge"};
+  static telemetry::LatencyHistogram hist{"test.snap.hist"};
+  counter.add(7);
+  gauge.updateMax(41);
+  hist.record(1000);
+  hist.record(500);
+
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  EXPECT_EQ(snap.value("test.snap.counter"), 7U);
+  EXPECT_EQ(snap.value("test.snap.gauge"), 41U);
+  EXPECT_EQ(snap.value("test.never.registered"), 0U);
+  bool foundHist = false;
+  for (const telemetry::Snapshot::Hist& h : snap.histograms) {
+    if (h.name == "test.snap.hist") {
+      foundHist = true;
+      EXPECT_EQ(h.count, 2U);
+      EXPECT_EQ(h.sumNs, 1500U);
+    }
+  }
+  EXPECT_TRUE(foundHist);
+}
+
+TEST_F(TelemetryTest, DiffIsolatesOneRequestsActivity) {
+  static telemetry::Counter counter{"test.diff.counter"};
+  static telemetry::MaxGauge gauge{"test.diff.gauge"};
+  static telemetry::LatencyHistogram hist{"test.diff.hist"};
+  counter.add(10);
+  gauge.updateMax(5);
+  hist.record(100);
+
+  const telemetry::Snapshot before = telemetry::snapshot();
+  counter.add(3);
+  gauge.updateMax(9);
+  hist.record(250);
+  const telemetry::Snapshot delta =
+      telemetry::diff(before, telemetry::snapshot());
+
+  // Monotonic scalars subtract; gauges report the current high-water mark.
+  EXPECT_EQ(delta.value("test.diff.counter"), 3U);
+  EXPECT_EQ(delta.value("test.diff.gauge"), 9U);
+  for (const telemetry::Snapshot::Hist& h : delta.histograms) {
+    if (h.name == "test.diff.hist") {
+      EXPECT_EQ(h.count, 1U);
+      EXPECT_EQ(h.sumNs, 250U);
+    }
+  }
+}
+
+TEST_F(TelemetryTest, DiffClampsBackwardCounters) {
+  static telemetry::Counter counter{"test.diff.clamp"};
+  counter.add(50);
+  const telemetry::Snapshot before = telemetry::snapshot();
+  // A reset between snapshots makes the counter go backwards; the delta
+  // must report the post-reset value, never an underflowed wraparound.
+  counter.reset();
+  counter.add(2);
+  const telemetry::Snapshot delta =
+      telemetry::diff(before, telemetry::snapshot());
+  EXPECT_EQ(delta.value("test.diff.clamp"), 2U);
+}
+
+TEST_F(TelemetryTest, SnapshotJsonOmitsZeroProbes) {
+  static telemetry::Counter hot{"test.json.hot"};
+  static telemetry::Counter cold{"test.json.cold"};
+  static telemetry::LatencyHistogram hist{"test.json.hist"};
+  hot.add(4);
+  hist.record(2000);
+  (void)cold;
+
+  const std::string json = telemetry::snapshotJson(telemetry::snapshot());
+  EXPECT_NE(json.find("\"test.json.hot\":4"), std::string::npos);
+  EXPECT_EQ(json.find("test.json.cold"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist.count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist.sum_ns\":2000"), std::string::npos);
+}
+
 } // namespace
 } // namespace qirkit

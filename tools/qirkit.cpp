@@ -60,6 +60,10 @@
 #include "qir/importer.hpp"
 #include "qir/profiles.hpp"
 #include "runtime/runtime.hpp"
+#include "service/client.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
 #include "support/parallel.hpp"
@@ -68,7 +72,9 @@
 #include "vm/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <csignal>
 
 #include <fstream>
 #include <iostream>
@@ -81,6 +87,7 @@
 namespace {
 
 using namespace qirkit;
+namespace json = qirkit::service::json;
 
 /// Bad invocation: reported as error[usage], exit 2 per the contract.
 [[noreturn]] void fail(const std::string& message) {
@@ -375,10 +382,12 @@ int cmdRun(const Args& args) {
   }
   const auto jobs =
       static_cast<std::size_t>(parseUint(args.option("jobs", "1"), "jobs"));
-  std::unique_ptr<ThreadPool> pool;
   if (jobs > 1) {
-    pool = std::make_unique<ThreadPool>(jobs);
-    options.pool = pool.get();
+    // The process-wide shared pool, not a private one: the CLI goes
+    // through the same injection seam the service uses, so every --jobs
+    // run exercises batch execution on a shared pool.
+    ThreadPool::configureGlobal(jobs);
+    options.pool = &ThreadPool::global();
   }
   const vm::ShotBatchResult result = vm::runShots(*module, options);
   std::cerr << "engine: " << vm::engineName(result.engineUsed);
@@ -500,10 +509,190 @@ int cmdFeasibility(const Args& args) {
   return report.feasible ? 0 : 1;
 }
 
+/// The daemon instance the signal handler asks to stop. requestShutdown()
+/// only stores a relaxed atomic flag, which is async-signal-safe.
+std::atomic<service::Server*> g_server{nullptr};
+
+extern "C" void handleServeSignal(int /*signum*/) {
+  if (service::Server* server = g_server.load(std::memory_order_relaxed)) {
+    server->requestShutdown();
+  }
+}
+
+int cmdServe(const Args& args) {
+  service::ServerOptions options;
+  options.socketPath = args.positional[0];
+  options.runners = std::max<std::size_t>(
+      1, parseUint(args.option("runners", "2"), "runners"));
+  options.poolThreads =
+      static_cast<std::size_t>(parseUint(args.option("jobs", "0"), "jobs"));
+  if (!args.option("cache-capacity").empty()) {
+    options.cacheCapacity = std::max<std::size_t>(
+        1, parseUint(args.option("cache-capacity"), "cache-capacity"));
+  }
+  if (!args.option("program-capacity").empty()) {
+    options.programCapacity = std::max<std::size_t>(
+        1, parseUint(args.option("program-capacity"), "program-capacity"));
+  }
+  if (!args.option("max-frame-bytes").empty()) {
+    options.maxFrameBytes = std::max<std::size_t>(
+        1, parseUint(args.option("max-frame-bytes"), "max-frame-bytes"));
+  }
+  if (!args.option("queue-capacity").empty()) {
+    options.queue.capacity = std::max<std::size_t>(
+        1, parseUint(args.option("queue-capacity"), "queue-capacity"));
+  }
+  if (!args.option("tenant-pending").empty()) {
+    options.queue.tenantMaxPending = std::max<std::size_t>(
+        1, parseUint(args.option("tenant-pending"), "tenant-pending"));
+  }
+  if (!args.option("max-shots").empty()) {
+    options.queue.maxShotsPerJob =
+        std::max<std::uint64_t>(1, parseUint(args.option("max-shots"), "max-shots"));
+  }
+
+  service::Server server(std::move(options));
+  server.start();
+  g_server.store(&server, std::memory_order_relaxed);
+  std::signal(SIGINT, handleServeSignal);
+  std::signal(SIGTERM, handleServeSignal);
+  std::cerr << "qirkit serve: listening on " << server.options().socketPath
+            << " (" << server.options().runners << " runners)\n";
+  server.run();
+  g_server.store(nullptr, std::memory_order_relaxed);
+  std::cerr << "qirkit serve: shut down\n";
+  return 0;
+}
+
+int exitCodeFor(qirkit::ErrorCode code) noexcept;
+
+/// Numeric member of a response object; 0 when absent.
+std::uint64_t fieldU64(const json::Value& root, std::string_view key) {
+  const json::Value* v = root.find(key);
+  return v == nullptr ? 0 : v->asU64(key);
+}
+
+/// Unpack an {"ok":false,...} response: print the daemon's classified
+/// error in the CLI's own error format and return the contract exit code.
+int reportServiceError(const json::Value& root) {
+  const json::Value* error = root.find("error");
+  const json::Value* code = error ? error->find("code") : nullptr;
+  const json::Value* message = error ? error->find("message") : nullptr;
+  const std::string codeName =
+      code != nullptr && code->isString() ? code->string : "internal";
+  std::cerr << "qirkit: error[" << codeName << "]: "
+            << (message != nullptr && message->isString() ? message->string
+                                                          : "malformed error response")
+            << "\n";
+  return exitCodeFor(service::errorCodeFromName(codeName));
+}
+
+int cmdSubmit(const Args& args) {
+  const std::string socket = args.option("socket");
+  if (socket.empty()) {
+    fail("submit requires --socket <path>");
+  }
+  service::Client client(socket);
+
+  const std::string& target = args.positional[0];
+  if (target == "metrics" || target == "ping" || target == "shutdown") {
+    const service::RequestType type =
+        target == "metrics" ? service::RequestType::Metrics
+        : target == "ping"  ? service::RequestType::Ping
+                            : service::RequestType::Shutdown;
+    const std::string response = client.call(service::simpleRequestJson(type));
+    std::cout << response << "\n";
+    const json::Value root = json::parse(response);
+    const json::Value* ok = root.find("ok");
+    return ok != nullptr && ok->isBool() && ok->boolean
+               ? 0
+               : reportServiceError(root);
+  }
+
+  service::SubmitRequest request;
+  request.tenant = args.option("tenant", "cli");
+  if (target.rfind('@', 0) == 0) {
+    request.programRef = target.substr(1); // resubmit by content id
+  } else {
+    request.program = readFile(target);
+  }
+  request.shots = parseUint(args.option("shots", "100"), "shots");
+  if (!args.option("seed").empty()) {
+    request.seed = parseUint(args.option("seed"), "seed");
+  }
+  const std::string engine = args.option("engine", "vm");
+  if (engine == "vm") {
+    request.engine = vm::Engine::Vm;
+  } else if (engine == "interp") {
+    request.engine = vm::Engine::Interp;
+  } else {
+    fail("--engine must be vm or interp");
+  }
+  const std::string execMode = args.option("exec-mode", "auto");
+  if (execMode == "auto") {
+    request.execMode = vm::ExecMode::Auto;
+  } else if (execMode == "resim") {
+    request.execMode = vm::ExecMode::Resim;
+  } else if (execMode == "sample") {
+    request.execMode = vm::ExecMode::Sample;
+  } else {
+    fail("--exec-mode must be auto, resim, or sample");
+  }
+  const std::string fusion = args.option("fusion", "on");
+  if (fusion == "on") {
+    request.fusion = true;
+  } else if (fusion == "off") {
+    request.fusion = false;
+  } else {
+    fail("--fusion must be on or off");
+  }
+  if (!args.option("priority").empty()) {
+    try {
+      request.priority = std::stoll(args.option("priority"));
+    } catch (const std::exception&) {
+      fail("--priority expects an integer, got '" + args.option("priority") +
+           "'");
+    }
+  }
+
+  const std::string response =
+      client.call(service::submitRequestJson(request));
+  if (args.flag("json")) {
+    std::cout << response << "\n";
+    const json::Value root = json::parse(response);
+    const json::Value* ok = root.find("ok");
+    return ok != nullptr && ok->isBool() && ok->boolean ? 0 : 1;
+  }
+  const json::Value root = json::parse(response);
+  const json::Value* ok = root.find("ok");
+  if (ok == nullptr || !ok->isBool() || !ok->boolean) {
+    return reportServiceError(root);
+  }
+  // stderr: the serve-side attribution `qirkit run` has no equivalent for.
+  const json::Value* programId = root.find("program_id");
+  std::cerr << "job " << fieldU64(root, "job_id") << ": program @"
+            << (programId != nullptr ? programId->string : "?") << ", seed "
+            << fieldU64(root, "seed") << ", queue "
+            << fieldU64(root, "queue_wait_ns") / 1000 << " us, exec "
+            << fieldU64(root, "exec_ns") / 1000 << " us\n";
+  // stdout: byte-identical to `qirkit run` so histograms diff with cmp.
+  std::cout << "shots: " << fieldU64(root, "shots")
+            << ", gates/shot: " << fieldU64(root, "gates_per_shot")
+            << ", measurements/shot: "
+            << fieldU64(root, "measurements_per_shot") << "\n";
+  if (const json::Value* histogram = root.find("histogram")) {
+    for (const auto& [bits, count] : histogram->object) {
+      std::cout << (bits.empty() ? "(no recorded output)" : bits) << ": "
+                << static_cast<std::uint64_t>(count.number) << "\n";
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::cerr
       << "usage: qirkit <parse|validate|opt|compile|run|translate|"
-         "partition|feasibility> <file> [options]\n"
+         "partition|feasibility|serve|submit> <file> [options]\n"
          "common options:\n"
          "  --stats[=text|json]   print telemetry (parse/pass/vm/cache/shot\n"
          "                        metrics) on stderr after the command\n"
@@ -513,6 +702,14 @@ void usage() {
          "             --retries N --max-failed-shots N --no-fallback\n"
          "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
          "             --addressing static|dynamic --reuse --defer-mz\n"
+         "serve: qirkit serve <socket> [--runners N] [--jobs N]\n"
+         "             [--cache-capacity N] [--program-capacity N]\n"
+         "             [--queue-capacity N] [--tenant-pending N]\n"
+         "             [--max-shots N] [--max-frame-bytes N]\n"
+         "submit: qirkit submit <file|@program-id|metrics|ping|shutdown>\n"
+         "             --socket <path> [--tenant T] [--shots N] [--seed S]\n"
+         "             [--engine vm|interp] [--exec-mode M] [--fusion on|off]\n"
+         "             [--priority P] [--json]\n"
          "environment:\n"
          "  QIRKIT_TRACE=<file>       write Chrome trace-event JSON "
          "(Perfetto)\n"
@@ -557,7 +754,9 @@ int main(int argc, char** argv) {
         argc, argv, 2,
         {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
          "exec-mode", "fusion", "max-failed-shots", "retries", "to", "budget",
-         "model", "output"});
+         "model", "output", "socket", "tenant", "priority", "runners",
+         "cache-capacity", "program-capacity", "queue-capacity",
+         "tenant-pending", "max-shots", "max-frame-bytes"});
     if (args.positional.empty()) {
       usage();
       return 2;
@@ -579,6 +778,8 @@ int main(int argc, char** argv) {
     else if (command == "translate") rc = cmdTranslate(args);
     else if (command == "partition") rc = cmdPartition(args);
     else if (command == "feasibility") rc = cmdFeasibility(args);
+    else if (command == "serve") rc = cmdServe(args);
+    else if (command == "submit") rc = cmdSubmit(args);
     else {
       usage();
       return 2;

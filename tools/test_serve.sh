@@ -1,0 +1,124 @@
+#!/bin/sh
+# End-to-end test of `qirkit serve` / `qirkit submit`. Run by ctest with
+# the build dir as $1. Exercises: daemon startup, two tenants submitting
+# concurrently, histograms byte-identical to single-process `qirkit run`,
+# a cross-request compile-cache hit visible in the metrics document,
+# program_ref resubmission, the exit-code contract for structured errors,
+# and a clean drain-and-exit shutdown.
+set -e
+QIRKIT="$1/tools/qirkit"
+WORK="$(mktemp -d)"
+SOCK="$WORK/serve.sock"
+SERVE_PID=""
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "SERVE TEST FAILED: $1" >&2; exit 1; }
+
+cat > "$WORK/bell.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q -> c;
+EOF
+
+cat > "$WORK/ghz.qasm" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+measure q -> c;
+EOF
+
+# -- startup ---------------------------------------------------------------
+"$QIRKIT" serve "$SOCK" --runners 2 --jobs 2 2> "$WORK/serve.log" &
+SERVE_PID=$!
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  [ -S "$SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon did not create the socket"
+"$QIRKIT" submit ping --socket "$SOCK" | grep -q '"type":"pong"' \
+  || fail "ping"
+
+# -- two tenants, concurrently; histograms must match `qirkit run` ---------
+"$QIRKIT" run "$WORK/bell.qasm" --shots 60 --seed 7 2>/dev/null \
+  > "$WORK/bell.expected"
+"$QIRKIT" run "$WORK/ghz.qasm" --shots 40 --seed 3 2>/dev/null \
+  > "$WORK/ghz.expected"
+
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --tenant alice \
+  --shots 60 --seed 7 2>/dev/null > "$WORK/bell.alice" &
+A=$!
+"$QIRKIT" submit "$WORK/ghz.qasm" --socket "$SOCK" --tenant bob \
+  --shots 40 --seed 3 2>/dev/null > "$WORK/ghz.bob" &
+B=$!
+wait $A || fail "alice submit"
+wait $B || fail "bob submit"
+cmp -s "$WORK/bell.alice" "$WORK/bell.expected" \
+  || fail "served bell histogram differs from qirkit run"
+cmp -s "$WORK/ghz.bob" "$WORK/ghz.expected" \
+  || fail "served ghz histogram differs from qirkit run"
+
+# -- cross-request cache reuse: same program again, different tenant -------
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --tenant bob \
+  --shots 60 --seed 7 2>/dev/null > "$WORK/bell.bob" || fail "bob resubmit"
+cmp -s "$WORK/bell.bob" "$WORK/bell.expected" || fail "bob histogram differs"
+
+METRICS="$("$QIRKIT" submit metrics --socket "$SOCK")"
+echo "$METRICS" | grep -q '"hits":0,' && fail "no cross-request cache hit"
+echo "$METRICS" | grep -q '"tenants":{"alice"' || fail "tenant gauges missing"
+echo "$METRICS" | grep -q '"completed":3' || fail "job counter"
+
+# -- program_ref resubmission ----------------------------------------------
+REF="$("$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --tenant alice \
+  --shots 60 --seed 7 --json | sed 's/.*"program_id":"\([0-9a-f]*\)".*/\1/')"
+[ -n "$REF" ] || fail "no program_id in response"
+"$QIRKIT" submit "@$REF" --socket "$SOCK" --tenant alice --shots 60 --seed 7 \
+  2>/dev/null > "$WORK/bell.ref" || fail "submit by ref"
+cmp -s "$WORK/bell.ref" "$WORK/bell.expected" || fail "ref histogram differs"
+
+# -- exit-code contract over the wire --------------------------------------
+echo "garbage" > "$WORK/broken.ll"
+set +e
+"$QIRKIT" submit "$WORK/broken.ll" --socket "$SOCK" 2> "$WORK/err1"
+[ $? -eq 1 ] || fail "diagnostic error should exit 1"
+grep -q "error\[parse\]" "$WORK/err1" || fail "parse error format"
+
+"$QIRKIT" submit "@nosuchprogram" --socket "$SOCK" 2> "$WORK/err2"
+[ $? -eq 2 ] || fail "unknown ref should exit 2 (usage)"
+
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --shots 99999999 \
+  2> "$WORK/err3"
+[ $? -eq 1 ] || fail "quota reject should exit 1"
+grep -q "error\[resource-limit\]" "$WORK/err3" || fail "quota error format"
+
+"$QIRKIT" submit ping --socket "$WORK/absent.sock" 2> "$WORK/err4"
+[ $? -eq 1 ] || fail "unreachable daemon should exit 1 (io)"
+set -e
+
+# -- clean shutdown --------------------------------------------------------
+"$QIRKIT" submit shutdown --socket "$SOCK" > /dev/null || fail "shutdown verb"
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  fail "daemon still running after shutdown"
+fi
+wait "$SERVE_PID"
+[ $? -eq 0 ] || fail "daemon exited nonzero"
+SERVE_PID=""
+[ -S "$SOCK" ] && fail "socket not unlinked on shutdown"
+grep -q "shut down" "$WORK/serve.log" || fail "shutdown not logged"
+
+echo "SERVE TESTS PASSED"
