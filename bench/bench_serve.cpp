@@ -25,10 +25,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_report.hpp"
@@ -259,6 +263,234 @@ void BM_ServeColdCompileInProcess(benchmark::State& state) {
   state.counters["shots_per_request"] = static_cast<double>(kShots);
 }
 BENCHMARK(BM_ServeColdCompileInProcess)->Unit(benchmark::kMicrosecond);
+
+// --- Overload protection under hostile load --------------------------------
+
+/// A 30-qubit program whose predicted statevector (2^30 amplitudes at 16
+/// bytes each = 16 GiB) dwarfs the overload daemon's memory budget: the
+/// admission guard must reject it upfront, before any allocation.
+const std::string& oversizedQasm() {
+  static const std::string text = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                                  "qreg q[30];\ncreg c[30];\nh q[0];\n"
+                                  "measure q -> c;\n";
+  return text;
+}
+
+/// A daemon with deliberately tight limits for the overload scenario: a
+/// small memory budget (any job >= 22 qubits is over) and a per-tenant
+/// pending quota the hostile tenants will sustain 4x over.
+service::Server& overloadDaemon() {
+  static std::unique_ptr<service::Server> server = [] {
+    service::ServerOptions options;
+    options.socketPath =
+        "/tmp/qirkit_bench_overload_" + std::to_string(::getpid()) + ".sock";
+    // One runner so the in-budget tenant's jobs never share the simulation
+    // pool with hostile work: protection has to come from admission (quota
+    // and memory rejects) and queue TTL, which is exactly what the
+    // throughput ratio measures.
+    options.runners = 1;
+    options.poolThreads = 2;
+    options.memoryBudgetBytes = 64ULL << 20U;
+    options.queue.tenantMaxPending = 1;
+    options.queue.maxShotsPerJob = 100'000'000;
+    auto s = std::make_unique<service::Server>(options);
+    s->start();
+    return s;
+  }();
+  return *server;
+}
+
+std::string overloadSubmitLine(const std::string& tenant,
+                               const std::string& ref, std::uint64_t shots,
+                               std::uint64_t deadlineMs) {
+  service::SubmitRequest request;
+  request.tenant = tenant;
+  request.programRef = ref;
+  request.shots = shots;
+  request.seed = 11;
+  // Resim defeats the terminal-measurement sampling fast path, so shot
+  // count translates into real runner occupancy.
+  request.execMode = vm::ExecMode::Resim;
+  request.deadlineMs = deadlineMs;
+  return service::submitRequestJson(request);
+}
+
+struct OverloadTally {
+  std::atomic<std::uint64_t> deadlineRejects{0};
+  std::atomic<std::uint64_t> resourceRejects{0};
+  std::atomic<std::uint64_t> retryHints{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> unexpected{0};
+};
+
+/// Bucket one hostile response: a deadline cut, a structured overload
+/// rejection (counting retry_after_ms hints), a completion, or — the
+/// failure mode this benchmark exists to catch — anything else.
+void classifyHostileResponse(const std::string& line, OverloadTally& tally) {
+  const service::json::Value response = service::json::parse(line);
+  if (const service::json::Value* ok = response.find("ok");
+      ok != nullptr && ok->boolean) {
+    tally.completed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (response.find("retry_after_ms") != nullptr) {
+    tally.retryHints.fetch_add(1, std::memory_order_relaxed);
+  }
+  const service::json::Value* error = response.find("error");
+  const service::json::Value* code =
+      error == nullptr ? nullptr : error->find("code");
+  if (code != nullptr && code->string == "deadline") {
+    tally.deadlineRejects.fetch_add(1, std::memory_order_relaxed);
+  } else if (code != nullptr && code->string == "resource-limit") {
+    tally.resourceRejects.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    tally.unexpected.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+/// The pause the steady tenant leaves between requests (applied to the
+/// baseline and the contended phase alike, so the ratio stays fair): it
+/// keeps the serial client from racing the runner's pending-slot release
+/// at tenantMaxPending == 1, and is negligible against the ~300 ms jobs.
+constexpr std::chrono::milliseconds kSteadyGap{1};
+
+double measureRps(service::Client& client, const std::string& line,
+                  int calls) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < calls; ++i) {
+    benchmark::DoNotOptimize(client.call(line));
+    std::this_thread::sleep_for(kSteadyGap);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return secs <= 0.0 ? 0.0 : static_cast<double>(calls) / secs;
+}
+
+/// The overload scenario from the robustness work: an in-budget tenant's
+/// throughput is measured uncontended, then again while 4 hostile tenants
+/// sustain 4x their pending quota (4 connections each against a quota of
+/// 1), alternating 2M-shot jobs with a 1 ms deadline and 30-qubit programs
+/// the memory guard must turn away. The daemon must never crash, every
+/// hostile rejection must be structured (error[deadline] /
+/// error[resource-limit], retry_after_ms on the retryable ones), and the
+/// in-budget tenant should keep >= 80% of its uncontended throughput —
+/// reported as `throughput_ratio`.
+void BM_ServeOverload(benchmark::State& state) {
+  service::Server& server = overloadDaemon();
+  service::ClientOptions retrying;
+  retrying.connectRetries = 5;
+  service::Client steady(server.options().socketPath, retrying);
+  const std::string ref = registerProgram(steady);
+  // Heavy enough (~tens of ms of resim) that per-request queueing noise
+  // does not swamp the signal; no deadline, so every request completes.
+  const std::string steadyLine = overloadSubmitLine("steady", ref, 10'000, 0);
+
+  for (int i = 0; i < 3; ++i) {
+    benchmark::DoNotOptimize(steady.call(steadyLine)); // warm the caches
+  }
+  const double baselineRps = measureRps(steady, steadyLine, 10);
+
+  OverloadTally tally;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> hostiles;
+  for (int tenant = 0; tenant < 4; ++tenant) {
+    for (int conn = 0; conn < 4; ++conn) {
+      hostiles.emplace_back([&server, &retrying, &ref, &tally, &stop, tenant,
+                             conn] {
+        const std::string name = "hostile" + std::to_string(tenant);
+        try {
+          service::Client client(server.options().socketPath, retrying);
+          const std::string deadlineLine =
+              overloadSubmitLine(name, ref, 2'000'000, 1);
+          const std::string oversizeLine = [&] {
+            service::SubmitRequest request;
+            request.tenant = name;
+            request.program = oversizedQasm();
+            request.shots = 100;
+            request.seed = 11;
+            return service::submitRequestJson(request);
+          }();
+          bool big = (conn % 2) == 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            classifyHostileResponse(
+                client.call(big ? deadlineLine : oversizeLine), tally);
+            big = !big;
+            // Sustained pressure, not a pure reject spin: ~40 attempts/s
+            // per connection keeps every hostile tenant far over quota
+            // without the rejection path itself monopolizing the CPU.
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+        } catch (const std::exception&) {
+          tally.unexpected.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+
+  // Let the hostile load ramp before measuring the in-budget tenant.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::uint64_t contendedCalls = 0;
+  const auto contendedStart = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(steady.call(steadyLine));
+    std::this_thread::sleep_for(kSteadyGap);
+    ++contendedCalls;
+  }
+  const double contendedSecs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    contendedStart)
+          .count();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : hostiles) {
+    t.join();
+  }
+
+  // The daemon must still be alive and serving in-budget work. Retry a
+  // few times: the last hostile pending slots may still be draining.
+  bool aliveAfterLoad = false;
+  for (int attempt = 0; attempt < 5 && !aliveAfterLoad; ++attempt) {
+    const service::json::Value after =
+        service::json::parse(steady.call(steadyLine));
+    const service::json::Value* ok = after.find("ok");
+    aliveAfterLoad = ok != nullptr && ok->boolean;
+    if (!aliveAfterLoad) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (!aliveAfterLoad) {
+    state.SkipWithError("daemon stopped serving in-budget work after load");
+    return;
+  }
+  if (tally.unexpected.load() != 0) {
+    state.SkipWithError("hostile load drew an unstructured response");
+    return;
+  }
+
+  const double contendedRps =
+      contendedSecs <= 0.0
+          ? 0.0
+          : static_cast<double>(contendedCalls) / contendedSecs;
+  state.SetItemsProcessed(static_cast<std::int64_t>(contendedCalls));
+  state.counters["baseline_rps"] = baselineRps;
+  state.counters["contended_rps"] = contendedRps;
+  state.counters["throughput_ratio"] =
+      baselineRps <= 0.0 ? 0.0 : contendedRps / baselineRps;
+  state.counters["hostile_deadline_rejects"] =
+      static_cast<double>(tally.deadlineRejects.load());
+  state.counters["hostile_resource_rejects"] =
+      static_cast<double>(tally.resourceRejects.load());
+  state.counters["hostile_retry_hints"] =
+      static_cast<double>(tally.retryHints.load());
+  state.counters["hostile_completed"] =
+      static_cast<double>(tally.completed.load());
+}
+BENCHMARK(BM_ServeOverload)
+    ->Iterations(20)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -2,6 +2,7 @@
 
 #include "ir/constant.hpp"
 #include "passes/folding.hpp"
+#include "support/cancel.hpp"
 #include "support/faultinject.hpp"
 #include "support/source_location.hpp"
 
@@ -144,6 +145,10 @@ RtValue Interpreter::execute(const ir::Function& fn, std::span<const RtValue> ar
                         ErrorCode::StepBudgetExceeded);
       }
       ++stats_.instructionsExecuted;
+      // Strided cancellation probe (same 1024-step stride as the VM).
+      if (cancel_ != nullptr && (stepsTaken_ & 1023) == 0) {
+        cancel_->checkpoint("interpreter");
+      }
       const Opcode op = inst->op();
 
       if (isIntBinaryOp(op)) {

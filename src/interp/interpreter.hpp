@@ -22,6 +22,10 @@
 #include <string>
 #include <vector>
 
+namespace qirkit {
+class CancelToken;
+} // namespace qirkit
+
 namespace qirkit::interp {
 
 /// Statistics of one or more executions.
@@ -71,6 +75,13 @@ public:
   static constexpr std::uint64_t kDefaultStepLimit = 1ULL << 28;
   void setStepLimit(std::uint64_t limit) noexcept { stepLimit_ = limit; }
 
+  /// Install (or clear) a cooperative cancellation token; probed with the
+  /// same stride as the VM dispatch loop (vm::kCancelStrideSteps), so
+  /// both engines abandon an expired shot identically.
+  void setCancelToken(const qirkit::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
 private:
   void materializeGlobals();
   RtValue execute(const ir::Function& fn, std::span<const RtValue> args,
@@ -83,6 +94,7 @@ private:
   InterpStats stats_;
   std::uint64_t stepLimit_ = kDefaultStepLimit;
   std::uint64_t stepsTaken_ = 0;
+  const qirkit::CancelToken* cancel_ = nullptr;
 };
 
 } // namespace qirkit::interp

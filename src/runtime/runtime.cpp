@@ -36,6 +36,7 @@ std::int64_t argInt(std::span<const RtValue> args, std::size_t i) {
 
 void QuantumRuntime::reset(std::uint64_t seed) {
   state_ = sim::StateVector(0, pool_);
+  state_.setCancelToken(cancel_); // token installation survives reset
   rng_ = SplitMix64(seed);
   stats_ = {};
   qubitByHandle_.clear();

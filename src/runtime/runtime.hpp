@@ -95,6 +95,14 @@ public:
   [[nodiscard]] sim::StateVector& state() noexcept { return state_; }
   [[nodiscard]] const RuntimeStats& stats() const noexcept { return stats_; }
 
+  /// Install a cooperative cancellation token on the backing simulator
+  /// (nullptr clears it). Survives reset(): the executor installs it once
+  /// per batch, not once per shot.
+  void setCancelToken(const qirkit::CancelToken* token) noexcept {
+    cancel_ = token;
+    state_.setCancelToken(token);
+  }
+
   /// Result values by key (runtime-internal addressing).
   [[nodiscard]] bool resultValue(std::uint64_t key) const;
 
@@ -129,6 +137,7 @@ private:
 
   sim::StateVector state_;
   qirkit::ThreadPool* pool_;
+  const qirkit::CancelToken* cancel_ = nullptr;
   SplitMix64 rng_;
   RuntimeStats stats_;
   std::map<std::uint64_t, unsigned> qubitByHandle_; // handle or static id -> sim index

@@ -1,17 +1,61 @@
 #include "service/client.hpp"
 
 #include "support/error.hpp"
+#include "support/rng.hpp"
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <thread>
 
 namespace qirkit::service {
 
-Client::Client(const std::string& socketPath) {
+namespace {
+
+/// Transient connect failures worth retrying: the daemon is starting
+/// (socket not bound yet), restarting (stale refusal), or its accept
+/// backlog is momentarily full. Anything else (EACCES, path errors) is
+/// permanent and retried never.
+bool transientConnectError(int err) noexcept {
+  return err == ECONNREFUSED || err == ENOENT || err == EAGAIN ||
+         err == ECONNRESET || err == EINTR;
+}
+
+int connectOnce(const sockaddr_un& addr, const std::string& socketPath,
+                int& errOut) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw qirkit::Error(ErrorCode::Io,
+                        std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+      0) {
+    return fd;
+  }
+  errOut = errno;
+  ::close(fd);
+  (void)socketPath;
+  return -1;
+}
+
+} // namespace
+
+Client::Client(const std::string& socketPath, const ClientOptions& options) {
+  // Once per process: MSG_NOSIGNAL guards our own sends, but SIG_IGN is
+  // the belt-and-braces that keeps any other unguarded write from turning
+  // a vanished peer into process death.
+  static const int sigpipeIgnored = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return 0;
+  }();
+  (void)sigpipeIgnored;
+
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (socketPath.size() >= sizeof(addr.sun_path)) {
@@ -22,19 +66,33 @@ Client::Client(const std::string& socketPath) {
   }
   std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
 
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  int lastErr = 0;
+  fd_ = connectOnce(addr, socketPath, lastErr);
+  if (fd_ < 0 && options.connectRetries > 0 &&
+      transientConnectError(lastErr)) {
+    // Jittered exponential backoff: delay doubles per attempt up to the
+    // cap, and each sleep lands uniformly in [delay/2, delay] so a fleet
+    // of clients racing a restarting daemon spreads out instead of
+    // hammering it in lockstep.
+    SplitMix64 rng(static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    std::uint64_t delayMs = std::max<std::uint64_t>(options.backoffBaseMs, 1);
+    for (unsigned attempt = 0; attempt < options.connectRetries; ++attempt) {
+      const std::uint64_t jittered = delayMs / 2 + rng.below(delayMs / 2 + 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(jittered));
+      fd_ = connectOnce(addr, socketPath, lastErr);
+      if (fd_ >= 0 || !transientConnectError(lastErr)) {
+        break;
+      }
+      delayMs = std::min(delayMs * 2, std::max<std::uint64_t>(
+                                          options.backoffCapMs, delayMs));
+    }
+  }
   if (fd_ < 0) {
     throw qirkit::Error(ErrorCode::Io,
-                        std::string("socket: ") + std::strerror(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd_);
-    fd_ = -1;
-    throw qirkit::Error(ErrorCode::Io, "cannot connect to '" + socketPath +
-                                           "': " + why +
-                                           " (is the daemon running?)");
+                        "cannot connect to '" + socketPath +
+                            "': " + std::strerror(lastErr) +
+                            " (is the daemon running?)");
   }
 }
 

@@ -4,18 +4,42 @@
 /// response line. Used by `qirkit submit`, the smoke harness, and the
 /// service bench; tests drive the raw line API to exercise the server's
 /// malformed-frame handling.
+///
+/// Construction installs a process-wide SIGPIPE ignore (once): every
+/// socket write already passes MSG_NOSIGNAL, but a handler-less SIGPIPE
+/// from any other fd the embedding process writes would still kill it, and
+/// a CLI that dies instead of printing error[io] breaks the exit-code
+/// contract.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 namespace qirkit::service {
 
+/// Connection behavior of the client. Retries cover *connecting* only —
+/// a request that already reached the daemon is never resent (the caller
+/// cannot know whether it executed).
+struct ClientOptions {
+  /// Extra connect attempts after the first fails with a transient error
+  /// (ECONNREFUSED / ENOENT / EAGAIN — the daemon still starting or busy
+  /// accepting). 0 preserves the old fail-fast behavior.
+  unsigned connectRetries = 0;
+  /// First retry delay; doubles each attempt (bounded exponential
+  /// backoff), each sleep jittered uniformly in [delay/2, delay] so
+  /// simultaneous clients do not reconnect in lockstep.
+  std::uint64_t backoffBaseMs = 25;
+  std::uint64_t backoffCapMs = 1000;
+};
+
 class Client {
 public:
   /// Connect to the daemon at \p socketPath. Throws Error(ErrorCode::Io)
-  /// when the socket cannot be reached (daemon not running, bad path).
-  explicit Client(const std::string& socketPath);
+  /// when the socket cannot be reached (daemon not running, bad path)
+  /// after exhausting the configured retries.
+  explicit Client(const std::string& socketPath,
+                  const ClientOptions& options = {});
   ~Client();
 
   Client(const Client&) = delete;

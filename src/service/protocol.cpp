@@ -75,6 +75,20 @@ SubmitRequest parseSubmit(const json::Value& root) {
     }
     req.priority = static_cast<std::int64_t>(v->number);
   }
+  if (const json::Value* v = root.find("deadline_ms")) {
+    req.deadlineMs = v->asU64("deadline_ms");
+  }
+  req.requestId = stringField(root, "request_id");
+  return req;
+}
+
+CancelRequest parseCancel(const json::Value& root) {
+  CancelRequest req;
+  req.tenant = stringField(root, "tenant");
+  req.requestId = stringField(root, "request_id");
+  if (req.tenant.empty() || req.requestId.empty()) {
+    badField("cancel requires non-empty 'tenant' and 'request_id'");
+  }
   return req;
 }
 
@@ -94,6 +108,9 @@ Request parseRequest(std::string_view line) {
     req.type = RequestType::Metrics;
   } else if (type == "ping") {
     req.type = RequestType::Ping;
+  } else if (type == "cancel") {
+    req.type = RequestType::Cancel;
+    req.cancel = parseCancel(root);
   } else if (type == "shutdown") {
     req.type = RequestType::Shutdown;
   } else {
@@ -120,7 +137,21 @@ std::string submitRequestJson(const SubmitRequest& request) {
   out << ",\"engine\":\"" << vm::engineName(request.engine)
       << "\",\"exec_mode\":\"" << vm::execModeName(request.execMode)
       << "\",\"fusion\":" << (request.fusion ? "true" : "false")
-      << ",\"priority\":" << request.priority << "}";
+      << ",\"priority\":" << request.priority;
+  if (request.deadlineMs != 0) {
+    out << ",\"deadline_ms\":" << request.deadlineMs;
+  }
+  if (!request.requestId.empty()) {
+    out << ",\"request_id\":\"" << jsonEscape(request.requestId) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string cancelRequestJson(const CancelRequest& request) {
+  std::ostringstream out;
+  out << "{\"type\":\"cancel\",\"tenant\":\"" << jsonEscape(request.tenant)
+      << "\",\"request_id\":\"" << jsonEscape(request.requestId) << "\"}";
   return out.str();
 }
 
@@ -131,11 +162,23 @@ std::string simpleRequestJson(RequestType type) {
   return std::string("{\"type\":\"") + name + "\"}";
 }
 
-std::string errorResponseJson(ErrorCode code, const std::string& message) {
+std::string errorResponseJson(ErrorCode code, const std::string& message,
+                              const std::string& extraJson) {
   std::ostringstream out;
   out << "{\"v\":" << kProtocolVersion
       << ",\"ok\":false,\"error\":{\"code\":\"" << errorCodeName(code)
-      << "\",\"message\":\"" << jsonEscape(message) << "\"}}";
+      << "\",\"message\":\"" << jsonEscape(message) << "\"}";
+  if (!extraJson.empty()) {
+    out << "," << extraJson;
+  }
+  out << "}";
+  return out.str();
+}
+
+std::string cancelResponseJson(bool found) {
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"cancel\""
+      << ",\"found\":" << (found ? "true" : "false") << "}";
   return out.str();
 }
 
@@ -148,7 +191,8 @@ ErrorCode errorCodeFromName(std::string_view name) noexcept {
       ErrorCode::TrapArithmetic,  ErrorCode::TrapInvalidQubit,
       ErrorCode::TrapUnreachable, ErrorCode::StepBudgetExceeded,
       ErrorCode::ResourceLimit,   ErrorCode::CompileFail,
-      ErrorCode::InjectedFault,   ErrorCode::Internal,
+      ErrorCode::InjectedFault,   ErrorCode::Deadline,
+      ErrorCode::Internal,
   };
   for (const ErrorCode code : kCodes) {
     if (name == errorCodeName(code)) {

@@ -13,16 +13,23 @@
 ///   {"type":"metrics"}                                service gauges + cache
 ///                                                     + telemetry snapshot
 ///   {"type":"ping"}                                   liveness probe
+///   {"type":"cancel","tenant":T,"request_id":R}       cancel a tagged job
 ///   {"type":"shutdown"}                               drain and exit
 ///
 /// Submit fields: shots (default 100), seed (default: the tenant's seed
 /// stream), engine ("vm"|"interp"), exec_mode ("auto"|"resim"|"sample"),
-/// fusion (bool), priority (higher runs earlier within the tenant).
+/// fusion (bool), priority (higher runs earlier within the tenant),
+/// deadline_ms (wall budget from admission; 0/absent = none — covers queue
+/// wait, so a job can expire while still pending), request_id (caller tag
+/// that makes the job addressable by the cancel verb).
 ///
 /// Responses: {"ok":true,...} per verb, or
-///   {"ok":false,"error":{"code":"<kebab-case ErrorCode>","message":M}}
+///   {"ok":false,"error":{"code":"<kebab-case ErrorCode>","message":M},...}
 /// — the same taxonomy (support/error.hpp) the CLI maps to exit codes, so
-/// `qirkit submit` preserves the exit-code contract end to end.
+/// `qirkit submit` preserves the exit-code contract end to end. Overload
+/// rejections (error[resource-limit]) carry a top-level "retry_after_ms"
+/// hint; deadline cuts (error[deadline]) carry "completed_shots" /
+/// "unstarted_shots" so callers see how far the job got.
 #pragma once
 
 #include "support/error.hpp"
@@ -42,7 +49,7 @@ inline constexpr int kProtocolVersion = 1;
 /// with error[usage] and skipped; the connection stays usable.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 4U << 20U;
 
-enum class RequestType : std::uint8_t { Submit, Metrics, Ping, Shutdown };
+enum class RequestType : std::uint8_t { Submit, Metrics, Ping, Cancel, Shutdown };
 
 struct SubmitRequest {
   std::string tenant;
@@ -54,11 +61,26 @@ struct SubmitRequest {
   vm::ExecMode execMode = vm::ExecMode::Auto;
   bool fusion = true;
   std::int64_t priority = 0;
+  /// Wall-clock budget in milliseconds, measured from admission — queue
+  /// wait counts, so a job can expire while still pending. 0 = none.
+  std::uint64_t deadlineMs = 0;
+  /// Caller-chosen tag; a non-empty id makes the job addressable by the
+  /// cancel verb (scoped to the tenant, so tenants cannot cancel each
+  /// other's work).
+  std::string requestId;
+};
+
+/// The cancel verb: request the cooperative cancellation of the job tagged
+/// (tenant, request_id). Affects pending and running jobs alike.
+struct CancelRequest {
+  std::string tenant;
+  std::string requestId;
 };
 
 struct Request {
   RequestType type = RequestType::Ping;
   SubmitRequest submit; // meaningful when type == Submit
+  CancelRequest cancel; // meaningful when type == Cancel
 };
 
 /// Parse one request line. Throws qirkit::Error — ErrorCode::Parse for
@@ -72,9 +94,21 @@ struct Request {
 /// Serialize a bodyless request (metrics / ping / shutdown).
 [[nodiscard]] std::string simpleRequestJson(RequestType type);
 
+/// Serialize a cancel request.
+[[nodiscard]] std::string cancelRequestJson(const CancelRequest& request);
+
 /// Render the structured error response for a classified failure.
+/// \p extraJson, when non-empty, is spliced verbatim as additional
+/// top-level members (e.g. "\"retry_after_ms\":100") — the channel for
+/// machine-readable recovery hints beside the error object.
 [[nodiscard]] std::string errorResponseJson(ErrorCode code,
-                                            const std::string& message);
+                                            const std::string& message,
+                                            const std::string& extraJson = {});
+
+/// Render the cancel response: whether a live job with that id was found
+/// (its submit response still arrives on the submitting connection, as
+/// error[deadline]).
+[[nodiscard]] std::string cancelResponseJson(bool found);
 
 /// Reverse of errorCodeName: map a response's kebab-case code back onto
 /// the taxonomy so `qirkit submit` can honor the exit-code contract.

@@ -1,9 +1,11 @@
 #include "service/queue.hpp"
 
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace qirkit::service {
 
@@ -11,6 +13,7 @@ namespace {
 
 telemetry::Counter g_admitted{"serve.queue.admitted"};
 telemetry::Counter g_rejected{"serve.queue.rejected"};
+telemetry::Counter g_rateLimited{"serve.queue.rate_limited"};
 telemetry::MaxGauge g_peakDepth{"serve.queue.peak_depth"};
 
 std::uint64_t fnv1a(std::string_view text) noexcept {
@@ -28,28 +31,65 @@ void AdmissionQueue::push(Job job) {
   const std::string& tenantName = job.request.tenant;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto reject = [&](const std::string& why) {
+    // retryAfterMs: 0 = permanent (static limit), nonzero = back off and
+    // retry — surfaced on the wire as the retry_after_ms hint.
+    const auto reject = [&](const std::string& why,
+                            std::uint64_t retryAfterMs) {
       ++rejected_;
       g_rejected.add();
-      throw qirkit::Error(ErrorCode::ResourceLimit, why);
+      throw AdmissionError(why, retryAfterMs);
     };
     if (closed_) {
-      reject("service is shutting down");
+      reject("service is shutting down", 0);
     }
     if (job.request.shots > limits_.maxShotsPerJob) {
       reject("job requests " + std::to_string(job.request.shots) +
-             " shots; per-job limit is " +
-             std::to_string(limits_.maxShotsPerJob));
+                 " shots; per-job limit is " +
+                 std::to_string(limits_.maxShotsPerJob),
+             0);
     }
     if (depthLocked() >= limits_.capacity) {
       reject("admission queue is full (" + std::to_string(limits_.capacity) +
-             " jobs)");
+                 " jobs)",
+             100);
     }
     Tenant& tenant = tenants_[tenantName];
     if (tenant.pending >= limits_.tenantMaxPending) {
       reject("tenant '" + tenantName + "' already has " +
-             std::to_string(tenant.pending) + " pending jobs (limit " +
-             std::to_string(limits_.tenantMaxPending) + ")");
+                 std::to_string(tenant.pending) + " pending jobs (limit " +
+                 std::to_string(limits_.tenantMaxPending) + ")",
+             50);
+    }
+    if (limits_.ratePerSec > 0) {
+      // Continuous token-bucket refill: one token per admission,
+      // ratePerSec tokens/s restored, capped at the burst. Refilling on
+      // every attempt makes the window slide instead of stepping.
+      const std::uint64_t now = qirkit::CancelToken::nowNs();
+      if (!tenant.rateInit) {
+        tenant.rateTokens = limits_.rateBurst;
+        tenant.rateRefillNs = now;
+        tenant.rateInit = true;
+      } else {
+        const double elapsedSec =
+            static_cast<double>(now - tenant.rateRefillNs) * 1e-9;
+        tenant.rateTokens = std::min(
+            limits_.rateBurst,
+            tenant.rateTokens + elapsedSec * limits_.ratePerSec);
+        tenant.rateRefillNs = now;
+      }
+      if (tenant.rateTokens < 1.0) {
+        const double deficitSec =
+            (1.0 - tenant.rateTokens) / limits_.ratePerSec;
+        const auto retryMs = static_cast<std::uint64_t>(
+            std::ceil(deficitSec * 1e3));
+        ++rateLimited_;
+        g_rateLimited.add();
+        reject("tenant '" + tenantName + "' exceeded its admission rate (" +
+                   std::to_string(limits_.ratePerSec) + "/s, burst " +
+                   std::to_string(limits_.rateBurst) + ")",
+               std::max<std::uint64_t>(retryMs, 1));
+      }
+      tenant.rateTokens -= 1.0;
     }
     job.id = nextJobId_++;
     if (job.request.seed.has_value()) {
@@ -140,6 +180,7 @@ QueueStats AdmissionQueue::stats() const {
   stats.depth = depthLocked();
   stats.admitted = admitted_;
   stats.rejected = rejected_;
+  stats.rateLimited = rateLimited_;
   stats.finished = finished_;
   for (const auto& [name, tenant] : tenants_) {
     stats.tenants.push_back({name, tenant.pending, tenant.admitted});

@@ -20,12 +20,35 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+namespace qirkit {
+class CancelToken;
+} // namespace qirkit
+
 namespace qirkit::service {
+
+/// A structured admission rejection: error[resource-limit] plus a
+/// machine-readable hint for when the caller should try again.
+/// retryAfterMs == 0 means "never" — the request violates a static limit
+/// (shot ceiling, oversized state) and would be rejected identically on
+/// every retry.
+class AdmissionError : public qirkit::Error {
+public:
+  AdmissionError(const std::string& message, std::uint64_t retryAfterMs)
+      : Error(ErrorCode::ResourceLimit, message), retryAfterMs_(retryAfterMs) {}
+
+  [[nodiscard]] std::uint64_t retryAfterMs() const noexcept {
+    return retryAfterMs_;
+  }
+
+private:
+  std::uint64_t retryAfterMs_ = 0;
+};
 
 /// One admitted unit of work. The runner fulfills `deliver` with the final
 /// response line (result or structured error); the connection thread holds
@@ -39,6 +62,14 @@ struct Job {
   /// lifetime (opaque here: the registry type lives in server.hpp).
   std::shared_ptr<void> program;
   std::uint64_t enqueuedNs = 0; // for queue-wait attribution
+  /// Absolute steady-clock deadline (CancelToken::nowNs units; 0 = none).
+  /// Armed at admission, so queue wait counts against the budget and a
+  /// job can expire while still pending (queue TTL).
+  std::uint64_t deadlineNs = 0;
+  /// The job's cancellation token: shared by the executing batch, the
+  /// cancel verb, and the watchdog. Null for jobs that set neither a
+  /// deadline nor a request id.
+  std::shared_ptr<qirkit::CancelToken> cancel;
   std::function<void(std::string)> deliver;
 };
 
@@ -50,6 +81,14 @@ struct QueueLimits {
   std::size_t tenantMaxPending = 16;
   /// Largest shot count one job may request.
   std::uint64_t maxShotsPerJob = 1U << 20U;
+  /// Per-tenant token-bucket rate limit: sustained admissions per second
+  /// (0 disables) with \p rateBurst of headroom. The bucket refills
+  /// continuously from the monotonic clock, so the limit acts over a
+  /// sliding window rather than fixed epochs; violations reject with
+  /// error[resource-limit] and a retry_after_ms hint sized to the token
+  /// deficit.
+  double ratePerSec = 0.0;
+  double rateBurst = 8.0;
 };
 
 /// Point-in-time view for the metrics endpoint.
@@ -57,6 +96,7 @@ struct QueueStats {
   std::size_t depth = 0;
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t rateLimited = 0; // subset of rejected
   std::uint64_t finished = 0;
   struct Tenant {
     std::string name;
@@ -97,6 +137,11 @@ private:
     std::uint64_t admitted = 0;
     std::uint64_t seedState = 0; // SplitMix64 state, lazily keyed on name
     bool seeded = false;
+    /// Token bucket (when QueueLimits::ratePerSec > 0): current tokens
+    /// and the monotonic tick of the last refill.
+    double rateTokens = 0;
+    std::uint64_t rateRefillNs = 0;
+    bool rateInit = false;
   };
 
   [[nodiscard]] std::size_t depthLocked() const;
@@ -112,6 +157,7 @@ private:
   std::uint64_t nextJobId_ = 1;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t rateLimited_ = 0;
   std::uint64_t finished_ = 0;
   bool closed_ = false;
 };

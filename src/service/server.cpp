@@ -6,7 +6,10 @@
 #include "qasm/parser.hpp"
 #include "qasm/qasm3.hpp"
 #include "qir/exporter.hpp"
+#include "sim/statevector.hpp"
+#include "support/cancel.hpp"
 #include "support/telemetry/telemetry.hpp"
+#include "support/telemetry/trace.hpp"
 #include "vm/executor.hpp"
 
 #include <poll.h>
@@ -18,6 +21,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <sstream>
@@ -33,6 +37,12 @@ telemetry::Counter g_jobsFailed{"serve.jobs.failed"};
 telemetry::Counter g_programHits{"serve.programs.hits"};
 telemetry::Counter g_programMisses{"serve.programs.misses"};
 telemetry::Counter g_programEvictions{"serve.programs.evictions"};
+telemetry::Counter g_jobsExpired{"serve.jobs.expired"};
+telemetry::Counter g_drainCancelled{"serve.drain.cancelled"};
+telemetry::Counter g_cancelRequests{"serve.cancel.requests"};
+telemetry::Counter g_memoryRejected{"serve.admission.memory_rejected"};
+telemetry::Counter g_watchdogScans{"serve.watchdog.scans"};
+telemetry::Counter g_watchdogFlagged{"serve.watchdog.flagged"};
 telemetry::LatencyHistogram g_jobLatency{"serve.job.latency_ns"};
 
 /// Frame-reject bookkeeping that must work with telemetry disabled: the
@@ -40,6 +50,10 @@ telemetry::LatencyHistogram g_jobLatency{"serve.job.latency_ns"};
 std::atomic<std::uint64_t> g_rejectedFramesExact{0};
 std::atomic<std::uint64_t> g_jobsCompletedExact{0};
 std::atomic<std::uint64_t> g_jobsFailedExact{0};
+std::atomic<std::uint64_t> g_jobsExpiredExact{0};
+std::atomic<std::uint64_t> g_drainCancelledExact{0};
+std::atomic<std::uint64_t> g_memoryRejectedExact{0};
+std::atomic<std::uint64_t> g_watchdogFlaggedExact{0};
 
 std::uint64_t fnv1a(std::string_view text) noexcept {
   std::uint64_t hash = 0xcbf29ce484222325ULL;
@@ -55,6 +69,40 @@ std::string hex16(std::uint64_t v) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(v));
   return buf;
+}
+
+/// Predicted register width of a parsed program: the entry point's
+/// required_num_qubits attribute (stamped by both QASM frontends and QIR
+/// exports). 0 = unknown — such programs bypass the memory guard and rely
+/// on the StateVector allocation guard instead.
+unsigned estimatedQubits(const ir::Module& module) {
+  const ir::Function* entry = module.entryPoint();
+  if (entry == nullptr) {
+    return 0;
+  }
+  const std::string attr = entry->getAttribute("required_num_qubits");
+  if (attr.empty()) {
+    return 0;
+  }
+  return static_cast<unsigned>(std::strtoul(attr.c_str(), nullptr, 10));
+}
+
+/// Deadline responses carry the partial results: how far the batch got and
+/// the histogram over the completed shots.
+std::string deadlineExtrasJson(const vm::ShotBatchResult& batch) {
+  std::ostringstream out;
+  out << "\"completed_shots\":" << batch.completedShots
+      << ",\"unstarted_shots\":" << batch.unstartedShots << ",\"histogram\":{";
+  bool first = true;
+  for (const auto& [bits, count] : batch.histogram) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << telemetry::jsonEscape(bits) << "\":" << count;
+  }
+  out << "}";
+  return out.str();
 }
 
 bool looksLikeQasmText(std::string_view text) {
@@ -143,6 +191,7 @@ void Server::start() {
     runnerThreads_.emplace_back([this] { runnerLoop(); });
   }
   acceptThread_ = std::thread([this] { acceptLoop(); });
+  watchdogThread_ = std::thread([this] { watchdogLoop(); });
 }
 
 void Server::run() {
@@ -179,8 +228,20 @@ void Server::stop() {
   }
   runnerThreads_.clear();
 
+  if (watchdogThread_.joinable()) {
+    watchdogThread_.join();
+  }
   if (acceptThread_.joinable()) {
     acceptThread_.join();
+  }
+  // The runners have fulfilled every submit future, but the connection
+  // threads those futures woke may not have written their responses yet —
+  // shutting the sockets down now would turn a drained job's result into
+  // a torn connection. Wait for in-flight handlers to flush (bounded, in
+  // case a client has stopped reading its socket).
+  for (int i = 0;
+       i < 5000 && busyRequests_.load(std::memory_order_acquire) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   {
     const std::lock_guard lock(connectionsMutex_);
@@ -311,6 +372,7 @@ void Server::connectionLoop(int fd) {
       if (!frameOk) {
         continue;
       }
+      busyRequests_.fetch_add(1, std::memory_order_relaxed);
       std::string response;
       try {
         response = handleRequest(request);
@@ -320,6 +382,7 @@ void Server::connectionLoop(int fd) {
         response = errorResponseJson(ErrorCode::Internal, e.what());
       }
       connectionAlive = respond(response);
+      busyRequests_.fetch_sub(1, std::memory_order_release);
     }
     if (!connectionAlive) {
       break;
@@ -337,6 +400,8 @@ std::string Server::handleRequest(const Request& request) {
     requestShutdown();
     return "{\"v\":" + std::to_string(kProtocolVersion) +
            ",\"ok\":true,\"type\":\"shutdown\"}";
+  case RequestType::Cancel:
+    return handleCancel(request.cancel);
   case RequestType::Submit:
     return handleSubmit(request.submit);
   }
@@ -346,6 +411,22 @@ std::string Server::handleRequest(const Request& request) {
 std::string Server::handleSubmit(const SubmitRequest& request) {
   std::shared_ptr<ProgramEntry> program = resolveProgram(request);
 
+  auto active = std::make_shared<ActiveJob>();
+  active->tenant = request.tenant;
+  active->requestId = request.requestId;
+  active->shots = request.shots;
+  active->deadlineMs = request.deadlineMs;
+  active->stateBytes =
+      program->qubits == 0 ? 0 : sim::StateVector::predictedBytes(program->qubits);
+  active->admittedNs = qirkit::CancelToken::nowNs();
+  active->cancel = std::make_shared<qirkit::CancelToken>();
+  if (request.deadlineMs != 0) {
+    // Armed from admission, so queue wait counts against the budget and
+    // the job can expire while still pending (the queue TTL).
+    active->cancel->setTimeoutNs(request.deadlineMs * 1'000'000ULL);
+    active->deadlineNs = active->cancel->deadlineNs();
+  }
+
   auto delivered = std::make_shared<std::promise<std::string>>();
   std::future<std::string> future = delivered->get_future();
 
@@ -353,11 +434,85 @@ std::string Server::handleSubmit(const SubmitRequest& request) {
   job.request = request;
   job.programId = program->id;
   job.program = program;
+  job.deadlineNs = active->deadlineNs;
+  job.cancel = active->cancel;
   job.deliver = [delivered](std::string response) {
     delivered->set_value(std::move(response));
   };
-  queue_.push(std::move(job)); // throws ResourceLimit on quota violations
-  return future.get();
+  try {
+    // Register before the push: the runner may pop (and finish) the job
+    // before push even returns, and the cancel verb / watchdog must be
+    // able to see it for that whole window.
+    registerActive(active);
+    try {
+      queue_.push(std::move(job)); // throws AdmissionError on quota violations
+    } catch (...) {
+      unregisterActive(active);
+      throw;
+    }
+  } catch (const AdmissionError& e) {
+    // Overload rejections carry the machine-readable retry hint; 0 means
+    // the limit is static and a retry can never succeed, so no hint.
+    return errorResponseJson(e.code(), e.message(),
+                             e.retryAfterMs() == 0
+                                 ? std::string()
+                                 : "\"retry_after_ms\":" +
+                                       std::to_string(e.retryAfterMs()));
+  }
+  std::string response = future.get();
+  unregisterActive(active);
+  return response;
+}
+
+std::string Server::handleCancel(const CancelRequest& request) {
+  g_cancelRequests.add();
+  bool found = false;
+  {
+    const std::lock_guard lock(activeMutex_);
+    for (const std::shared_ptr<ActiveJob>& active : active_) {
+      if (active->tenant == request.tenant && !active->requestId.empty() &&
+          active->requestId == request.requestId) {
+        active->cancel->cancel();
+        found = true;
+      }
+    }
+  }
+  return cancelResponseJson(found);
+}
+
+void Server::registerActive(const std::shared_ptr<ActiveJob>& active) {
+  const std::lock_guard lock(activeMutex_);
+  const std::uint64_t budget = options_.memoryBudgetBytes;
+  if (budget != 0 && active->stateBytes != 0) {
+    if (active->stateBytes > budget) {
+      g_memoryRejected.add();
+      g_memoryRejectedExact.fetch_add(1, std::memory_order_relaxed);
+      throw AdmissionError("predicted statevector footprint (" +
+                               std::to_string(active->stateBytes) +
+                               " bytes) exceeds the memory budget (" +
+                               std::to_string(budget) + " bytes)",
+                           0); // can never fit; no retry hint
+    }
+    if (inFlightStateBytes_ + active->stateBytes > budget) {
+      g_memoryRejected.add();
+      g_memoryRejectedExact.fetch_add(1, std::memory_order_relaxed);
+      throw AdmissionError("predicted statevector footprint (" +
+                               std::to_string(active->stateBytes) +
+                               " bytes) does not fit: " +
+                               std::to_string(inFlightStateBytes_) +
+                               " bytes already in flight against a " +
+                               std::to_string(budget) + "-byte budget",
+                           100);
+    }
+  }
+  inFlightStateBytes_ += active->stateBytes;
+  active_.push_back(active);
+}
+
+void Server::unregisterActive(const std::shared_ptr<ActiveJob>& active) {
+  const std::lock_guard lock(activeMutex_);
+  inFlightStateBytes_ -= active->stateBytes;
+  active_.remove(active);
 }
 
 void Server::runnerLoop() {
@@ -366,8 +521,81 @@ void Server::runnerLoop() {
     if (!job.has_value()) {
       return;
     }
-    executeJob(*job);
+    const bool draining = stopping_.load(std::memory_order_relaxed);
+    if (job->cancel != nullptr && job->cancel->expired()) {
+      // Queue TTL: the deadline ran out (or the cancel verb fired) while
+      // the job was still pending — it never starts executing.
+      g_jobsExpired.add();
+      g_jobsExpiredExact.fetch_add(1, std::memory_order_relaxed);
+      const std::string why =
+          job->cancel->cancelled()
+              ? "job cancelled while pending"
+              : "deadline of " + std::to_string(job->request.deadlineMs) +
+                    "ms expired while the job was queued";
+      job->deliver(errorResponseJson(
+          ErrorCode::Deadline, why,
+          "\"completed_shots\":0,\"unstarted_shots\":" +
+              std::to_string(job->request.shots)));
+    } else if (draining) {
+      // Graceful drain: already-running jobs flush, still-queued jobs get
+      // an explicit cancelled disposition instead of executing into
+      // shutdown. Each disposition is logged so an operator can account
+      // for every job the SIGTERM displaced.
+      g_drainCancelled.add();
+      g_drainCancelledExact.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "qirkit serve: drain: job %llu (tenant '%s') cancelled "
+                   "before execution\n",
+                   static_cast<unsigned long long>(job->id),
+                   job->request.tenant.c_str());
+      job->deliver(errorResponseJson(
+          ErrorCode::Deadline,
+          "service is draining; job cancelled before execution",
+          "\"completed_shots\":0,\"unstarted_shots\":" +
+              std::to_string(job->request.shots)));
+    } else {
+      executeJob(*job);
+    }
     queue_.onJobFinished(job->request.tenant);
+  }
+}
+
+void Server::watchdogLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (options_.watchdogFactor == 0) {
+      continue;
+    }
+    g_watchdogScans.add();
+    const std::uint64_t now = qirkit::CancelToken::nowNs();
+    const std::lock_guard lock(activeMutex_);
+    for (const std::shared_ptr<ActiveJob>& active : active_) {
+      if (active->deadlineNs == 0 || active->watchdogFlagged) {
+        continue;
+      }
+      const std::uint64_t budgetNs =
+          active->deadlineMs * 1'000'000ULL * options_.watchdogFactor;
+      if (now - active->admittedNs <= budgetNs) {
+        continue;
+      }
+      // The job outlived N x its own deadline: either a runner is stuck
+      // inside it or its cooperative probes stopped firing. Flag once and
+      // force the token as a backstop.
+      active->watchdogFlagged = true;
+      active->cancel->cancel();
+      g_watchdogFlagged.add();
+      g_watchdogFlaggedExact.fetch_add(1, std::memory_order_relaxed);
+      const telemetry::trace::Span span("serve.watchdog.flag");
+      std::fprintf(stderr,
+                   "qirkit serve: watchdog: job (tenant '%s'%s%s%s) exceeded "
+                   "%ux its %llums deadline; forcing cancellation\n",
+                   active->tenant.c_str(),
+                   active->requestId.empty() ? "" : ", request_id '",
+                   active->requestId.c_str(),
+                   active->requestId.empty() ? "" : "'",
+                   options_.watchdogFactor,
+                   static_cast<unsigned long long>(active->deadlineMs));
+    }
   }
 }
 
@@ -384,6 +612,7 @@ void Server::executeJob(Job& job) {
   opts.fusion = job.request.fusion;
   opts.pool = &pool_;
   opts.cache = &cache_;
+  opts.cancel = job.cancel.get(); // null when the job set no deadline/tag
 
   SubmitResponse response;
   response.programId = job.programId;
@@ -396,7 +625,31 @@ void Server::executeJob(Job& job) {
     const ClassifiedError failure = classifyException(e);
     g_jobsFailed.add();
     g_jobsFailedExact.fetch_add(1, std::memory_order_relaxed);
-    job.deliver(errorResponseJson(failure.code, failure.message));
+    job.deliver(errorResponseJson(
+        failure.code, failure.message,
+        failure.code == ErrorCode::Deadline
+            ? "\"completed_shots\":0,\"unstarted_shots\":" +
+                  std::to_string(job.request.shots)
+            : std::string()));
+    return;
+  }
+  if (response.batch.deadlineExceeded) {
+    // Partial-results contract: the batch stopped at a shot boundary, so
+    // the histogram covers exactly the completed shots. Surface it in the
+    // structured error instead of pretending the job succeeded.
+    g_jobsExpired.add();
+    g_jobsExpiredExact.fetch_add(1, std::memory_order_relaxed);
+    const std::string why =
+        job.cancel != nullptr && job.cancel->cancelled()
+            ? "job cancelled after " +
+                  std::to_string(response.batch.completedShots) + " of " +
+                  std::to_string(job.request.shots) + " shots"
+            : "deadline of " + std::to_string(job.request.deadlineMs) +
+                  "ms exceeded after " +
+                  std::to_string(response.batch.completedShots) + " of " +
+                  std::to_string(job.request.shots) + " shots";
+    job.deliver(errorResponseJson(ErrorCode::Deadline, why,
+                                  deadlineExtrasJson(response.batch)));
     return;
   }
   const std::uint64_t endNs = telemetry::nowNs();
@@ -456,6 +709,7 @@ Server::resolveProgram(const SubmitRequest& request) {
   } else {
     entry->module = ir::parseModule(*entry->context, text);
   }
+  entry->qubits = estimatedQubits(*entry->module);
   g_programMisses.add();
 
   const std::lock_guard lock(programsMutex_);
@@ -501,6 +755,13 @@ std::string Server::metricsJson() {
     const std::lock_guard lock(programsMutex_);
     programCount = programs_.size();
   }
+  std::uint64_t inFlightBytes = 0;
+  std::size_t activeJobs = 0;
+  {
+    const std::lock_guard lock(activeMutex_);
+    inFlightBytes = inFlightStateBytes_;
+    activeJobs = active_.size();
+  }
 
   std::ostringstream out;
   out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"metrics\""
@@ -509,6 +770,7 @@ std::string Server::metricsJson() {
       << ",\"capacity\":" << queue_.limits().capacity
       << ",\"admitted\":" << queue.admitted
       << ",\"rejected\":" << queue.rejected
+      << ",\"rate_limited\":" << queue.rateLimited
       << ",\"finished\":" << queue.finished << ",\"tenants\":{";
   bool first = true;
   for (const QueueStats::Tenant& tenant : queue.tenants) {
@@ -532,6 +794,17 @@ std::string Server::metricsJson() {
       << ",\"jobs\":{\"completed\":"
       << g_jobsCompletedExact.load(std::memory_order_relaxed)
       << ",\"failed\":" << g_jobsFailedExact.load(std::memory_order_relaxed)
+      << ",\"expired\":" << g_jobsExpiredExact.load(std::memory_order_relaxed)
+      << ",\"drained\":"
+      << g_drainCancelledExact.load(std::memory_order_relaxed)
+      << "},\"memory\":{\"in_flight_bytes\":" << inFlightBytes
+      << ",\"budget_bytes\":" << options_.memoryBudgetBytes
+      << ",\"active_jobs\":" << activeJobs
+      << ",\"rejected\":"
+      << g_memoryRejectedExact.load(std::memory_order_relaxed)
+      << "},\"watchdog\":{\"factor\":" << options_.watchdogFactor
+      << ",\"flagged\":"
+      << g_watchdogFlaggedExact.load(std::memory_order_relaxed)
       << "},\"protocol\":{\"rejected_frames\":"
       << g_rejectedFramesExact.load(std::memory_order_relaxed)
       << "},\"telemetry\":" << telemetry::snapshotJson(telemetry::snapshot())

@@ -57,6 +57,19 @@ struct ServerOptions {
   std::size_t programCapacity = 64;
   /// Longest accepted request frame in bytes.
   std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+  /// Upfront memory-admission budget: the predicted statevector
+  /// footprints (2^n * sizeof(complex<double>)) of every in-flight job
+  /// may not sum past this — the excess request is rejected with
+  /// error[resource-limit] at admission instead of OOM-killing the daemon
+  /// mid-simulation. 0 disables the guard. Programs whose width cannot be
+  /// predicted (no required_num_qubits attribute) are admitted with a
+  /// footprint of 0 and rely on the StateVector bad_alloc guard instead.
+  std::uint64_t memoryBudgetBytes = 8ULL << 30U;
+  /// Watchdog: a job still unfinished after watchdogFactor x its own
+  /// deadline budget (counted from admission) is flagged and its token
+  /// force-cancelled — the backstop for a runner stuck inside a shot that
+  /// stops probing. 0 disables; jobs without deadlines are never flagged.
+  unsigned watchdogFactor = 4;
   QueueLimits queue;
 };
 
@@ -99,18 +112,45 @@ private:
     std::string id; // 16-hex FNV-1a of the program text
     std::unique_ptr<ir::Context> context;
     std::unique_ptr<ir::Module> module;
+    /// Declared register width (entry point's required_num_qubits
+    /// attribute; 0 = unknown) — the input of the admission guard's
+    /// footprint prediction.
+    unsigned qubits = 0;
     std::uint64_t lastUse = 0;
+  };
+
+  /// One admitted-but-unfinished job, as the overload machinery sees it:
+  /// the cancel verb resolves (tenant, request_id) to the token, the
+  /// watchdog scans deadlines, and the memory guard accounts stateBytes.
+  /// Registered before the queue push (the runner may pop immediately),
+  /// unregistered once the submit response is delivered.
+  struct ActiveJob {
+    std::shared_ptr<qirkit::CancelToken> cancel;
+    std::string tenant;
+    std::string requestId; // empty: not cancellable by verb
+    std::uint64_t deadlineMs = 0;
+    std::uint64_t deadlineNs = 0; // absolute; 0 = none
+    std::uint64_t admittedNs = 0;
+    std::uint64_t stateBytes = 0; // predicted footprint
+    std::uint64_t shots = 0;
+    bool watchdogFlagged = false;
   };
 
   void acceptLoop();
   void connectionLoop(int fd);
   void runnerLoop();
+  void watchdogLoop();
   /// Dispatch one well-formed frame; returns the response line.
   std::string handleRequest(const Request& request);
   /// Admission path of a submit: resolve the program, enqueue, and wait
   /// for the runner's response.
   std::string handleSubmit(const SubmitRequest& request);
+  std::string handleCancel(const CancelRequest& request);
   void executeJob(Job& job);
+  /// Memory-admission guard + registration; throws AdmissionError when
+  /// the predicted footprint does not fit the budget.
+  void registerActive(const std::shared_ptr<ActiveJob>& active);
+  void unregisterActive(const std::shared_ptr<ActiveJob>& active);
   /// Parse-or-lookup in the program registry (single-flight per id).
   std::shared_ptr<ProgramEntry> resolveProgram(const SubmitRequest& request);
 
@@ -122,10 +162,19 @@ private:
 
   int listenFd_ = -1;
   std::thread acceptThread_;
+  std::thread watchdogThread_;
   std::vector<std::thread> runnerThreads_;
+
+  std::mutex activeMutex_;
+  std::list<std::shared_ptr<ActiveJob>> active_;
+  std::uint64_t inFlightStateBytes_ = 0;
 
   std::mutex connectionsMutex_;
   std::list<std::pair<int, std::thread>> connections_;
+  /// Requests currently between decode and response write; stop() waits
+  /// for this to reach zero before shutting the sockets down, so drained
+  /// jobs deliver their final responses instead of torn connections.
+  std::atomic<std::size_t> busyRequests_{0};
 
   std::mutex programsMutex_;
   std::unordered_map<std::string, std::shared_ptr<ProgramEntry>> programs_;

@@ -1,5 +1,6 @@
 #include "sim/statevector.hpp"
 
+#include "support/cancel.hpp"
 #include "support/source_location.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -15,7 +16,7 @@ telemetry::Counter g_svGates{"sim.statevector.gate_applications"};
 telemetry::Counter g_svMeasurements{"sim.statevector.measurements"};
 telemetry::MaxGauge g_svPeakBytes{"sim.statevector.peak_bytes"};
 
-constexpr unsigned kMaxQubits = 30;
+constexpr unsigned kMaxQubits = StateVector::kMaxQubits;
 
 /// Insert a 0 bit at position \p pos of \p i (spreading higher bits up).
 inline std::uint64_t insertZeroBit(std::uint64_t i, unsigned pos) noexcept {
@@ -31,7 +32,15 @@ StateVector::StateVector(unsigned numQubits, qirkit::ThreadPool* pool)
     throw qirkit::SemanticError("statevector limited to " +
                                 std::to_string(kMaxQubits) + " qubits");
   }
-  amplitudes_.assign(dimension(), Complex{});
+  try {
+    amplitudes_.assign(dimension(), Complex{});
+  } catch (const std::bad_alloc&) {
+    throw qirkit::Error(qirkit::ErrorCode::ResourceLimit,
+                        "cannot allocate " +
+                            std::to_string(predictedBytes(numQubits)) +
+                            " bytes for a " + std::to_string(numQubits) +
+                            "-qubit statevector");
+  }
   amplitudes_[0] = 1.0;
   g_svPeakBytes.updateMax(dimension() * sizeof(Complex));
 }
@@ -47,7 +56,16 @@ unsigned StateVector::addQubit() {
                                 std::to_string(kMaxQubits) + " qubits");
   }
   ++numQubits_;
-  amplitudes_.resize(dimension(), Complex{}); // appended qubit is |0>
+  try {
+    amplitudes_.resize(dimension(), Complex{}); // appended qubit is |0>
+  } catch (const std::bad_alloc&) {
+    --numQubits_;
+    throw qirkit::Error(qirkit::ErrorCode::ResourceLimit,
+                        "cannot allocate " +
+                            std::to_string(predictedBytes(numQubits_ + 1)) +
+                            " bytes growing the statevector to " +
+                            std::to_string(numQubits_ + 1) + " qubits");
+  }
   g_svPeakBytes.updateMax(dimension() * sizeof(Complex));
   return numQubits_ - 1;
 }
@@ -70,8 +88,24 @@ void StateVector::removeQubit(unsigned q, SplitMix64& rng) {
 void StateVector::forRange(
     std::uint64_t n,
     const std::function<void(std::uint64_t, std::uint64_t)>& body) const {
+  // Cancellation checkpoint once per sweep, on the calling thread — pool
+  // tasks must not throw. Armed-and-expired tokens additionally make the
+  // parallel path skip remaining chunks (the state is abandoned anyway
+  // once the next checkpoint throws).
+  if (cancel_ != nullptr) {
+    cancel_->checkpoint("statevector kernel");
+  }
   if (pool_ != nullptr && n >= (std::uint64_t{1} << 14)) {
-    qirkit::parallelForChunked(*pool_, n, body, std::uint64_t{1} << 12);
+    const qirkit::CancelToken* const cancel = cancel_;
+    qirkit::parallelForChunked(
+        *pool_, n,
+        [&body, cancel](std::uint64_t begin, std::uint64_t end) {
+          if (cancel != nullptr && cancel->expired()) {
+            return; // chunk-boundary bail-out; caller throws on next probe
+          }
+          body(begin, end);
+        },
+        std::uint64_t{1} << 12);
   } else {
     body(0, n);
   }

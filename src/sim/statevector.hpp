@@ -21,10 +21,28 @@
 #include <span>
 #include <vector>
 
+namespace qirkit {
+class CancelToken;
+} // namespace qirkit
+
 namespace qirkit::sim {
 
 class StateVector {
 public:
+  /// Hard width cap: 2^30 amplitudes (16 GiB) is the largest state a
+  /// single dense register may occupy.
+  static constexpr unsigned kMaxQubits = 30;
+
+  /// Predicted memory footprint of an n-qubit dense state, the quantity
+  /// the service's admission guard budgets before letting a request run.
+  /// \p numQubits is clamped to kMaxQubits (anything wider is rejected
+  /// outright before the prediction matters).
+  [[nodiscard]] static constexpr std::uint64_t
+  predictedBytes(unsigned numQubits) noexcept {
+    const unsigned n = numQubits > kMaxQubits ? kMaxQubits : numQubits;
+    return (std::uint64_t{1} << n) * sizeof(Complex);
+  }
+
   /// Create an n-qubit register in |0...0>. If \p pool is non-null, gate
   /// kernels are parallelized across its workers once the state is large
   /// enough to amortize the fork/join.
@@ -106,6 +124,15 @@ public:
   /// Number of gate applications performed (for benchmarks).
   [[nodiscard]] std::uint64_t gateCount() const noexcept { return gateCount_; }
 
+  /// Install (or clear, with nullptr) a cooperative cancellation token.
+  /// Kernel sweeps probe it at entry and at chunk boundaries; an expired
+  /// token makes the next sweep throw Error(ErrorCode::Deadline) from the
+  /// calling thread, leaving the state unusable for the aborted shot. The
+  /// token must outlive the simulator or be cleared first.
+  void setCancelToken(const qirkit::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
 private:
   void forRange(std::uint64_t n,
                 const std::function<void(std::uint64_t, std::uint64_t)>& body) const;
@@ -120,6 +147,7 @@ private:
   unsigned numQubits_;
   std::vector<Complex> amplitudes_;
   qirkit::ThreadPool* pool_;
+  const qirkit::CancelToken* cancel_ = nullptr;
   std::uint64_t gateCount_ = 0;
 };
 

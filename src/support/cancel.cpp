@@ -1,0 +1,39 @@
+#include "support/cancel.hpp"
+
+#include <chrono>
+#include <string>
+
+namespace qirkit {
+
+std::uint64_t CancelToken::nowNs() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool CancelToken::expiredSlow() const noexcept {
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  const std::uint64_t deadline = deadlineNs_.load(std::memory_order_relaxed);
+  return deadline != 0 && nowNs() >= deadline;
+}
+
+void CancelToken::checkpoint(const char* where) const {
+  if (!expired()) {
+    return;
+  }
+  std::string message;
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    message = "execution cancelled";
+  } else {
+    message = "deadline exceeded";
+  }
+  message += " (";
+  message += where;
+  message += ")";
+  throw Error(ErrorCode::Deadline, message);
+}
+
+} // namespace qirkit

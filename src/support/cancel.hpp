@@ -1,0 +1,89 @@
+/// \file cancel.hpp
+/// Cooperative cancellation for long-running execution: a CancelToken
+/// carries an optional absolute deadline (steady clock) and an explicit
+/// cancel flag, and is probed from the shot loop, the VM dispatch loop,
+/// and statevector kernel sweeps.
+///
+/// Probe-cost discipline (DESIGN 7a / 7e): an unarmed token costs exactly
+/// one relaxed atomic load per probe — the same contract as disabled
+/// telemetry probes and unarmed fault-injection sites. Only once armed
+/// (a deadline set or cancel() called) does a probe pay the cancelled
+/// check and a clock read, and the hot loops additionally stride their
+/// probes so even an armed token is consulted every few thousand steps,
+/// not every instruction.
+///
+/// Cancellation is cooperative and surfaces as Error(ErrorCode::Deadline)
+/// via checkpoint(). Code running inside thread-pool workers must never
+/// throw (pool tasks run unprotected), so kernel sweeps poll expired()
+/// at chunk boundaries and re-check at the next safe throw point instead.
+#pragma once
+
+#include "support/error.hpp"
+
+#include <atomic>
+#include <cstdint>
+
+namespace qirkit {
+
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Monotonic now, in nanoseconds on the same clock deadlines use.
+  [[nodiscard]] static std::uint64_t nowNs() noexcept;
+
+  /// Request cancellation. Idempotent, safe from any thread (including
+  /// signal-adjacent watchdog threads).
+  void cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Arm an absolute deadline (nanoseconds on the steady clock).
+  void setDeadlineNs(std::uint64_t deadlineNs) noexcept {
+    deadlineNs_.store(deadlineNs, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  /// Arm a deadline \p timeoutNs from now.
+  void setTimeoutNs(std::uint64_t timeoutNs) noexcept {
+    setDeadlineNs(nowNs() + timeoutNs);
+  }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Armed deadline in ns, or 0 when none was set.
+  [[nodiscard]] std::uint64_t deadlineNs() const noexcept {
+    return deadlineNs_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the token is cancelled or its deadline has passed. The
+  /// unarmed fast path is a single relaxed load.
+  [[nodiscard]] bool expired() const noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    return expiredSlow();
+  }
+
+  /// Throw Error(ErrorCode::Deadline) if expired; \p where names the
+  /// probe site for the diagnostic ("vm dispatch", "statevector kernel").
+  void checkpoint(const char* where) const;
+
+private:
+  [[nodiscard]] bool expiredSlow() const noexcept;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> deadlineNs_{0};
+};
+
+} // namespace qirkit

@@ -33,6 +33,7 @@ const char* errorCodeName(ErrorCode code) noexcept {
   case ErrorCode::ResourceLimit: return "resource-limit";
   case ErrorCode::CompileFail: return "compile-fail";
   case ErrorCode::InjectedFault: return "injected-fault";
+  case ErrorCode::Deadline: return "deadline";
   case ErrorCode::Internal: return "internal";
   }
   return "internal";

@@ -64,6 +64,7 @@ enum class ErrorCode : std::uint8_t {
   ResourceLimit,      ///< stack depth / qubit budget / arena exhausted
   CompileFail,        ///< module cannot be lowered to bytecode
   InjectedFault,      ///< deterministic fault-injection hook fired
+  Deadline,           ///< deadline exceeded or request cancelled
   Internal,           ///< invariant broken inside qirkit itself
 };
 

@@ -1,6 +1,7 @@
 #include "vm/executor.hpp"
 
 #include "interp/interpreter.hpp"
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/telemetry/trace.hpp"
@@ -51,6 +52,8 @@ telemetry::Counter g_shotsSampled{"shots.sampled"};
 telemetry::Counter g_sampleFallbacks{"shots.sample_fallbacks"};
 telemetry::Counter g_analysisTerminal{"shots.analysis.terminal"};
 telemetry::Counter g_analysisFeedback{"shots.analysis.feedback_dependent"};
+telemetry::Counter g_deadlineBatches{"shots.deadline_batches"};
+telemetry::Counter g_shotsUnstarted{"shots.unstarted"};
 telemetry::LatencyHistogram g_shotLatency{"shots.latency_ns"};
 
 /// Per-chunk accumulator, merged into the batch under a mutex (or moved
@@ -63,6 +66,10 @@ struct ChunkResult {
   std::uint64_t interpFallbackShots = 0;
   std::map<ErrorCode, std::uint64_t> failureCounts;
   std::vector<ShotFailure> failures;
+  /// The chunk stopped early on an expired cancellation token; the shots
+  /// it never ran (including one abandoned mid-flight) are in unstarted.
+  bool deadlineHit = false;
+  std::uint64_t unstarted = 0;
   /// Stats of the batch's final shot, when this chunk ran it successfully.
   /// Merged into the batch under the merge lock — workers never write the
   /// shared result directly.
@@ -81,9 +88,12 @@ struct ShotOutcome {
 /// One shot on the reference engine: fresh Interpreter + runtime, as the
 /// historical interp chunk ran them. Shared by the interp engine path and
 /// the VM engine's per-shot fallback. Throws on trap.
-ShotOutcome runInterpShot(const ir::Module& module, std::uint64_t seed) {
+ShotOutcome runInterpShot(const ir::Module& module, std::uint64_t seed,
+                          const qirkit::CancelToken* cancel = nullptr) {
   interp::Interpreter interp(module);
   runtime::QuantumRuntime rt(seed, nullptr);
+  interp.setCancelToken(cancel);
+  rt.setCancelToken(cancel);
   rt.bind(interp);
   interp.runEntryPoint();
   return {rt.outputBitString(), rt.stats(), interp.stats()};
@@ -105,17 +115,33 @@ public:
     if (engine_ == Engine::Vm) {
       vm_.emplace(compiled);
       rt_.emplace(0, nullptr);
+      vm_->setCancelToken(opts.cancel);
       rt_->bind(*vm_);
     } else {
       interp_.emplace(module_);
       rt_.emplace(0, nullptr);
+      interp_->setCancelToken(opts.cancel);
       rt_->bind(*interp_);
     }
+    rt_->setCancelToken(opts.cancel);
   }
 
   void run(std::uint64_t begin, std::uint64_t end, ChunkResult& out) {
+    const qirkit::CancelToken* const cancel = opts_.cancel;
     for (std::uint64_t shot = begin; shot < end; ++shot) {
+      // Shot-boundary probe: never start a shot whose token has expired.
+      if (cancel != nullptr && cancel->expired()) {
+        out.deadlineHit = true;
+        out.unstarted += end - shot;
+        return;
+      }
       runIsolated(shot, out);
+      if (out.deadlineHit) {
+        // The shot itself was cut mid-flight: it and everything after it
+        // in this chunk count as unstarted, never as failed.
+        out.unstarted += end - shot;
+        return;
+      }
     }
   }
 
@@ -163,16 +189,26 @@ private:
       } catch (const std::exception& e) {
         failure = classifyException(e);
       }
+      if (failure.code == ErrorCode::Deadline) {
+        // Not a shot failure: the batch's clock ran out mid-shot. No
+        // fallback, no retry — the caller records the cut and stops.
+        out.deadlineHit = true;
+        return;
+      }
       if (engine_ == Engine::Vm && opts_.interpFallback) {
         // Differential disagreement check: if the reference engine
         // completes the shot the VM trapped on, the reference answer
         // stands and the trap is the VM's problem, not the program's.
         try {
-          record(shot, runInterpShot(module_, seed), out);
+          record(shot, runInterpShot(module_, seed, opts_.cancel), out);
           ++out.interpFallbackShots;
           return;
         } catch (const std::exception& e) {
           failure = classifyException(e); // the reference verdict wins
+        }
+        if (failure.code == ErrorCode::Deadline) {
+          out.deadlineHit = true;
+          return;
         }
       }
       if (failure.transient && attempt < opts_.retries) {
@@ -227,14 +263,17 @@ void runSampledBatch(const ir::Module& module,
   const telemetry::trace::Span span("execute.sample");
   runtime::QuantumRuntime rt(opts.seed, opts.pool);
   rt.setMeasurementMode(runtime::QuantumRuntime::MeasurementMode::Defer);
+  rt.setCancelToken(opts.cancel);
   interp::InterpStats engineStats;
   if (engine == Engine::Vm) {
     Vm machine(compiled);
+    machine.setCancelToken(opts.cancel);
     rt.bind(machine);
     machine.runEntryPoint();
     engineStats = machine.stats();
   } else {
     interp::Interpreter interp(module);
+    interp.setCancelToken(opts.cancel);
     rt.bind(interp);
     interp.runEntryPoint();
     engineStats = interp.stats();
@@ -260,6 +299,8 @@ void mergeChunk(ChunkResult&& chunk, ShotBatchResult& result) {
   }
   result.completedShots += chunk.completed;
   result.failedShots += chunk.failed;
+  result.deadlineExceeded |= chunk.deadlineHit;
+  result.unstartedShots += chunk.unstarted;
   result.retryAttempts += chunk.retryAttempts;
   result.interpFallbackShots += chunk.interpFallbackShots;
   for (const auto& [code, count] : chunk.failureCounts) {
@@ -280,6 +321,18 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   g_shotsBatches.add();
   ShotBatchResult result;
   Engine engine = opts.engine;
+
+  // A token that expired before the batch even started (e.g. a job that
+  // sat out its deadline in a queue): report everything as unstarted
+  // without paying for compilation or analysis.
+  if (opts.cancel != nullptr && opts.cancel->expired()) {
+    result.engineUsed = engine;
+    result.deadlineExceeded = true;
+    result.unstartedShots = opts.shots;
+    g_deadlineBatches.add();
+    g_shotsUnstarted.add(opts.shots);
+    return result;
+  }
 
   std::shared_ptr<const BytecodeModule> compiled;
   if (engine == Engine::Vm) {
@@ -326,6 +379,10 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     g_shotsFailed.add(result.failedShots);
     g_shotsRetries.add(result.retryAttempts);
     g_shotsInterpFallbacks.add(result.interpFallbackShots);
+    if (result.deadlineExceeded) {
+      g_deadlineBatches.add();
+      g_shotsUnstarted.add(result.unstartedShots);
+    }
     if (result.failedShots > opts.maxFailedShots) {
       const ShotFailure& first = result.failures.front();
       throw TrapError("shot " + std::to_string(first.shot) +
@@ -366,6 +423,19 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
         return finish();
       } catch (const std::exception& e) {
         const ClassifiedError failure = classifyException(e);
+        if (failure.code == ErrorCode::Deadline) {
+          // Deadline on the sampling path ends the batch — re-simulating
+          // against an already-expired clock could never do better. The
+          // single simulation had not finished, so no shot completed.
+          result.histogram.clear();
+          result.completedShots = 0;
+          result.lastShotStats = {};
+          result.lastShotEngineStats = {};
+          result.sampled = false;
+          result.deadlineExceeded = true;
+          result.unstartedShots = opts.shots;
+          return finish();
+        }
         g_sampleFallbacks.add();
         result.sampleFallback = true;
         result.sampleFallbackReason =

@@ -95,6 +95,14 @@ struct ShotOptions {
   /// The CLI's --fusion=off escape hatch and the reference leg of the
   /// fused-vs-unfused differential tests set this to false.
   bool fusion = true;
+  /// Cooperative cancellation/deadline token (nullptr: unbounded). Probed
+  /// between shots, every kCancelStrideSteps VM/interpreter instructions,
+  /// and at statevector sweep boundaries. Expiry stops the batch with
+  /// partial results: runShots returns normally with deadlineExceeded set
+  /// and the histogram restricted to shots that finished before the cut —
+  /// it does not throw, and an aborted in-flight shot is counted as
+  /// unstarted, never as failed. The token must outlive the call.
+  const qirkit::CancelToken* cancel = nullptr;
 };
 
 /// One permanently failed shot, classified.
@@ -139,6 +147,13 @@ struct ShotBatchResult {
   /// to per-shot resim.
   bool sampleFallback = false;
   std::string sampleFallbackReason;
+  /// The batch's cancellation token expired (deadline passed or cancel()
+  /// called) before every shot ran. Partial-results contract: histogram
+  /// and counters cover exactly the shots that completed before the cut.
+  bool deadlineExceeded = false;
+  /// Shots never attempted — or abandoned mid-flight — because the token
+  /// expired. completedShots + failedShots + unstartedShots == shots.
+  std::uint64_t unstartedShots = 0;
   /// Failure histogram: classified error code -> failed-shot count.
   std::map<ErrorCode, std::uint64_t> failureCounts;
   /// Detail records for the first kMaxFailureRecords failures (merge

@@ -2,6 +2,7 @@
 
 #include "ir/instruction.hpp"
 #include "passes/folding.hpp"
+#include "support/cancel.hpp"
 #include "support/faultinject.hpp"
 #include "support/telemetry/telemetry.hpp"
 
@@ -178,6 +179,9 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
   // Cached per frame so the disabled case costs nothing in the dispatch
   // loop beyond a predictable branch.
   const bool injectFaults = fault::FaultInjector::instance().enabled();
+  // Cached per frame like the fault flag; a null token costs one pointer
+  // compare per step-counted instruction, an armed one a strided probe.
+  const CancelToken* const cancel = cancel_;
   // Same per-frame caching as the fault-injection flag: the disabled
   // dispatch loop pays one predictable branch per instruction, no atomics.
   DispatchTally tally;
@@ -206,6 +210,10 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
       ++stats_.instructionsExecuted;
       if (injectFaults) {
         fault::probe(fault::Site::VmDispatch);
+      }
+      if (cancel != nullptr &&
+          (stepsTaken_ & (kCancelStrideSteps - 1)) == 0) {
+        cancel->checkpoint("vm dispatch");
       }
     }
     switch (in.op) {

@@ -18,7 +18,17 @@
 #include <span>
 #include <string_view>
 
+namespace qirkit {
+class CancelToken;
+} // namespace qirkit
+
 namespace qirkit::vm {
+
+/// How many step-counted instructions may retire between cancellation
+/// probes in the dispatch loops. Even an *armed* token is only consulted
+/// (one relaxed load + sometimes a clock read) once per stride, keeping
+/// the hot path's cost independent of whether a deadline is set.
+inline constexpr std::uint64_t kCancelStrideSteps = 1024;
 
 /// Executes compiled bytecode. Bind externals exactly as with an
 /// Interpreter (QuantumRuntime::bind works on either engine); call
@@ -52,6 +62,13 @@ public:
   /// TrapError("step limit exceeded (N)") on the offending instruction.
   void setStepLimit(std::uint64_t limit) noexcept { stepLimit_ = limit; }
   [[nodiscard]] std::uint64_t stepLimit() const noexcept { return stepLimit_; }
+
+  /// Install (or clear) a cooperative cancellation token. The dispatch
+  /// loop probes it every kCancelStrideSteps step-counted instructions and
+  /// throws Error(ErrorCode::Deadline) once it expires.
+  void setCancelToken(const qirkit::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
 
   /// Address of global number \p index (module order), for host-side pokes.
   [[nodiscard]] std::uint64_t globalAddress(std::size_t index) const;
@@ -90,6 +107,7 @@ private:
   interp::FusedGateHost* fusedHost_ = nullptr;
   std::uint64_t stepLimit_ = interp::Interpreter::kDefaultStepLimit;
   std::uint64_t stepsTaken_ = 0;
+  const qirkit::CancelToken* cancel_ = nullptr;
 };
 
 } // namespace qirkit::vm

@@ -12,6 +12,8 @@
 #include "qir/exporter.hpp"
 #include "qir/importer.hpp"
 #include "runtime/runtime.hpp"
+#include "sim/statevector.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
 #include "vm/executor.hpp"
@@ -64,6 +66,7 @@ TEST(ErrorTaxonomy, CodesHaveStableNames) {
   EXPECT_STREQ(errorCodeName(ErrorCode::TrapOutOfBounds), "trap-out-of-bounds");
   EXPECT_STREQ(errorCodeName(ErrorCode::InjectedFault), "injected-fault");
   EXPECT_STREQ(errorCodeName(ErrorCode::CompileFail), "compile-fail");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Deadline), "deadline");
   EXPECT_STREQ(errorCodeName(ErrorCode::Usage), "usage");
   EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
 }
@@ -500,6 +503,133 @@ TEST(Degradation, VmDispatchFaultIsRescuedPerShotByTheInterpreter) {
   EXPECT_EQ(rescued.interpFallbackShots, 1U);
   EXPECT_EQ(rescued.histogram, reference.histogram);
   EXPECT_FALSE(rescued.degradedToInterp); // per-shot rescue, not batch-wide
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines and cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+TEST(Cancellation, TokenStatesAndCheckpointTaxonomy) {
+  CancelToken token;
+  // Unarmed: the fast path answers false with one relaxed load.
+  EXPECT_FALSE(token.armed());
+  EXPECT_FALSE(token.expired());
+  token.checkpoint("nowhere"); // must not throw
+
+  // A future deadline arms the token without expiring it.
+  token.setTimeoutNs(60'000'000'000ULL); // one minute out
+  EXPECT_TRUE(token.armed());
+  EXPECT_FALSE(token.expired());
+
+  // Explicit cancel dominates any deadline.
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_TRUE(token.cancelled());
+  try {
+    token.checkpoint("unit test");
+    FAIL() << "checkpoint of a cancelled token must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Deadline);
+    EXPECT_NE(std::string(e.what()).find("unit test"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+
+  // An already-lapsed deadline (without cancel) reports expiry, and the
+  // checkpoint message names the deadline, not a cancellation.
+  CancelToken lapsed;
+  lapsed.setTimeoutNs(0);
+  EXPECT_TRUE(lapsed.expired());
+  EXPECT_FALSE(lapsed.cancelled());
+  try {
+    lapsed.checkpoint("shot loop");
+    FAIL() << "checkpoint past the deadline must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Deadline);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(Cancellation, PreExpiredBatchReturnsEverythingUnstarted) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+
+  CancelToken token;
+  token.cancel();
+  vm::ShotOptions opts;
+  opts.shots = 100;
+  opts.cancel = &token;
+  const vm::ShotBatchResult batch = vm::runShots(*m, opts);
+
+  // No exception: partial-results semantics, with zero partial results.
+  EXPECT_TRUE(batch.deadlineExceeded);
+  EXPECT_EQ(batch.completedShots, 0U);
+  EXPECT_EQ(batch.failedShots, 0U);
+  EXPECT_EQ(batch.unstartedShots, 100U);
+  EXPECT_TRUE(batch.histogram.empty());
+}
+
+TEST(Cancellation, DeadlineMidBatchKeepsCompletedShots) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+
+  CancelToken token;
+  token.setTimeoutNs(20'000'000); // 20ms: a fraction of the full batch
+  vm::ShotOptions opts;
+  opts.shots = 5'000'000; // minutes of per-shot resimulation if uncut
+  opts.seed = 7;
+  opts.execMode = vm::ExecMode::Resim;
+  opts.cancel = &token;
+  const vm::ShotBatchResult batch = vm::runShots(*m, opts);
+
+  EXPECT_TRUE(batch.deadlineExceeded);
+  EXPECT_GT(batch.completedShots, 0U);
+  EXPECT_GT(batch.unstartedShots, 0U);
+  // The aborted in-flight shot counts as unstarted, never failed: the
+  // batch invariant covers every shot exactly once.
+  EXPECT_EQ(batch.failedShots, 0U);
+  EXPECT_EQ(batch.completedShots + batch.unstartedShots, opts.shots);
+  std::uint64_t histogramTotal = 0;
+  for (const auto& [bits, count] : batch.histogram) {
+    histogramTotal += count;
+  }
+  EXPECT_EQ(histogramTotal, batch.completedShots);
+}
+
+TEST(Cancellation, DeadlineIsNeverRetriedOrRescued) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::bellPair(true), {});
+
+  CancelToken token;
+  token.setTimeoutNs(15'000'000);
+  vm::ShotOptions opts;
+  opts.shots = 5'000'000;
+  opts.execMode = vm::ExecMode::Resim;
+  opts.engine = vm::Engine::Vm;
+  opts.retries = 5;          // transient-fault machinery must not engage
+  opts.interpFallback = true; // nor the interpreter rescue
+  opts.cancel = &token;
+  const vm::ShotBatchResult batch = vm::runShots(*m, opts);
+
+  EXPECT_TRUE(batch.deadlineExceeded);
+  // A deadline is not a fault: no retry burn, no engine switch, no
+  // degradation — the batch just stops.
+  EXPECT_EQ(batch.retryAttempts, 0U);
+  EXPECT_EQ(batch.interpFallbackShots, 0U);
+  EXPECT_FALSE(batch.degradedToInterp);
+  EXPECT_EQ(batch.failedShots, 0U);
+}
+
+TEST(ResourceGuards, PredictedStateBytesMatchAndClamp) {
+  // The service's memory-admission guard and the simulator must agree on
+  // footprint arithmetic: 2^n amplitudes x sizeof(complex<double>).
+  EXPECT_EQ(sim::StateVector::predictedBytes(0), sizeof(sim::Complex));
+  EXPECT_EQ(sim::StateVector::predictedBytes(10),
+            (1ULL << 10U) * sizeof(sim::Complex));
+  // Widths past the simulator's hard cap clamp instead of overflowing the
+  // shift, so a hostile 300-qubit request still predicts a finite (and
+  // budget-busting) number.
+  EXPECT_EQ(sim::StateVector::predictedBytes(300),
+            sim::StateVector::predictedBytes(sim::StateVector::kMaxQubits));
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "service/server.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 
 #include <gtest/gtest.h>
@@ -17,7 +18,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -145,10 +148,59 @@ TEST(ServiceProtocolTest, RejectsStructurallyInvalidRequests) {
 TEST(ServiceProtocolTest, ErrorCodeNamesRoundTrip) {
   for (const ErrorCode code :
        {ErrorCode::Parse, ErrorCode::Usage, ErrorCode::ResourceLimit,
-        ErrorCode::TrapInvalidQubit, ErrorCode::Internal}) {
+        ErrorCode::TrapInvalidQubit, ErrorCode::Deadline,
+        ErrorCode::Internal}) {
     EXPECT_EQ(errorCodeFromName(errorCodeName(code)), code);
   }
   EXPECT_EQ(errorCodeFromName("never-heard-of-it"), ErrorCode::Internal);
+}
+
+TEST(ServiceProtocolTest, DeadlineAndRequestIdRoundTrip) {
+  SubmitRequest original;
+  original.tenant = "alice";
+  original.program = "x";
+  original.deadlineMs = 1500;
+  original.requestId = "req-42";
+  const Request parsed = parseRequest(submitRequestJson(original));
+  EXPECT_EQ(parsed.submit.deadlineMs, 1500U);
+  EXPECT_EQ(parsed.submit.requestId, "req-42");
+
+  // Absent fields default to "no deadline" / "not cancellable".
+  const Request bare = parseRequest(
+      R"({"type":"submit","tenant":"a","program":"x"})");
+  EXPECT_EQ(bare.submit.deadlineMs, 0U);
+  EXPECT_TRUE(bare.submit.requestId.empty());
+}
+
+TEST(ServiceProtocolTest, CancelVerbParsesAndValidates) {
+  CancelRequest original;
+  original.tenant = "alice";
+  original.requestId = "req-42";
+  const Request parsed = parseRequest(cancelRequestJson(original));
+  ASSERT_EQ(parsed.type, RequestType::Cancel);
+  EXPECT_EQ(parsed.cancel.tenant, "alice");
+  EXPECT_EQ(parsed.cancel.requestId, "req-42");
+
+  // Both fields are mandatory: a cancel that names no job is a usage
+  // error, not a no-op.
+  for (const char* bad :
+       {R"({"type":"cancel"})", R"({"type":"cancel","tenant":"a"})",
+        R"({"type":"cancel","request_id":"r"})"}) {
+    try {
+      (void)parseRequest(bad);
+      FAIL() << "accepted: " << bad;
+    } catch (const qirkit::Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::Usage) << bad;
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, ErrorResponseSplicesExtraMembers) {
+  const json::Value v = json::parse(errorResponseJson(
+      ErrorCode::ResourceLimit, "too busy", "\"retry_after_ms\":125"));
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "resource-limit");
+  EXPECT_EQ(v.find("retry_after_ms")->asU64("retry_after_ms"), 125U);
 }
 
 // --------------------------------------------------------------- queue --
@@ -244,6 +296,35 @@ TEST(AdmissionQueueTest, TenantSeedStreamsAreDeterministicAndDistinct) {
   EXPECT_EQ(job->seed, 42U);
 }
 
+TEST(AdmissionQueueTest, TokenBucketRateLimitsWithRetryHint) {
+  QueueLimits limits;
+  limits.ratePerSec = 200; // one token every 5ms
+  limits.rateBurst = 2;
+  AdmissionQueue queue(limits);
+
+  queue.push(makeJob("alice"));
+  queue.push(makeJob("alice"));
+  try {
+    queue.push(makeJob("alice"));
+    FAIL() << "third admission must exhaust the burst";
+  } catch (const AdmissionError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::ResourceLimit);
+    EXPECT_GE(e.retryAfterMs(), 1U);
+    EXPECT_LE(e.retryAfterMs(), 5U); // deficit of at most one token
+  }
+  EXPECT_EQ(queue.stats().rateLimited, 1U);
+  EXPECT_EQ(queue.stats().rejected, 1U); // rate-limited is a subset
+
+  // The bucket refills continuously: after a token's worth of wall time
+  // the same tenant is admitted again — a sliding window, not an epoch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.push(makeJob("alice"));
+
+  // Other tenants have their own bucket and are unaffected.
+  queue.push(makeJob("bob"));
+  queue.close();
+}
+
 // -------------------------------------------------------------- server --
 
 /// A live daemon on a unique temp socket, torn down with the fixture.
@@ -273,6 +354,48 @@ protected:
     req.shots = shots;
     req.seed = seed;
     return submitRequestJson(req);
+  }
+
+  /// Tear the fixture daemon down and bring one up with tweaked options
+  /// (same socket). Used by the overload/cancellation tests, which need
+  /// a single runner or bespoke budgets.
+  void restart(const std::function<void(ServerOptions&)>& tweak) {
+    server_->stop();
+    ServerOptions options;
+    options.socketPath = socketPath_;
+    options.runners = 1;
+    options.poolThreads = 2;
+    // These tests use multi-million-shot jobs as "slow work"; keep the
+    // per-job shot ceiling out of their way.
+    options.queue.maxShotsPerJob = 100'000'000;
+    tweak(options);
+    server_ = std::make_unique<Server>(options);
+    server_->start();
+  }
+
+  /// A submit that keeps the single runner busy for seconds unless
+  /// cancelled: per-shot resimulation pins the cost to shots x circuit.
+  std::string slowSubmitLine(const std::string& tenant,
+                             const std::string& requestId,
+                             std::uint64_t shots,
+                             std::uint64_t deadlineMs = 0) const {
+    SubmitRequest req;
+    req.tenant = tenant;
+    req.program = kBellQasm;
+    req.shots = shots;
+    req.seed = 1;
+    req.execMode = vm::ExecMode::Resim;
+    req.requestId = requestId;
+    req.deadlineMs = deadlineMs;
+    return submitRequestJson(req);
+  }
+
+  static std::string cancelLine(const std::string& tenant,
+                                const std::string& requestId) {
+    CancelRequest req;
+    req.tenant = tenant;
+    req.requestId = requestId;
+    return cancelRequestJson(req);
   }
 
   static int counter_;
@@ -432,6 +555,198 @@ TEST_F(ServeTest, ProgramRefResubmissionSkipsReparsing) {
   const json::Value error = json::parse(client.call(submitRequestJson(bogus)));
   EXPECT_FALSE(error.find("ok")->boolean);
   EXPECT_EQ(error.find("error")->find("code")->string, "usage");
+}
+
+TEST_F(ServeTest, DeadlineJobReturnsPartialResultsAndDaemonSurvives) {
+  restart([](ServerOptions&) {}); // single runner, default (large) quotas
+
+  Client client(socketPath_);
+  // Far more shots than 10ms of per-shot resimulation can complete.
+  const json::Value v = json::parse(
+      client.call(slowSubmitLine("alice", "", 2'000'000, /*deadlineMs=*/10)));
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "deadline");
+  const std::uint64_t completed =
+      v.find("completed_shots")->asU64("completed_shots");
+  const std::uint64_t unstarted =
+      v.find("unstarted_shots")->asU64("unstarted_shots");
+  EXPECT_EQ(completed + unstarted, 2'000'000U);
+  EXPECT_GT(unstarted, 0U);
+  // Partial results: the histogram covers exactly the completed shots.
+  std::uint64_t histogramTotal = 0;
+  ASSERT_NE(v.find("histogram"), nullptr);
+  for (const auto& [bits, count] : v.find("histogram")->object) {
+    histogramTotal += static_cast<std::uint64_t>(count.number);
+  }
+  EXPECT_EQ(histogramTotal, completed);
+
+  // The daemon shrugged the deadline off: next request runs to completion.
+  const json::Value ok = json::parse(client.call(submitLine("alice", 20, 3)));
+  EXPECT_TRUE(ok.find("ok")->boolean);
+}
+
+TEST_F(ServeTest, CancelVerbStopsARunningJob) {
+  restart([](ServerOptions&) {});
+
+  std::string response;
+  std::thread submitter([&] {
+    Client client(socketPath_);
+    response = client.call(slowSubmitLine("alice", "long-job", 3'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  Client controller(socketPath_);
+  const json::Value cancelled =
+      json::parse(controller.call(cancelLine("alice", "long-job")));
+  EXPECT_TRUE(cancelled.find("ok")->boolean);
+  EXPECT_TRUE(cancelled.find("found")->boolean);
+  submitter.join();
+
+  // Whether the cancel landed while the job was queued or mid-batch, the
+  // submitter sees the deadline taxonomy entry, never a hang or a crash.
+  const json::Value v = json::parse(response);
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "deadline");
+
+  // A cancel for a job that no longer exists reports found=false.
+  const json::Value missing =
+      json::parse(controller.call(cancelLine("alice", "long-job")));
+  EXPECT_TRUE(missing.find("ok")->boolean);
+  EXPECT_FALSE(missing.find("found")->boolean);
+
+  // Tenants cannot cancel each other's jobs: wrong tenant, same id.
+  std::string response2;
+  std::thread submitter2([&] {
+    Client client(socketPath_);
+    response2 = client.call(slowSubmitLine("alice", "scoped", 3'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const json::Value foreign =
+      json::parse(controller.call(cancelLine("mallory", "scoped")));
+  EXPECT_FALSE(foreign.find("found")->boolean);
+  const json::Value owned =
+      json::parse(controller.call(cancelLine("alice", "scoped")));
+  EXPECT_TRUE(owned.find("found")->boolean);
+  submitter2.join();
+  EXPECT_FALSE(json::parse(response2).find("ok")->boolean);
+}
+
+TEST_F(ServeTest, CancelWhilePendingNeverExecutesTheJob) {
+  restart([](ServerOptions&) {});
+
+  std::string longResponse;
+  std::thread longJob([&] {
+    Client client(socketPath_);
+    longResponse = client.call(slowSubmitLine("alice", "hog", 3'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // The runner is busy with the hog, so this job sits in the queue.
+  std::string pendingResponse;
+  std::thread pendingJob([&] {
+    Client client(socketPath_);
+    pendingResponse = client.call(slowSubmitLine("bob", "queued", 500));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  Client controller(socketPath_);
+  const json::Value cancelled =
+      json::parse(controller.call(cancelLine("bob", "queued")));
+  EXPECT_TRUE(cancelled.find("found")->boolean);
+
+  // Unblock the runner so the cancelled pending job is popped.
+  (void)controller.call(cancelLine("alice", "hog"));
+  pendingJob.join();
+  longJob.join();
+
+  const json::Value v = json::parse(pendingResponse);
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "deadline");
+  // Cancelled while pending: zero shots ever ran.
+  EXPECT_EQ(v.find("completed_shots")->asU64("completed_shots"), 0U);
+  EXPECT_EQ(v.find("unstarted_shots")->asU64("unstarted_shots"), 500U);
+}
+
+TEST_F(ServeTest, QueueTtlExpiresJobsAndReleasesTenantQuota) {
+  restart([](ServerOptions& options) { options.queue.tenantMaxPending = 2; });
+
+  std::string hogResponse;
+  std::thread hog([&] {
+    Client client(socketPath_);
+    hogResponse = client.call(slowSubmitLine("alice", "hog", 3'000'000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+
+  // Queued behind the hog with a deadline shorter than the hog's runtime:
+  // this job's TTL expires while it is still pending.
+  std::string ttlResponse;
+  std::thread ttlJob([&] {
+    Client client(socketPath_);
+    ttlResponse = client.call(
+        slowSubmitLine("alice", "ttl", 500, /*deadlineMs=*/150));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+
+  // Tenant quota is now exhausted (hog running + ttl queued): a third job
+  // rejects with resource-limit and a retry hint.
+  Client controller(socketPath_);
+  const json::Value third = json::parse(
+      controller.call(slowSubmitLine("alice", "", 10)));
+  EXPECT_FALSE(third.find("ok")->boolean);
+  EXPECT_EQ(third.find("error")->find("code")->string, "resource-limit");
+  ASSERT_NE(third.find("retry_after_ms"), nullptr);
+  EXPECT_GE(third.find("retry_after_ms")->asU64("retry_after_ms"), 1U);
+
+  // Wait past the TTL, cancel the hog; the runner pops the expired job
+  // and delivers error[deadline] without ever executing it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  (void)controller.call(cancelLine("alice", "hog"));
+  ttlJob.join();
+  hog.join();
+
+  const json::Value v = json::parse(ttlResponse);
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "deadline");
+  EXPECT_EQ(v.find("completed_shots")->asU64("completed_shots"), 0U);
+  EXPECT_EQ(v.find("unstarted_shots")->asU64("unstarted_shots"), 500U);
+
+  // Both slots released: the tenant can admit again.
+  const json::Value after = json::parse(controller.call(submitLine("alice", 10, 1)));
+  EXPECT_TRUE(after.find("ok")->boolean);
+}
+
+TEST_F(ServeTest, MemoryAdmissionGuardRejectsOversizedPrograms) {
+  restart([](ServerOptions& options) {
+    options.memoryBudgetBytes = 1U << 20U; // 1 MiB: a 16-qubit state, max
+  });
+
+  // 17 qubits predict a 2 MiB statevector: rejected upfront, before any
+  // allocation, with no retry hint (it can never fit).
+  std::string wide = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+                     "qreg q[17];\ncreg c[17];\nh q[0];\nmeasure q -> c;\n";
+  SubmitRequest req;
+  req.tenant = "alice";
+  req.program = wide;
+  req.shots = 5;
+  Client client(socketPath_);
+  const json::Value v = json::parse(client.call(submitRequestJson(req)));
+  EXPECT_FALSE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("error")->find("code")->string, "resource-limit");
+  EXPECT_NE(v.find("error")->find("message")->string.find("memory budget"),
+            std::string::npos);
+  EXPECT_EQ(v.find("retry_after_ms"), nullptr);
+
+  // In-budget work is unaffected.
+  const json::Value ok = json::parse(client.call(submitLine("alice", 10, 1)));
+  EXPECT_TRUE(ok.find("ok")->boolean);
+
+  // The metrics document accounts for the rejection and the budget.
+  const json::Value metrics =
+      json::parse(client.call(R"({"type":"metrics"})"));
+  const json::Value* memory = metrics.find("memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->find("budget_bytes")->asU64("budget_bytes"), 1U << 20U);
+  EXPECT_GE(memory->find("rejected")->asU64("rejected"), 1U);
 }
 
 TEST_F(ServeTest, BrokenProgramsReturnClassifiedErrors) {

@@ -64,6 +64,7 @@
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/faultinject.hpp"
 #include "support/parallel.hpp"
@@ -389,6 +390,13 @@ int cmdRun(const Args& args) {
     ThreadPool::configureGlobal(jobs);
     options.pool = &ThreadPool::global();
   }
+  const std::uint64_t timeoutMs =
+      parseUint(args.option("timeout-ms", "0"), "timeout-ms");
+  qirkit::CancelToken cancel;
+  if (timeoutMs != 0) {
+    cancel.setTimeoutNs(timeoutMs * 1'000'000ULL);
+    options.cancel = &cancel;
+  }
   const vm::ShotBatchResult result = vm::runShots(*module, options);
   std::cerr << "engine: " << vm::engineName(result.engineUsed);
   if (result.engineUsed == vm::Engine::Vm) {
@@ -434,6 +442,16 @@ int cmdRun(const Args& args) {
   for (const auto& [bits, count] : result.histogram) {
     std::cout << (bits.empty() ? "(no recorded output)" : bits) << ": " << count
               << "\n";
+  }
+  if (result.deadlineExceeded) {
+    // Partial-results contract: the truncated histogram above covers
+    // exactly the completed shots; the batch as a whole still failed its
+    // deadline, so the exit code says so.
+    std::cerr << "qirkit: error[deadline]: --timeout-ms " << timeoutMs
+              << " expired after " << result.completedShots << " of "
+              << options.shots << " shot(s); histogram covers completed "
+              << "shots only (" << result.unstartedShots << " never ran)\n";
+    return 1;
   }
   return 0;
 }
@@ -550,6 +568,37 @@ int cmdServe(const Args& args) {
     options.queue.maxShotsPerJob =
         std::max<std::uint64_t>(1, parseUint(args.option("max-shots"), "max-shots"));
   }
+  if (!args.option("rate-limit").empty()) {
+    try {
+      options.queue.ratePerSec = std::stod(args.option("rate-limit"));
+    } catch (const std::exception&) {
+      options.queue.ratePerSec = -1;
+    }
+    if (options.queue.ratePerSec < 0) {
+      fail("--rate-limit expects a non-negative number, got '" +
+           args.option("rate-limit") + "'");
+    }
+  }
+  if (!args.option("rate-burst").empty()) {
+    try {
+      options.queue.rateBurst = std::stod(args.option("rate-burst"));
+    } catch (const std::exception&) {
+      options.queue.rateBurst = 0;
+    }
+    if (options.queue.rateBurst < 1) {
+      fail("--rate-burst expects a number >= 1, got '" +
+           args.option("rate-burst") + "'");
+    }
+  }
+  if (!args.option("memory-budget-mb").empty()) {
+    options.memoryBudgetBytes =
+        parseUint(args.option("memory-budget-mb"), "memory-budget-mb") <<
+        20U; // 0 disables the admission guard
+  }
+  if (!args.option("watchdog-factor").empty()) {
+    options.watchdogFactor = static_cast<unsigned>(
+        parseUint(args.option("watchdog-factor"), "watchdog-factor"));
+  }
 
   service::Server server(std::move(options));
   server.start();
@@ -592,9 +641,28 @@ int cmdSubmit(const Args& args) {
   if (socket.empty()) {
     fail("submit requires --socket <path>");
   }
-  service::Client client(socket);
+  service::ClientOptions clientOptions;
+  clientOptions.connectRetries = static_cast<unsigned>(
+      parseUint(args.option("connect-retries", "0"), "connect-retries"));
+  service::Client client(socket, clientOptions);
 
   const std::string& target = args.positional[0];
+  if (target == "cancel") {
+    service::CancelRequest cancel;
+    cancel.tenant = args.option("tenant", "cli");
+    cancel.requestId = args.option("request-id");
+    if (cancel.requestId.empty()) {
+      fail("submit cancel requires --request-id <id>");
+    }
+    const std::string response =
+        client.call(service::cancelRequestJson(cancel));
+    std::cout << response << "\n";
+    const json::Value root = json::parse(response);
+    const json::Value* ok = root.find("ok");
+    return ok != nullptr && ok->isBool() && ok->boolean
+               ? 0
+               : reportServiceError(root);
+  }
   if (target == "metrics" || target == "ping" || target == "shutdown") {
     const service::RequestType type =
         target == "metrics" ? service::RequestType::Metrics
@@ -654,6 +722,9 @@ int cmdSubmit(const Args& args) {
            "'");
     }
   }
+  request.deadlineMs =
+      parseUint(args.option("deadline-ms", "0"), "deadline-ms");
+  request.requestId = args.option("request-id");
 
   const std::string response =
       client.call(service::submitRequestJson(request));
@@ -700,16 +771,21 @@ void usage() {
          "run options: --shots N --seed S --engine vm|interp --jobs N\n"
          "             --exec-mode auto|resim|sample --fusion on|off\n"
          "             --retries N --max-failed-shots N --no-fallback\n"
+         "             --timeout-ms N (partial histogram + error[deadline])\n"
          "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
          "             --addressing static|dynamic --reuse --defer-mz\n"
          "serve: qirkit serve <socket> [--runners N] [--jobs N]\n"
          "             [--cache-capacity N] [--program-capacity N]\n"
          "             [--queue-capacity N] [--tenant-pending N]\n"
          "             [--max-shots N] [--max-frame-bytes N]\n"
-         "submit: qirkit submit <file|@program-id|metrics|ping|shutdown>\n"
+         "             [--rate-limit R/s] [--rate-burst B]\n"
+         "             [--memory-budget-mb N] [--watchdog-factor N]\n"
+         "submit: qirkit submit <file|@program-id|metrics|ping|shutdown|"
+         "cancel>\n"
          "             --socket <path> [--tenant T] [--shots N] [--seed S]\n"
          "             [--engine vm|interp] [--exec-mode M] [--fusion on|off]\n"
-         "             [--priority P] [--json]\n"
+         "             [--priority P] [--deadline-ms N] [--request-id ID]\n"
+         "             [--connect-retries N] [--json]\n"
          "environment:\n"
          "  QIRKIT_TRACE=<file>       write Chrome trace-event JSON "
          "(Perfetto)\n"
@@ -756,7 +832,9 @@ int main(int argc, char** argv) {
          "exec-mode", "fusion", "max-failed-shots", "retries", "to", "budget",
          "model", "output", "socket", "tenant", "priority", "runners",
          "cache-capacity", "program-capacity", "queue-capacity",
-         "tenant-pending", "max-shots", "max-frame-bytes"});
+         "tenant-pending", "max-shots", "max-frame-bytes", "timeout-ms",
+         "deadline-ms", "request-id", "connect-retries", "rate-limit",
+         "rate-burst", "memory-budget-mb", "watchdog-factor"});
     if (args.positional.empty()) {
       usage();
       return 2;

@@ -121,4 +121,89 @@ SERVE_PID=""
 [ -S "$SOCK" ] && fail "socket not unlinked on shutdown"
 grep -q "shut down" "$WORK/serve.log" || fail "shutdown not logged"
 
+# -- chaos drill: fault injection + deadline cut against a live daemon -----
+# A fresh daemon with the deterministic fault injector armed: the first
+# runtime-call probe of the first executed job throws a permanent injected
+# fault. The daemon must answer with the structured error, stay up, and
+# serve every subsequent request untouched.
+SOCK2="$WORK/chaos.sock"
+env QIRKIT_FAULT_INJECT="site=runtime-call,at=1,transient=0" \
+  "$QIRKIT" serve "$SOCK2" --runners 1 --jobs 2 --max-shots 100000000 \
+  2> "$WORK/chaos.log" &
+SERVE_PID=$!
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  [ -S "$SOCK2" ] && break
+  sleep 0.1
+done
+[ -S "$SOCK2" ] || fail "chaos daemon did not create the socket"
+
+set +e
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK2" --tenant chaos \
+  --shots 50 --seed 7 --engine interp --exec-mode resim 2> "$WORK/err5"
+[ $? -eq 1 ] || fail "injected fault should exit 1"
+set -e
+grep -q "error\[injected-fault\]" "$WORK/err5" || fail "injected fault format"
+kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on injected fault"
+
+# A deadline-exceeded request: far more resim work than its 25 ms budget
+# allows. The cut must come back as error[deadline] (exit 1) with the
+# daemon unharmed.
+set +e
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK2" --tenant chaos \
+  --shots 2000000 --seed 7 --exec-mode resim --deadline-ms 25 \
+  2> "$WORK/err6" > /dev/null
+[ $? -eq 1 ] || fail "deadline cut should exit 1"
+set -e
+grep -q "error\[deadline\]" "$WORK/err6" || fail "deadline error format"
+kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on deadline cut"
+
+# After both injected failures, a clean request must still produce the
+# exact single-process histogram.
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK2" --tenant chaos \
+  --shots 60 --seed 7 2>/dev/null > "$WORK/bell.chaos" \
+  || fail "submit after chaos"
+cmp -s "$WORK/bell.chaos" "$WORK/bell.expected" \
+  || fail "post-chaos histogram differs"
+
+# -- SIGTERM graceful drain ------------------------------------------------
+# A long-running job plus a queued one (single runner), then SIGTERM: the
+# running job must flush to completion, the queued one must be cancelled
+# with an explicit disposition, and the daemon must exit 0.
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK2" --tenant drain \
+  --shots 3000000 --seed 7 --exec-mode resim 2>/dev/null \
+  > "$WORK/drain.running" &
+A=$!
+sleep 0.3
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK2" --tenant drain2 \
+  --shots 50 --seed 7 2> "$WORK/drain.queued.err" > /dev/null &
+B=$!
+sleep 0.3
+kill -TERM "$SERVE_PID"
+
+wait $A || fail "running job should flush to completion across the drain"
+grep -q "^[01][01]: " "$WORK/drain.running" \
+  || fail "flushed job should deliver its histogram"
+set +e
+wait $B
+[ $? -eq 1 ] || fail "queued job should be drain-cancelled with exit 1"
+set -e
+grep -q "error\[deadline\].*draining" "$WORK/drain.queued.err" \
+  || fail "drain disposition missing from queued job's error"
+
+for i in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  kill -0 "$SERVE_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  fail "daemon still running after SIGTERM drain"
+fi
+set +e
+wait "$SERVE_PID"
+[ $? -eq 0 ] || fail "daemon should exit 0 after a graceful drain"
+set -e
+SERVE_PID=""
+grep -q "drain: job" "$WORK/chaos.log" \
+  || fail "per-job drain disposition not logged"
+grep -q "shut down" "$WORK/chaos.log" || fail "drain shutdown not logged"
+
 echo "SERVE TESTS PASSED"
