@@ -15,6 +15,7 @@
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "support/telemetry/telemetry.hpp"
 #include "vm/cache.hpp"
 #include "vm/executor.hpp"
 
@@ -66,6 +67,36 @@ const std::string& workloadQasm() {
 }
 
 constexpr std::uint64_t kShots = 100;
+
+/// Per-iteration latency distribution for one benchmark, kept out of the
+/// global telemetry registry (each repetition constructs its own). The
+/// power-of-two buckets cost one increment per iteration and give the
+/// report the tail the mean hides.
+using LatencyTally = telemetry::LatencyHistogram;
+
+/// Run \p body once and record its wall time.
+template <typename Body>
+void timeInto(LatencyTally& tally, Body&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  tally.recordUnchecked(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
+}
+
+/// Attach p50/p95/p99 iteration-latency counters to the row. kAvgThreads
+/// keeps threaded benchmarks reporting a per-thread percentile instead of
+/// a meaningless sum.
+void reportPercentiles(benchmark::State& state, const LatencyTally& tally) {
+  const auto q = [&](double p) {
+    return benchmark::Counter(static_cast<double>(tally.quantileNs(p)),
+                              benchmark::Counter::kAvgThreads);
+  };
+  state.counters["p50_ns"] = q(0.50);
+  state.counters["p95_ns"] = q(0.95);
+  state.counters["p99_ns"] = q(0.99);
+}
 
 /// One daemon shared by every serve benchmark in this process, started on
 /// first use and torn down at exit through the Server destructor.
@@ -182,14 +213,16 @@ void BM_ServeSubmitCached(benchmark::State& state) {
   service::Client client(daemon().options().socketPath);
   const std::string ref = registerProgram(client);
   const std::string line = submitLine("bench", ref);
+  LatencyTally tally{"bench.serve.cached", telemetry::Unregistered{}};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(client.call(line));
+    timeInto(tally, [&] { benchmark::DoNotOptimize(client.call(line)); });
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["requests_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
   state.counters["cache_hit_rate"] = cacheHitRate();
   state.counters["shots_per_request"] = static_cast<double>(kShots);
+  reportPercentiles(state, tally);
 }
 BENCHMARK(BM_ServeSubmitCached)->UseRealTime()->Unit(benchmark::kMicrosecond);
 
@@ -201,14 +234,16 @@ void BM_ServeConcurrentTenants(benchmark::State& state) {
   const std::string ref = registerProgram(client);
   const std::string line =
       submitLine("tenant" + std::to_string(state.thread_index()), ref);
+  LatencyTally tally{"bench.serve.concurrent", telemetry::Unregistered{}};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(client.call(line));
+    timeInto(tally, [&] { benchmark::DoNotOptimize(client.call(line)); });
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["requests_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
   state.counters["cache_hit_rate"] =
       benchmark::Counter(cacheHitRate(), benchmark::Counter::kAvgThreads);
+  reportPercentiles(state, tally);
 }
 BENCHMARK(BM_ServeConcurrentTenants)
     ->Threads(4)
@@ -225,8 +260,11 @@ void BM_ServePerProcessBaseline(benchmark::State& state) {
                         "(set QIRKIT_BIN to override)");
     return;
   }
+  LatencyTally tally{"bench.serve.baseline", telemetry::Unregistered{}};
   for (auto _ : state) {
-    if (!runCliOnce(bin)) {
+    bool ok = true;
+    timeInto(tally, [&] { ok = runCliOnce(bin); });
+    if (!ok) {
       state.SkipWithError("qirkit run child failed");
       return;
     }
@@ -235,6 +273,7 @@ void BM_ServePerProcessBaseline(benchmark::State& state) {
   state.counters["requests_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
   state.counters["shots_per_request"] = static_cast<double>(kShots);
+  reportPercentiles(state, tally);
 }
 BENCHMARK(BM_ServePerProcessBaseline)
     ->UseRealTime()
@@ -245,22 +284,26 @@ BENCHMARK(BM_ServePerProcessBaseline)
 /// per-process cost is compilation (amortized by the daemon's caches)
 /// versus process startup.
 void BM_ServeColdCompileInProcess(benchmark::State& state) {
+  LatencyTally tally{"bench.serve.cold", telemetry::Unregistered{}};
   for (auto _ : state) {
-    ir::Context ctx;
-    const circuit::Circuit c = qasm::parse(workloadQasm());
-    qir::ExportOptions exportOptions;
-    exportOptions.addressing = qir::Addressing::Static;
-    const auto module = qir::exportCircuit(ctx, c, exportOptions);
-    vm::ShotOptions options;
-    options.shots = kShots;
-    options.seed = 7;
-    options.useCompileCache = false; // a fresh process has an empty cache
-    benchmark::DoNotOptimize(vm::runShots(*module, options));
+    timeInto(tally, [&] {
+      ir::Context ctx;
+      const circuit::Circuit c = qasm::parse(workloadQasm());
+      qir::ExportOptions exportOptions;
+      exportOptions.addressing = qir::Addressing::Static;
+      const auto module = qir::exportCircuit(ctx, c, exportOptions);
+      vm::ShotOptions options;
+      options.shots = kShots;
+      options.seed = 7;
+      options.useCompileCache = false; // a fresh process has an empty cache
+      benchmark::DoNotOptimize(vm::runShots(*module, options));
+    });
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["requests_per_sec"] = benchmark::Counter(
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
   state.counters["shots_per_request"] = static_cast<double>(kShots);
+  reportPercentiles(state, tally);
 }
 BENCHMARK(BM_ServeColdCompileInProcess)->Unit(benchmark::kMicrosecond);
 
@@ -391,13 +434,13 @@ void BM_ServeOverload(benchmark::State& state) {
   }
   const double baselineRps = measureRps(steady, steadyLine, 10);
 
-  OverloadTally tally;
+  OverloadTally overloadTally;
   std::atomic<bool> stop{false};
   std::vector<std::thread> hostiles;
   for (int tenant = 0; tenant < 4; ++tenant) {
     for (int conn = 0; conn < 4; ++conn) {
-      hostiles.emplace_back([&server, &retrying, &ref, &tally, &stop, tenant,
-                             conn] {
+      hostiles.emplace_back([&server, &retrying, &ref, &overloadTally, &stop,
+                             tenant, conn] {
         const std::string name = "hostile" + std::to_string(tenant);
         try {
           service::Client client(server.options().socketPath, retrying);
@@ -414,7 +457,7 @@ void BM_ServeOverload(benchmark::State& state) {
           bool big = (conn % 2) == 0;
           while (!stop.load(std::memory_order_relaxed)) {
             classifyHostileResponse(
-                client.call(big ? deadlineLine : oversizeLine), tally);
+                client.call(big ? deadlineLine : oversizeLine), overloadTally);
             big = !big;
             // Sustained pressure, not a pure reject spin: ~40 attempts/s
             // per connection keeps every hostile tenant far over quota
@@ -422,7 +465,7 @@ void BM_ServeOverload(benchmark::State& state) {
             std::this_thread::sleep_for(std::chrono::milliseconds(25));
           }
         } catch (const std::exception&) {
-          tally.unexpected.fetch_add(1, std::memory_order_relaxed);
+          overloadTally.unexpected.fetch_add(1, std::memory_order_relaxed);
         }
       });
     }
@@ -431,10 +474,11 @@ void BM_ServeOverload(benchmark::State& state) {
   // Let the hostile load ramp before measuring the in-budget tenant.
   std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
+  LatencyTally tally{"bench.serve.overload", telemetry::Unregistered{}};
   std::uint64_t contendedCalls = 0;
   const auto contendedStart = std::chrono::steady_clock::now();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(steady.call(steadyLine));
+    timeInto(tally, [&] { benchmark::DoNotOptimize(steady.call(steadyLine)); });
     std::this_thread::sleep_for(kSteadyGap);
     ++contendedCalls;
   }
@@ -464,7 +508,7 @@ void BM_ServeOverload(benchmark::State& state) {
     state.SkipWithError("daemon stopped serving in-budget work after load");
     return;
   }
-  if (tally.unexpected.load() != 0) {
+  if (overloadTally.unexpected.load() != 0) {
     state.SkipWithError("hostile load drew an unstructured response");
     return;
   }
@@ -479,13 +523,14 @@ void BM_ServeOverload(benchmark::State& state) {
   state.counters["throughput_ratio"] =
       baselineRps <= 0.0 ? 0.0 : contendedRps / baselineRps;
   state.counters["hostile_deadline_rejects"] =
-      static_cast<double>(tally.deadlineRejects.load());
+      static_cast<double>(overloadTally.deadlineRejects.load());
   state.counters["hostile_resource_rejects"] =
-      static_cast<double>(tally.resourceRejects.load());
+      static_cast<double>(overloadTally.resourceRejects.load());
   state.counters["hostile_retry_hints"] =
-      static_cast<double>(tally.retryHints.load());
+      static_cast<double>(overloadTally.retryHints.load());
   state.counters["hostile_completed"] =
-      static_cast<double>(tally.completed.load());
+      static_cast<double>(overloadTally.completed.load());
+  reportPercentiles(state, tally);
 }
 BENCHMARK(BM_ServeOverload)
     ->Iterations(20)

@@ -13,6 +13,10 @@ import sys
 
 SCHEMA_VERSION = 1
 
+# Serve-mode benchmarks must report iteration-latency percentiles so the
+# artifact carries the tail, not just the mean.
+PERCENTILE_KEYS = ("p50_ns", "p95_ns", "p99_ns")
+
 
 def fail(path, msg):
     print(f"{path}: {msg}", file=sys.stderr)
@@ -52,6 +56,17 @@ def validate(path):
                 fail(path, f"{where}.{key} must be a non-negative number")
         if not isinstance(b.get("counters"), dict):
             fail(path, f"{where}.counters must be an object")
+        if b["name"].startswith("BM_Serve"):
+            counters = b["counters"]
+            for key in PERCENTILE_KEYS:
+                if not isinstance(counters.get(key), (int, float)) \
+                        or counters[key] < 0:
+                    fail(path, f"{where}.counters.{key} must be a "
+                               f"non-negative number for serve benchmarks")
+            if counters["p50_ns"] > counters["p95_ns"] \
+                    or counters["p95_ns"] > counters["p99_ns"]:
+                fail(path, f"{where}.counters percentiles must be "
+                           f"non-decreasing (p50 <= p95 <= p99)")
 
     telemetry = doc.get("telemetry")
     if telemetry is not None:

@@ -1,0 +1,96 @@
+#include "service/flight_recorder.hpp"
+
+#include "support/telemetry/telemetry.hpp"
+
+#include <sstream>
+
+namespace qirkit::service {
+
+using telemetry::jsonEscape;
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::uint64_t slowThresholdNs)
+    : capacity_(capacity == 0 ? 1 : capacity), slowThresholdNs_(slowThresholdNs) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::record(FlightRecord rec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rec.seq = ++seq_;
+  rec.slow = slowThresholdNs_ != 0 && rec.totalNs >= slowThresholdNs_;
+  if (!rec.slow && rec.outcome == "ok") {
+    rec.stagesJson.clear();
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<FlightRecord> FlightRecorder::query(std::string_view tenant,
+                                                std::size_t limit) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  // Oldest-first: once wrapped, next_ points at the oldest record.
+  const std::size_t n = ring_.size();
+  const std::size_t start = n < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightRecord& rec = ring_[(start + i) % n];
+    if (!tenant.empty() && rec.tenant != tenant) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  if (limit != 0 && out.size() > limit) {
+    out.erase(out.begin(), out.end() - static_cast<std::ptrdiff_t>(limit));
+  }
+  return out;
+}
+
+std::string FlightRecorder::eventsJson(std::string_view tenant,
+                                       std::size_t limit) const {
+  std::ostringstream out;
+  out << "[";
+  bool first = true;
+  for (const FlightRecord& rec : query(tenant, limit)) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "{\"seq\":" << rec.seq << ",\"job_id\":" << rec.jobId
+        << ",\"tenant\":\"" << jsonEscape(rec.tenant) << "\"";
+    if (!rec.requestId.empty()) {
+      out << ",\"request_id\":\"" << jsonEscape(rec.requestId) << "\"";
+    }
+    if (!rec.programId.empty()) {
+      out << ",\"program_id\":\"" << jsonEscape(rec.programId) << "\"";
+    }
+    out << ",\"shots\":" << rec.shots
+        << ",\"queue_wait_ns\":" << rec.queueWaitNs
+        << ",\"exec_ns\":" << rec.execNs << ",\"total_ns\":" << rec.totalNs
+        << ",\"outcome\":\"" << jsonEscape(rec.outcome) << "\"";
+    if (!rec.errorCode.empty()) {
+      out << ",\"error\":\"" << jsonEscape(rec.errorCode) << "\"";
+    }
+    if (!rec.cause.empty()) {
+      out << ",\"cause\":\"" << jsonEscape(rec.cause) << "\"";
+    }
+    out << ",\"slow\":" << (rec.slow ? "true" : "false");
+    if (!rec.stagesJson.empty()) {
+      out << ",\"stages\":" << rec.stagesJson;
+    }
+    out << "}";
+  }
+  out << "]";
+  return out.str();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+} // namespace qirkit::service

@@ -1,0 +1,88 @@
+/// \file flight_recorder.hpp
+/// The daemon's flight recorder: a fixed-size ring buffer of recent
+/// request records — tenant, ids, per-stage timings, outcome, error
+/// code, and the cancellation cause (cancel verb vs watchdog vs queue
+/// TTL vs drain) — queryable via the `events` verb. Where the metrics
+/// endpoint answers "how is the service doing", the recorder answers
+/// "what happened to request X" after the fact, without any tracing
+/// having been armed in advance.
+///
+/// Recording is unconditional (like the server's exact counters): one
+/// short mutex section and a handful of string copies per finished
+/// request, invisible next to socket I/O. Memory is bounded by the
+/// capacity times a per-record cap that the caller respects by only
+/// attaching the full stage trace to slow or errored requests —
+/// the automatic capture that makes the interesting 1% diagnosable
+/// while the healthy 99% stay one flat record each.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qirkit::service {
+
+/// One archived request.
+struct FlightRecord {
+  std::uint64_t seq = 0; ///< monotonic record number, stamped by record()
+  std::uint64_t jobId = 0;
+  std::string tenant;
+  std::string requestId;
+  std::string programId;
+  std::uint64_t shots = 0;
+  std::uint64_t queueWaitNs = 0;
+  std::uint64_t execNs = 0;
+  std::uint64_t totalNs = 0;
+  std::string outcome;    ///< "ok" | "error" | "rejected"
+  std::string errorCode;  ///< kebab-case ErrorCode when outcome != "ok"
+  std::string cause;      ///< "cancel", "watchdog", "queue-ttl", "drain",
+                          ///< an admission cause, or empty
+  std::string stagesJson; ///< per-stage JSON array; kept only when
+                          ///< slow or errored (see FlightRecorder)
+  bool slow = false;      ///< stamped by record() from the threshold
+};
+
+class FlightRecorder {
+public:
+  /// \p capacity records are retained (oldest evicted first);
+  /// \p slowThresholdNs marks a record slow when its total latency
+  /// (admission to delivery) reaches it. 0 disables the slow mark.
+  FlightRecorder(std::size_t capacity, std::uint64_t slowThresholdNs);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Archive one finished request. Stamps seq and slow; drops the stage
+  /// trace unless the record is slow or not "ok" — the bound that keeps
+  /// a healthy high-throughput daemon's recorder memory flat.
+  void record(FlightRecord rec);
+
+  /// Records in arrival order (oldest first), optionally filtered by
+  /// tenant and truncated to the *newest* \p limit matches (0 = all).
+  [[nodiscard]] std::vector<FlightRecord> query(std::string_view tenant = {},
+                                                std::size_t limit = 0) const;
+
+  /// The query result rendered as the events verb's JSON array.
+  [[nodiscard]] std::string eventsJson(std::string_view tenant = {},
+                                       std::size_t limit = 0) const;
+
+  /// Total records ever archived (>= retained count once wrapped).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t slowThresholdNs() const noexcept {
+    return slowThresholdNs_;
+  }
+
+private:
+  std::size_t capacity_;
+  std::uint64_t slowThresholdNs_;
+  mutable std::mutex mutex_;
+  std::vector<FlightRecord> ring_; // grows to capacity_, then wraps
+  std::size_t next_ = 0;           // ring insertion point once full
+  std::uint64_t seq_ = 0;
+};
+
+} // namespace qirkit::service

@@ -1,5 +1,6 @@
 #include "service/json.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -118,7 +119,12 @@ private:
       }
     } else if (c == '-' || (std::isdigit(static_cast<unsigned char>(c)) != 0)) {
       v.kind = Value::Kind::Number;
+      const std::size_t start = pos_;
       v.number = parseNumber();
+      // Keep the literal spelling: a full 64-bit integer (a server-chosen
+      // seed) is not exactly representable as a double, and asU64 needs
+      // the exact value back.
+      v.string.assign(text_.substr(start, pos_ - start));
     } else {
       malformed(pos_, "unexpected character");
     }
@@ -229,6 +235,18 @@ const Value* Value::find(std::string_view key) const {
 }
 
 std::uint64_t Value::asU64(std::string_view key, ErrorCode code) const {
+  // Plain decimal literals read back exactly from their spelling, which
+  // covers the full 64-bit range (2^53..2^64 would be lossy as doubles).
+  if (kind == Kind::Number && !string.empty() &&
+      std::all_of(string.begin(), string.end(),
+                  [](char c) { return c >= '0' && c <= '9'; })) {
+    try {
+      return std::stoull(string);
+    } catch (const std::exception&) {
+      throw qirkit::Error(code, "field '" + std::string(key) +
+                                    "' is out of 64-bit range");
+    }
+  }
   if (kind != Kind::Number || number < 0 || std::floor(number) != number ||
       number > 9.007199254740992e15) { // 2^53: exact integer range
     throw qirkit::Error(code, "field '" + std::string(key) +

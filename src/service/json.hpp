@@ -28,6 +28,8 @@ public:
   Kind kind = Kind::Null;
   bool boolean = false;
   double number = 0.0;
+  /// String payload; for numbers, the literal spelling (so 64-bit
+  /// integers survive the double round-trip — see asU64).
   std::string string;
   std::map<std::string, Value> object; // sorted: deterministic iteration
   std::vector<Value> array;

@@ -1,0 +1,124 @@
+#include "service/prometheus.hpp"
+
+#include "support/telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+namespace qirkit::service {
+
+namespace {
+
+/// Label values escape per the exposition format: backslash, quote, and
+/// newline only.
+std::string labelEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+    case '\\': out += "\\\\"; break;
+    case '"': out += "\\\""; break;
+    case '\n': out += "\\n"; break;
+    default: out += c;
+    }
+  }
+  return out;
+}
+
+void emitType(std::ostringstream& out, const std::string& name,
+              const char* type) {
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+/// One histogram's series, with optional extra label (e.g.
+/// tenant="acme") prefixed into every series' label set.
+void emitHistogram(std::ostringstream& out, const std::string& name,
+                   const std::string& extraLabel,
+                   const qirkit::telemetry::LatencyHistogram& h) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < qirkit::telemetry::LatencyHistogram::kBuckets;
+       ++i) {
+    const std::uint64_t n = h.bucketCount(i);
+    if (n == 0) {
+      continue;
+    }
+    cumulative += n;
+    const std::uint64_t le = std::uint64_t{1}
+                             << std::min<std::size_t>(i + 1, 63);
+    out << name << "_bucket{" << extraLabel << "le=\"" << le
+        << "\"} " << cumulative << "\n";
+  }
+  out << name << "_bucket{" << extraLabel << "le=\"+Inf\"} " << h.count()
+      << "\n";
+  if (extraLabel.empty()) {
+    out << name << "_sum " << h.sum() << "\n";
+    out << name << "_count " << h.count() << "\n";
+  } else {
+    // Strip the trailing comma the bucket series needed before "le".
+    const std::string labels = extraLabel.substr(0, extraLabel.size() - 1);
+    out << name << "_sum{" << labels << "} " << h.sum() << "\n";
+    out << name << "_count{" << labels << "} " << h.count() << "\n";
+  }
+}
+
+} // namespace
+
+std::string prometheusName(std::string_view name) {
+  std::string out = "qirkit_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheusText() {
+  namespace tel = qirkit::telemetry;
+  std::ostringstream out;
+
+  // Scalars: a Snapshot carries every counter and gauge with its kind.
+  const tel::Snapshot snap = tel::snapshot();
+  for (const tel::Snapshot::Scalar& s : snap.scalars) {
+    const std::string name = prometheusName(s.name);
+    emitType(out, name, s.monotonic ? "counter" : "gauge");
+    out << name << " " << s.value << "\n";
+  }
+
+  for (const tel::LatencyHistogram* h : tel::allHistograms()) {
+    const std::string name = prometheusName(h->name());
+    emitType(out, name, "histogram");
+    emitHistogram(out, name, "", *h);
+  }
+
+  for (const tel::LabeledCounter* c : tel::allLabeledCounters()) {
+    const std::string name = prometheusName(c->name());
+    emitType(out, name, "counter");
+    for (const auto& [label, value] : c->values()) {
+      out << name << "{" << c->labelKey() << "=\"" << labelEscape(label)
+          << "\"} " << value << "\n";
+    }
+    const std::string evicted = name + "_evicted";
+    emitType(out, evicted, "counter");
+    out << evicted << " " << c->evictions() << "\n";
+  }
+
+  for (const tel::LabeledHistogram* lh : tel::allLabeledHistograms()) {
+    const std::string name = prometheusName(lh->name());
+    emitType(out, name, "histogram");
+    lh->forEach([&](const std::string& label, const tel::LatencyHistogram& h) {
+      const std::string extraLabel = std::string(lh->labelKey()) + "=\"" +
+                                     labelEscape(label) + "\",";
+      emitHistogram(out, name, extraLabel, h);
+    });
+    const std::string evicted = name + "_evicted";
+    emitType(out, evicted, "counter");
+    out << evicted << " " << lh->evictions() << "\n";
+  }
+
+  return out.str();
+}
+
+} // namespace qirkit::service

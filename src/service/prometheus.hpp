@@ -1,0 +1,33 @@
+/// \file prometheus.hpp
+/// Prometheus text exposition (format version 0.0.4) of the telemetry
+/// registry, for the metrics verb's `format=prometheus` mode. Standard
+/// scrapers cannot speak the daemon's line-delimited JSON, so the server
+/// returns this text escaped inside the JSON response's "body" field and
+/// `qirkit submit metrics --format=prometheus` unwraps it to stdout —
+/// from where a node_exporter-style textfile collector, or a thin HTTP
+/// shim, feeds an actual Prometheus.
+///
+/// Mapping: dotted metric names are sanitized ('.', '-' → '_') under a
+/// `qirkit_` prefix; counters and gauges become scalar series of their
+/// type; latency histograms become native Prometheus histograms
+/// (`_bucket{le=...}` cumulative over the power-of-two ns bounds, plus
+/// `_sum`/`_count`, all in nanoseconds); labeled families emit one
+/// series per live label value under their label key (tenant), plus an
+/// `_evicted` counter exposing the cardinality bound's activity.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qirkit::service {
+
+/// Sanitized Prometheus identifier for a dotted metric name:
+/// "serve.job.latency_ns" → "qirkit_serve_job_latency_ns".
+[[nodiscard]] std::string prometheusName(std::string_view name);
+
+/// Render every registered metric (scalars, histograms, labeled
+/// families) as one exposition document. Values reflect the live
+/// registry at call time.
+[[nodiscard]] std::string prometheusText();
+
+} // namespace qirkit::service

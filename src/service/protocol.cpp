@@ -92,6 +92,26 @@ CancelRequest parseCancel(const json::Value& root) {
   return req;
 }
 
+MetricsRequest parseMetrics(const json::Value& root) {
+  MetricsRequest req;
+  const std::string format = stringField(root, "format", "json");
+  if (format == "prometheus") {
+    req.prometheus = true;
+  } else if (format != "json") {
+    badField("field 'format' must be json or prometheus");
+  }
+  return req;
+}
+
+EventsRequest parseEvents(const json::Value& root) {
+  EventsRequest req;
+  req.tenant = stringField(root, "tenant");
+  if (const json::Value* v = root.find("limit")) {
+    req.limit = v->asU64("limit");
+  }
+  return req;
+}
+
 } // namespace
 
 Request parseRequest(std::string_view line) {
@@ -106,6 +126,10 @@ Request parseRequest(std::string_view line) {
     req.submit = parseSubmit(root);
   } else if (type == "metrics") {
     req.type = RequestType::Metrics;
+    req.metrics = parseMetrics(root);
+  } else if (type == "events") {
+    req.type = RequestType::Events;
+    req.events = parseEvents(root);
   } else if (type == "ping") {
     req.type = RequestType::Ping;
   } else if (type == "cancel") {
@@ -158,8 +182,28 @@ std::string cancelRequestJson(const CancelRequest& request) {
 std::string simpleRequestJson(RequestType type) {
   const char* name = type == RequestType::Metrics    ? "metrics"
                      : type == RequestType::Shutdown ? "shutdown"
+                     : type == RequestType::Events   ? "events"
                                                      : "ping";
   return std::string("{\"type\":\"") + name + "\"}";
+}
+
+std::string metricsRequestJson(const MetricsRequest& request) {
+  return request.prometheus
+             ? std::string("{\"type\":\"metrics\",\"format\":\"prometheus\"}")
+             : std::string("{\"type\":\"metrics\"}");
+}
+
+std::string eventsRequestJson(const EventsRequest& request) {
+  std::ostringstream out;
+  out << "{\"type\":\"events\"";
+  if (!request.tenant.empty()) {
+    out << ",\"tenant\":\"" << jsonEscape(request.tenant) << "\"";
+  }
+  if (request.limit != 0) {
+    out << ",\"limit\":" << request.limit;
+  }
+  out << "}";
+  return out.str();
 }
 
 std::string errorResponseJson(ErrorCode code, const std::string& message,
@@ -243,6 +287,9 @@ std::string submitResponseJson(const SubmitResponse& response) {
       << ",\"queue_wait_ns\":" << response.queueWaitNs
       << ",\"exec_ns\":" << response.execNs << ",\"metrics\":"
       << (response.metricsDeltaJson.empty() ? "{}" : response.metricsDeltaJson);
+  if (!response.stagesJson.empty()) {
+    out << ",\"stages\":" << response.stagesJson;
+  }
   if (batch.degradedToInterp) {
     out << ",\"degraded\":\"" << jsonEscape(batch.degradeReason) << "\"";
   }

@@ -12,6 +12,11 @@
 ///                                                     program by content id
 ///   {"type":"metrics"}                                service gauges + cache
 ///                                                     + telemetry snapshot
+///   {"type":"metrics","format":"prometheus"}          same data as Prometheus
+///                                                     text exposition (in the
+///                                                     "body" response field)
+///   {"type":"events","tenant":T?,"limit":N?}          recent request records
+///                                                     from the flight recorder
 ///   {"type":"ping"}                                   liveness probe
 ///   {"type":"cancel","tenant":T,"request_id":R}       cancel a tagged job
 ///   {"type":"shutdown"}                               drain and exit
@@ -49,7 +54,14 @@ inline constexpr int kProtocolVersion = 1;
 /// with error[usage] and skipped; the connection stays usable.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 4U << 20U;
 
-enum class RequestType : std::uint8_t { Submit, Metrics, Ping, Cancel, Shutdown };
+enum class RequestType : std::uint8_t {
+  Submit,
+  Metrics,
+  Ping,
+  Cancel,
+  Shutdown,
+  Events,
+};
 
 struct SubmitRequest {
   std::string tenant;
@@ -77,10 +89,27 @@ struct CancelRequest {
   std::string requestId;
 };
 
+/// The metrics verb: "format" selects JSON (default) or Prometheus text
+/// exposition (returned escaped in the response's "body" field, since the
+/// transport is line-delimited JSON).
+struct MetricsRequest {
+  bool prometheus = false;
+};
+
+/// The events verb: query the flight recorder's recent request records,
+/// newest last. An empty tenant returns every tenant; limit 0 means all
+/// retained records.
+struct EventsRequest {
+  std::string tenant;
+  std::uint64_t limit = 0;
+};
+
 struct Request {
   RequestType type = RequestType::Ping;
-  SubmitRequest submit; // meaningful when type == Submit
-  CancelRequest cancel; // meaningful when type == Cancel
+  SubmitRequest submit;   // meaningful when type == Submit
+  CancelRequest cancel;   // meaningful when type == Cancel
+  MetricsRequest metrics; // meaningful when type == Metrics
+  EventsRequest events;   // meaningful when type == Events
 };
 
 /// Parse one request line. Throws qirkit::Error — ErrorCode::Parse for
@@ -91,11 +120,17 @@ struct Request {
 /// Serialize a submit request to one frame (no trailing newline).
 [[nodiscard]] std::string submitRequestJson(const SubmitRequest& request);
 
-/// Serialize a bodyless request (metrics / ping / shutdown).
+/// Serialize a bodyless request (metrics / ping / shutdown / events).
 [[nodiscard]] std::string simpleRequestJson(RequestType type);
 
 /// Serialize a cancel request.
 [[nodiscard]] std::string cancelRequestJson(const CancelRequest& request);
+
+/// Serialize a metrics request (carries "format" only when non-default).
+[[nodiscard]] std::string metricsRequestJson(const MetricsRequest& request);
+
+/// Serialize an events request.
+[[nodiscard]] std::string eventsRequestJson(const EventsRequest& request);
 
 /// Render the structured error response for a classified failure.
 /// \p extraJson, when non-empty, is spliced verbatim as additional
@@ -130,6 +165,9 @@ struct SubmitResponse {
   std::uint64_t queueWaitNs = 0;
   std::uint64_t execNs = 0;
   std::string metricsDeltaJson; // "{}" when telemetry is disabled
+  /// Per-stage breakdown from the request trace (a JSON array,
+  /// RequestTrace::stagesJson); empty omits the "stages" member.
+  std::string stagesJson;
 };
 
 [[nodiscard]] std::string submitResponseJson(const SubmitResponse& response);

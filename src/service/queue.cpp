@@ -32,33 +32,34 @@ void AdmissionQueue::push(Job job) {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     // retryAfterMs: 0 = permanent (static limit), nonzero = back off and
-    // retry — surfaced on the wire as the retry_after_ms hint.
-    const auto reject = [&](const std::string& why,
-                            std::uint64_t retryAfterMs) {
+    // retry — surfaced on the wire as the retry_after_ms hint. The cause
+    // is the stable label of the per-tenant reject-by-cause counters.
+    const auto reject = [&](const std::string& why, std::uint64_t retryAfterMs,
+                            const char* cause) {
       ++rejected_;
       g_rejected.add();
-      throw AdmissionError(why, retryAfterMs);
+      throw AdmissionError(why, retryAfterMs, cause);
     };
     if (closed_) {
-      reject("service is shutting down", 0);
+      reject("service is shutting down", 0, "draining");
     }
     if (job.request.shots > limits_.maxShotsPerJob) {
       reject("job requests " + std::to_string(job.request.shots) +
                  " shots; per-job limit is " +
                  std::to_string(limits_.maxShotsPerJob),
-             0);
+             0, "shot-ceiling");
     }
     if (depthLocked() >= limits_.capacity) {
       reject("admission queue is full (" + std::to_string(limits_.capacity) +
                  " jobs)",
-             100);
+             100, "queue-capacity");
     }
     Tenant& tenant = tenants_[tenantName];
     if (tenant.pending >= limits_.tenantMaxPending) {
       reject("tenant '" + tenantName + "' already has " +
                  std::to_string(tenant.pending) + " pending jobs (limit " +
                  std::to_string(limits_.tenantMaxPending) + ")",
-             50);
+             50, "tenant-pending");
     }
     if (limits_.ratePerSec > 0) {
       // Continuous token-bucket refill: one token per admission,
@@ -87,7 +88,7 @@ void AdmissionQueue::push(Job job) {
         reject("tenant '" + tenantName + "' exceeded its admission rate (" +
                    std::to_string(limits_.ratePerSec) + "/s, burst " +
                    std::to_string(limits_.rateBurst) + ")",
-               std::max<std::uint64_t>(retryMs, 1));
+               std::max<std::uint64_t>(retryMs, 1), "rate-limit");
       }
       tenant.rateTokens -= 1.0;
     }

@@ -30,6 +30,10 @@ namespace qirkit {
 class CancelToken;
 } // namespace qirkit
 
+namespace qirkit::telemetry {
+class RequestTrace;
+} // namespace qirkit::telemetry
+
 namespace qirkit::service {
 
 /// A structured admission rejection: error[resource-limit] plus a
@@ -39,15 +43,22 @@ namespace qirkit::service {
 /// every retry.
 class AdmissionError : public qirkit::Error {
 public:
-  AdmissionError(const std::string& message, std::uint64_t retryAfterMs)
-      : Error(ErrorCode::ResourceLimit, message), retryAfterMs_(retryAfterMs) {}
+  AdmissionError(const std::string& message, std::uint64_t retryAfterMs,
+                 std::string cause = {})
+      : Error(ErrorCode::ResourceLimit, message), retryAfterMs_(retryAfterMs),
+        cause_(std::move(cause)) {}
 
   [[nodiscard]] std::uint64_t retryAfterMs() const noexcept {
     return retryAfterMs_;
   }
+  /// Stable machine-readable reject cause ("queue-capacity",
+  /// "tenant-pending", "shot-ceiling", "rate-limit", "memory", ...) —
+  /// the label of the per-tenant reject-by-cause SLO counters.
+  [[nodiscard]] const std::string& cause() const noexcept { return cause_; }
 
 private:
   std::uint64_t retryAfterMs_ = 0;
+  std::string cause_;
 };
 
 /// One admitted unit of work. The runner fulfills `deliver` with the final
@@ -70,6 +81,14 @@ struct Job {
   /// cancel verb, and the watchdog. Null for jobs that set neither a
   /// deadline nor a request id.
   std::shared_ptr<qirkit::CancelToken> cancel;
+  /// The request-scoped trace context (request_trace.hpp), created at
+  /// admission and carried to the executing batch via ShotOptions.
+  /// Opaque here for the same layering reason as `program`.
+  std::shared_ptr<telemetry::RequestTrace> trace;
+  /// The server's ActiveJob record for this job (opaque: the type lives
+  /// in server.hpp), so the runner can attribute a cancellation to the
+  /// watchdog vs the cancel verb when it records the outcome.
+  std::shared_ptr<void> active;
   std::function<void(std::string)> deliver;
 };
 

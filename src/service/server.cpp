@@ -6,8 +6,10 @@
 #include "qasm/parser.hpp"
 #include "qasm/qasm3.hpp"
 #include "qir/exporter.hpp"
+#include "service/prometheus.hpp"
 #include "sim/statevector.hpp"
 #include "support/cancel.hpp"
+#include "support/telemetry/request_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/telemetry/trace.hpp"
 #include "vm/executor.hpp"
@@ -44,6 +46,42 @@ telemetry::Counter g_memoryRejected{"serve.admission.memory_rejected"};
 telemetry::Counter g_watchdogScans{"serve.watchdog.scans"};
 telemetry::Counter g_watchdogFlagged{"serve.watchdog.flagged"};
 telemetry::LatencyHistogram g_jobLatency{"serve.job.latency_ns"};
+/// Queue-wait vs execute-time split of the job latency above; recorded
+/// before the per-job after-snapshot so every submit response's metrics
+/// delta carries its own wait/run samples.
+telemetry::LatencyHistogram g_queueWait{"serve.queue.wait_ns"};
+telemetry::LatencyHistogram g_execTime{"serve.exec.run_ns"};
+
+/// Per-tenant outcome counters and latency families (bounded
+/// cardinality: beyond kDefaultMaxLabels live tenants the
+/// least-recently-updated label is evicted and counted — DESIGN 7f).
+telemetry::LabeledCounter g_tenantCompleted{
+    "serve.tenant.completed", telemetry::LabeledCounter::kDefaultMaxLabels,
+    "tenant"};
+telemetry::LabeledCounter g_tenantFailed{
+    "serve.tenant.failed", telemetry::LabeledCounter::kDefaultMaxLabels,
+    "tenant"};
+telemetry::LabeledCounter g_tenantExpired{
+    "serve.tenant.deadline_expired",
+    telemetry::LabeledCounter::kDefaultMaxLabels, "tenant"};
+/// SLO split: jobs that carried a deadline and finished inside it.
+telemetry::LabeledCounter g_tenantDeadlineOk{
+    "serve.tenant.deadline_ok", telemetry::LabeledCounter::kDefaultMaxLabels,
+    "tenant"};
+telemetry::LabeledCounter g_tenantRejected{
+    "serve.tenant.rejected", telemetry::LabeledCounter::kDefaultMaxLabels,
+    "tenant"};
+/// Reject rate by admission cause ("queue-capacity", "tenant-pending",
+/// "shot-ceiling", "rate-limit", "memory", "draining").
+telemetry::LabeledCounter g_rejectByCause{
+    "serve.reject.by_cause", telemetry::LabeledCounter::kDefaultMaxLabels,
+    "cause"};
+telemetry::LabeledHistogram g_tenantQueueWait{
+    "serve.tenant.queue_wait_ns",
+    telemetry::LabeledHistogram::kDefaultMaxLabels, "tenant"};
+telemetry::LabeledHistogram g_tenantExec{
+    "serve.tenant.exec_ns", telemetry::LabeledHistogram::kDefaultMaxLabels,
+    "tenant"};
 
 /// Frame-reject bookkeeping that must work with telemetry disabled: the
 /// metrics endpoint reports these unconditionally.
@@ -105,6 +143,16 @@ std::string deadlineExtrasJson(const vm::ShotBatchResult& batch) {
   return out.str();
 }
 
+/// Percentile summary of one histogram for the metrics verb's latency
+/// section. Quantiles are bucket upper bounds (see LatencyHistogram).
+std::string percentilesJson(const telemetry::LatencyHistogram& h) {
+  std::ostringstream out;
+  out << "{\"count\":" << h.count() << ",\"p50_ns\":" << h.quantileNs(0.5)
+      << ",\"p95_ns\":" << h.quantileNs(0.95)
+      << ",\"p99_ns\":" << h.quantileNs(0.99) << "}";
+  return out.str();
+}
+
 bool looksLikeQasmText(std::string_view text) {
   return text.find("OPENQASM") != std::string_view::npos;
 }
@@ -135,7 +183,9 @@ bool writeAll(int fd, std::string_view data) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), queue_(options_.queue),
-      pool_(options_.poolThreads) {
+      pool_(options_.poolThreads),
+      flight_(options_.flightCapacity,
+              options_.slowThresholdMs * 1'000'000ULL) {
   cache_.setCapacity(options_.cacheCapacity);
 }
 
@@ -144,6 +194,9 @@ Server::~Server() {
 }
 
 void Server::start() {
+  if (options_.enableTelemetry) {
+    telemetry::setEnabled(true);
+  }
   if (options_.socketPath.empty()) {
     throw qirkit::Error(ErrorCode::Usage, "serve requires a socket path");
   }
@@ -395,7 +448,10 @@ std::string Server::handleRequest(const Request& request) {
   case RequestType::Ping:
     return pingResponseJson();
   case RequestType::Metrics:
-    return metricsJson();
+    return request.metrics.prometheus ? prometheusMetricsJson()
+                                      : metricsJson();
+  case RequestType::Events:
+    return handleEvents(request.events);
   case RequestType::Shutdown:
     requestShutdown();
     return "{\"v\":" + std::to_string(kProtocolVersion) +
@@ -409,6 +465,12 @@ std::string Server::handleRequest(const Request& request) {
 }
 
 std::string Server::handleSubmit(const SubmitRequest& request) {
+  // The request's trace context: born here, threaded through the queue
+  // into the executor via ShotOptions, delivered back in the response's
+  // "stages" array and the flight recorder.
+  auto trace = std::make_shared<telemetry::RequestTrace>(request.tenant,
+                                                         request.requestId);
+  const std::uint64_t admissionT0 = telemetry::nowNs();
   std::shared_ptr<ProgramEntry> program = resolveProgram(request);
 
   auto active = std::make_shared<ActiveJob>();
@@ -436,14 +498,22 @@ std::string Server::handleSubmit(const SubmitRequest& request) {
   job.program = program;
   job.deadlineNs = active->deadlineNs;
   job.cancel = active->cancel;
+  job.trace = trace;
+  job.active = active;
   job.deliver = [delivered](std::string response) {
     delivered->set_value(std::move(response));
   };
+  bool admissionRecorded = false;
   try {
     // Register before the push: the runner may pop (and finish) the job
     // before push even returns, and the cancel verb / watchdog must be
     // able to see it for that whole window.
     registerActive(active);
+    // Stage recorded before the push so a fast runner's "queue" stage
+    // always lands after it; the push itself is a couple of map updates.
+    trace->addStage("admission", admissionT0,
+                    telemetry::nowNs() - admissionT0);
+    admissionRecorded = true;
     try {
       queue_.push(std::move(job)); // throws AdmissionError on quota violations
     } catch (...) {
@@ -451,6 +521,24 @@ std::string Server::handleSubmit(const SubmitRequest& request) {
       throw;
     }
   } catch (const AdmissionError& e) {
+    if (!admissionRecorded) {
+      trace->addStage("admission", admissionT0,
+                      telemetry::nowNs() - admissionT0, "rejected");
+    }
+    g_tenantRejected.add(request.tenant);
+    g_rejectByCause.add(e.cause().empty() ? "other" : e.cause());
+    FlightRecord rec;
+    rec.tenant = request.tenant;
+    rec.requestId = request.requestId;
+    rec.programId = program->id;
+    rec.shots = request.shots;
+    rec.totalNs = telemetry::nowNs() - admissionT0;
+    rec.outcome = "rejected";
+    rec.errorCode = errorCodeName(e.code());
+    rec.cause = e.cause();
+    rec.stagesJson = trace->stagesJson();
+    flight_.record(std::move(rec));
+    trace->emitChromeSpans();
     // Overload rejections carry the machine-readable retry hint; 0 means
     // the limit is static and a retry can never succeed, so no hint.
     return errorResponseJson(e.code(), e.message(),
@@ -491,7 +579,7 @@ void Server::registerActive(const std::shared_ptr<ActiveJob>& active) {
                                std::to_string(active->stateBytes) +
                                " bytes) exceeds the memory budget (" +
                                std::to_string(budget) + " bytes)",
-                           0); // can never fit; no retry hint
+                           0, "memory"); // can never fit; no retry hint
     }
     if (inFlightStateBytes_ + active->stateBytes > budget) {
       g_memoryRejected.add();
@@ -502,7 +590,7 @@ void Server::registerActive(const std::shared_ptr<ActiveJob>& active) {
                                std::to_string(inFlightStateBytes_) +
                                " bytes already in flight against a " +
                                std::to_string(budget) + "-byte budget",
-                           100);
+                           100, "memory");
     }
   }
   inFlightStateBytes_ += active->stateBytes;
@@ -527,15 +615,31 @@ void Server::runnerLoop() {
       // the job was still pending — it never starts executing.
       g_jobsExpired.add();
       g_jobsExpiredExact.fetch_add(1, std::memory_order_relaxed);
+      g_tenantExpired.add(job->request.tenant);
+      const std::uint64_t waitNs = telemetry::nowNs() - job->enqueuedNs;
+      if (job->trace != nullptr) {
+        job->trace->addStage("queue", job->enqueuedNs, waitNs, "ttl-expired");
+      }
+      const auto active = std::static_pointer_cast<ActiveJob>(job->active);
+      const bool watchdogHit =
+          active != nullptr &&
+          active->watchdogFlagged.load(std::memory_order_relaxed);
+      const bool cancelled = job->cancel->cancelled();
       const std::string why =
-          job->cancel->cancelled()
+          cancelled
               ? "job cancelled while pending"
               : "deadline of " + std::to_string(job->request.deadlineMs) +
                     "ms expired while the job was queued";
-      job->deliver(errorResponseJson(
-          ErrorCode::Deadline, why,
-          "\"completed_shots\":0,\"unstarted_shots\":" +
-              std::to_string(job->request.shots)));
+      std::string extras = "\"completed_shots\":0,\"unstarted_shots\":" +
+                           std::to_string(job->request.shots);
+      if (job->trace != nullptr) {
+        extras += ",\"stages\":" + job->trace->stagesJson();
+      }
+      recordFlight(*job, waitNs, 0, "error", errorCodeName(ErrorCode::Deadline),
+                   watchdogHit ? "watchdog"
+                   : cancelled ? "cancel"
+                               : "queue-ttl");
+      job->deliver(errorResponseJson(ErrorCode::Deadline, why, extras));
     } else if (draining) {
       // Graceful drain: already-running jobs flush, still-queued jobs get
       // an explicit cancelled disposition instead of executing into
@@ -548,11 +652,20 @@ void Server::runnerLoop() {
                    "before execution\n",
                    static_cast<unsigned long long>(job->id),
                    job->request.tenant.c_str());
+      const std::uint64_t waitNs = telemetry::nowNs() - job->enqueuedNs;
+      if (job->trace != nullptr) {
+        job->trace->addStage("queue", job->enqueuedNs, waitNs, "drain");
+      }
+      std::string extras = "\"completed_shots\":0,\"unstarted_shots\":" +
+                           std::to_string(job->request.shots);
+      if (job->trace != nullptr) {
+        extras += ",\"stages\":" + job->trace->stagesJson();
+      }
+      recordFlight(*job, waitNs, 0, "error", errorCodeName(ErrorCode::Deadline),
+                   "drain");
       job->deliver(errorResponseJson(
           ErrorCode::Deadline,
-          "service is draining; job cancelled before execution",
-          "\"completed_shots\":0,\"unstarted_shots\":" +
-              std::to_string(job->request.shots)));
+          "service is draining; job cancelled before execution", extras));
     } else {
       executeJob(*job);
     }
@@ -601,7 +714,13 @@ void Server::watchdogLoop() {
 
 void Server::executeJob(Job& job) {
   const auto& program = *std::static_pointer_cast<ProgramEntry>(job.program);
+  const auto active = std::static_pointer_cast<ActiveJob>(job.active);
+  telemetry::RequestTrace* const trace = job.trace.get();
   const std::uint64_t startNs = telemetry::nowNs();
+  const std::uint64_t queueWaitNs = startNs - job.enqueuedNs;
+  if (trace != nullptr) {
+    trace->addStage("queue", job.enqueuedNs, queueWaitNs);
+  }
   const telemetry::Snapshot before = telemetry::snapshot();
 
   vm::ShotOptions opts;
@@ -613,6 +732,20 @@ void Server::executeJob(Job& job) {
   opts.pool = &pool_;
   opts.cache = &cache_;
   opts.cancel = job.cancel.get(); // null when the job set no deadline/tag
+  opts.requestTrace = trace;      // compile/analyze/execute stage marks
+
+  // Cause attribution for deadline outcomes: the watchdog flag beats the
+  // cancel flag (the watchdog cancels through the same token).
+  const auto deadlineCause = [&]() -> const char* {
+    if (active != nullptr &&
+        active->watchdogFlagged.load(std::memory_order_relaxed)) {
+      return "watchdog";
+    }
+    if (job.cancel != nullptr && job.cancel->cancelled()) {
+      return "cancel";
+    }
+    return "deadline";
+  };
 
   SubmitResponse response;
   response.programId = job.programId;
@@ -625,12 +758,19 @@ void Server::executeJob(Job& job) {
     const ClassifiedError failure = classifyException(e);
     g_jobsFailed.add();
     g_jobsFailedExact.fetch_add(1, std::memory_order_relaxed);
-    job.deliver(errorResponseJson(
-        failure.code, failure.message,
-        failure.code == ErrorCode::Deadline
-            ? "\"completed_shots\":0,\"unstarted_shots\":" +
-                  std::to_string(job.request.shots)
-            : std::string()));
+    g_tenantFailed.add(job.request.tenant);
+    std::string extras = failure.code == ErrorCode::Deadline
+                             ? "\"completed_shots\":0,\"unstarted_shots\":" +
+                                   std::to_string(job.request.shots)
+                             : std::string();
+    if (trace != nullptr) {
+      extras += extras.empty() ? "\"stages\":" : ",\"stages\":";
+      extras += trace->stagesJson();
+    }
+    recordFlight(job, queueWaitNs, telemetry::nowNs() - startNs, "error",
+                 errorCodeName(failure.code),
+                 failure.code == ErrorCode::Deadline ? deadlineCause() : "");
+    job.deliver(errorResponseJson(failure.code, failure.message, extras));
     return;
   }
   if (response.batch.deadlineExceeded) {
@@ -639,6 +779,7 @@ void Server::executeJob(Job& job) {
     // structured error instead of pretending the job succeeded.
     g_jobsExpired.add();
     g_jobsExpiredExact.fetch_add(1, std::memory_order_relaxed);
+    g_tenantExpired.add(job.request.tenant);
     const std::string why =
         job.cancel != nullptr && job.cancel->cancelled()
             ? "job cancelled after " +
@@ -648,19 +789,82 @@ void Server::executeJob(Job& job) {
                   "ms exceeded after " +
                   std::to_string(response.batch.completedShots) + " of " +
                   std::to_string(job.request.shots) + " shots";
-    job.deliver(errorResponseJson(ErrorCode::Deadline, why,
-                                  deadlineExtrasJson(response.batch)));
+    std::string extras = deadlineExtrasJson(response.batch);
+    if (trace != nullptr) {
+      extras += ",\"stages\":" + trace->stagesJson();
+    }
+    recordFlight(job, queueWaitNs, telemetry::nowNs() - startNs, "error",
+                 errorCodeName(ErrorCode::Deadline), deadlineCause());
+    job.deliver(errorResponseJson(ErrorCode::Deadline, why, extras));
     return;
   }
   const std::uint64_t endNs = telemetry::nowNs();
-  response.queueWaitNs = startNs - job.enqueuedNs;
-  response.execNs = endNs - startNs;
+  const std::uint64_t execNs = endNs - startNs;
+  // Latency probes fire before the after-snapshot so this response's own
+  // metrics delta carries the job's queue-wait and execution samples.
+  g_jobLatency.record(endNs - job.enqueuedNs);
+  g_queueWait.record(queueWaitNs);
+  g_execTime.record(execNs);
+  g_tenantCompleted.add(job.request.tenant);
+  g_tenantQueueWait.record(job.request.tenant, queueWaitNs);
+  g_tenantExec.record(job.request.tenant, execNs);
+  if (job.request.deadlineMs != 0) {
+    g_tenantDeadlineOk.add(job.request.tenant);
+  }
+  response.queueWaitNs = queueWaitNs;
+  response.execNs = execNs;
   response.metricsDeltaJson =
       telemetry::snapshotJson(telemetry::diff(before, telemetry::snapshot()));
-  g_jobLatency.record(endNs - job.enqueuedNs);
   g_jobsCompleted.add();
   g_jobsCompletedExact.fetch_add(1, std::memory_order_relaxed);
+  if (trace != nullptr) {
+    response.stagesJson = trace->stagesJson();
+  }
+  recordFlight(job, queueWaitNs, execNs, "ok", "", "");
   job.deliver(submitResponseJson(response));
+}
+
+void Server::recordFlight(const Job& job, std::uint64_t queueWaitNs,
+                          std::uint64_t execNs, const char* outcome,
+                          const char* errorCode, std::string cause) {
+  FlightRecord rec;
+  rec.jobId = job.id;
+  rec.tenant = job.request.tenant;
+  rec.requestId = job.request.requestId;
+  rec.programId = job.programId;
+  rec.shots = job.request.shots;
+  rec.queueWaitNs = queueWaitNs;
+  rec.execNs = execNs;
+  rec.totalNs = telemetry::nowNs() - job.enqueuedNs;
+  rec.outcome = outcome;
+  rec.errorCode = errorCode;
+  rec.cause = std::move(cause);
+  if (job.trace != nullptr) {
+    rec.stagesJson = job.trace->stagesJson();
+  }
+  flight_.record(std::move(rec));
+  if (job.trace != nullptr) {
+    job.trace->emitChromeSpans(); // one relaxed load when tracing is off
+  }
+}
+
+std::string Server::handleEvents(const EventsRequest& request) {
+  std::ostringstream out;
+  out << "{\"v\":" << kProtocolVersion << ",\"ok\":true,\"type\":\"events\""
+      << ",\"recorded\":" << flight_.recorded()
+      << ",\"capacity\":" << flight_.capacity()
+      << ",\"slow_threshold_ms\":" << options_.slowThresholdMs
+      << ",\"events\":"
+      << flight_.eventsJson(request.tenant,
+                            static_cast<std::size_t>(request.limit))
+      << "}";
+  return out.str();
+}
+
+std::string Server::prometheusMetricsJson() {
+  return "{\"v\":" + std::to_string(kProtocolVersion) +
+         ",\"ok\":true,\"type\":\"metrics\",\"format\":\"prometheus\"," +
+         "\"body\":\"" + telemetry::jsonEscape(prometheusText()) + "\"}";
 }
 
 std::shared_ptr<Server::ProgramEntry>
@@ -805,6 +1009,12 @@ std::string Server::metricsJson() {
       << "},\"watchdog\":{\"factor\":" << options_.watchdogFactor
       << ",\"flagged\":"
       << g_watchdogFlaggedExact.load(std::memory_order_relaxed)
+      << "},\"latency\":{\"job\":" << percentilesJson(g_jobLatency)
+      << ",\"queue_wait\":" << percentilesJson(g_queueWait)
+      << ",\"exec\":" << percentilesJson(g_execTime)
+      << "},\"flight\":{\"capacity\":" << flight_.capacity()
+      << ",\"recorded\":" << flight_.recorded()
+      << ",\"slow_threshold_ms\":" << options_.slowThresholdMs
       << "},\"protocol\":{\"rejected_frames\":"
       << g_rejectedFramesExact.load(std::memory_order_relaxed)
       << "},\"telemetry\":" << telemetry::snapshotJson(telemetry::snapshot())

@@ -20,6 +20,7 @@
 /// process.
 #pragma once
 
+#include "service/flight_recorder.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "support/parallel.hpp"
@@ -70,6 +71,19 @@ struct ServerOptions {
   /// force-cancelled — the backstop for a runner stuck inside a shot that
   /// stops probing. 0 disables; jobs without deadlines are never flagged.
   unsigned watchdogFactor = 4;
+  /// Flight recorder: how many recent request records the `events` verb
+  /// can replay. Clamped to at least 1.
+  std::size_t flightCapacity = 256;
+  /// Requests slower than this (admission to delivery) keep their full
+  /// per-stage trace in the flight recorder even when they succeed;
+  /// errored requests always keep theirs. 0 marks nothing as slow.
+  std::uint64_t slowThresholdMs = 1000;
+  /// Arm the process-wide telemetry registry on start(). The serve
+  /// observability surface (per-tenant families, latency percentiles,
+  /// the telemetry section of the metrics verb) feeds from it, so the
+  /// daemon runs armed by default; `--no-telemetry` opts out and leaves
+  /// every probe at its one-relaxed-load disabled cost.
+  bool enableTelemetry = true;
   QueueLimits queue;
 };
 
@@ -133,7 +147,10 @@ private:
     std::uint64_t admittedNs = 0;
     std::uint64_t stateBytes = 0; // predicted footprint
     std::uint64_t shots = 0;
-    bool watchdogFlagged = false;
+    /// Set by the watchdog before it force-cancels; read lock-free by the
+    /// runner to attribute the resulting deadline error to "watchdog"
+    /// rather than a client cancel.
+    std::atomic<bool> watchdogFlagged{false};
   };
 
   void acceptLoop();
@@ -146,7 +163,17 @@ private:
   /// for the runner's response.
   std::string handleSubmit(const SubmitRequest& request);
   std::string handleCancel(const CancelRequest& request);
+  /// Replay the flight recorder for {"type":"events"}.
+  std::string handleEvents(const EventsRequest& request);
+  /// The metrics verb's format=prometheus mode: the exposition text,
+  /// escaped into the JSON response's "body" field.
+  std::string prometheusMetricsJson();
   void executeJob(Job& job);
+  /// Archive one finished (or rejected/expired) job into the flight
+  /// recorder and flush its request trace to the Chrome-trace stream.
+  void recordFlight(const Job& job, std::uint64_t queueWaitNs,
+                    std::uint64_t execNs, const char* outcome,
+                    const char* errorCode, std::string cause);
   /// Memory-admission guard + registration; throws AdmissionError when
   /// the predicted footprint does not fit the budget.
   void registerActive(const std::shared_ptr<ActiveJob>& active);
@@ -158,6 +185,7 @@ private:
   AdmissionQueue queue_;
   vm::CompileCache cache_;
   ThreadPool pool_;
+  FlightRecorder flight_;
   std::uint64_t startedNs_ = 0;
 
   int listenFd_ = -1;

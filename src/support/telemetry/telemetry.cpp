@@ -30,6 +30,8 @@ struct Registry {
   std::vector<Counter*> counters;
   std::vector<MaxGauge*> gauges;
   std::vector<LatencyHistogram*> histograms;
+  std::vector<LabeledCounter*> labeledCounters;
+  std::vector<LabeledHistogram*> labeledHistograms;
 
   std::mutex passMutex;
   std::vector<PassRecord> passes; // first-run order, merged by name
@@ -60,6 +62,122 @@ LatencyHistogram::LatencyHistogram(const char* name) : name_(name) {
   Registry& r = Registry::instance();
   const std::lock_guard<std::mutex> lock(r.mutex);
   r.histograms.push_back(this);
+}
+
+LabeledCounter::LabeledCounter(const char* name, std::size_t maxLabels,
+                               const char* labelKey)
+    : name_(name), labelKey_(labelKey), maxLabels_(maxLabels == 0 ? 1 : maxLabels) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.labeledCounters.push_back(this);
+}
+
+void LabeledCounter::add(std::string_view label, std::uint64_t n) {
+  if (!enabled()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(label);
+  if (it != entries_.end()) {
+    it->second.value += n;
+    it->second.lastTick = ++tick_;
+    return;
+  }
+  if (entries_.size() >= maxLabels_) {
+    // Evict the least-recently-updated label. O(labels) scan, but only
+    // on insert past the bound — steady-state tenant sets never pay it.
+    auto victim = entries_.begin();
+    for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+      if (cand->second.lastTick < victim->second.lastTick) {
+        victim = cand;
+      }
+    }
+    entries_.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  entries_.emplace(std::string(label), Entry{n, ++tick_});
+}
+
+std::uint64_t LabeledCounter::value(std::string_view label) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(label);
+  return it == entries_.end() ? 0 : it->second.value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> LabeledCounter::values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [label, entry] : entries_) {
+    out.emplace_back(label, entry.value);
+  }
+  return out;
+}
+
+void LabeledCounter::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  tick_ = 0;
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+LabeledHistogram::LabeledHistogram(const char* name, std::size_t maxLabels,
+                                   const char* labelKey)
+    : name_(name), labelKey_(labelKey), maxLabels_(maxLabels == 0 ? 1 : maxLabels) {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.labeledHistograms.push_back(this);
+}
+
+void LabeledHistogram::record(std::string_view label, std::uint64_t ns) {
+  if (!enabled()) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(label);
+  if (it == entries_.end()) {
+    if (entries_.size() >= maxLabels_) {
+      auto victim = entries_.begin();
+      for (auto cand = entries_.begin(); cand != entries_.end(); ++cand) {
+        if (cand->second.lastTick < victim->second.lastTick) {
+          victim = cand;
+        }
+      }
+      entries_.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    it = entries_
+             .emplace(std::string(label),
+                      Entry{std::make_unique<LatencyHistogram>(name_, Unregistered{}), 0})
+             .first;
+  }
+  it->second.lastTick = ++tick_;
+  it->second.hist->recordUnchecked(ns);
+}
+
+void LabeledHistogram::forEach(
+    const std::function<void(const std::string&, const LatencyHistogram&)>& fn) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [label, entry] : entries_) {
+    fn(label, *entry.hist);
+  }
+}
+
+std::vector<std::string> LabeledHistogram::labels() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [label, entry] : entries_) {
+    out.push_back(label);
+  }
+  return out;
+}
+
+void LabeledHistogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  tick_ = 0;
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 void LatencyHistogram::recordUnchecked(std::uint64_t ns) noexcept {
@@ -128,6 +246,12 @@ void resetAll() {
       g->reset();
     }
     for (LatencyHistogram* h : r.histograms) {
+      h->reset();
+    }
+    for (LabeledCounter* c : r.labeledCounters) {
+      c->reset();
+    }
+    for (LabeledHistogram* h : r.labeledHistograms) {
       h->reset();
     }
   }
@@ -299,6 +423,24 @@ const LatencyHistogram* findHistogram(std::string_view name) noexcept {
   return nullptr;
 }
 
+std::vector<const LatencyHistogram*> allHistograms() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return {r.histograms.begin(), r.histograms.end()};
+}
+
+std::vector<const LabeledCounter*> allLabeledCounters() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return {r.labeledCounters.begin(), r.labeledCounters.end()};
+}
+
+std::vector<const LabeledHistogram*> allLabeledHistograms() {
+  Registry& r = Registry::instance();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  return {r.labeledHistograms.begin(), r.labeledHistograms.end()};
+}
+
 std::string jsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
@@ -369,6 +511,7 @@ std::string histogramJson(const LatencyHistogram& h) {
       << ",\"min_ns\":" << h.min() << ",\"max_ns\":" << h.max()
       << ",\"p50_ns\":" << h.quantileNs(0.50)
       << ",\"p90_ns\":" << h.quantileNs(0.90)
+      << ",\"p95_ns\":" << h.quantileNs(0.95)
       << ",\"p99_ns\":" << h.quantileNs(0.99) << ",\"buckets\":[";
   bool first = true;
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
@@ -384,6 +527,39 @@ std::string histogramJson(const LatencyHistogram& h) {
         << ",\"count\":" << n << "}";
   }
   out << "]}";
+  return out.str();
+}
+
+/// A labeled family renders as one leaf object so label values holding
+/// dots are never split by the dotted-name nesting:
+/// {"labels":{"tenant-a":...},"evicted":N}.
+std::string labeledCounterJson(const LabeledCounter& c) {
+  std::ostringstream out;
+  out << "{\"labels\":{";
+  bool first = true;
+  for (const auto& [label, value] : c.values()) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(label) << "\":" << value;
+  }
+  out << "},\"evicted\":" << c.evictions() << "}";
+  return out.str();
+}
+
+std::string labeledHistogramJson(const LabeledHistogram& h) {
+  std::ostringstream out;
+  out << "{\"labels\":{";
+  bool first = true;
+  h.forEach([&](const std::string& label, const LatencyHistogram& hist) {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\"" << jsonEscape(label) << "\":" << histogramJson(hist);
+  });
+  out << "},\"evicted\":" << h.evictions() << "}";
   return out.str();
 }
 
@@ -440,6 +616,12 @@ std::string statsJson(std::string_view command) {
     for (const LatencyHistogram* h : r.histograms) {
       insert(root, h->name(), histogramJson(*h));
     }
+    for (const LabeledCounter* c : r.labeledCounters) {
+      insert(root, c->name(), labeledCounterJson(*c));
+    }
+    for (const LabeledHistogram* h : r.labeledHistograms) {
+      insert(root, h->name(), labeledHistogramJson(*h));
+    }
   }
   insert(root, "passes", passesJson());
   insert(root, "shots.failure_counts", shotFailuresJson());
@@ -483,7 +665,26 @@ std::string statsText() {
     for (const LatencyHistogram* h : r.histograms) {
       out << h->name() << ": count=" << h->count() << " sum=" << h->sum()
           << "ns min=" << h->min() << "ns p50~" << h->quantileNs(0.5)
-          << "ns p99~" << h->quantileNs(0.99) << "ns max=" << h->max() << "ns\n";
+          << "ns p95~" << h->quantileNs(0.95) << "ns p99~" << h->quantileNs(0.99)
+          << "ns max=" << h->max() << "ns\n";
+    }
+    for (const LabeledCounter* c : r.labeledCounters) {
+      for (const auto& [label, value] : c->values()) {
+        out << c->name() << "{" << label << "} = " << value << "\n";
+      }
+      if (c->evictions() != 0) {
+        out << c->name() << ".evicted = " << c->evictions() << "\n";
+      }
+    }
+    for (const LabeledHistogram* lh : r.labeledHistograms) {
+      lh->forEach([&](const std::string& label, const LatencyHistogram& h) {
+        out << lh->name() << "{" << label << "}: count=" << h.count()
+            << " p50~" << h.quantileNs(0.5) << "ns p95~" << h.quantileNs(0.95)
+            << "ns p99~" << h.quantileNs(0.99) << "ns\n";
+      });
+      if (lh->evictions() != 0) {
+        out << lh->name() << ".evicted = " << lh->evictions() << "\n";
+      }
     }
   }
   const std::vector<PassRecord> passes = passRecords();

@@ -24,8 +24,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace qirkit::telemetry {
@@ -114,6 +119,11 @@ private:
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Tag type for metrics that must not self-register with the process
+/// registry — the labeled families below own per-label histograms whose
+/// lifetime is the family's, not the process's.
+struct Unregistered {};
+
 /// Latency histogram with power-of-two nanosecond buckets: bucket i
 /// counts samples in [2^i, 2^(i+1)); sub-nanosecond samples land in
 /// bucket 0. Tracks count/sum/min/max exactly and serves approximate
@@ -123,6 +133,8 @@ public:
   static constexpr std::size_t kBuckets = 48; // up to ~78 hours in ns
 
   explicit LatencyHistogram(const char* name);
+  /// Non-registering constructor for family-owned member histograms.
+  LatencyHistogram(const char* name, Unregistered) noexcept : name_(name) {}
 
   void record(std::uint64_t ns) noexcept {
     if (enabled()) {
@@ -158,6 +170,98 @@ private:
   std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
   std::atomic<std::uint64_t> max_{0};
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Bounded-cardinality counter family dimensioned by one label value
+/// (e.g. tenant). At most `maxLabels` label values are live at once;
+/// inserting past the bound evicts the least-recently-updated label and
+/// counts the eviction, so hostile label churn (a tenant per request)
+/// cannot grow memory or the metrics document without bound.
+///
+/// Probe cost matches the registry discipline: one relaxed atomic load
+/// when telemetry is disabled. An *enabled* update takes the family
+/// mutex, which confines labeled metrics to request-cadence call sites
+/// (admission, job completion) — never per-shot paths (DESIGN 7f).
+class LabeledCounter {
+public:
+  static constexpr std::size_t kDefaultMaxLabels = 32;
+
+  /// \p labelKey names the dimension ("tenant") in exports that carry
+  /// label keys (Prometheus exposition).
+  explicit LabeledCounter(const char* name,
+                          std::size_t maxLabels = kDefaultMaxLabels,
+                          const char* labelKey = "label");
+
+  void add(std::string_view label, std::uint64_t n = 1);
+
+  /// Value for one label; 0 when the label is absent (never seen or
+  /// evicted).
+  [[nodiscard]] std::uint64_t value(std::string_view label) const;
+  /// Live labels with their values, label-sorted.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> values() const;
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t maxLabels() const noexcept { return maxLabels_; }
+  void reset();
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+  [[nodiscard]] const char* labelKey() const noexcept { return labelKey_; }
+
+private:
+  struct Entry {
+    std::uint64_t value = 0;
+    std::uint64_t lastTick = 0;
+  };
+
+  const char* name_;
+  const char* labelKey_;
+  std::size_t maxLabels_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::uint64_t tick_ = 0;
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+/// Bounded-cardinality latency-histogram family dimensioned by one
+/// label. Same eviction policy, probe gating, and call-site discipline
+/// as LabeledCounter; each live label owns a full LatencyHistogram so
+/// per-label quantiles (p50/p95/p99) are available.
+class LabeledHistogram {
+public:
+  static constexpr std::size_t kDefaultMaxLabels = 32;
+
+  explicit LabeledHistogram(const char* name,
+                            std::size_t maxLabels = kDefaultMaxLabels,
+                            const char* labelKey = "label");
+
+  void record(std::string_view label, std::uint64_t ns);
+
+  /// Visit each live label's histogram under the family lock,
+  /// label-sorted. \p fn must not re-enter the family.
+  void forEach(const std::function<void(const std::string&,
+                                        const LatencyHistogram&)>& fn) const;
+  [[nodiscard]] std::vector<std::string> labels() const;
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t maxLabels() const noexcept { return maxLabels_; }
+  void reset();
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+  [[nodiscard]] const char* labelKey() const noexcept { return labelKey_; }
+
+private:
+  struct Entry {
+    std::unique_ptr<LatencyHistogram> hist;
+    std::uint64_t lastTick = 0;
+  };
+
+  const char* name_;
+  const char* labelKey_;
+  std::size_t maxLabels_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::uint64_t tick_ = 0;
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// RAII wall-clock probe: adds the elapsed nanoseconds to \p nsCounter
@@ -253,6 +357,14 @@ struct Snapshot {
 [[nodiscard]] std::uint64_t counterValue(std::string_view name) noexcept;
 /// Registered histogram by name; nullptr when absent.
 [[nodiscard]] const LatencyHistogram* findHistogram(std::string_view name) noexcept;
+
+/// Every registered metric of the given kind, in registration order.
+/// For exporters (Prometheus text exposition) that need bucket-level or
+/// per-label data a Snapshot does not carry. Pointers refer to
+/// static-storage metrics and never dangle.
+[[nodiscard]] std::vector<const LatencyHistogram*> allHistograms();
+[[nodiscard]] std::vector<const LabeledCounter*> allLabeledCounters();
+[[nodiscard]] std::vector<const LabeledHistogram*> allLabeledHistograms();
 
 /// The versioned machine-readable report (see README "Observability" for
 /// the schema): dotted metric names become nested objects, plus the

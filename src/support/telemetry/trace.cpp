@@ -22,6 +22,7 @@ namespace {
 
 struct Event {
   std::string name;
+  std::string argsJson; // pre-rendered JSON object; empty = no args
   std::uint64_t startNs = 0;
   std::uint64_t durNs = 0;
   std::uint32_t tid = 0;
@@ -78,6 +79,29 @@ void endSpan(std::string&& name, std::uint64_t startNs) noexcept {
 
 } // namespace detail
 
+void emitSpan(std::string_view name, std::uint64_t startNs, std::uint64_t durNs,
+              std::string_view argsJson) {
+  if (!enabled()) {
+    return;
+  }
+  TraceState& s = TraceState::instance();
+  const std::lock_guard<std::mutex> lock(s.mutex);
+  if (!enabled()) {
+    return; // flushed between the probe and the lock
+  }
+  if (s.events.size() >= TraceState::kMaxEvents) {
+    s.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event ev;
+  ev.name = std::string(name);
+  ev.argsJson = std::string(argsJson);
+  ev.startNs = startNs;
+  ev.durNs = durNs;
+  ev.tid = thisThreadId();
+  s.events.push_back(std::move(ev));
+}
+
 std::uint64_t Span::nowNsOrZero() noexcept {
   const std::uint64_t ns = nowNs();
   return ns == 0 ? 1 : ns;
@@ -127,7 +151,11 @@ bool flush() {
     const double dur = static_cast<double>(ev.durNs) / 1000.0;
     out << "{\"name\":\"" << jsonEscape(ev.name)
         << "\",\"cat\":\"qirkit\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
-        << ",\"ts\":" << ts << ",\"dur\":" << dur << "}";
+        << ",\"ts\":" << ts << ",\"dur\":" << dur;
+    if (!ev.argsJson.empty()) {
+      out << ",\"args\":" << ev.argsJson;
+    }
+    out << "}";
   }
   out << "]}";
   s.events.clear();

@@ -42,6 +42,15 @@ bool flush();
 /// Number of events dropped because the in-memory buffer was full.
 [[nodiscard]] std::uint64_t droppedEvents() noexcept;
 
+/// Record an already-measured span retroactively, optionally tagged with
+/// a Chrome-trace "args" object (\p argsJson must be a pre-rendered JSON
+/// object, e.g. {"request_id":"r-1","tenant":"acme"}; empty = no args).
+/// Used by the request-trace layer to emit per-stage spans after the
+/// request finished. Costs one relaxed atomic load while tracing is
+/// disarmed.
+void emitSpan(std::string_view name, std::uint64_t startNs, std::uint64_t durNs,
+              std::string_view argsJson = {});
+
 /// One traced region. The name is captured by value so dynamically built
 /// names (pass names) are safe.
 class Span {

@@ -3,6 +3,7 @@
 #include "interp/interpreter.hpp"
 #include "support/cancel.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry/request_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/telemetry/trace.hpp"
 #include "vm/cache.hpp"
@@ -322,6 +323,17 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   ShotBatchResult result;
   Engine engine = opts.engine;
 
+  // Request-scoped stage marks: batch-level only, on this thread only —
+  // the per-shot loop never sees the trace. Cost when absent: one
+  // pointer check per stage.
+  telemetry::RequestTrace* const rtrace = opts.requestTrace;
+  const auto markStage = [&](const char* stage, std::uint64_t t0,
+                             std::string_view note = {}) {
+    if (rtrace != nullptr) {
+      rtrace->addStage(stage, t0, telemetry::nowNs() - t0, note);
+    }
+  };
+
   // A token that expired before the batch even started (e.g. a job that
   // sat out its deadline in a queue): report everything as unstarted
   // without paying for compilation or analysis.
@@ -331,11 +343,15 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     result.unstartedShots = opts.shots;
     g_deadlineBatches.add();
     g_shotsUnstarted.add(opts.shots);
+    if (rtrace != nullptr) {
+      rtrace->addStage("execute", telemetry::nowNs(), 0, "expired");
+    }
     return result;
   }
 
   std::shared_ptr<const BytecodeModule> compiled;
   if (engine == Engine::Vm) {
+    const std::uint64_t compileT0 = rtrace != nullptr ? telemetry::nowNs() : 0;
     try {
       const CompileOptions compileOptions{.fuseGates = opts.fusion};
       if (opts.useCompileCache) {
@@ -350,9 +366,14 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
         result.cacheHits =
             (after.hits + after.coalesced) - (before.hits + before.coalesced);
         result.cacheMisses = after.misses - before.misses;
+        markStage("compile", compileT0,
+                  result.cacheMisses > 0             ? "miss"
+                  : after.coalesced > before.coalesced ? "coalesced"
+                                                       : "hit");
       } else {
         compiled = compileModule(module, compileOptions);
         result.cacheMisses = 1;
+        markStage("compile", compileT0, "miss");
       }
     } catch (const std::exception& e) {
       const ClassifiedError failure = classifyException(e);
@@ -366,6 +387,7 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
       result.degradeReason = std::string("bytecode compilation failed (") +
                              errorCodeName(failure.code) +
                              "): " + failure.message;
+      markStage("compile", compileT0, "degraded");
     }
   }
   result.engineUsed = engine;
@@ -400,10 +422,14 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   // the sampling path degrades to the per-shot machinery below.
   if (opts.execMode != ExecMode::Resim) {
     ShotAnalysis analysis;
+    const std::uint64_t analyzeT0 = rtrace != nullptr ? telemetry::nowNs() : 0;
     {
       const telemetry::trace::Span analysisSpan("execute.analyze");
       analysis = analyzeShotProfile(module);
     }
+    markStage("analyze", analyzeT0,
+              analysis.profile == ShotProfile::Terminal ? "terminal"
+                                                        : "feedback");
     (analysis.profile == ShotProfile::Terminal ? g_analysisTerminal
                                                : g_analysisFeedback)
         .add();
@@ -416,10 +442,12 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
                                 analysis.reason);
       }
     } else if (opts.shots > 0) {
+      const std::uint64_t sampleT0 = rtrace != nullptr ? telemetry::nowNs() : 0;
       try {
         runSampledBatch(module, compiled, engine, opts, result);
         g_sampleBatches.add();
         g_shotsSampled.add(result.completedShots);
+        markStage("execute", sampleT0, "sample");
         return finish();
       } catch (const std::exception& e) {
         const ClassifiedError failure = classifyException(e);
@@ -434,9 +462,11 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
           result.sampled = false;
           result.deadlineExceeded = true;
           result.unstartedShots = opts.shots;
+          markStage("execute", sampleT0, "sample-deadline");
           return finish();
         }
         g_sampleFallbacks.add();
+        markStage("execute", sampleT0, "sample-fallback");
         result.sampleFallback = true;
         result.sampleFallbackReason =
             std::string(errorCodeName(failure.code)) + ": " + failure.message;
@@ -456,10 +486,12 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     runner.run(begin, end, out);
   };
 
+  const std::uint64_t resimT0 = rtrace != nullptr ? telemetry::nowNs() : 0;
   if (opts.pool == nullptr || opts.pool->size() <= 1 || opts.shots <= 1) {
     ChunkResult chunk;
     runChunk(0, opts.shots, chunk);
     mergeChunk(std::move(chunk), result);
+    markStage("execute", resimT0, "resim");
     return finish();
   }
 
@@ -498,6 +530,7 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
     });
   }
   group.wait();
+  markStage("execute", resimT0, "resim");
   if (infrastructureError.has_value()) {
     throw TrapError(infrastructureError->message, infrastructureError->code,
                     infrastructureError->transient);

@@ -35,6 +35,10 @@
 #include <string>
 #include <vector>
 
+namespace qirkit::telemetry {
+class RequestTrace;
+} // namespace qirkit::telemetry
+
 namespace qirkit::vm {
 
 class CompileCache;
@@ -103,6 +107,13 @@ struct ShotOptions {
   /// it does not throw, and an aborted in-flight shot is counted as
   /// unstarted, never as failed. The token must outlive the call.
   const qirkit::CancelToken* cancel = nullptr;
+  /// Request-scoped trace context (nullptr: none). When set, the batch
+  /// records coarse per-stage wall times (compile with cache
+  /// hit/miss/coalesced, analysis, sample vs resim execution) on the
+  /// calling thread only — never inside the per-shot loop. Cost when
+  /// null is one pointer check per stage. The trace must outlive the
+  /// call.
+  telemetry::RequestTrace* requestTrace = nullptr;
 };
 
 /// One permanently failed shot, classified.

@@ -6,7 +6,9 @@
 /// error responses for malformed and oversized frames that leave the
 /// connection usable, and the resource-limit taxonomy for quota rejects.
 #include "service/client.hpp"
+#include "service/flight_recorder.hpp"
 #include "service/json.hpp"
+#include "service/prometheus.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "service/server.hpp"
@@ -17,6 +19,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -201,6 +204,113 @@ TEST(ServiceProtocolTest, ErrorResponseSplicesExtraMembers) {
   EXPECT_FALSE(v.find("ok")->boolean);
   EXPECT_EQ(v.find("error")->find("code")->string, "resource-limit");
   EXPECT_EQ(v.find("retry_after_ms")->asU64("retry_after_ms"), 125U);
+}
+
+TEST(ServiceProtocolTest, MetricsFormatRoundTrips) {
+  EXPECT_FALSE(parseRequest(R"({"type":"metrics"})").metrics.prometheus);
+  EXPECT_FALSE(
+      parseRequest(R"({"type":"metrics","format":"json"})").metrics.prometheus);
+  EXPECT_TRUE(parseRequest(R"({"type":"metrics","format":"prometheus"})")
+                  .metrics.prometheus);
+  EXPECT_THROW((void)parseRequest(R"({"type":"metrics","format":"xml"})"),
+               qirkit::Error);
+
+  MetricsRequest req;
+  req.prometheus = true;
+  EXPECT_TRUE(parseRequest(metricsRequestJson(req)).metrics.prometheus);
+  req.prometheus = false;
+  EXPECT_FALSE(parseRequest(metricsRequestJson(req)).metrics.prometheus);
+}
+
+TEST(ServiceProtocolTest, EventsVerbRoundTrips) {
+  const Request bare = parseRequest(R"({"type":"events"})");
+  ASSERT_EQ(bare.type, RequestType::Events);
+  EXPECT_TRUE(bare.events.tenant.empty());
+  EXPECT_EQ(bare.events.limit, 0U);
+
+  EventsRequest req;
+  req.tenant = "acme";
+  req.limit = 7;
+  const Request parsed = parseRequest(eventsRequestJson(req));
+  ASSERT_EQ(parsed.type, RequestType::Events);
+  EXPECT_EQ(parsed.events.tenant, "acme");
+  EXPECT_EQ(parsed.events.limit, 7U);
+}
+
+TEST(ServiceProtocolTest, SubmitResponseCarriesStages) {
+  SubmitResponse response;
+  response.programId = "abc";
+  response.jobId = 4;
+  response.shots = 2;
+  response.stagesJson =
+      R"([{"stage":"queue","start_ns":0,"dur_ns":10}])";
+  const json::Value v = json::parse(submitResponseJson(response));
+  const json::Value* stages = v.find("stages");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->array.size(), 1U);
+  EXPECT_EQ(stages->array[0].find("stage")->string, "queue");
+}
+
+// ----------------------------------------------------- flight recorder --
+
+TEST(FlightRecorderTest, RingWrapsAndQueriesNewestFirstBounded) {
+  FlightRecorder recorder(/*capacity=*/3, /*slowThresholdNs=*/0);
+  for (int i = 1; i <= 5; ++i) {
+    FlightRecord rec;
+    rec.jobId = static_cast<std::uint64_t>(i);
+    rec.tenant = i % 2 == 0 ? "even" : "odd";
+    rec.outcome = "ok";
+    recorder.record(std::move(rec));
+  }
+  EXPECT_EQ(recorder.recorded(), 5U);
+
+  // Only the newest `capacity` records survive, oldest first.
+  const std::vector<FlightRecord> all = recorder.query();
+  ASSERT_EQ(all.size(), 3U);
+  EXPECT_EQ(all.front().jobId, 3U);
+  EXPECT_EQ(all.back().jobId, 5U);
+  EXPECT_EQ(all.back().seq, 5U);
+
+  // Tenant filter plus newest-limit truncation.
+  const std::vector<FlightRecord> odd = recorder.query("odd", 1);
+  ASSERT_EQ(odd.size(), 1U);
+  EXPECT_EQ(odd.front().jobId, 5U);
+}
+
+TEST(FlightRecorderTest, KeepsStageTraceOnlyForSlowOrErroredRequests) {
+  FlightRecorder recorder(/*capacity=*/8, /*slowThresholdNs=*/1000);
+  const auto submit = [&](std::uint64_t totalNs, const char* outcome) {
+    FlightRecord rec;
+    rec.totalNs = totalNs;
+    rec.outcome = outcome;
+    rec.stagesJson = R"([{"stage":"queue","start_ns":0,"dur_ns":1}])";
+    recorder.record(std::move(rec));
+  };
+  submit(10, "ok");      // fast + healthy: trace dropped
+  submit(5000, "ok");    // slow: trace kept, marked slow
+  submit(10, "error");   // errored: trace kept even though fast
+  const std::vector<FlightRecord> records = recorder.query();
+  ASSERT_EQ(records.size(), 3U);
+  EXPECT_TRUE(records[0].stagesJson.empty());
+  EXPECT_FALSE(records[0].slow);
+  EXPECT_FALSE(records[1].stagesJson.empty());
+  EXPECT_TRUE(records[1].slow);
+  EXPECT_FALSE(records[2].stagesJson.empty());
+  EXPECT_FALSE(records[2].slow);
+
+  // The events JSON view carries the kept traces and omits the dropped.
+  const std::string json = recorder.eventsJson();
+  const json::Value v = json::parse(json);
+  ASSERT_EQ(v.array.size(), 3U);
+  EXPECT_EQ(v.array[0].find("stages"), nullptr);
+  ASSERT_NE(v.array[1].find("stages"), nullptr);
+  EXPECT_TRUE(v.array[1].find("slow")->boolean);
+}
+
+TEST(PrometheusTest, SanitizesMetricNames) {
+  EXPECT_EQ(prometheusName("serve.job.latency_ns"),
+            "qirkit_serve_job_latency_ns");
+  EXPECT_EQ(prometheusName("a-b.c"), "qirkit_a_b_c");
 }
 
 // --------------------------------------------------------------- queue --
@@ -747,6 +857,189 @@ TEST_F(ServeTest, MemoryAdmissionGuardRejectsOversizedPrograms) {
   ASSERT_NE(memory, nullptr);
   EXPECT_EQ(memory->find("budget_bytes")->asU64("budget_bytes"), 1U << 20U);
   EXPECT_GE(memory->find("rejected")->asU64("rejected"), 1U);
+}
+
+namespace {
+
+/// Occurrences of \p needle in \p haystack (for exposition-body asserts).
+std::size_t countOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+/// The value of an unlabeled scalar series in an exposition body, e.g.
+/// "qirkit_serve_tenant_completed_evicted 3" -> 3. Fails the test when
+/// the series is absent.
+std::uint64_t expositionScalar(const std::string& body,
+                               const std::string& series) {
+  const std::string prefix = series + " ";
+  std::size_t at = body.rfind("\n" + prefix);
+  if (at != std::string::npos) {
+    ++at; // step past the newline
+  } else if (body.rfind(prefix, 0) == 0) {
+    at = 0;
+  } else {
+    ADD_FAILURE() << "series '" << series << "' not in exposition body";
+    return 0;
+  }
+  return std::stoull(body.substr(at + prefix.size()));
+}
+
+} // namespace
+
+TEST_F(ServeTest, SubmitResponseReportsStageTimings) {
+  Client client(socketPath_);
+  const json::Value v = json::parse(client.call(submitLine("alice", 20, 3)));
+  ASSERT_TRUE(v.find("ok")->boolean);
+
+  // Every response carries the request's span tree: admission through
+  // execute, each with a start offset and duration.
+  const json::Value* stages = v.find("stages");
+  ASSERT_NE(stages, nullptr);
+  std::vector<std::string> names;
+  names.reserve(stages->array.size());
+  for (const json::Value& stage : stages->array) {
+    names.push_back(stage.find("stage")->string);
+    EXPECT_NE(stage.find("dur_ns"), nullptr);
+    EXPECT_NE(stage.find("start_ns"), nullptr);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "admission"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "queue"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "compile"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "execute"), names.end());
+
+  // The telemetry delta splits queue wait from execute time.
+  const json::Value* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_NE(metrics->find("serve.queue.wait_ns.count"), nullptr);
+  EXPECT_GE(metrics->find("serve.queue.wait_ns.count")->asU64("count"), 1U);
+  ASSERT_NE(metrics->find("serve.exec.run_ns.count"), nullptr);
+}
+
+TEST_F(ServeTest, MetricsDocumentCarriesLatencyPercentiles) {
+  Client client(socketPath_);
+  ASSERT_TRUE(json::parse(client.call(submitLine("alice", 20, 3)))
+                  .find("ok")
+                  ->boolean);
+  const json::Value metrics =
+      json::parse(client.call(R"({"type":"metrics"})"));
+  const json::Value* latency = metrics.find("latency");
+  ASSERT_NE(latency, nullptr);
+  for (const char* which : {"job", "queue_wait", "exec"}) {
+    const json::Value* h = latency->find(which);
+    ASSERT_NE(h, nullptr) << which;
+    EXPECT_GE(h->find("count")->asU64("count"), 1U) << which;
+    EXPECT_GE(h->find("p99_ns")->asU64("p99_ns"),
+              h->find("p50_ns")->asU64("p50_ns"))
+        << which;
+  }
+  const json::Value* flight = metrics.find("flight");
+  ASSERT_NE(flight, nullptr);
+  EXPECT_EQ(flight->find("capacity")->asU64("capacity"), 256U);
+  EXPECT_GE(flight->find("recorded")->asU64("recorded"), 1U);
+}
+
+TEST_F(ServeTest, DeadlineCutRequestIsDiagnosableFromTheFlightRecorder) {
+  restart([](ServerOptions& options) {
+    options.slowThresholdMs = 1; // everything below counts as slow
+  });
+
+  Client client(socketPath_);
+  const json::Value error = json::parse(client.call(
+      slowSubmitLine("dl-tenant", "req-dl", /*shots=*/2'000'000,
+                     /*deadlineMs=*/50)));
+  ASSERT_FALSE(error.find("ok")->boolean);
+  ASSERT_EQ(error.find("error")->find("code")->string, "deadline");
+  // The error response itself carries the span tree.
+  ASSERT_NE(error.find("stages"), nullptr);
+
+  // The flight recorder archived the request with per-stage timings.
+  const json::Value events = json::parse(
+      client.call(R"({"type":"events","tenant":"dl-tenant"})"));
+  ASSERT_TRUE(events.find("ok")->boolean);
+  EXPECT_EQ(events.find("type")->string, "events");
+  EXPECT_GE(events.find("recorded")->asU64("recorded"), 1U);
+  EXPECT_EQ(events.find("slow_threshold_ms")->asU64("slow_threshold_ms"), 1U);
+  const json::Value* list = events.find("events");
+  ASSERT_NE(list, nullptr);
+  ASSERT_FALSE(list->array.empty());
+  const json::Value& rec = list->array.back();
+  EXPECT_EQ(rec.find("tenant")->string, "dl-tenant");
+  EXPECT_EQ(rec.find("request_id")->string, "req-dl");
+  EXPECT_EQ(rec.find("outcome")->string, "error");
+  EXPECT_EQ(rec.find("error")->string, "deadline");
+  EXPECT_EQ(rec.find("cause")->string, "deadline");
+  EXPECT_TRUE(rec.find("slow")->boolean);
+  EXPECT_GE(rec.find("total_ns")->asU64("total_ns"), 1'000'000U);
+
+  // Slow + errored: the full stage trace was captured automatically.
+  const json::Value* stages = rec.find("stages");
+  ASSERT_NE(stages, nullptr);
+  bool sawExecute = false;
+  for (const json::Value& stage : stages->array) {
+    sawExecute = sawExecute || stage.find("stage")->string == "execute";
+  }
+  EXPECT_TRUE(sawExecute);
+
+  // A tenant filter for someone else returns an empty list.
+  const json::Value other = json::parse(
+      client.call(R"({"type":"events","tenant":"nobody"})"));
+  EXPECT_TRUE(other.find("events")->array.empty());
+}
+
+TEST_F(ServeTest, PrometheusExpositionExposesPerTenantSeries) {
+  Client client(socketPath_);
+  ASSERT_TRUE(json::parse(client.call(submitLine("prom-tenant", 20, 3)))
+                  .find("ok")
+                  ->boolean);
+
+  const json::Value v = json::parse(
+      client.call(R"({"type":"metrics","format":"prometheus"})"));
+  ASSERT_TRUE(v.find("ok")->boolean);
+  EXPECT_EQ(v.find("format")->string, "prometheus");
+  const json::Value* body = v.find("body");
+  ASSERT_NE(body, nullptr);
+  const std::string& text = body->string;
+
+  EXPECT_NE(text.find("# TYPE qirkit_serve_tenant_completed counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qirkit_serve_tenant_completed{tenant=\"prom-tenant\"} "),
+            std::string::npos);
+  // Per-tenant histograms expose cumulative buckets plus sum/count.
+  EXPECT_NE(
+      text.find("qirkit_serve_tenant_queue_wait_ns_bucket{tenant=\"prom-tenant\",le=\""),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("qirkit_serve_tenant_exec_ns_count{tenant=\"prom-tenant\"} "),
+      std::string::npos);
+  // Unlabeled histograms render too, with the +Inf closing bucket.
+  EXPECT_NE(text.find("qirkit_serve_job_latency_ns_bucket{le=\"+Inf\"} "),
+            std::string::npos);
+}
+
+TEST_F(ServeTest, TenantLabelCardinalityIsBoundedByEviction) {
+  Client client(socketPath_);
+  // One more tenant than the cardinality bound: at least one label must
+  // have been evicted, however many labels earlier tests contributed.
+  for (int i = 0; i <= 32; ++i) {
+    ASSERT_TRUE(json::parse(client.call(submitLine(
+                                "evict-tenant-" + std::to_string(i), 5, 1)))
+                    .find("ok")
+                    ->boolean)
+        << i;
+  }
+  const json::Value v = json::parse(
+      client.call(R"({"type":"metrics","format":"prometheus"})"));
+  const std::string& text = v.find("body")->string;
+  EXPECT_GE(expositionScalar(text, "qirkit_serve_tenant_completed_evicted"),
+            1U);
+  // The live label set stays within the bound.
+  EXPECT_LE(countOccurrences(text, "qirkit_serve_tenant_completed{"), 32U);
 }
 
 TEST_F(ServeTest, BrokenProgramsReturnClassifiedErrors) {

@@ -9,6 +9,7 @@
 #include "qir/compile.hpp"
 #include "qir/exporter.hpp"
 #include "support/error.hpp"
+#include "support/telemetry/request_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
 #include "support/telemetry/trace.hpp"
 #include "vm/cache.hpp"
@@ -16,10 +17,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace qirkit {
 namespace {
@@ -226,6 +229,155 @@ TEST_F(TelemetryTest, StatsJsonIsVersionedAndNested) {
   const std::string text = telemetry::statsText();
   EXPECT_NE(text.find("qirkit telemetry"), std::string::npos);
   EXPECT_NE(text.find("vm.cache.misses"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, QuantileEdgeCases) {
+  // Empty histogram: every quantile answers 0, not a bucket bound.
+  telemetry::LatencyHistogram empty("test.quantile.empty",
+                                    telemetry::Unregistered{});
+  EXPECT_EQ(empty.quantileNs(0.5), 0U);
+  EXPECT_EQ(empty.quantileNs(0.99), 0U);
+
+  // Single sample: every quantile clamps to the one observed value,
+  // not the bucket's upper bound (128 for a 100ns sample).
+  telemetry::LatencyHistogram single("test.quantile.single",
+                                     telemetry::Unregistered{});
+  single.recordUnchecked(100);
+  EXPECT_EQ(single.quantileNs(0.5), 100U);
+  EXPECT_EQ(single.quantileNs(0.95), 100U);
+  EXPECT_EQ(single.quantileNs(0.99), 100U);
+
+  // Saturated top bucket: samples beyond the last bucket's range land in
+  // bucket kBuckets-1; the quantile answers that bucket's bound rather
+  // than overflowing or scanning past the array.
+  telemetry::LatencyHistogram top("test.quantile.top",
+                                  telemetry::Unregistered{});
+  top.recordUnchecked(~std::uint64_t{0});
+  top.recordUnchecked(~std::uint64_t{0});
+  const std::uint64_t q = top.quantileNs(0.99);
+  EXPECT_EQ(q, std::uint64_t{1}
+                   << std::min<std::size_t>(telemetry::LatencyHistogram::kBuckets,
+                                            63));
+  EXPECT_EQ(top.count(), 2U);
+}
+
+TEST_F(TelemetryTest, StatsJsonCarriesP95) {
+  static telemetry::LatencyHistogram hist{"test.p95.hist"};
+  hist.record(1000);
+  const std::string json = telemetry::statsJson("test");
+  EXPECT_NE(json.find("\"p95_ns\":"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, LabeledCounterBoundsCardinalityByEvictingLru) {
+  static telemetry::LabeledCounter family{"test.labeled.counter", 2, "tenant"};
+  family.reset();
+  family.add("a");
+  family.add("b");
+  family.add("a", 4); // refreshes a: b is now least-recently-updated
+  family.add("c");    // third label: evicts b
+  EXPECT_EQ(family.value("a"), 5U);
+  EXPECT_EQ(family.value("c"), 1U);
+  EXPECT_EQ(family.value("b"), 0U); // evicted
+  EXPECT_EQ(family.evictions(), 1U);
+  EXPECT_EQ(family.values().size(), 2U);
+
+  // A re-added evicted label starts from zero (history is gone).
+  family.add("b");
+  EXPECT_EQ(family.value("b"), 1U);
+  EXPECT_EQ(family.evictions(), 2U);
+}
+
+TEST_F(TelemetryTest, LabeledCounterGatesOnEnabledFlag) {
+  static telemetry::LabeledCounter family{"test.labeled.gated", 4, "tenant"};
+  family.reset();
+  telemetry::setEnabled(false);
+  family.add("t");
+  EXPECT_EQ(family.value("t"), 0U);
+  EXPECT_TRUE(family.values().empty());
+  telemetry::setEnabled(true);
+  family.add("t");
+  EXPECT_EQ(family.value("t"), 1U);
+}
+
+TEST_F(TelemetryTest, LabeledHistogramPerLabelQuantilesAndEviction) {
+  static telemetry::LabeledHistogram family{"test.labeled.hist", 2, "tenant"};
+  family.reset();
+  family.record("a", 100);
+  family.record("a", 200);
+  family.record("b", 50);
+  bool sawA = false;
+  family.forEach([&](const std::string& label,
+                     const telemetry::LatencyHistogram& h) {
+    if (label == "a") {
+      sawA = true;
+      EXPECT_EQ(h.count(), 2U);
+      EXPECT_EQ(h.quantileNs(0.99), 200U);
+    }
+  });
+  EXPECT_TRUE(sawA);
+  family.record("c", 10); // evicts a (least recently updated)
+  EXPECT_EQ(family.evictions(), 1U);
+  const std::vector<std::string> labels = family.labels();
+  EXPECT_EQ(labels.size(), 2U);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), "a"), 0);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), "b"), 1);
+
+  // Labeled families render as one leaf in the stats report, label
+  // values never split by the dotted-name nesting.
+  const std::string json = telemetry::statsJson("test");
+  EXPECT_NE(json.find("\"labels\""), std::string::npos);
+  EXPECT_NE(json.find("\"evicted\":1"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RequestTraceRecordsStagesRelativeToOrigin) {
+  telemetry::RequestTrace trace("acme", "req-1");
+  trace.addStage("admission", 5000, 50);
+  trace.addStage("queue", 6000, 400);
+  trace.addStage("execute", 7000, 900, "sample");
+  const std::vector<telemetry::RequestStage> stages = trace.stages();
+  ASSERT_EQ(stages.size(), 3U);
+  EXPECT_EQ(stages[0].name, "admission");
+  EXPECT_EQ(stages[2].note, "sample");
+
+  const std::string json = trace.stagesJson();
+  // start_ns is relative to the first recorded stage.
+  EXPECT_NE(json.find("{\"stage\":\"admission\",\"start_ns\":0,\"dur_ns\":50}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"queue\",\"start_ns\":1000"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"sample\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RequestTraceEmitsTaggedChromeSpans) {
+  const std::string path = ::testing::TempDir() + "/qirkit_reqtrace_test.json";
+  std::remove(path.c_str());
+  telemetry::trace::begin(path);
+  telemetry::RequestTrace trace("acme", "req-9");
+  trace.addStage("queue", 1000, 200);
+  trace.addStage("execute", 2000, 700, "resim");
+  trace.emitChromeSpans();
+  ASSERT_TRUE(telemetry::trace::flush());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+  // Spans are named request.<stage>[:note] and tagged with args carrying
+  // the request id and tenant.
+  EXPECT_NE(content.find("\"request.queue\""), std::string::npos);
+  EXPECT_NE(content.find("\"request.execute:resim\""), std::string::npos);
+  EXPECT_NE(content.find("\"request_id\":\"req-9\""), std::string::npos);
+  EXPECT_NE(content.find("\"tenant\":\"acme\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, DisabledRequestTraceSpansStoreNothing) {
+  ASSERT_FALSE(telemetry::trace::enabled());
+  telemetry::RequestTrace trace("t", "r");
+  trace.addStage("queue", 1, 2);
+  trace.emitChromeSpans(); // one relaxed load, no buffering
+  EXPECT_EQ(telemetry::trace::droppedEvents(), 0U);
 }
 
 TEST_F(TelemetryTest, JsonEscape) {

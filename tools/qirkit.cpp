@@ -599,6 +599,19 @@ int cmdServe(const Args& args) {
     options.watchdogFactor = static_cast<unsigned>(
         parseUint(args.option("watchdog-factor"), "watchdog-factor"));
   }
+  if (!args.option("flight-capacity").empty()) {
+    options.flightCapacity = std::max<std::size_t>(
+        1, parseUint(args.option("flight-capacity"), "flight-capacity"));
+  }
+  if (!args.option("slow-threshold-ms").empty()) {
+    options.slowThresholdMs =
+        parseUint(args.option("slow-threshold-ms"), "slow-threshold-ms");
+  }
+  // The daemon's observability surface (per-tenant metrics, latency
+  // percentiles, the flight recorder's stage traces) feeds from the
+  // telemetry registry, so serve arms it by default — the opposite of
+  // the one-shot CLI, where --stats opts in per run.
+  options.enableTelemetry = !args.flag("no-telemetry");
 
   service::Server server(std::move(options));
   server.start();
@@ -663,11 +676,48 @@ int cmdSubmit(const Args& args) {
                ? 0
                : reportServiceError(root);
   }
-  if (target == "metrics" || target == "ping" || target == "shutdown") {
-    const service::RequestType type =
-        target == "metrics" ? service::RequestType::Metrics
-        : target == "ping"  ? service::RequestType::Ping
-                            : service::RequestType::Shutdown;
+  if (target == "metrics") {
+    const std::string format = args.option("format", "json");
+    if (format != "json" && format != "prometheus") {
+      fail("--format expects json or prometheus, got '" + format + "'");
+    }
+    service::MetricsRequest metrics;
+    metrics.prometheus = format == "prometheus";
+    const std::string response =
+        client.call(service::metricsRequestJson(metrics));
+    const json::Value root = json::parse(response);
+    const json::Value* ok = root.find("ok");
+    if (ok == nullptr || !ok->isBool() || !ok->boolean) {
+      std::cout << response << "\n";
+      return reportServiceError(root);
+    }
+    if (metrics.prometheus) {
+      // Unwrap the escaped exposition text: stdout carries exactly what a
+      // Prometheus textfile collector expects, not the JSON envelope.
+      const json::Value* body = root.find("body");
+      std::cout << (body != nullptr && body->isString() ? body->string : "");
+      return 0;
+    }
+    std::cout << response << "\n";
+    return 0;
+  }
+  if (target == "events") {
+    service::EventsRequest events;
+    events.tenant = args.option("tenant"); // empty = every tenant
+    events.limit = parseUint(args.option("limit", "0"), "limit");
+    const std::string response =
+        client.call(service::eventsRequestJson(events));
+    std::cout << response << "\n";
+    const json::Value root = json::parse(response);
+    const json::Value* ok = root.find("ok");
+    return ok != nullptr && ok->isBool() && ok->boolean
+               ? 0
+               : reportServiceError(root);
+  }
+  if (target == "ping" || target == "shutdown") {
+    const service::RequestType type = target == "ping"
+                                          ? service::RequestType::Ping
+                                          : service::RequestType::Shutdown;
     const std::string response = client.call(service::simpleRequestJson(type));
     std::cout << response << "\n";
     const json::Value root = json::parse(response);
@@ -746,6 +796,24 @@ int cmdSubmit(const Args& args) {
             << fieldU64(root, "seed") << ", queue "
             << fieldU64(root, "queue_wait_ns") / 1000 << " us, exec "
             << fieldU64(root, "exec_ns") / 1000 << " us\n";
+  if (args.flag("verbose-timing")) {
+    // Per-stage breakdown from the response's trace context, on stderr so
+    // stdout stays byte-identical to `qirkit run`.
+    if (const json::Value* stages = root.find("stages")) {
+      for (const json::Value& stage : stages->array) {
+        const json::Value* name = stage.find("stage");
+        const json::Value* note = stage.find("note");
+        std::cerr << "  stage "
+                  << (name != nullptr && name->isString() ? name->string : "?");
+        if (note != nullptr && note->isString()) {
+          std::cerr << " [" << note->string << "]";
+        }
+        std::cerr << ": start +" << fieldU64(stage, "start_ns") / 1000
+                  << " us, took " << fieldU64(stage, "dur_ns") / 1000
+                  << " us\n";
+      }
+    }
+  }
   // stdout: byte-identical to `qirkit run` so histograms diff with cmp.
   std::cout << "shots: " << fieldU64(root, "shots")
             << ", gates/shot: " << fieldU64(root, "gates_per_shot")
@@ -780,12 +848,17 @@ void usage() {
          "             [--max-shots N] [--max-frame-bytes N]\n"
          "             [--rate-limit R/s] [--rate-burst B]\n"
          "             [--memory-budget-mb N] [--watchdog-factor N]\n"
-         "submit: qirkit submit <file|@program-id|metrics|ping|shutdown|"
-         "cancel>\n"
+         "             [--flight-capacity N] [--slow-threshold-ms N]\n"
+         "             [--no-telemetry]\n"
+         "submit: qirkit submit <file|@program-id|metrics|events|ping|"
+         "shutdown|cancel>\n"
          "             --socket <path> [--tenant T] [--shots N] [--seed S]\n"
          "             [--engine vm|interp] [--exec-mode M] [--fusion on|off]\n"
          "             [--priority P] [--deadline-ms N] [--request-id ID]\n"
-         "             [--connect-retries N] [--json]\n"
+         "             [--connect-retries N] [--json] [--verbose-timing]\n"
+         "             metrics: [--format json|prometheus] (prometheus text\n"
+         "             exposition on stdout); events: [--tenant T] [--limit N]\n"
+         "             (flight-recorder replay of recent requests)\n"
          "environment:\n"
          "  QIRKIT_TRACE=<file>       write Chrome trace-event JSON "
          "(Perfetto)\n"
@@ -834,7 +907,8 @@ int main(int argc, char** argv) {
          "cache-capacity", "program-capacity", "queue-capacity",
          "tenant-pending", "max-shots", "max-frame-bytes", "timeout-ms",
          "deadline-ms", "request-id", "connect-retries", "rate-limit",
-         "rate-burst", "memory-budget-mb", "watchdog-factor"});
+         "rate-burst", "memory-budget-mb", "watchdog-factor", "format",
+         "limit", "flight-capacity", "slow-threshold-ms"});
     if (args.positional.empty()) {
       usage();
       return 2;

@@ -78,6 +78,65 @@ METRICS="$("$QIRKIT" submit metrics --socket "$SOCK")"
 echo "$METRICS" | grep -q '"hits":0,' && fail "no cross-request cache hit"
 echo "$METRICS" | grep -q '"tenants":{"alice"' || fail "tenant gauges missing"
 echo "$METRICS" | grep -q '"completed":3' || fail "job counter"
+echo "$METRICS" | grep -q '"latency":{"job":{"count":' \
+  || fail "latency percentiles missing from metrics"
+echo "$METRICS" | grep -q '"p99_ns":' || fail "p99 missing from metrics"
+
+# -- Prometheus exposition: must parse as format 0.0.4 ---------------------
+# A stdlib-only validator: every non-comment line is `name{labels} value`,
+# every series is preceded by a matching # TYPE, labels are well-formed.
+"$QIRKIT" submit metrics --socket "$SOCK" --format prometheus \
+  > "$WORK/metrics.prom" || fail "prometheus metrics verb"
+python3 - "$WORK/metrics.prom" <<'PYEOF' || fail "prometheus exposition invalid"
+import re
+import sys
+
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+SAMPLE = re.compile(rf"^({NAME})(\{{[^}}]*\}})? (-?[0-9eE+.]+|\+Inf|NaN)$")
+LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+types = {}
+samples = 0
+for line in open(sys.argv[1], encoding="utf-8"):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split(" ")
+        if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"):
+            sys.exit(f"bad TYPE line: {line}")
+        types[parts[2]] = parts[3]
+        continue
+    if line.startswith("#"):
+        continue
+    m = SAMPLE.match(line)
+    if not m:
+        sys.exit(f"bad sample line: {line}")
+    if m.group(2):
+        for pair in m.group(2)[1:-1].split(","):
+            if not LABEL.match(pair):
+                sys.exit(f"bad label '{pair}' in: {line}")
+    base = re.sub(r"_(bucket|sum|count)$", "", m.group(1))
+    if m.group(1) not in types and base not in types:
+        sys.exit(f"series without a TYPE declaration: {line}")
+    samples += 1
+if samples == 0:
+    sys.exit("no samples in exposition body")
+PYEOF
+grep -q 'qirkit_serve_tenant_completed{tenant="alice"} ' "$WORK/metrics.prom" \
+  || fail "per-tenant labeled series missing from prometheus body"
+
+# -- --verbose-timing: stage breakdown on stderr, stdout untouched ---------
+"$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --tenant alice \
+  --shots 60 --seed 7 --verbose-timing 2> "$WORK/timing.err" \
+  > "$WORK/bell.timed" || fail "verbose-timing submit"
+cmp -s "$WORK/bell.timed" "$WORK/bell.expected" \
+  || fail "verbose-timing changed stdout"
+grep -q "stage execute" "$WORK/timing.err" \
+  || fail "verbose-timing missing execute stage"
+grep -q "stage queue" "$WORK/timing.err" \
+  || fail "verbose-timing missing queue stage"
 
 # -- program_ref resubmission ----------------------------------------------
 REF="$("$QIRKIT" submit "$WORK/bell.qasm" --socket "$SOCK" --tenant alice \
@@ -156,6 +215,18 @@ set +e
 set -e
 grep -q "error\[deadline\]" "$WORK/err6" || fail "deadline error format"
 kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon died on deadline cut"
+
+# The flight recorder must have archived the deadline cut with its cause
+# and the captured per-stage trace (errored requests keep their stages).
+EVENTS="$("$QIRKIT" submit events --socket "$SOCK2" --tenant chaos)" \
+  || fail "events verb"
+echo "$EVENTS" | grep -q '"type":"events"' || fail "events response type"
+echo "$EVENTS" | grep -q '"error":"deadline"' \
+  || fail "deadline cut missing from events"
+echo "$EVENTS" | grep -q '"cause":"deadline"' \
+  || fail "deadline cause missing from events"
+echo "$EVENTS" | grep -q '"stage":"execute"' \
+  || fail "per-stage timings missing from events"
 
 # After both injected failures, a clean request must still produce the
 # exact single-process histogram.
