@@ -170,6 +170,89 @@ BENCHMARK(BM_Fusion)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {18, 22}})
     ->Unit(benchmark::kMillisecond);
 
+/// The cache-blocked kernels (DESIGN 7g) on a rotation-dense gate mix:
+/// one low-qubit 2x2 chain, one high-qubit 2x2 chain, one 4x4 window,
+/// one 6-qubit diagonal per iteration. amps_per_sec is amplitudes
+/// touched per wall second (gates x 2^n / time) — the bandwidth-style
+/// figure the blocking and vectorization exist to raise. Args are
+/// (qubits, precision): precision 0 = f64, 1 = f32 (half the memory
+/// traffic per amplitude).
+void BM_Kernel(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const sim::Precision precision =
+      state.range(1) == 0 ? sim::Precision::F64 : sim::Precision::F32;
+  sim::StateVector sv(n, nullptr, precision);
+  for (unsigned q = 0; q < n; ++q) {
+    sv.apply1(sim::gateH(), q); // spread population
+  }
+  const sim::GateMatrix2 chain = sim::matmul(
+      sim::gateRZ(0.3), sim::matmul(sim::gateRX(0.7), sim::gateRZ(0.1)));
+  const sim::GateMatrix4 window =
+      sim::matmul(sim::embed2(chain, 1), sim::embed2(chain, 0));
+  std::vector<sim::Complex> diag(1U << 6, 1.0);
+  for (unsigned bit = 0; bit < 6; ++bit) {
+    const sim::GateMatrix2 rz = sim::gateRZ(0.2 + 0.1 * bit);
+    for (std::size_t i = 0; i < diag.size(); ++i) {
+      diag[i] *= ((i >> bit) & 1) != 0 ? rz.m11 : rz.m00;
+    }
+  }
+  constexpr std::uint64_t kGatesPerIter = 4;
+  for (auto _ : state) {
+    sv.apply1(chain, 0);
+    sv.apply1(chain, n - 1);
+    sv.apply2(window, 1, 2);
+    const unsigned dq[] = {0, 1, 2, 3, 4, 5};
+    sv.applyDiagonal(diag, dq);
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetLabel(precision == sim::Precision::F32 ? "f32" : "f64");
+  state.counters["qubits"] = n;
+  state.counters["amps_per_sec"] = benchmark::Counter(
+      static_cast<double>(kGatesPerIter) * static_cast<double>(sv.dimension()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Kernel)
+    ->ArgsProduct({{16, 20, 24, 28}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
+
+/// applyFusedSweep (one chunk walk for the whole run) vs the same blocks
+/// applied as separate full-state passes. Mode 0 = per-gate passes,
+/// mode 1 = sweep; the gap is pure memory traffic saved.
+void BM_KernelSweep(benchmark::State& state) {
+  const auto mode = static_cast<int>(state.range(0));
+  const auto n = static_cast<unsigned>(state.range(1));
+  sim::StateVector sv(n);
+  for (unsigned q = 0; q < n; ++q) {
+    sv.apply1(sim::gateH(), q);
+  }
+  const sim::GateMatrix2 chain = sim::matmul(
+      sim::gateRZ(0.3), sim::matmul(sim::gateRX(0.7), sim::gateRZ(0.1)));
+  std::vector<sim::SweepGate> gates;
+  for (unsigned q = 0; q < 8; ++q) {
+    sim::SweepGate gate;
+    gate.kind = sim::SweepGate::Kind::Unitary1;
+    gate.q0 = q;
+    gate.m2 = chain;
+    gates.push_back(gate);
+  }
+  for (auto _ : state) {
+    if (mode == 0) {
+      for (const sim::SweepGate& gate : gates) {
+        sv.apply1(gate.m2, gate.q0);
+      }
+    } else {
+      sv.applyFusedSweep(gates);
+    }
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetLabel(mode == 0 ? "per_gate" : "sweep");
+  state.counters["qubits"] = n;
+  state.counters["sweep_gates"] = static_cast<double>(gates.size());
+}
+BENCHMARK(BM_KernelSweep)
+    ->ArgsProduct({{0, 1}, {18, 22}})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SampleShots(benchmark::State& state) {
   const auto n = static_cast<unsigned>(state.range(0));
   sim::StateVector sv(n);

@@ -13,6 +13,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace qirkit::interp {
@@ -55,6 +56,18 @@ class FusedGateHost {
 public:
   virtual ~FusedGateHost() = default;
   virtual void applyFusedBlock(const FusedBlock& block) = 0;
+
+  /// Optional wider fast path: a run of consecutive fused blocks handed
+  /// down together, so a host backed by a dense state can apply the whole
+  /// run chunk-at-a-time (StateVector::applyFusedSweep) instead of one
+  /// full amplitude pass per block. Must be observably equivalent to
+  /// calling applyFusedBlock on each block in order — which is exactly
+  /// what the default does.
+  virtual void applyFusedSweep(std::span<const FusedBlock> blocks) {
+    for (const FusedBlock& block : blocks) {
+      applyFusedBlock(block);
+    }
+  }
 };
 
 } // namespace qirkit::interp

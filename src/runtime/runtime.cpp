@@ -2,6 +2,7 @@
 
 #include "qir/names.hpp"
 
+#include <array>
 #include <functional>
 
 namespace qirkit::runtime {
@@ -35,7 +36,7 @@ std::int64_t argInt(std::span<const RtValue> args, std::size_t i) {
 // ---------------------------------------------------------------------------
 
 void QuantumRuntime::reset(std::uint64_t seed) {
-  state_ = sim::StateVector(0, pool_);
+  state_ = sim::StateVector(0, pool_, precision_);
   state_.setCancelToken(cancel_); // token installation survives reset
   rng_ = SplitMix64(seed);
   stats_ = {};
@@ -142,6 +143,53 @@ void QuantumRuntime::applyFusedBlock(const interp::FusedBlock& block) {
   // Stats stay per source gate, so fused and unfused runs report the same
   // gatesApplied.
   stats_.gatesApplied += block.sourceGates;
+}
+
+void QuantumRuntime::applyFusedSweep(std::span<const interp::FusedBlock> blocks) {
+  // Pre-sized so the diagQubits spans handed to the simulator stay valid
+  // for the whole sweep. Qubits resolve per block in run order: first-seen
+  // on-the-fly allocation then matches the per-block path exactly.
+  std::vector<std::array<unsigned, interp::FusedBlock::kMaxQubits>> qubitStore(
+      blocks.size());
+  std::vector<sim::SweepGate> gates;
+  gates.reserve(blocks.size());
+  std::uint64_t sourceGates = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const interp::FusedBlock& block = blocks[b];
+    std::array<unsigned, interp::FusedBlock::kMaxQubits>& qubits = qubitStore[b];
+    for (std::size_t i = 0; i < block.qubits.size(); ++i) {
+      qubits[i] = resolveStaticQubit(block.qubits[i]);
+    }
+    sim::SweepGate gate;
+    switch (block.kind) {
+    case interp::FusedBlock::Kind::Unitary1:
+      gate.kind = sim::SweepGate::Kind::Unitary1;
+      gate.q0 = qubits[0];
+      gate.m2 = sim::GateMatrix2{block.matrix[0], block.matrix[1],
+                                 block.matrix[2], block.matrix[3]};
+      break;
+    case interp::FusedBlock::Kind::Unitary2:
+      gate.kind = sim::SweepGate::Kind::Unitary2;
+      gate.q0 = qubits[0];
+      gate.q1 = qubits[1];
+      for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 4; ++c) {
+          gate.m4.m[r][c] = block.matrix[static_cast<std::size_t>(r * 4 + c)];
+        }
+      }
+      break;
+    case interp::FusedBlock::Kind::Diagonal:
+      gate.kind = sim::SweepGate::Kind::Diagonal;
+      gate.diag = block.matrix;
+      gate.diagQubits =
+          std::span<const unsigned>(qubits.data(), block.qubits.size());
+      break;
+    }
+    gates.push_back(gate);
+    sourceGates += block.sourceGates;
+  }
+  state_.applyFusedSweep(gates);
+  stats_.gatesApplied += sourceGates;
 }
 
 bool QuantumRuntime::resultValue(std::uint64_t key) const {

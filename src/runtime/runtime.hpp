@@ -59,8 +59,10 @@ public:
   /// empty result table).
   enum class MeasurementMode : std::uint8_t { Collapse, Defer };
 
-  explicit QuantumRuntime(std::uint64_t seed = 1, qirkit::ThreadPool* pool = nullptr)
-      : state_(0, pool), pool_(pool), rng_(seed) {}
+  explicit QuantumRuntime(std::uint64_t seed = 1, qirkit::ThreadPool* pool = nullptr,
+                          sim::Precision precision = sim::Precision::F64)
+      : state_(0, pool, precision), pool_(pool), precision_(precision),
+        rng_(seed) {}
 
   /// Register every qis/rt handler with \p interp (and this runtime as
   /// the engine's fused-gate host, when the engine supports one).
@@ -71,6 +73,12 @@ public:
   /// resolved with the same on-the-fly first-seen allocation as ordinary
   /// gate calls.
   void applyFusedBlock(const interp::FusedBlock& block) override;
+
+  /// Apply a run of consecutive fused blocks in one chunk-blocked pass
+  /// (StateVector::applyFusedSweep). Qubits are resolved per block in run
+  /// order, so on-the-fly allocation assigns the same simulator indices
+  /// the per-block path would.
+  void applyFusedSweep(std::span<const interp::FusedBlock> blocks) override;
 
   void setMeasurementMode(MeasurementMode mode) noexcept { mode_ = mode; }
   [[nodiscard]] MeasurementMode measurementMode() const noexcept { return mode_; }
@@ -137,6 +145,7 @@ private:
 
   sim::StateVector state_;
   qirkit::ThreadPool* pool_;
+  sim::Precision precision_ = sim::Precision::F64;
   const qirkit::CancelToken* cancel_ = nullptr;
   SplitMix64 rng_;
   RuntimeStats stats_;

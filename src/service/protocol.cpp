@@ -69,6 +69,16 @@ SubmitRequest parseSubmit(const json::Value& root) {
     }
     req.fusion = v->boolean;
   }
+  if (!sim::parsePrecision(stringField(root, "precision", "f64"),
+                           req.precision)) {
+    badField("field 'precision' must be f64 or f32");
+  }
+  if (const json::Value* v = root.find("force_f32")) {
+    if (!v->isBool()) {
+      badField("field 'force_f32' must be a boolean");
+    }
+    req.forceF32 = v->boolean;
+  }
   if (const json::Value* v = root.find("priority")) {
     if (!v->isNumber() || std::floor(v->number) != v->number) {
       badField("field 'priority' must be an integer");
@@ -161,6 +171,8 @@ std::string submitRequestJson(const SubmitRequest& request) {
   out << ",\"engine\":\"" << vm::engineName(request.engine)
       << "\",\"exec_mode\":\"" << vm::execModeName(request.execMode)
       << "\",\"fusion\":" << (request.fusion ? "true" : "false")
+      << ",\"precision\":\"" << sim::precisionName(request.precision)
+      << "\",\"force_f32\":" << (request.forceF32 ? "true" : "false")
       << ",\"priority\":" << request.priority;
   if (request.deadlineMs != 0) {
     out << ",\"deadline_ms\":" << request.deadlineMs;

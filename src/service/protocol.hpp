@@ -23,7 +23,9 @@
 ///
 /// Submit fields: shots (default 100), seed (default: the tenant's seed
 /// stream), engine ("vm"|"interp"), exec_mode ("auto"|"resim"|"sample"),
-/// fusion (bool), priority (higher runs earlier within the tenant),
+/// fusion (bool), precision ("f64"|"f32"), force_f32 (bool; admit f32 for
+/// feedback-dependent programs), priority (higher runs earlier within the
+/// tenant),
 /// deadline_ms (wall budget from admission; 0/absent = none — covers queue
 /// wait, so a job can expire while still pending), request_id (caller tag
 /// that makes the job addressable by the cancel verb).
@@ -72,6 +74,10 @@ struct SubmitRequest {
   vm::Engine engine = vm::Engine::Vm;
   vm::ExecMode execMode = vm::ExecMode::Auto;
   bool fusion = true;
+  /// Amplitude storage width; f32 halves the state's memory footprint and
+  /// traffic (see ShotOptions::precision for the admission rule).
+  sim::Precision precision = sim::Precision::F64;
+  bool forceF32 = false;
   std::int64_t priority = 0;
   /// Wall-clock budget in milliseconds, measured from admission — queue
   /// wait counts, so a job can expire while still pending. 0 = none.

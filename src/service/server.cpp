@@ -479,7 +479,10 @@ std::string Server::handleSubmit(const SubmitRequest& request) {
   active->shots = request.shots;
   active->deadlineMs = request.deadlineMs;
   active->stateBytes =
-      program->qubits == 0 ? 0 : sim::StateVector::predictedBytes(program->qubits);
+      program->qubits == 0
+          ? 0
+          : sim::StateVector::predictedBytes(program->qubits,
+                                             request.precision);
   active->admittedNs = qirkit::CancelToken::nowNs();
   active->cancel = std::make_shared<qirkit::CancelToken>();
   if (request.deadlineMs != 0) {
@@ -729,6 +732,8 @@ void Server::executeJob(Job& job) {
   opts.engine = job.request.engine;
   opts.execMode = job.request.execMode;
   opts.fusion = job.request.fusion;
+  opts.precision = job.request.precision;
+  opts.forceF32 = job.request.forceF32;
   opts.pool = &pool_;
   opts.cache = &cache_;
   opts.cancel = job.cancel.get(); // null when the job set no deadline/tag

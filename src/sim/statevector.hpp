@@ -10,15 +10,25 @@
 /// declared up front (paper §IV.A: "allocate qubits on the fly when it
 /// encounters a new qubit address that is not yet part of the simulated
 /// quantum state").
+///
+/// Kernel layout (DESIGN 7g): every gate kernel decomposes its pair-index
+/// range into contiguous runs bounded by the lowest target-bit boundary,
+/// so the inner loops stream over adjacent amplitudes (vectorizable, one
+/// cache-line fetch per four f64 amplitudes) instead of striding. Runs of
+/// fused blocks can additionally be applied chunk-at-a-time via
+/// applyFusedSweep, which walks each cache-sized chunk once for the whole
+/// run instead of once per block.
 #pragma once
 
 #include "sim/gates.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
+#include <complex>
 #include <cstdint>
 #include <map>
 #include <span>
+#include <string_view>
 #include <vector>
 
 namespace qirkit {
@@ -26,6 +36,39 @@ class CancelToken;
 } // namespace qirkit
 
 namespace qirkit::sim {
+
+/// Amplitude storage width. F64 (the default) is the reference precision;
+/// F32 halves memory traffic for throughput-bound sampling workloads at
+/// ~1e-7 relative error per gate (accumulating with circuit depth — the
+/// executor therefore rejects it for feedback-dependent programs unless
+/// forced). Measurement probabilities, norms, and sampling CDFs are always
+/// accumulated in double regardless of the storage width.
+enum class Precision : std::uint8_t { F64, F32 };
+
+[[nodiscard]] const char* precisionName(Precision precision) noexcept;
+
+/// Parse "f64"/"f32" into \p out; returns false on any other spelling.
+[[nodiscard]] bool parsePrecision(std::string_view text, Precision& out) noexcept;
+
+/// Telemetry hook for the shot executor: count one f32 shot batch against
+/// sim.kernel.f32_batches.
+void noteF32Batch() noexcept;
+
+/// One gate of a fused sweep (applyFusedSweep), with qubit operands
+/// already resolved to simulator indices. Matrices and phase tables stay
+/// in double precision; kernels convert once per chunk. The diag/
+/// diagQubits spans must outlive the applyFusedSweep call.
+struct SweepGate {
+  enum class Kind : std::uint8_t { Unitary1, Unitary2, Diagonal };
+
+  Kind kind = Kind::Unitary1;
+  unsigned q0 = 0;
+  unsigned q1 = 0; // Unitary2 only
+  GateMatrix2 m2{};
+  GateMatrix4 m4{};
+  std::span<const Complex> diag{};
+  std::span<const unsigned> diagQubits{};
+};
 
 class StateVector {
 public:
@@ -38,20 +81,26 @@ public:
   /// \p numQubits is clamped to kMaxQubits (anything wider is rejected
   /// outright before the prediction matters).
   [[nodiscard]] static constexpr std::uint64_t
-  predictedBytes(unsigned numQubits) noexcept {
+  predictedBytes(unsigned numQubits,
+                 Precision precision = Precision::F64) noexcept {
     const unsigned n = numQubits > kMaxQubits ? kMaxQubits : numQubits;
-    return (std::uint64_t{1} << n) * sizeof(Complex);
+    const std::uint64_t perAmp = precision == Precision::F32
+                                     ? sizeof(std::complex<float>)
+                                     : sizeof(Complex);
+    return (std::uint64_t{1} << n) * perAmp;
   }
 
   /// Create an n-qubit register in |0...0>. If \p pool is non-null, gate
   /// kernels are parallelized across its workers once the state is large
   /// enough to amortize the fork/join.
-  explicit StateVector(unsigned numQubits = 0, qirkit::ThreadPool* pool = nullptr);
+  explicit StateVector(unsigned numQubits = 0, qirkit::ThreadPool* pool = nullptr,
+                       Precision precision = Precision::F64);
 
   [[nodiscard]] unsigned numQubits() const noexcept { return numQubits_; }
   [[nodiscard]] std::uint64_t dimension() const noexcept {
     return std::uint64_t{1} << numQubits_;
   }
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
 
   /// Reset to |0...0> keeping the current width.
   void resetAll();
@@ -80,6 +129,17 @@ public:
   void applyCCX(unsigned control1, unsigned control2, unsigned target);
   void applySwap(unsigned a, unsigned b);
 
+  /// Apply a run of fused blocks in one pass per cache-sized chunk: when
+  /// every touched qubit lies below the chunk width, each gate's
+  /// amplitude pairs are chunk-local, so applying all gates (in order) to
+  /// chunk 0, then all to chunk 1, ... is exactly the sequential
+  /// composition — but each chunk is loaded from memory once for the
+  /// whole run instead of once per gate. Gates whose support exceeds the
+  /// default chunk width widen the chunk (correctness never depends on
+  /// the split); a run spanning the whole register degenerates to
+  /// per-gate passes.
+  void applyFusedSweep(std::span<const SweepGate> gates);
+
   // -- measurement ---------------------------------------------------------
   /// Probability that measuring \p q yields 1.
   [[nodiscard]] double probabilityOfOne(unsigned q) const;
@@ -101,14 +161,21 @@ public:
   /// (O(shots log 2^n) = O(shots · n)), parallelized over the thread pool
   /// when the batch is large. All uniforms are pre-drawn sequentially from
   /// \p rng, so the result is independent of pool size and identical to a
-  /// sequential run.
+  /// sequential run. The CDF is accumulated in double for both precisions.
   [[nodiscard]] std::map<std::uint64_t, std::uint64_t> sampleShots(std::uint64_t shots,
                                                                    SplitMix64& rng) const;
 
   // -- inspection --------------------------------------------------------
+  /// Amplitude of \p basis, widened to double for f32 states.
   [[nodiscard]] Complex amplitude(std::uint64_t basis) const {
+    if (precision_ == Precision::F32) {
+      const std::complex<float> a = amplitudesF_[basis];
+      return Complex{a.real(), a.imag()};
+    }
     return amplitudes_[basis];
   }
+  /// Raw f64 storage; only meaningful for Precision::F64 states (empty
+  /// span otherwise).
   [[nodiscard]] std::span<const Complex> amplitudes() const noexcept {
     return amplitudes_;
   }
@@ -118,7 +185,8 @@ public:
   [[nodiscard]] double expectationZ(unsigned q) const {
     return 1.0 - 2.0 * probabilityOfOne(q);
   }
-  /// Fidelity |<this|other>|^2 between equal-width states.
+  /// Fidelity |<this|other>|^2 between equal-width states (any precision
+  /// mix; the overlap accumulates in double).
   [[nodiscard]] double fidelity(const StateVector& other) const;
 
   /// Number of gate applications performed (for benchmarks).
@@ -143,9 +211,12 @@ private:
   /// is bit-identical across pool sizes and sequential runs.
   double blockSum(std::uint64_t n,
                   const std::function<double(std::uint64_t, std::uint64_t)>& partial) const;
+  void allocate(std::uint64_t dim);
 
   unsigned numQubits_;
-  std::vector<Complex> amplitudes_;
+  Precision precision_;
+  std::vector<Complex> amplitudes_;               // F64 storage
+  std::vector<std::complex<float>> amplitudesF_;  // F32 storage
   qirkit::ThreadPool* pool_;
   const qirkit::CancelToken* cancel_ = nullptr;
   std::uint64_t gateCount_ = 0;

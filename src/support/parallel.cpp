@@ -138,10 +138,19 @@ void parallelForChunked(ThreadPool& pool, std::size_t n,
     return;
   }
   const std::size_t chunks = std::min(workers, (n + grainSize - 1) / grainSize);
-  const std::size_t chunkSize = (n + chunks - 1) / chunks;
+  // Round the chunk size up to a whole number of grains so chunk seams
+  // land on grain-aligned (hence cache-line-aligned, for power-of-two
+  // grains) element boundaries: two workers never split a grain, so they
+  // never write the two halves of one cache line.
+  const std::size_t rawChunk = (n + chunks - 1) / chunks;
+  const std::size_t chunkSize =
+      ((rawChunk + grainSize - 1) / grainSize) * grainSize;
   TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t begin = c * chunkSize;
+    if (begin >= n) {
+      break; // alignment can leave trailing chunks empty
+    }
     const std::size_t end = std::min(n, begin + chunkSize);
     group.submit([&body, begin, end] { body(begin, end); });
   }

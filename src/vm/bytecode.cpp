@@ -43,6 +43,7 @@ const char* opName(Op op) noexcept {
   case Op::Fused1: return "fused1";
   case Op::Fused2: return "fused2";
   case Op::FusedDiag: return "fused.diag";
+  case Op::FusedSweep: return "fused.sweep";
   }
   return "?";
 }
@@ -94,6 +95,12 @@ std::string BytecodeModule::disassemble() const {
         for (const std::uint64_t q : block.qubits) {
           out << " q" << q;
         }
+      }
+      if (in.op == Op::FusedSweep && in.a < fn.fusedSweeps.size()) {
+        const FusedSweepRun& run = fn.fusedSweeps[in.a];
+        out << " ; " << run.blockCount << " blocks ["
+            << run.firstBlock << ".." << (run.firstBlock + run.blockCount - 1)
+            << "], " << run.totalGates << " gates";
       }
       if ((in.flags & kStep) != 0) {
         out << " [step]";

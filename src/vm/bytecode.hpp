@@ -69,6 +69,11 @@ enum class Op : std::uint8_t {
   Fused1,      // apply fusedBlocks[a]: 2x2 unitary on one qubit
   Fused2,      // apply fusedBlocks[a]: 4x4 unitary on a two-qubit window
   FusedDiag,   // apply fusedBlocks[a]: diagonal phases on up to 6 qubits
+  // Sweep fusion (second fusion stage): a = index into
+  // CompiledFunction::fusedSweeps, b = total folded source gates. Stands
+  // in for fusedSweeps[a].blockCount consecutive Fused* instructions and
+  // accounts for every source gate of every member block.
+  FusedSweep,
 };
 
 [[nodiscard]] const char* opName(Op op) noexcept;
@@ -97,6 +102,15 @@ struct Inst {
   std::uint32_t d = 0;
 };
 
+/// One sweep planned by planFusedSweeps (fusion.hpp): a run of
+/// consecutive fused instructions whose blocks sit contiguously in
+/// CompiledFunction::fusedBlocks, collapsed into one Op::FusedSweep.
+struct FusedSweepRun {
+  std::uint32_t firstBlock = 0;
+  std::uint32_t blockCount = 0;
+  std::uint32_t totalGates = 0;
+};
+
 /// Jump table of one `switch` instruction: case values are matched in
 /// declaration order (first match wins, as in the interpreter).
 struct SwitchTable {
@@ -120,6 +134,12 @@ struct CompiledFunction {
   /// instruction replaces the first instruction of its source run; the
   /// remainder become Nops, so every code offset (jump target) survives.
   std::vector<interp::FusedBlock> fusedBlocks;
+  /// Planned sweeps referenced by Op::FusedSweep: blockCount consecutive
+  /// fusedBlocks entries starting at firstBlock, applied in one
+  /// chunk-blocked pass by hosts that support it. totalGates is the sum
+  /// of the members' sourceGates — the step/stats credit the sweep
+  /// instruction accounts for.
+  std::vector<FusedSweepRun> fusedSweeps;
 };
 
 /// A compiled module: every defined function, the extern-slot table

@@ -500,6 +500,7 @@ telemetry::Counter g_compileNs{"vm.compile.ns"};
 telemetry::Counter g_fusionOps{"sim.fusion.ops_fused"};
 telemetry::Counter g_fusionBlocks{"sim.fusion.blocks"};
 telemetry::Counter g_fusionSweepsSaved{"sim.fusion.sweeps_saved"};
+telemetry::Counter g_fusionSweepRuns{"sim.fusion.sweep_runs"};
 } // namespace
 
 std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module,
@@ -545,6 +546,7 @@ std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module,
       g_fusionOps.add(stats.fusedOps);
       g_fusionBlocks.add(stats.blocks);
       g_fusionSweepsSaved.add(stats.sweepsSaved());
+      g_fusionSweepRuns.add(planFusedSweeps(fn));
     }
   }
   out->sourceHash = fnv1a(ir::printModule(module));

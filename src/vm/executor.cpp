@@ -90,9 +90,10 @@ struct ShotOutcome {
 /// historical interp chunk ran them. Shared by the interp engine path and
 /// the VM engine's per-shot fallback. Throws on trap.
 ShotOutcome runInterpShot(const ir::Module& module, std::uint64_t seed,
-                          const qirkit::CancelToken* cancel = nullptr) {
+                          const qirkit::CancelToken* cancel = nullptr,
+                          sim::Precision precision = sim::Precision::F64) {
   interp::Interpreter interp(module);
-  runtime::QuantumRuntime rt(seed, nullptr);
+  runtime::QuantumRuntime rt(seed, nullptr, precision);
   interp.setCancelToken(cancel);
   rt.setCancelToken(cancel);
   rt.bind(interp);
@@ -115,12 +116,12 @@ public:
     // indistinguishable from a fresh one (identical arena addresses).
     if (engine_ == Engine::Vm) {
       vm_.emplace(compiled);
-      rt_.emplace(0, nullptr);
+      rt_.emplace(0, nullptr, opts.precision);
       vm_->setCancelToken(opts.cancel);
       rt_->bind(*vm_);
     } else {
       interp_.emplace(module_);
-      rt_.emplace(0, nullptr);
+      rt_.emplace(0, nullptr, opts.precision);
       interp_->setCancelToken(opts.cancel);
       rt_->bind(*interp_);
     }
@@ -201,7 +202,9 @@ private:
         // completes the shot the VM trapped on, the reference answer
         // stands and the trap is the VM's problem, not the program's.
         try {
-          record(shot, runInterpShot(module_, seed, opts_.cancel), out);
+          record(shot,
+                 runInterpShot(module_, seed, opts_.cancel, opts_.precision),
+                 out);
           ++out.interpFallbackShots;
           return;
         } catch (const std::exception& e) {
@@ -262,7 +265,7 @@ void runSampledBatch(const ir::Module& module,
                      Engine engine, const ShotOptions& opts,
                      ShotBatchResult& result) {
   const telemetry::trace::Span span("execute.sample");
-  runtime::QuantumRuntime rt(opts.seed, opts.pool);
+  runtime::QuantumRuntime rt(opts.seed, opts.pool, opts.precision);
   rt.setMeasurementMode(runtime::QuantumRuntime::MeasurementMode::Defer);
   rt.setCancelToken(opts.cancel);
   interp::InterpStats engineStats;
@@ -347,6 +350,27 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
       rtrace->addStage("execute", telemetry::nowNs(), 0, "expired");
     }
     return result;
+  }
+
+  // F32 admission: the reduced width is only safe when measurement
+  // outcomes cannot steer control flow off rounded amplitudes, i.e. when
+  // the terminal-measurement analysis holds. Checked up front (even under
+  // --exec-mode=resim, which skips the analysis otherwise) so the refusal
+  // costs no compile. --force-f32 overrides for users who accept the
+  // accumulated per-gate rounding error.
+  if (opts.precision == sim::Precision::F32 && !opts.forceF32) {
+    const ShotAnalysis analysis = analyzeShotProfile(module);
+    if (analysis.profile != ShotProfile::Terminal) {
+      throw qirkit::Error(ErrorCode::Usage,
+                          "--precision=f32 requires a measurement-terminal "
+                          "program (rounding error would steer feedback), "
+                          "but the shot analysis found: " +
+                              analysis.reason +
+                              "; pass --force-f32 to override");
+    }
+  }
+  if (opts.precision == sim::Precision::F32) {
+    sim::noteF32Batch();
   }
 
   std::shared_ptr<const BytecodeModule> compiled;

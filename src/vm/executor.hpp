@@ -99,6 +99,16 @@ struct ShotOptions {
   /// The CLI's --fusion=off escape hatch and the reference leg of the
   /// fused-vs-unfused differential tests set this to false.
   bool fusion = true;
+  /// Amplitude storage width (sim/statevector.hpp). F32 halves memory
+  /// traffic for sampling workloads; the per-gate rounding error it
+  /// introduces accumulates with depth, so the executor rejects it for
+  /// feedback-dependent programs (shot analysis negative) unless forceF32
+  /// overrides — mid-circuit measurement probabilities would then steer
+  /// control flow off rounded amplitudes.
+  sim::Precision precision = sim::Precision::F64;
+  /// Allow F32 even when the terminal-measurement analysis cannot prove
+  /// the program feedback-free (the CLI's --force-f32).
+  bool forceF32 = false;
   /// Cooperative cancellation/deadline token (nullptr: unbounded). Probed
   /// between shots, every kCancelStrideSteps VM/interpreter instructions,
   /// and at statevector sweep boundaries. Expiry stops the batch with

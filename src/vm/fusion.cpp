@@ -27,6 +27,37 @@ struct GateSpec {
   bool diagonal;      // diagonal in the computational basis
 };
 
+/// Every code offset control may enter at (branch/switch targets). Both
+/// fusion stages refuse to form a run a branch could enter mid-way.
+std::vector<bool> computeJumpTargets(const CompiledFunction& fn) {
+  std::vector<bool> jumpTarget(fn.code.size(), false);
+  const auto mark = [&jumpTarget](std::uint32_t target) {
+    if (target < jumpTarget.size()) {
+      jumpTarget[target] = true;
+    }
+  };
+  for (const Inst& in : fn.code) {
+    switch (in.op) {
+    case Op::Jmp:
+      mark(in.a);
+      break;
+    case Op::JmpIf:
+      mark(in.b);
+      mark(in.c);
+      break;
+    default:
+      break;
+    }
+  }
+  for (const SwitchTable& table : fn.switchTables) {
+    mark(table.defaultTarget);
+    for (const auto& [value, target] : table.cases) {
+      mark(target);
+    }
+  }
+  return jumpTarget;
+}
+
 const GateSpec* classify(std::string_view name) noexcept {
   static const std::pair<std::string_view, GateSpec> kTable[] = {
       {qir::kQisH, {GateKind::H, 0, 1, false}},
@@ -88,7 +119,7 @@ public:
       : fn_(fn), externNames_(externNames) {}
 
   FusionStats run() {
-    markJumpTargets();
+    jumpTarget_ = computeJumpTargets(fn_);
     std::vector<GateUnit> runUnits;
     std::uint32_t pc = 0;
     const auto size = static_cast<std::uint32_t>(fn_.code.size());
@@ -112,34 +143,6 @@ public:
   }
 
 private:
-  void markJumpTargets() {
-    jumpTarget_.assign(fn_.code.size(), false);
-    const auto mark = [this](std::uint32_t target) {
-      if (target < jumpTarget_.size()) {
-        jumpTarget_[target] = true;
-      }
-    };
-    for (const Inst& in : fn_.code) {
-      switch (in.op) {
-      case Op::Jmp:
-        mark(in.a);
-        break;
-      case Op::JmpIf:
-        mark(in.b);
-        mark(in.c);
-        break;
-      default:
-        break;
-      }
-    }
-    for (const SwitchTable& table : fn_.switchTables) {
-      mark(table.defaultTarget);
-      for (const auto& [value, target] : table.cases) {
-        mark(target);
-      }
-    }
-  }
-
   /// Decode the PushArg* + CallExtern cluster at \p pc as a fusable gate.
   bool decodeUnit(std::uint32_t pc, GateUnit& unit) const {
     const auto size = static_cast<std::uint32_t>(fn_.code.size());
@@ -412,6 +415,69 @@ private:
 FusionStats fuseGates(CompiledFunction& fn,
                       const std::vector<std::string>& externNames) {
   return Fuser(fn, externNames).run();
+}
+
+std::uint64_t planFusedSweeps(CompiledFunction& fn) {
+  const std::vector<bool> jumpTarget = computeJumpTargets(fn);
+  const auto isFused = [](Op op) noexcept {
+    return op == Op::Fused1 || op == Op::Fused2 || op == Op::FusedDiag;
+  };
+  std::uint64_t planned = 0;
+  const auto size = static_cast<std::uint32_t>(fn.code.size());
+  std::uint32_t pc = 0;
+  while (pc < size) {
+    if (!isFused(fn.code[pc].op)) {
+      ++pc;
+      continue;
+    }
+    // Collect the run: fused instructions separated only by Nops (the
+    // padding fuseGates left behind), stopping at any jump target past
+    // the first member — control entering there must not skip members
+    // the sweep has already subsumed — at a non-fused instruction, at a
+    // block that is not the previous member's successor in fusedBlocks,
+    // and at the per-sweep cap.
+    std::vector<std::uint32_t> members{pc};
+    std::uint32_t cursor = pc + 1;
+    while (cursor < size && members.size() < kMaxSweepBlocks) {
+      if (jumpTarget[cursor]) {
+        break;
+      }
+      if (fn.code[cursor].op == Op::Nop) {
+        ++cursor;
+        continue;
+      }
+      if (!isFused(fn.code[cursor].op) ||
+          fn.code[cursor].a != fn.code[members.back()].a + 1) {
+        break;
+      }
+      members.push_back(cursor);
+      ++cursor;
+    }
+    if (members.size() < 2) {
+      pc = cursor;
+      continue;
+    }
+    FusedSweepRun run;
+    run.firstBlock = fn.code[members.front()].a;
+    run.blockCount = static_cast<std::uint32_t>(members.size());
+    for (const std::uint32_t m : members) {
+      run.totalGates += fn.code[m].b;
+    }
+    // The sweep takes the first member's offset; the rest become Nops,
+    // so every jump target survives (none lands inside the run).
+    Inst& first = fn.code[members.front()];
+    first.op = Op::FusedSweep;
+    first.a = static_cast<std::uint32_t>(fn.fusedSweeps.size());
+    first.b = run.totalGates;
+    first.c = run.blockCount;
+    for (std::size_t m = 1; m < members.size(); ++m) {
+      fn.code[members[m]] = Inst{};
+    }
+    fn.fusedSweeps.push_back(run);
+    ++planned;
+    pc = cursor;
+  }
+  return planned;
 }
 
 } // namespace qirkit::vm

@@ -48,4 +48,18 @@ struct FusionStats {
 FusionStats fuseGates(CompiledFunction& fn,
                       const std::vector<std::string>& externNames);
 
+/// Second fusion stage (sweep planning): collapse every run of >= 2
+/// consecutive fused instructions — separated only by Nops, with no jump
+/// target landing after the run's first offset — into one Op::FusedSweep
+/// whose member blocks sit contiguously in fn.fusedBlocks. At run time a
+/// sweep lets the statevector walk each cache-sized chunk once for the
+/// whole run (StateVector::applyFusedSweep) instead of once per block.
+/// Runs of more than kMaxSweepBlocks blocks split into several sweeps.
+/// Must run after fuseGates; preserves every instruction offset. Returns
+/// the number of sweeps planned.
+std::uint64_t planFusedSweeps(CompiledFunction& fn);
+
+/// Upper bound on blocks per planned sweep.
+inline constexpr std::size_t kMaxSweepBlocks = 16;
+
 } // namespace qirkit::vm

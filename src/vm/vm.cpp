@@ -61,6 +61,7 @@ constexpr OpClass opClassOf(Op op) noexcept {
   case Op::Fused1:
   case Op::Fused2:
   case Op::FusedDiag:
+  case Op::FusedSweep:
     return kClassFused;
   default:
     return kClassData;
@@ -408,54 +409,85 @@ RtValue Vm::execute(std::uint32_t funcIndex, std::span<const RtValue> args,
       throw TrapError("executed 'unreachable'", ErrorCode::TrapUnreachable);
     case Op::Fused1:
     case Op::Fused2:
-    case Op::FusedDiag: {
-      // One instruction stands in for in.b source gate calls; account for
-      // all of them (steps, stats, fault probes) so fused runs are
-      // indistinguishable from unfused ones to every observer but the
-      // wall clock. The fused instruction itself carries no kStep flag.
-      const interp::FusedBlock& block = fn.fusedBlocks[in.a];
-      const std::uint64_t gates = in.b;
-      if (stepsTaken_ + gates > stepLimit_) {
-        // Partial credit exactly as if the gates ran one by one: the
-        // first (stepLimit_ - stepsTaken_) complete, the next one trips
-        // the budget before counting as executed.
-        const std::uint64_t executed = stepLimit_ - stepsTaken_;
-        stepsTaken_ = stepLimit_ + 1;
-        stats_.instructionsExecuted += executed;
-        stats_.externalCalls += executed;
-        throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",
-                        ErrorCode::StepBudgetExceeded);
+    case Op::FusedDiag:
+      execFusedBlock(fn.fusedBlocks[in.a], in.b, injectFaults);
+      break;
+    case Op::FusedSweep: {
+      // One instruction stands in for run.blockCount fused blocks. The
+      // fast path hands the whole run to the host's chunk-blocked sweep
+      // kernel — sound only when nothing can interrupt mid-run, i.e. the
+      // step budget covers every gate and no fault probes fire.
+      // Otherwise fall back to per-block execution, which is bit-exactly
+      // the unswept Fused* behaviour (partial credit, probe order).
+      const FusedSweepRun& run = fn.fusedSweeps[in.a];
+      const interp::FusedBlock* const blocks =
+          fn.fusedBlocks.data() + run.firstBlock;
+      if (tally.active) {
+        // Keep vm.dispatch.fused counting *blocks* dispatched, as the
+        // unswept code would (the loop head counted this instruction
+        // once already).
+        tally.counts[kClassFused] += run.blockCount - 1;
       }
-      stepsTaken_ += gates;
-      stats_.instructionsExecuted += gates;
-      stats_.externalCalls += gates;
-      if (injectFaults) {
-        for (std::uint64_t g = 0; g < gates; ++g) {
-          fault::probe(fault::Site::VmDispatch);
-          fault::probe(fault::Site::RuntimeCall);
-        }
-      }
-      if (fusedHost_ != nullptr) {
-        fusedHost_->applyFusedBlock(block);
+      if (fusedHost_ != nullptr && !injectFaults &&
+          stepsTaken_ + run.totalGates <= stepLimit_) {
+        stepsTaken_ += run.totalGates;
+        stats_.instructionsExecuted += run.totalGates;
+        stats_.externalCalls += run.totalGates;
+        fusedHost_->applyFusedSweep({blocks, run.blockCount});
         break;
       }
-      // No fused kernels on this host: replay the original calls so
-      // recording/Clifford runtimes (and unbound slots' diagnostics)
-      // behave identically to unfused execution.
-      ExternContext context{memory_};
-      for (const interp::FusedReplayCall& call : block.replay) {
-        const ExternalHandler* handler = externSlots_[call.slot];
-        if (handler == nullptr) {
-          throw TrapError("call to undefined external @" +
-                              module_->externNames[call.slot] +
-                              " (no runtime binding registered)",
-                          ErrorCode::TrapUnboundExternal);
-        }
-        (*handler)({call.args.data(), call.args.size()}, context);
+      for (std::uint32_t b = 0; b < run.blockCount; ++b) {
+        execFusedBlock(blocks[b], blocks[b].sourceGates, injectFaults);
       }
       break;
     }
     }
+  }
+}
+
+void Vm::execFusedBlock(const interp::FusedBlock& block, std::uint64_t gates,
+                        bool injectFaults) {
+  // One fused block stands in for `gates` source gate calls; account for
+  // all of them (steps, stats, fault probes) so fused runs are
+  // indistinguishable from unfused ones to every observer but the wall
+  // clock. Fused instructions carry no kStep flag.
+  if (stepsTaken_ + gates > stepLimit_) {
+    // Partial credit exactly as if the gates ran one by one: the first
+    // (stepLimit_ - stepsTaken_) complete, the next one trips the budget
+    // before counting as executed.
+    const std::uint64_t executed = stepLimit_ - stepsTaken_;
+    stepsTaken_ = stepLimit_ + 1;
+    stats_.instructionsExecuted += executed;
+    stats_.externalCalls += executed;
+    throw TrapError("step limit exceeded (" + std::to_string(stepLimit_) + ")",
+                    ErrorCode::StepBudgetExceeded);
+  }
+  stepsTaken_ += gates;
+  stats_.instructionsExecuted += gates;
+  stats_.externalCalls += gates;
+  if (injectFaults) {
+    for (std::uint64_t g = 0; g < gates; ++g) {
+      fault::probe(fault::Site::VmDispatch);
+      fault::probe(fault::Site::RuntimeCall);
+    }
+  }
+  if (fusedHost_ != nullptr) {
+    fusedHost_->applyFusedBlock(block);
+    return;
+  }
+  // No fused kernels on this host: replay the original calls so
+  // recording/Clifford runtimes (and unbound slots' diagnostics)
+  // behave identically to unfused execution.
+  ExternContext context{memory_};
+  for (const interp::FusedReplayCall& call : block.replay) {
+    const ExternalHandler* handler = externSlots_[call.slot];
+    if (handler == nullptr) {
+      throw TrapError("call to undefined external @" +
+                          module_->externNames[call.slot] +
+                          " (no runtime binding registered)",
+                      ErrorCode::TrapUnboundExternal);
+    }
+    (*handler)({call.args.data(), call.args.size()}, context);
   }
 }
 

@@ -85,6 +85,12 @@ public:
 private:
   interp::RtValue execute(std::uint32_t funcIndex,
                           std::span<const interp::RtValue> args, unsigned depth);
+  /// Execute one fused block with full per-gate accounting (step budget
+  /// with mid-block partial credit, stats, fault probes), dispatching to
+  /// the fused host or replaying the source calls. Shared by the Fused*
+  /// cases and the FusedSweep interruptible path.
+  void execFusedBlock(const interp::FusedBlock& block, std::uint64_t gates,
+                      bool injectFaults);
   void materializeGlobals();
   void resolveExterns();
 

@@ -234,6 +234,92 @@ TEST(ExecMode, ForcedResimNeverSamples) {
   EXPECT_EQ(result.completedShots, 50U);
 }
 
+// ---------------------------------------------------------------------------
+// The f32 state (ShotOptions::precision).
+// ---------------------------------------------------------------------------
+
+TEST(Precision, F32SamplingMatchesF64OnTerminalProgram) {
+  // Same seed -> identical uniform draws walking two CDFs that differ
+  // only by f32 rounding (~1e-7), so the histograms agree up to draws
+  // that land within rounding distance of an outcome boundary.
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(4, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 2000;
+  opts.seed = 11;
+  const vm::ShotBatchResult f64 = vm::runShots(*m, opts);
+  opts.precision = sim::Precision::F32;
+  const vm::ShotBatchResult f32 = vm::runShots(*m, opts);
+  ASSERT_TRUE(f64.sampled);
+  ASSERT_TRUE(f32.sampled);
+  EXPECT_EQ(histogramTotal(f32.histogram), 2000U);
+  for (const auto& [bits, count] : f32.histogram) {
+    EXPECT_TRUE(bits == "0000" || bits == "1111") << bits;
+  }
+  for (const char* bits : {"0000", "1111"}) {
+    const auto a = f64.histogram.find(bits);
+    const auto b = f32.histogram.find(bits);
+    const double ca = a == f64.histogram.end() ? 0.0 : double(a->second);
+    const double cb = b == f32.histogram.end() ? 0.0 : double(b->second);
+    EXPECT_NEAR(ca, cb, 5.0) << bits;
+  }
+}
+
+TEST(Precision, F32FusionResimMatchesF64) {
+  // The fused VM kernels under per-shot resim at reduced width: the same
+  // seeded measurement draws land on probabilities that differ from f64
+  // only by rounding, so per-outcome counts track within a few shots.
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(3, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 300;
+  opts.seed = 17;
+  opts.execMode = vm::ExecMode::Resim;
+  const vm::ShotBatchResult f64 = vm::runShots(*m, opts);
+  opts.precision = sim::Precision::F32;
+  const vm::ShotBatchResult f32 = vm::runShots(*m, opts);
+  ASSERT_FALSE(f64.sampled);
+  ASSERT_FALSE(f32.sampled);
+  EXPECT_EQ(histogramTotal(f32.histogram), 300U);
+  for (const char* bits : {"000", "111"}) {
+    const auto a = f64.histogram.find(bits);
+    const auto b = f32.histogram.find(bits);
+    const double ca = a == f64.histogram.end() ? 0.0 : double(a->second);
+    const double cb = b == f32.histogram.end() ? 0.0 : double(b->second);
+    EXPECT_NEAR(ca, cb, 3.0) << bits;
+  }
+}
+
+TEST(Precision, F32OnFeedbackProgramIsUsageError) {
+  ir::Context ctx;
+  const auto m = parse(ctx, kFeedbackProgram);
+  vm::ShotOptions opts;
+  opts.shots = 10;
+  opts.precision = sim::Precision::F32;
+  try {
+    (void)vm::runShots(*m, opts);
+    FAIL() << "expected a usage error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Usage);
+    EXPECT_NE(std::string(e.what()).find("--force-f32"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Precision, ForceF32AdmitsFeedbackPrograms) {
+  ir::Context ctx;
+  const auto m = parse(ctx, kFeedbackProgram);
+  vm::ShotOptions opts;
+  opts.shots = 50;
+  opts.seed = 9;
+  opts.precision = sim::Precision::F32;
+  opts.forceF32 = true;
+  const vm::ShotBatchResult result = vm::runShots(*m, opts);
+  EXPECT_FALSE(result.sampled);
+  EXPECT_EQ(result.completedShots, 50U);
+  EXPECT_EQ(histogramTotal(result.histogram), 50U);
+}
+
 TEST(ExecMode, SampledHistogramIsDeterministicAcrossEnginesAndPools) {
   ir::Context ctx;
   const auto m = qir::exportCircuit(ctx, circuit::ghz(4, true), {});

@@ -352,6 +352,62 @@ TEST(FusionPass, StatsCountFoldedGatesAndBlocks) {
 }
 
 // ---------------------------------------------------------------------------
+// Sweep planning (second fusion stage): adjacent fused blocks collapse to
+// one Op::FusedSweep applied chunk-at-a-time.
+// ---------------------------------------------------------------------------
+
+/// Diagonal run over q0..q2, then a single-qubit chain on q3: two fused
+/// blocks with only Nops between them — exactly one plannable sweep.
+const char* const kSweepBody = R"(
+  call void @__quantum__qis__z__body(ptr null)
+  call void @__quantum__qis__s__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cz__body(ptr null, ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__rx__body(double 0.5, ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+)";
+
+TEST(SweepPlan, AdjacentFusedBlocksFormOneSweep) {
+  const auto compiled = compileText(entryPoint(kSweepBody));
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused.sweep"), 1U) << listing;
+  // The member blocks' own instructions became Nops under the sweep.
+  EXPECT_EQ(countSubstr(listing, "fused.diag"), 0U) << listing;
+  EXPECT_EQ(countSubstr(listing, "fused1"), 0U) << listing;
+  ASSERT_EQ(compiled->functions[0].fusedSweeps.size(), 1U);
+  const vm::FusedSweepRun& run = compiled->functions[0].fusedSweeps[0];
+  EXPECT_EQ(run.firstBlock, 0U);
+  EXPECT_EQ(run.blockCount, 2U);
+  EXPECT_EQ(run.totalGates, 6U);
+  ASSERT_EQ(compiled->functions[0].fusedBlocks.size(), 2U);
+}
+
+TEST(SweepPlan, JumpTargetBetweenBlocksIsABarrier) {
+  // Control may enter %next directly, so the two runs must stay separate
+  // fused instructions — a sweep spanning the label would skip its second
+  // member on that entry path.
+  const auto compiled = compileText(kGateDecls + R"(
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__z__body(ptr null)
+  call void @__quantum__qis__s__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cz__body(ptr null, ptr inttoptr (i64 2 to ptr))
+  br label %next
+next:
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__rx__body(double 0.5, ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const std::string listing = compiled->disassemble();
+  EXPECT_EQ(countSubstr(listing, "fused.sweep"), 0U) << listing;
+  EXPECT_EQ(countSubstr(listing, "fused.diag"), 1U) << listing;
+  EXPECT_EQ(countSubstr(listing, "fused1"), 1U) << listing;
+}
+
+// ---------------------------------------------------------------------------
 // VM dispatch parity: stats, step budget, replay for hosts without kernels
 // ---------------------------------------------------------------------------
 
@@ -448,6 +504,94 @@ TEST(FusionVm, RebindingARecorderDisablesTheKernelPath) {
   recorder.bind(machine);
   machine.runEntryPoint();
   EXPECT_EQ(recorder.recorded().ops().size(), circuit::ghz(3, false).ops().size());
+}
+
+/// kSweepBody plus a measurement whose outcome steers a branch: if the
+/// swept state drifted from the unfused one, seed-matched outcomes (and
+/// with them gatesApplied) would diverge.
+const char* const kSweepThenMeasureBody = R"(
+  call void @__quantum__qis__z__body(ptr null)
+  call void @__quantum__qis__s__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__cz__body(ptr null, ptr inttoptr (i64 2 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__rx__body(double 0.5, ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__h__body(ptr inttoptr (i64 3 to ptr))
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 3 to ptr), ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %flip, label %done
+flip:
+  call void @__quantum__qis__x__body(ptr null)
+  br label %done
+done:
+  ret void
+}
+attributes #0 = { "entry_point" }
+)";
+
+std::string sweepThenMeasureProgram() {
+  return kGateDecls + "define void @main() #0 {\nentry:\n" + kSweepThenMeasureBody;
+}
+
+TEST(SweepVm, SweptExecutionMatchesUnfusedStatsAndOutcomes) {
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, sweepThenMeasureProgram());
+  ASSERT_FALSE(vm::compileModule(*module)->functions[0].fusedSweeps.empty());
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const QuantumRun fused = runVm(*module, seed, true);
+    const QuantumRun unfused = runVm(*module, seed, false);
+    EXPECT_EQ(fused.runtimeStats.gatesApplied, unfused.runtimeStats.gatesApplied)
+        << "seed " << seed;
+    EXPECT_EQ(fused.runtimeStats.measurements, unfused.runtimeStats.measurements);
+    EXPECT_EQ(fused.engineStats.instructionsExecuted,
+              unfused.engineStats.instructionsExecuted);
+    EXPECT_EQ(fused.engineStats.externalCalls, unfused.engineStats.externalCalls);
+    EXPECT_EQ(fused.engineStats.blocksEntered, unfused.engineStats.blocksEntered);
+  }
+}
+
+TEST(SweepVm, StepLimitTrapsMidSweepWithIdenticalAccounting) {
+  // Limits 1..5 land inside the sweep's 6 gates; the VM must fall back to
+  // interruptible per-block execution with the same partial credit the
+  // unfused program would report.
+  const std::string program = entryPoint(kSweepBody);
+  for (const std::uint64_t limit : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    auto runWith = [&](bool fusion) {
+      ir::Context ctx;
+      vm::Vm machine(
+          vm::compileModule(*ir::parseModule(ctx, program),
+                            vm::CompileOptions{.fuseGates = fusion}));
+      runtime::QuantumRuntime rt(1);
+      rt.bind(machine);
+      machine.setStepLimit(limit);
+      std::string message;
+      try {
+        machine.runEntryPoint();
+      } catch (const interp::TrapError& e) {
+        message = e.what();
+      }
+      return std::make_tuple(message, machine.stats().instructionsExecuted,
+                             machine.stats().externalCalls);
+    };
+    EXPECT_EQ(runWith(true), runWith(false)) << "limit " << limit;
+  }
+}
+
+TEST(SweepVm, RecordingRuntimeSeesEveryGateThroughASweep) {
+  // The recorder has no fused host, so the FusedSweep opcode must replay
+  // each member block's folded source gates in order.
+  ir::Context ctx;
+  const auto module = ir::parseModule(ctx, entryPoint(kSweepBody));
+  vm::Vm machine(vm::compileModule(*module));
+  ASSERT_FALSE(machine.module().functions[0].fusedSweeps.empty());
+  runtime::RecordingRuntime recorder;
+  recorder.bind(machine);
+  machine.runEntryPoint();
+
+  interp::Interpreter interp(*module);
+  runtime::RecordingRuntime reference;
+  reference.bind(interp);
+  interp.runEntryPoint();
+  EXPECT_EQ(recorder.recorded(), reference.recorded());
 }
 
 // ---------------------------------------------------------------------------

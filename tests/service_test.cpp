@@ -618,6 +618,32 @@ TEST_F(ServeTest, OversizedFrameIsRejectedAndSkipped) {
   EXPECT_TRUE(pong.find("ok")->boolean);
 }
 
+TEST_F(ServeTest, KernelTelemetrySurfacesInMetricsAndPrometheus) {
+  Client client(socketPath_);
+  SubmitRequest req;
+  req.tenant = "alice";
+  req.program = kBellQasm;
+  req.shots = 10;
+  req.seed = 3;
+  req.precision = sim::Precision::F32;
+  const json::Value result = json::parse(client.call(submitRequestJson(req)));
+  ASSERT_TRUE(result.find("ok")->boolean);
+
+  // The metrics verb's telemetry section omits zero probes, so presence
+  // of f32_batches proves the f32 submit above actually moved it.
+  const std::string metrics = client.call(R"({"type":"metrics"})");
+  EXPECT_NE(metrics.find("sim.kernel.f32_batches"), std::string::npos);
+
+  // The Prometheus exposition renders every registered scalar under the
+  // sanitized qirkit_ prefix — including the SIMD lane count, which stays
+  // zero on scalar builds but must still be scrapeable.
+  const std::string prom =
+      client.call(R"({"type":"metrics","format":"prometheus"})");
+  EXPECT_NE(prom.find("qirkit_sim_kernel_blocked_sweeps"), std::string::npos);
+  EXPECT_NE(prom.find("qirkit_sim_kernel_simd_lanes"), std::string::npos);
+  EXPECT_NE(prom.find("qirkit_sim_kernel_f32_batches"), std::string::npos);
+}
+
 TEST_F(ServeTest, QuotaViolationsMapToResourceLimit) {
   Client client(socketPath_);
   SubmitRequest req;

@@ -8,6 +8,7 @@
 #include "passes/pass.hpp"
 #include "qir/compile.hpp"
 #include "qir/exporter.hpp"
+#include "sim/statevector.hpp"
 #include "support/error.hpp"
 #include "support/telemetry/request_trace.hpp"
 #include "support/telemetry/telemetry.hpp"
@@ -179,6 +180,33 @@ TEST_F(TelemetryTest, ShotHistogramAndFailureCounters) {
   telemetry::recordShotFailure(ErrorCode::TrapOutOfBounds);
   EXPECT_EQ(telemetry::shotFailureCount(ErrorCode::TrapOutOfBounds), 2U);
   EXPECT_EQ(telemetry::shotFailureCount(ErrorCode::Trap), 0U);
+}
+
+TEST_F(TelemetryTest, KernelCountersSurfaceInStatsJson) {
+  // The statevector's swept kernels feed sim.kernel.*: a multi-chunk
+  // fused sweep bumps blocked_sweeps (single-chunk states degenerate to
+  // per-gate passes and don't count), and an admitted f32 batch bumps
+  // f32_batches once. Both must come out of the --stats JSON report.
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(4, true), {});
+  vm::ShotOptions opts;
+  opts.shots = 4;
+  opts.engine = vm::Engine::Vm;
+  opts.precision = sim::Precision::F32;
+  (void)vm::runShots(*m, opts);
+
+  sim::StateVector sv(13); // one chunk is 2^12 amplitudes -> two chunks
+  sim::SweepGate gate;
+  gate.kind = sim::SweepGate::Kind::Unitary1;
+  gate.q0 = 0;
+  gate.m2 = sim::gateH();
+  sv.applyFusedSweep({&gate, 1});
+
+  EXPECT_GT(telemetry::counterValue("sim.kernel.blocked_sweeps"), 0U);
+  EXPECT_EQ(telemetry::counterValue("sim.kernel.f32_batches"), 1U);
+  const std::string json = telemetry::statsJson("test");
+  EXPECT_NE(json.find("\"blocked_sweeps\""), std::string::npos);
+  EXPECT_NE(json.find("\"f32_batches\":1"), std::string::npos);
 }
 
 TEST_F(TelemetryTest, PassRecordsAccumulateAcrossSweeps) {

@@ -14,6 +14,7 @@
 ///                  [--jobs N]
 ///                  [--exec-mode auto|resim|sample]
 ///                  [--fusion on|off]
+///                  [--precision f64|f32] [--force-f32]
 ///                  [--max-failed-shots N]
 ///                  [--retries N]
 ///                  [--no-fallback]              execute + runtime (§III.C);
@@ -381,6 +382,11 @@ int cmdRun(const Args& args) {
   } else {
     fail("--fusion must be on or off");
   }
+  if (!sim::parsePrecision(args.option("precision", "f64"),
+                           options.precision)) {
+    fail("--precision must be f64 or f32");
+  }
+  options.forceF32 = args.flag("force-f32");
   const auto jobs =
       static_cast<std::size_t>(parseUint(args.option("jobs", "1"), "jobs"));
   if (jobs > 1) {
@@ -764,6 +770,11 @@ int cmdSubmit(const Args& args) {
   } else {
     fail("--fusion must be on or off");
   }
+  if (!sim::parsePrecision(args.option("precision", "f64"),
+                           request.precision)) {
+    fail("--precision must be f64 or f32");
+  }
+  request.forceF32 = args.flag("force-f32");
   if (!args.option("priority").empty()) {
     try {
       request.priority = std::stoll(args.option("priority"));
@@ -838,6 +849,8 @@ void usage() {
          "  -o <path>             write primary output to a file\n"
          "run options: --shots N --seed S --engine vm|interp --jobs N\n"
          "             --exec-mode auto|resim|sample --fusion on|off\n"
+         "             --precision f64|f32 (f32: half the state memory;\n"
+         "             terminal-measurement programs only unless --force-f32)\n"
          "             --retries N --max-failed-shots N --no-fallback\n"
          "             --timeout-ms N (partial histogram + error[deadline])\n"
          "compile options: --target line:N|ring:N|grid:RxC|full:N\n"
@@ -854,6 +867,7 @@ void usage() {
          "shutdown|cancel>\n"
          "             --socket <path> [--tenant T] [--shots N] [--seed S]\n"
          "             [--engine vm|interp] [--exec-mode M] [--fusion on|off]\n"
+         "             [--precision f64|f32] [--force-f32]\n"
          "             [--priority P] [--deadline-ms N] [--request-id ID]\n"
          "             [--connect-retries N] [--json] [--verbose-timing]\n"
          "             metrics: [--format json|prometheus] (prometheus text\n"
@@ -902,7 +916,8 @@ int main(int argc, char** argv) {
     const Args args = parseArgs(
         argc, argv, 2,
         {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
-         "exec-mode", "fusion", "max-failed-shots", "retries", "to", "budget",
+         "exec-mode", "fusion", "precision", "max-failed-shots", "retries",
+         "to", "budget",
          "model", "output", "socket", "tenant", "priority", "runners",
          "cache-capacity", "program-capacity", "queue-capacity",
          "tenant-pending", "max-shots", "max-frame-bytes", "timeout-ms",

@@ -143,7 +143,7 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 # the README documents must appear when qirkit is invoked without args.
 "$QIRKIT" 2>"$WORK/usage" || true
 for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine \
-    --exec-mode --fusion --target; do
+    --exec-mode --fusion --precision --force-f32 --target; do
   grep -q -- "$doc" "$WORK/usage" || fail "usage text does not mention $doc"
 done
 
