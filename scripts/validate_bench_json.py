@@ -22,6 +22,11 @@ PERCENTILE_KEYS = ("p50_ns", "p95_ns", "p99_ns")
 # the bandwidth figure the cache blocking exists to raise.
 KERNEL_KEYS = ("qubits", "amps_per_sec")
 
+# Dispatch benchmarks must report bytecode instructions retired per
+# second, so CI diffs carry the dispatch-throughput figure the threaded
+# loop and superinstructions exist to raise.
+DISPATCH_KEYS = ("instr_per_sec",)
+
 
 def fail(path, msg):
     print(f"{path}: {msg}", file=sys.stderr)
@@ -79,6 +84,13 @@ def validate(path):
                         or counters[key] <= 0:
                     fail(path, f"{where}.counters.{key} must be a "
                                f"positive number for kernel benchmarks")
+        if b["name"].startswith("BM_Dispatch/"):
+            counters = b["counters"]
+            for key in DISPATCH_KEYS:
+                if not isinstance(counters.get(key), (int, float)) \
+                        or counters[key] <= 0:
+                    fail(path, f"{where}.counters.{key} must be a "
+                               f"positive number for dispatch benchmarks")
 
     telemetry = doc.get("telemetry")
     if telemetry is not None:

@@ -11,44 +11,12 @@ std::uint64_t Memory::allocate(std::uint64_t size) {
   return kBase + aligned;
 }
 
-void Memory::check(std::uint64_t address, std::uint64_t size) const {
-  if (address < kBase || address - kBase + size > arena_.size()) {
-    throw TrapError("memory access out of bounds at address " +
-                        std::to_string(address),
-                    ErrorCode::TrapOutOfBounds);
-  }
-}
-
-void Memory::store(std::uint64_t address, const void* data, std::uint64_t size) {
-  check(address, size);
-  std::memcpy(arena_.data() + (address - kBase), data, size);
-}
-
-void Memory::load(std::uint64_t address, void* data, std::uint64_t size) const {
-  check(address, size);
-  std::memcpy(data, arena_.data() + (address - kBase), size);
-}
-
-std::uint64_t Memory::storeInt(std::uint64_t address, std::int64_t value,
-                               unsigned bytes) {
-  std::uint64_t raw = static_cast<std::uint64_t>(value);
-  check(address, bytes);
-  std::memcpy(arena_.data() + (address - kBase), &raw, bytes);
-  return address;
-}
-
-std::int64_t Memory::loadInt(std::uint64_t address, unsigned bytes,
-                             bool signExtend) const {
-  std::uint64_t raw = 0;
-  check(address, bytes);
-  std::memcpy(&raw, arena_.data() + (address - kBase), bytes);
-  if (signExtend && bytes < 8) {
-    const std::uint64_t signBit = std::uint64_t{1} << (bytes * 8 - 1);
-    if ((raw & signBit) != 0) {
-      raw |= ~((std::uint64_t{1} << (bytes * 8)) - 1);
-    }
-  }
-  return static_cast<std::int64_t>(raw);
+// Out of line and noreturn: the bounds-check fast path inlines into the
+// dispatch loops, the throw (string formatting and all) stays cold.
+void Memory::trapOutOfBounds(std::uint64_t address) {
+  throw TrapError("memory access out of bounds at address " +
+                      std::to_string(address),
+                  ErrorCode::TrapOutOfBounds);
 }
 
 std::string Memory::readCString(std::uint64_t address) const {

@@ -13,6 +13,7 @@
 #include "support/error.hpp"
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <span>
@@ -66,12 +67,40 @@ public:
   /// bytecode compiler's static global addresses rely on.
   std::uint64_t allocate(std::uint64_t size);
 
-  void store(std::uint64_t address, const void* data, std::uint64_t size);
-  void load(std::uint64_t address, void* data, std::uint64_t size) const;
+  // The load/store fast paths are inline: they sit inside both engines'
+  // dispatch loops, and an out-of-line call per memory opcode is pure
+  // interpretation overhead. Only the trap path (cold by definition)
+  // stays out of line.
 
-  std::uint64_t storeInt(std::uint64_t address, std::int64_t value, unsigned bytes);
+  void store(std::uint64_t address, const void* data, std::uint64_t size) {
+    check(address, size);
+    std::memcpy(arena_.data() + (address - kBase), data, size);
+  }
+  void load(std::uint64_t address, void* data, std::uint64_t size) const {
+    check(address, size);
+    std::memcpy(data, arena_.data() + (address - kBase), size);
+  }
+
+  std::uint64_t storeInt(std::uint64_t address, std::int64_t value,
+                         unsigned bytes) {
+    const std::uint64_t raw = static_cast<std::uint64_t>(value);
+    check(address, bytes);
+    std::memcpy(arena_.data() + (address - kBase), &raw, bytes);
+    return address;
+  }
   [[nodiscard]] std::int64_t loadInt(std::uint64_t address, unsigned bytes,
-                                     bool signExtend) const;
+                                     bool signExtend) const {
+    std::uint64_t raw = 0;
+    check(address, bytes);
+    std::memcpy(&raw, arena_.data() + (address - kBase), bytes);
+    if (signExtend && bytes < 8) {
+      const std::uint64_t signBit = std::uint64_t{1} << (bytes * 8 - 1);
+      if ((raw & signBit) != 0) {
+        raw |= ~((std::uint64_t{1} << (bytes * 8)) - 1);
+      }
+    }
+    return static_cast<std::int64_t>(raw);
+  }
 
   /// Read a NUL-terminated string (for output labels).
   [[nodiscard]] std::string readCString(std::uint64_t address) const;
@@ -79,7 +108,12 @@ public:
   [[nodiscard]] std::uint64_t bytesUsed() const noexcept { return arena_.size(); }
 
 private:
-  void check(std::uint64_t address, std::uint64_t size) const;
+  void check(std::uint64_t address, std::uint64_t size) const {
+    if (address < kBase || address - kBase + size > arena_.size()) {
+      trapOutOfBounds(address);
+    }
+  }
+  [[noreturn]] static void trapOutOfBounds(std::uint64_t address);
   std::vector<std::byte> arena_;
 };
 

@@ -10,26 +10,6 @@ using namespace qirkit::ir;
 
 namespace {
 
-/// Mask a 64-bit value down to iN and sign-extend back (canonical iN rep).
-std::int64_t toWidth(std::int64_t value, unsigned bits) noexcept {
-  if (bits >= 64) {
-    return value;
-  }
-  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
-  std::uint64_t u = static_cast<std::uint64_t>(value) & mask;
-  if (bits > 0 && ((u >> (bits - 1)) & 1) != 0) {
-    u |= ~mask;
-  }
-  return static_cast<std::int64_t>(u);
-}
-
-std::uint64_t zext(std::int64_t value, unsigned bits) noexcept {
-  if (bits >= 64) {
-    return static_cast<std::uint64_t>(value);
-  }
-  return static_cast<std::uint64_t>(value) & ((std::uint64_t{1} << bits) - 1);
-}
-
 const ConstantInt* asConstInt(const Value* v) noexcept {
   return v->kind() == Value::Kind::ConstantInt ? static_cast<const ConstantInt*>(v)
                                                : nullptr;
@@ -41,126 +21,6 @@ const ConstantFP* asConstFP(const Value* v) noexcept {
 }
 
 } // namespace
-
-bool evalIntBinOp(Opcode op, unsigned bits, std::int64_t lhs, std::int64_t rhs,
-                  std::int64_t& result) noexcept {
-  const std::uint64_t ul = zext(lhs, bits);
-  const std::uint64_t ur = zext(rhs, bits);
-  switch (op) {
-  case Opcode::Add:
-    result = toWidth(static_cast<std::int64_t>(
-                         static_cast<std::uint64_t>(lhs) + static_cast<std::uint64_t>(rhs)),
-                     bits);
-    return true;
-  case Opcode::Sub:
-    result = toWidth(static_cast<std::int64_t>(
-                         static_cast<std::uint64_t>(lhs) - static_cast<std::uint64_t>(rhs)),
-                     bits);
-    return true;
-  case Opcode::Mul:
-    result = toWidth(static_cast<std::int64_t>(
-                         static_cast<std::uint64_t>(lhs) * static_cast<std::uint64_t>(rhs)),
-                     bits);
-    return true;
-  case Opcode::SDiv:
-    if (rhs == 0 || (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
-      return false;
-    }
-    result = toWidth(lhs / rhs, bits);
-    return true;
-  case Opcode::UDiv:
-    if (ur == 0) {
-      return false;
-    }
-    result = toWidth(static_cast<std::int64_t>(ul / ur), bits);
-    return true;
-  case Opcode::SRem:
-    if (rhs == 0 || (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
-      return false;
-    }
-    result = toWidth(lhs % rhs, bits);
-    return true;
-  case Opcode::URem:
-    if (ur == 0) {
-      return false;
-    }
-    result = toWidth(static_cast<std::int64_t>(ul % ur), bits);
-    return true;
-  case Opcode::And:
-    result = toWidth(lhs & rhs, bits);
-    return true;
-  case Opcode::Or:
-    result = toWidth(lhs | rhs, bits);
-    return true;
-  case Opcode::Xor:
-    result = toWidth(lhs ^ rhs, bits);
-    return true;
-  case Opcode::Shl:
-    if (ur >= bits) {
-      return false; // poison in LLVM; refuse to fold
-    }
-    result = toWidth(static_cast<std::int64_t>(ul << ur), bits);
-    return true;
-  case Opcode::LShr:
-    if (ur >= bits) {
-      return false;
-    }
-    result = toWidth(static_cast<std::int64_t>(ul >> ur), bits);
-    return true;
-  case Opcode::AShr:
-    if (ur >= bits) {
-      return false;
-    }
-    result = toWidth(toWidth(lhs, bits) >> static_cast<std::int64_t>(ur), bits);
-    return true;
-  default:
-    return false;
-  }
-}
-
-double evalFloatBinOp(Opcode op, double lhs, double rhs) noexcept {
-  switch (op) {
-  case Opcode::FAdd: return lhs + rhs;
-  case Opcode::FSub: return lhs - rhs;
-  case Opcode::FMul: return lhs * rhs;
-  case Opcode::FDiv: return lhs / rhs;
-  case Opcode::FRem: return std::fmod(lhs, rhs);
-  default: return 0.0;
-  }
-}
-
-bool evalICmp(ICmpPred pred, unsigned bits, std::int64_t lhs, std::int64_t rhs) noexcept {
-  const std::int64_t sl = toWidth(lhs, bits);
-  const std::int64_t sr = toWidth(rhs, bits);
-  const std::uint64_t ul = zext(lhs, bits);
-  const std::uint64_t ur = zext(rhs, bits);
-  switch (pred) {
-  case ICmpPred::EQ: return ul == ur;
-  case ICmpPred::NE: return ul != ur;
-  case ICmpPred::SLT: return sl < sr;
-  case ICmpPred::SLE: return sl <= sr;
-  case ICmpPred::SGT: return sl > sr;
-  case ICmpPred::SGE: return sl >= sr;
-  case ICmpPred::ULT: return ul < ur;
-  case ICmpPred::ULE: return ul <= ur;
-  case ICmpPred::UGT: return ul > ur;
-  case ICmpPred::UGE: return ul >= ur;
-  }
-  return false;
-}
-
-bool evalFCmp(FCmpPred pred, double lhs, double rhs) noexcept {
-  switch (pred) {
-  case FCmpPred::OEQ: return lhs == rhs;
-  case FCmpPred::ONE: return lhs != rhs && !std::isnan(lhs) && !std::isnan(rhs);
-  case FCmpPred::OLT: return lhs < rhs;
-  case FCmpPred::OLE: return lhs <= rhs;
-  case FCmpPred::OGT: return lhs > rhs;
-  case FCmpPred::OGE: return lhs >= rhs;
-  case FCmpPred::UNE: return !(lhs == rhs);
-  }
-  return false;
-}
 
 Value* foldInstruction(Context& ctx, const Instruction& inst) {
   const Opcode op = inst.op();

@@ -6,25 +6,174 @@
 #include "ir/instruction.hpp"
 #include "ir/module.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 
 namespace qirkit::passes {
 
+// The eval* helpers are inline: beyond the folding passes they sit on
+// the per-instruction path of both execution engines (the interpreter
+// and the VM dispatch loops), where an out-of-line call per arithmetic
+// opcode is measurable interpretation overhead.
+
+namespace detail {
+
+/// Mask a 64-bit value down to iN and sign-extend back (canonical iN rep).
+inline std::int64_t toWidth(std::int64_t value, unsigned bits) noexcept {
+  if (bits >= 64) {
+    return value;
+  }
+  const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+  std::uint64_t u = static_cast<std::uint64_t>(value) & mask;
+  if (bits > 0 && ((u >> (bits - 1)) & 1) != 0) {
+    u |= ~mask;
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+inline std::uint64_t zext(std::int64_t value, unsigned bits) noexcept {
+  if (bits >= 64) {
+    return static_cast<std::uint64_t>(value);
+  }
+  return static_cast<std::uint64_t>(value) & ((std::uint64_t{1} << bits) - 1);
+}
+
+} // namespace detail
+
 /// Evaluate an integer binary op with the semantics of iN two's-complement
 /// arithmetic. Returns false for division/remainder by zero (UB avoided).
-[[nodiscard]] bool evalIntBinOp(ir::Opcode op, unsigned bits, std::int64_t lhs,
-                                std::int64_t rhs, std::int64_t& result) noexcept;
+[[nodiscard]] inline bool evalIntBinOp(ir::Opcode op, unsigned bits,
+                                       std::int64_t lhs, std::int64_t rhs,
+                                       std::int64_t& result) noexcept {
+  using detail::toWidth;
+  using detail::zext;
+  const std::uint64_t ul = zext(lhs, bits);
+  const std::uint64_t ur = zext(rhs, bits);
+  switch (op) {
+  case ir::Opcode::Add:
+    result = toWidth(static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) +
+                                               static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case ir::Opcode::Sub:
+    result = toWidth(static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) -
+                                               static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case ir::Opcode::Mul:
+    result = toWidth(static_cast<std::int64_t>(static_cast<std::uint64_t>(lhs) *
+                                               static_cast<std::uint64_t>(rhs)),
+                     bits);
+    return true;
+  case ir::Opcode::SDiv:
+    if (rhs == 0 ||
+        (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
+      return false;
+    }
+    result = toWidth(lhs / rhs, bits);
+    return true;
+  case ir::Opcode::UDiv:
+    if (ur == 0) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul / ur), bits);
+    return true;
+  case ir::Opcode::SRem:
+    if (rhs == 0 ||
+        (lhs == toWidth(std::int64_t{1} << (bits - 1), bits) && rhs == -1)) {
+      return false;
+    }
+    result = toWidth(lhs % rhs, bits);
+    return true;
+  case ir::Opcode::URem:
+    if (ur == 0) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul % ur), bits);
+    return true;
+  case ir::Opcode::And:
+    result = toWidth(lhs & rhs, bits);
+    return true;
+  case ir::Opcode::Or:
+    result = toWidth(lhs | rhs, bits);
+    return true;
+  case ir::Opcode::Xor:
+    result = toWidth(lhs ^ rhs, bits);
+    return true;
+  case ir::Opcode::Shl:
+    if (ur >= bits) {
+      return false; // poison in LLVM; refuse to fold
+    }
+    result = toWidth(static_cast<std::int64_t>(ul << ur), bits);
+    return true;
+  case ir::Opcode::LShr:
+    if (ur >= bits) {
+      return false;
+    }
+    result = toWidth(static_cast<std::int64_t>(ul >> ur), bits);
+    return true;
+  case ir::Opcode::AShr:
+    if (ur >= bits) {
+      return false;
+    }
+    result = toWidth(toWidth(lhs, bits) >> static_cast<std::int64_t>(ur), bits);
+    return true;
+  default:
+    return false;
+  }
+}
 
 /// Evaluate a floating binary op.
-[[nodiscard]] double evalFloatBinOp(ir::Opcode op, double lhs, double rhs) noexcept;
+[[nodiscard]] inline double evalFloatBinOp(ir::Opcode op, double lhs,
+                                           double rhs) noexcept {
+  switch (op) {
+  case ir::Opcode::FAdd: return lhs + rhs;
+  case ir::Opcode::FSub: return lhs - rhs;
+  case ir::Opcode::FMul: return lhs * rhs;
+  case ir::Opcode::FDiv: return lhs / rhs;
+  case ir::Opcode::FRem: return std::fmod(lhs, rhs);
+  default: return 0.0;
+  }
+}
 
 /// Evaluate an integer comparison under iN semantics.
-[[nodiscard]] bool evalICmp(ir::ICmpPred pred, unsigned bits, std::int64_t lhs,
-                            std::int64_t rhs) noexcept;
+[[nodiscard]] inline bool evalICmp(ir::ICmpPred pred, unsigned bits,
+                                   std::int64_t lhs, std::int64_t rhs) noexcept {
+  const std::int64_t sl = detail::toWidth(lhs, bits);
+  const std::int64_t sr = detail::toWidth(rhs, bits);
+  const std::uint64_t ul = detail::zext(lhs, bits);
+  const std::uint64_t ur = detail::zext(rhs, bits);
+  switch (pred) {
+  case ir::ICmpPred::EQ: return ul == ur;
+  case ir::ICmpPred::NE: return ul != ur;
+  case ir::ICmpPred::SLT: return sl < sr;
+  case ir::ICmpPred::SLE: return sl <= sr;
+  case ir::ICmpPred::SGT: return sl > sr;
+  case ir::ICmpPred::SGE: return sl >= sr;
+  case ir::ICmpPred::ULT: return ul < ur;
+  case ir::ICmpPred::ULE: return ul <= ur;
+  case ir::ICmpPred::UGT: return ul > ur;
+  case ir::ICmpPred::UGE: return ul >= ur;
+  }
+  return false;
+}
 
 /// Evaluate a floating comparison.
-[[nodiscard]] bool evalFCmp(ir::FCmpPred pred, double lhs, double rhs) noexcept;
+[[nodiscard]] inline bool evalFCmp(ir::FCmpPred pred, double lhs,
+                                   double rhs) noexcept {
+  switch (pred) {
+  case ir::FCmpPred::OEQ: return lhs == rhs;
+  case ir::FCmpPred::ONE:
+    return lhs != rhs && !std::isnan(lhs) && !std::isnan(rhs);
+  case ir::FCmpPred::OLT: return lhs < rhs;
+  case ir::FCmpPred::OLE: return lhs <= rhs;
+  case ir::FCmpPred::OGT: return lhs > rhs;
+  case ir::FCmpPred::OGE: return lhs >= rhs;
+  case ir::FCmpPred::UNE: return !(lhs == rhs);
+  }
+  return false;
+}
 
 /// Try to fold \p inst given its current operands.
 /// Returns the replacement value — an existing constant or operand — or

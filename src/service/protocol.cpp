@@ -69,6 +69,17 @@ SubmitRequest parseSubmit(const json::Value& root) {
     }
     req.fusion = v->boolean;
   }
+  // Absent means "the server build's default" — clients need not know
+  // whether the server carries the threaded loop.
+  const std::string dispatch =
+      stringField(root, "dispatch", vm::dispatchModeName(req.dispatch));
+  if (dispatch == "switch") {
+    req.dispatch = vm::DispatchMode::Switch;
+  } else if (dispatch == "threaded") {
+    req.dispatch = vm::DispatchMode::Threaded;
+  } else {
+    badField("field 'dispatch' must be switch or threaded");
+  }
   if (!sim::parsePrecision(stringField(root, "precision", "f64"),
                            req.precision)) {
     badField("field 'precision' must be f64 or f32");
@@ -171,6 +182,7 @@ std::string submitRequestJson(const SubmitRequest& request) {
   out << ",\"engine\":\"" << vm::engineName(request.engine)
       << "\",\"exec_mode\":\"" << vm::execModeName(request.execMode)
       << "\",\"fusion\":" << (request.fusion ? "true" : "false")
+      << ",\"dispatch\":\"" << vm::dispatchModeName(request.dispatch) << "\""
       << ",\"precision\":\"" << sim::precisionName(request.precision)
       << "\",\"force_f32\":" << (request.forceF32 ? "true" : "false")
       << ",\"priority\":" << request.priority;

@@ -23,7 +23,8 @@
 ///
 /// Submit fields: shots (default 100), seed (default: the tenant's seed
 /// stream), engine ("vm"|"interp"), exec_mode ("auto"|"resim"|"sample"),
-/// fusion (bool), precision ("f64"|"f32"), force_f32 (bool; admit f32 for
+/// fusion (bool), dispatch ("switch"|"threaded"; absent = server default),
+/// precision ("f64"|"f32"), force_f32 (bool; admit f32 for
 /// feedback-dependent programs), priority (higher runs earlier within the
 /// tenant),
 /// deadline_ms (wall budget from admission; 0/absent = none — covers queue
@@ -74,6 +75,9 @@ struct SubmitRequest {
   vm::Engine engine = vm::Engine::Vm;
   vm::ExecMode execMode = vm::ExecMode::Auto;
   bool fusion = true;
+  /// Dispatch loop for the VM engine ("switch"|"threaded"); absent in the
+  /// wire form means the server build's default.
+  vm::DispatchMode dispatch = vm::defaultDispatchMode();
   /// Amplitude storage width; f32 halves the state's memory footprint and
   /// traffic (see ShotOptions::precision for the admission rule).
   sim::Precision precision = sim::Precision::F64;

@@ -732,6 +732,7 @@ void Server::executeJob(Job& job) {
   opts.engine = job.request.engine;
   opts.execMode = job.request.execMode;
   opts.fusion = job.request.fusion;
+  opts.dispatch = job.request.dispatch;
   opts.precision = job.request.precision;
   opts.forceF32 = job.request.forceF32;
   opts.pool = &pool_;

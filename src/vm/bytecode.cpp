@@ -44,8 +44,22 @@ const char* opName(Op op) noexcept {
   case Op::Fused2: return "fused2";
   case Op::FusedDiag: return "fused.diag";
   case Op::FusedSweep: return "fused.sweep";
+  case Op::CmpBr: return "cmp.br";
+  case Op::BinStore: return "bin.store";
+  case Op::LoadBin: return "load.bin";
+  case Op::PushCall: return "push.call";
+  case Op::Ext: return "ext";
   }
   return "?";
+}
+
+const char* dispatchModeName(DispatchMode mode) noexcept {
+  return mode == DispatchMode::Threaded ? "threaded" : "switch";
+}
+
+DispatchMode defaultDispatchMode() noexcept {
+  return threadedDispatchAvailable() ? DispatchMode::Threaded
+                                     : DispatchMode::Switch;
 }
 
 std::size_t BytecodeModule::instructionCount() const noexcept {
@@ -68,10 +82,12 @@ std::string BytecodeModule::disassemble() const {
       switch (in.op) {
       case Op::IntBin:
       case Op::FloatBin:
+      case Op::BinStore:
         out << '.' << ir::opcodeName(static_cast<ir::Opcode>(in.sub));
         break;
       case Op::ICmp:
       case Op::ICmpPtr:
+      case Op::CmpBr:
         out << '.' << ir::icmpPredName(static_cast<ir::ICmpPred>(in.sub));
         break;
       case Op::FCmp:

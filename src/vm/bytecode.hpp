@@ -74,9 +74,50 @@ enum class Op : std::uint8_t {
   // in for fusedSweeps[a].blockCount consecutive Fused* instructions and
   // accounts for every source gate of every member block.
   FusedSweep,
+  // Superinstructions (fuseSuperinstructions, fusion.hpp): hot opcode
+  // pairs mined after gate fusion + Nop compaction. Each occupies the
+  // replaced pair's span — the head instruction plus Op::Ext extension
+  // slots that carry the second sub-op's operands and flags and are
+  // consumed as immediates, never dispatched. Each sub-op keeps its own
+  // step/stat/tally accounting, so superinstruction execution is
+  // bit-compatible with the unfused pair.
+  CmpBr,    // ICmp + JmpIf: r[a] = icmp(sub, bits=d, r[b], r[c]);
+            // ext = {a=trueTarget, b=falseTarget, flags=JmpIf flags}
+  BinStore, // IntBin + StoreInt: r[a] = ibin(sub, bits=d, r[b], r[c]);
+            // memory.storeInt(r[ext.c], r[a], ext.d bytes)
+  LoadBin,  // LoadInt + IntBin: r[a] = load(r[b], d bytes);
+            // r[ext.a] = ibin(ext.sub, bits=ext.d, r[a], r[ext.c])
+  PushCall, // PushArg x c: pushes r[a], then r[slot.a] of the c-1
+            // following Ext slots; falls through to the untouched
+            // Call/CallExtern that consumes them
+  Ext,      // extension slot of a superinstruction; dispatching it is a
+            // compiler bug and traps
 };
 
+/// Number of opcodes (the dispatch tables' extent).
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::Ext) + 1;
+
 [[nodiscard]] const char* opName(Op op) noexcept;
+
+/// Which dispatch loop the VM runs a compiled module with. Switch is the
+/// portable reference loop (~40-case opcode switch); Threaded is the
+/// token-threaded computed-goto loop built under QIRKIT_THREADED_DISPATCH
+/// (GNU toolchains). The mode is a *compile* option — it participates in
+/// the compile-cache key, and the CLI's --dispatch=switch also pins the
+/// reference code shape (no superinstructions) — so a flipped flag can
+/// never reuse a stale compiled function.
+enum class DispatchMode : std::uint8_t { Switch, Threaded };
+
+[[nodiscard]] const char* dispatchModeName(DispatchMode mode) noexcept;
+
+/// True when this build carries the computed-goto loop
+/// (QIRKIT_THREADED_DISPATCH=ON and a GNU-compatible compiler). When
+/// false, Threaded-mode modules execute on the switch loop — the two are
+/// bit-compatible, so the fallback is silent.
+[[nodiscard]] bool threadedDispatchAvailable() noexcept;
+
+/// The build's preferred dispatch mode: Threaded where available.
+[[nodiscard]] DispatchMode defaultDispatchMode() noexcept;
 
 /// Register index meaning "no destination" (void calls).
 inline constexpr std::uint32_t kNoReg = 0xFFFFFFFFU;
@@ -155,6 +196,8 @@ struct BytecodeModule {
   std::vector<std::string> globalInits;  // initializer bytes, in module order
   int entryIndex = -1;                   // "entry_point" attr, else @main
   std::uint64_t sourceHash = 0;          // FNV-1a of the printed module
+  /// The dispatch loop this module was compiled for (CompileOptions).
+  DispatchMode dispatch = DispatchMode::Switch;
 
   [[nodiscard]] std::size_t instructionCount() const noexcept;
 

@@ -36,6 +36,16 @@ CompileCache::getOrCompile(const ir::Module& module, const CompileOptions& optio
     // of the same program never alias.
     text += "\n; compile-option: fusion=off";
   }
+  // Same for the dispatch mode and the superinstruction peephole: both
+  // change the module (recorded mode, code shape), so a flipped
+  // --dispatch can never reuse a stale compiled function.
+  if (options.dispatch != defaultDispatchMode()) {
+    text += std::string("\n; compile-option: dispatch=") +
+            dispatchModeName(options.dispatch);
+  }
+  if (options.superinstructions) {
+    text += "\n; compile-option: superinstr=on";
+  }
   const std::uint64_t hash = fnv1a(text);
 
   std::promise<std::shared_ptr<const BytecodeModule>> promise;

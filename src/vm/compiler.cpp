@@ -501,6 +501,8 @@ telemetry::Counter g_fusionOps{"sim.fusion.ops_fused"};
 telemetry::Counter g_fusionBlocks{"sim.fusion.blocks"};
 telemetry::Counter g_fusionSweepsSaved{"sim.fusion.sweeps_saved"};
 telemetry::Counter g_fusionSweepRuns{"sim.fusion.sweep_runs"};
+telemetry::Counter g_compileNopsRemoved{"vm.compile.nops_removed"};
+telemetry::Counter g_compileSuperinstr{"vm.compile.superinstr"};
 } // namespace
 
 std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module,
@@ -547,8 +549,19 @@ std::shared_ptr<const BytecodeModule> compileModule(const ir::Module& module,
       g_fusionBlocks.add(stats.blocks);
       g_fusionSweepsSaved.add(stats.sweepsSaved());
       g_fusionSweepRuns.add(planFusedSweeps(fn));
+      // Both fusion stages pad replaced runs with Nops to keep offsets
+      // stable; compact them away so the padding never reaches the
+      // dispatch loop (it used to inflate vm.dispatch.data per shot).
+      g_compileNopsRemoved.add(compactCode(fn));
     }
   }
+  if (options.superinstructions) {
+    const telemetry::trace::Span superSpan("compile.superinstr");
+    for (CompiledFunction& fn : out->functions) {
+      g_compileSuperinstr.add(fuseSuperinstructions(fn).total());
+    }
+  }
+  out->dispatch = options.dispatch;
   out->sourceHash = fnv1a(ir::printModule(module));
   return out;
 }

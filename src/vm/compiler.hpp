@@ -24,11 +24,23 @@ public:
 };
 
 /// Compilation knobs. Defaults produce the fastest correct code; the
-/// flags exist as escape hatches (CLI --fusion=off) and as the reference
-/// configuration for differential tests.
+/// flags exist as escape hatches (CLI --fusion=off, --dispatch=switch)
+/// and as the reference configuration for differential tests.
 struct CompileOptions {
   /// Run the gate-fusion pass (fusion.hpp) after lowering.
   bool fuseGates = true;
+  /// Which dispatch loop the module is compiled for. Recorded on the
+  /// module and folded into the compile-cache key; the VM falls back to
+  /// the switch loop (bit-compatibly) when the build lacks the threaded
+  /// one or fault injection is armed.
+  DispatchMode dispatch = defaultDispatchMode();
+  /// Run the superinstruction peephole (fusion.hpp) after gate fusion:
+  /// mines hot opcode pairs (ICmp+JmpIf, IntBin+StoreInt, LoadInt+IntBin,
+  /// PushArg*+Call/CallExtern) into single fused opcodes with exact
+  /// step/fault/stat accounting. Default off so direct compileModule
+  /// callers (tests, tools) see the reference code shape; the shot
+  /// executor enables it whenever it compiles for Threaded dispatch.
+  bool superinstructions = false;
 };
 
 /// Compile every defined function of \p module. The result is immutable

@@ -377,7 +377,10 @@ ShotBatchResult runShots(const ir::Module& module, const ShotOptions& opts) {
   if (engine == Engine::Vm) {
     const std::uint64_t compileT0 = rtrace != nullptr ? telemetry::nowNs() : 0;
     try {
-      const CompileOptions compileOptions{.fuseGates = opts.fusion};
+      const CompileOptions compileOptions{
+          .fuseGates = opts.fusion,
+          .dispatch = opts.dispatch,
+          .superinstructions = opts.dispatch == DispatchMode::Threaded};
       if (opts.useCompileCache) {
         CompileCache& cache =
             opts.cache != nullptr ? *opts.cache : CompileCache::global();

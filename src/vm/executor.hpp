@@ -99,6 +99,11 @@ struct ShotOptions {
   /// The CLI's --fusion=off escape hatch and the reference leg of the
   /// fused-vs-unfused differential tests set this to false.
   bool fusion = true;
+  /// VM engine only: which dispatch loop to compile for (--dispatch).
+  /// Threaded also enables the superinstruction peephole; Switch pins the
+  /// reference code shape (plain opcode pairs, full per-step preamble) —
+  /// the leg the dispatch differential tests compare against.
+  DispatchMode dispatch = defaultDispatchMode();
   /// Amplitude storage width (sim/statevector.hpp). F32 halves memory
   /// traffic for sampling workloads; the per-gate rounding error it
   /// introduces accumulates with depth, so the executor rejects it for

@@ -480,4 +480,143 @@ std::uint64_t planFusedSweeps(CompiledFunction& fn) {
   return planned;
 }
 
+std::uint64_t compactCode(CompiledFunction& fn) {
+  const auto size = static_cast<std::uint32_t>(fn.code.size());
+  // newOffset[i] = offset of instruction i after compaction. A Nop maps
+  // to the next kept instruction, which is what a jump to it means.
+  std::vector<std::uint32_t> newOffset(size, 0);
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    newOffset[i] = kept;
+    if (fn.code[i].op != Op::Nop) {
+      ++kept;
+    }
+  }
+  if (kept == size) {
+    return 0;
+  }
+  const auto remap = [&newOffset, size, kept](std::uint32_t target) {
+    return target < size ? newOffset[target] : kept;
+  };
+  std::vector<Inst> compacted;
+  compacted.reserve(kept);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    Inst in = fn.code[i];
+    if (in.op == Op::Nop) {
+      continue;
+    }
+    if (in.op == Op::Jmp) {
+      in.a = remap(in.a);
+    } else if (in.op == Op::JmpIf) {
+      in.b = remap(in.b);
+      in.c = remap(in.c);
+    }
+    compacted.push_back(in);
+  }
+  for (SwitchTable& table : fn.switchTables) {
+    table.defaultTarget = remap(table.defaultTarget);
+    for (auto& [value, target] : table.cases) {
+      target = remap(target);
+    }
+  }
+  fn.code = std::move(compacted);
+  return size - kept;
+}
+
+SuperinstrStats fuseSuperinstructions(CompiledFunction& fn) {
+  SuperinstrStats stats;
+  const std::vector<bool> jumpTarget = computeJumpTargets(fn);
+  std::vector<Inst>& code = fn.code;
+  const auto size = static_cast<std::uint32_t>(code.size());
+  std::uint32_t pc = 0;
+  while (pc < size) {
+    const Inst cur = code[pc];
+    // PushArg* + Call/CallExtern: collapse a run of >= 2 pushes into one
+    // PushCall that falls through to the untouched call instruction (so
+    // the call keeps its own preamble accounting and fault probes). The
+    // run's interior must not be a jump target — control entering there
+    // would land on an Ext slot.
+    if (cur.op == Op::PushArg) {
+      std::uint32_t n = 1;
+      // The PushCall handler replays subsumed pushes without a preamble,
+      // so they must be flag-free (PushArg always is — lowering artifact
+      // — but a cheap guard beats a silent accounting hole). The head's
+      // flags stay on the head and go through the preamble as before.
+      while (pc + n < size && code[pc + n].op == Op::PushArg &&
+             code[pc + n].flags == 0 && !jumpTarget[pc + n]) {
+        ++n;
+      }
+      const bool callFollows =
+          pc + n < size &&
+          (code[pc + n].op == Op::Call || code[pc + n].op == Op::CallExtern) &&
+          code[pc + n].c == n;
+      if (n >= 2 && callFollows) {
+        for (std::uint32_t i = 1; i < n; ++i) {
+          Inst ext{};
+          ext.op = Op::Ext;
+          ext.a = code[pc + i].a;
+          ext.flags = code[pc + i].flags;
+          code[pc + i] = ext;
+        }
+        code[pc].op = Op::PushCall;
+        code[pc].c = n;
+        ++stats.pushCall;
+        pc += n; // resume at the (unmodified) call
+        continue;
+      }
+      ++pc;
+      continue;
+    }
+    if (pc + 1 >= size || jumpTarget[pc + 1]) {
+      ++pc;
+      continue;
+    }
+    const Inst next = code[pc + 1];
+    // ICmp + JmpIf on the freshly computed condition. The fused handler
+    // still writes the condition register (a later use may read it).
+    if (cur.op == Op::ICmp && next.op == Op::JmpIf && next.a == cur.a) {
+      code[pc].op = Op::CmpBr;
+      Inst ext{};
+      ext.op = Op::Ext;
+      ext.a = next.b;
+      ext.b = next.c;
+      ext.flags = next.flags;
+      code[pc + 1] = ext;
+      ++stats.cmpBr;
+      pc += 2;
+      continue;
+    }
+    // IntBin + StoreInt of the result just computed.
+    if (cur.op == Op::IntBin && next.op == Op::StoreInt && next.b == cur.a) {
+      code[pc].op = Op::BinStore;
+      Inst ext{};
+      ext.op = Op::Ext;
+      ext.c = next.c;
+      ext.d = next.d;
+      ext.flags = next.flags;
+      code[pc + 1] = ext;
+      ++stats.binStore;
+      pc += 2;
+      continue;
+    }
+    // LoadInt + IntBin whose left operand is the freshly loaded value.
+    if (cur.op == Op::LoadInt && next.op == Op::IntBin && next.b == cur.a) {
+      code[pc].op = Op::LoadBin;
+      Inst ext{};
+      ext.op = Op::Ext;
+      ext.sub = next.sub;
+      ext.a = next.a;
+      ext.c = next.c;
+      ext.d = next.d;
+      ext.flags = next.flags;
+      code[pc + 1] = ext;
+      ++stats.loadBin;
+      pc += 2;
+      continue;
+    }
+    ++pc;
+  }
+  return stats;
+}
+
 } // namespace qirkit::vm

@@ -62,4 +62,36 @@ std::uint64_t planFusedSweeps(CompiledFunction& fn);
 /// Upper bound on blocks per planned sweep.
 inline constexpr std::size_t kMaxSweepBlocks = 16;
 
+/// Remove the Op::Nop padding the two fusion stages leave behind,
+/// remapping every jump target (Jmp/JmpIf fields and switch tables) onto
+/// the compacted offsets. Nops are pure lowering artifacts — they carry
+/// no kStep flag — but before this pass they still flowed through the
+/// dispatch loop on every execution, inflating the vm.dispatch.* per-
+/// opcode-class counters (and wasting a dispatch round apiece) on hot
+/// fused loops. No jump ever targets a Nop (both fusion stages refuse to
+/// form a run past a jump target), so compaction preserves semantics and
+/// accounting exactly. Returns the number of instructions removed.
+std::uint64_t compactCode(CompiledFunction& fn);
+
+struct SuperinstrStats {
+  std::uint64_t cmpBr = 0;     // ICmp+JmpIf pairs fused
+  std::uint64_t binStore = 0;  // IntBin+StoreInt pairs fused
+  std::uint64_t loadBin = 0;   // LoadInt+IntBin pairs fused
+  std::uint64_t pushCall = 0;  // PushArg* runs collapsed ahead of a call
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return cmpBr + binStore + loadBin + pushCall;
+  }
+};
+
+/// The superinstruction peephole: rewrite hot opcode pairs into single
+/// fused opcodes (Op::CmpBr/BinStore/LoadBin/PushCall). The replaced
+/// span keeps its length — the head instruction is followed by Op::Ext
+/// slots carrying the second sub-op's operands and flags — so every
+/// code offset survives and no fixups are needed. A pair is only formed
+/// when no jump targets its interior, and each sub-op's step/stat/fault
+/// accounting is replayed exactly by the fused handler, so fused and
+/// unfused execution are bit-compatible. Must run after compactCode
+/// (the patterns are adjacency-based; Nop padding would hide them).
+SuperinstrStats fuseSuperinstructions(CompiledFunction& fn);
+
 } // namespace qirkit::vm

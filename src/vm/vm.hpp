@@ -85,6 +85,28 @@ public:
 private:
   interp::RtValue execute(std::uint32_t funcIndex,
                           std::span<const interp::RtValue> args, unsigned depth);
+  /// The portable dispatch loop: one switch per instruction, full
+  /// step/fault/cancel preamble on every kStep instruction. Always
+  /// compiled; the reference semantics and the only loop that runs under
+  /// fault injection (it carries the per-step probes).
+  interp::RtValue executeSwitch(const CompiledFunction& fn, std::size_t base,
+                                unsigned depth, bool injectFaults,
+                                const qirkit::CancelToken* cancel);
+  /// The token-threaded loop: computed-goto dispatch with the step-limit
+  /// and cancellation probes hoisted to block boundaries via a credit
+  /// scheme (checkedStepProbe). Only defined on builds where
+  /// threadedDispatchAvailable(); bit-compatible with executeSwitch by
+  /// construction (both loops include vm_ops.inc).
+  interp::RtValue executeThreaded(const CompiledFunction& fn, std::size_t base,
+                                  unsigned depth,
+                                  const qirkit::CancelToken* cancel);
+  /// Slow path of the threaded loop's step accounting: replays the
+  /// switch loop's per-step sequence exactly (budget check with the same
+  /// trap, stats bump, strided cancel checkpoint), then returns how many
+  /// further step-counted instructions may retire with nothing but a
+  /// decrement — bounded by both the remaining budget and the distance
+  /// to the next cancellation stride boundary.
+  std::uint64_t checkedStepProbe(const qirkit::CancelToken* cancel);
   /// Execute one fused block with full per-gate accounting (step budget
   /// with mid-block partial credit, stats, fault probes), dispatching to
   /// the fused host or replaying the source calls. Shared by the Fused*

@@ -18,8 +18,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <string>
 
 namespace qirkit {
@@ -672,6 +674,198 @@ TEST(FusionDifferential, SamplingPathMatchesToo) {
   opts.fusion = false;
   const vm::ShotBatchResult unfused = vm::runShots(*module, opts);
   EXPECT_EQ(fused.histogram, unfused.histogram);
+}
+
+// ---------------------------------------------------------------------------
+// Nop compaction: the padding the fusion stages leave behind must never
+// reach the dispatch loop (it used to inflate the vm.dispatch.* per-class
+// counters on every shot), and jump targets must survive the remapping.
+// ---------------------------------------------------------------------------
+
+TEST(FusionCompaction, RemovesAllNopPaddingAndShrinksTheCode) {
+  ir::Context ctx;
+  const auto module = qir::exportCircuit(ctx, circuit::qft(5, true), {});
+  const auto reference = vm::compileModule(*module, {.fuseGates = false});
+  vm::CompiledFunction fn = reference->functions[0];
+  const vm::FusionStats stats = vm::fuseGates(fn, reference->externNames);
+  ASSERT_GT(stats.sweepsSaved(), 0U);
+  vm::planFusedSweeps(fn);
+  std::size_t nops = 0;
+  for (const vm::Inst& in : fn.code) {
+    nops += in.op == vm::Op::Nop ? 1 : 0;
+  }
+  ASSERT_GT(nops, 0U);
+  const std::size_t before = fn.code.size();
+  EXPECT_EQ(vm::compactCode(fn), nops);
+  EXPECT_EQ(fn.code.size(), before - nops);
+  for (const vm::Inst& in : fn.code) {
+    EXPECT_NE(in.op, vm::Op::Nop);
+  }
+  // Idempotent on clean code.
+  EXPECT_EQ(vm::compactCode(fn), 0U);
+}
+
+TEST(FusionCompaction, CompiledModulesCarryNoNopsAndBranchesStillWork) {
+  // Branch-heavy feedback program with a fusible chain inside one arm:
+  // compaction must remap the branch targets across the removed padding.
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+declare void @__quantum__qis__h__body(ptr)
+declare void @__quantum__qis__x__body(ptr)
+declare void @__quantum__qis__z__body(ptr)
+declare void @__quantum__qis__mz__body(ptr, ptr)
+declare i1 @__quantum__qis__read_result__body(ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__h__body(ptr null)
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  %r = call i1 @__quantum__qis__read_result__body(ptr null)
+  br i1 %r, label %flip, label %done
+flip:
+  call void @__quantum__qis__x__body(ptr inttoptr (i64 1 to ptr))
+  call void @__quantum__qis__z__body(ptr inttoptr (i64 1 to ptr))
+  br label %done
+done:
+  call void @__quantum__qis__mz__body(ptr inttoptr (i64 1 to ptr), ptr inttoptr (i64 1 to ptr))
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const auto compiled = vm::compileModule(*m);
+  EXPECT_EQ(countSubstr(compiled->disassemble(), "nop"), 0U)
+      << compiled->disassemble();
+  const auto unfused = vm::compileModule(*m, {.fuseGates = false});
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    vm::Vm fusedVm(compiled);
+    runtime::QuantumRuntime fusedRt(seed);
+    fusedRt.bind(fusedVm);
+    fusedVm.runEntryPoint();
+    vm::Vm plainVm(unfused);
+    runtime::QuantumRuntime plainRt(seed);
+    plainRt.bind(plainVm);
+    plainVm.runEntryPoint();
+    EXPECT_EQ(fusedRt.recordedOutput(), plainRt.recordedOutput())
+        << "seed " << seed;
+    EXPECT_EQ(fusedVm.stats().instructionsExecuted,
+              plainVm.stats().instructionsExecuted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction mining (fuseSuperinstructions): hot pairs collapse,
+// interiors that are jump targets are refused, semantics are preserved.
+// ---------------------------------------------------------------------------
+
+const char* const kSumLoop = R"(
+define i64 @f(i64 %n) {
+entry:
+  %acc = alloca i64, align 8
+  %tmp = alloca i64, align 8
+  store i64 0, ptr %acc, align 8
+  br label %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %next, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %cur = load i64, ptr %acc, align 8
+  %sum = add i64 %cur, %i
+  store i64 %sum, ptr %acc, align 8
+  %tw = mul i64 %i, 3
+  store i64 %tw, ptr %tmp, align 8
+  %next = add i64 %i, 1
+  br label %head
+exit:
+  %r = load i64, ptr %acc, align 8
+  ret i64 %r
+}
+)";
+
+TEST(FusionSuperinstr, MinesHotPairsIntoFusedOpcodes) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, kSumLoop);
+  const auto mined = vm::compileModule(
+      *m, {.dispatch = vm::DispatchMode::Threaded, .superinstructions = true});
+  const std::string listing = mined->disassemble();
+  EXPECT_GE(countSubstr(listing, "cmp.br"), 1U) << listing;
+  EXPECT_GE(countSubstr(listing, "load.bin"), 1U) << listing;
+  EXPECT_GE(countSubstr(listing, "bin.store"), 1U) << listing;
+  const auto plain = vm::compileModule(*m, {.superinstructions = false});
+  // Same span length: superinstructions keep their pair's footprint (head
+  // + ext slots), so offsets need no fixups.
+  EXPECT_EQ(mined->instructionCount(), plain->instructionCount());
+}
+
+TEST(FusionSuperinstr, PairsPreserveValuesAndStepAccounting) {
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, kSumLoop);
+  const auto mined = vm::compileModule(
+      *m, {.dispatch = vm::DispatchMode::Threaded, .superinstructions = true});
+  const auto plain = vm::compileModule(*m, {.superinstructions = false});
+  for (const std::int64_t n : {0, 1, 7, 100}) {
+    vm::Vm fast(mined);
+    vm::Vm reference(plain);
+    const std::array<RtValue, 1> arg{RtValue::makeInt(n)};
+    EXPECT_EQ(fast.run("f", {arg}).i, reference.run("f", {arg}).i) << n;
+    EXPECT_EQ(fast.stats().instructionsExecuted,
+              reference.stats().instructionsExecuted)
+        << n;
+    EXPECT_EQ(fast.stats().blocksEntered, reference.stats().blocksEntered) << n;
+  }
+}
+
+TEST(FusionSuperinstr, MinesMultiArgExternCallsIntoPushCall) {
+  // mz takes two arguments: its PushArg pair collapses into one PushCall
+  // that falls through to the untouched call.ext.
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+declare void @__quantum__qis__mz__body(ptr, ptr)
+define void @main() #0 {
+entry:
+  call void @__quantum__qis__mz__body(ptr null, ptr null)
+  ret void
+}
+attributes #0 = { "entry_point" }
+)");
+  const auto mined = vm::compileModule(
+      *m, {.dispatch = vm::DispatchMode::Threaded, .superinstructions = true});
+  const std::string listing = mined->disassemble();
+  EXPECT_GE(countSubstr(listing, "push.call"), 1U) << listing;
+  EXPECT_GE(countSubstr(listing, "call.ext"), 1U) << listing;
+}
+
+TEST(FusionSuperinstr, RefusesPairsWhoseInteriorIsAJumpTarget) {
+  // Hand-built bytecode: a jump lands exactly on the JmpIf, so fusing
+  // ICmp+JmpIf would make control enter an Ext slot. The miner must
+  // leave the pair alone.
+  vm::CompiledFunction fn;
+  fn.numRegs = 3;
+  vm::Inst icmp;
+  icmp.op = vm::Op::ICmp;
+  icmp.a = 0;
+  icmp.b = 1;
+  icmp.c = 2;
+  icmp.d = 64;
+  vm::Inst jmpif;
+  jmpif.op = vm::Op::JmpIf;
+  jmpif.a = 0;
+  jmpif.b = 3;
+  jmpif.c = 3;
+  vm::Inst jmp;
+  jmp.op = vm::Op::Jmp;
+  jmp.a = 1; // targets the JmpIf: pair interior
+  vm::Inst ret;
+  ret.op = vm::Op::RetVoid;
+  fn.code = {icmp, jmpif, jmp, ret};
+  EXPECT_EQ(vm::fuseSuperinstructions(fn).total(), 0U);
+  EXPECT_EQ(fn.code[0].op, vm::Op::ICmp);
+  EXPECT_EQ(fn.code[1].op, vm::Op::JmpIf);
+
+  // Positive control: without the interior jump the pair fuses.
+  fn.code = {icmp, jmpif, ret, ret};
+  EXPECT_EQ(vm::fuseSuperinstructions(fn).total(), 1U);
+  EXPECT_EQ(fn.code[0].op, vm::Op::CmpBr);
+  EXPECT_EQ(fn.code[1].op, vm::Op::Ext);
 }
 
 } // namespace

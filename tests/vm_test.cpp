@@ -14,6 +14,9 @@
 #include "passes/pass.hpp"
 #include "qir/exporter.hpp"
 #include "runtime/runtime.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+#include "support/faultinject.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "vm/cache.hpp"
@@ -465,6 +468,270 @@ TEST(VmBytecode, DisassemblyListsCompiledFunctions) {
   const std::string listing = compiled->disassemble();
   EXPECT_NE(listing.find("call.ext"), std::string::npos);
   EXPECT_NE(listing.find("[step]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch differential: the token-threaded loop with superinstructions
+// must be bit-compatible with the reference switch loop — same values,
+// same histograms, same step accounting, same traps, same fault-drill
+// and deadline behaviour. When the build lacks the threaded loop these
+// tests still pass (Threaded modules fall back to the switch loop), so
+// the QIRKIT_THREADED_DISPATCH=OFF CI leg runs the identical suite.
+// ---------------------------------------------------------------------------
+
+/// The two engine configurations under comparison. Reference = switch
+/// loop on plain opcodes; fast = threaded loop on superinstruction-mined
+/// code (the executor's Threaded pairing).
+vm::CompileOptions referenceConfig() {
+  return {.fuseGates = true,
+          .dispatch = vm::DispatchMode::Switch,
+          .superinstructions = false};
+}
+
+vm::CompileOptions threadedConfig() {
+  return {.fuseGates = true,
+          .dispatch = vm::DispatchMode::Threaded,
+          .superinstructions = true};
+}
+
+TEST(VmDispatchDifferential, ClassicalProgramsBitCompatible) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string program = ProgramGenerator(seed).generate();
+    ir::Context ctx;
+    const auto m = ir::parseModule(ctx, program);
+    const std::int64_t inputs[][2] = {{0, 0}, {42, 7}, {-100, 3}};
+    for (const auto& [a, b] : inputs) {
+      vm::Vm reference(vm::compileModule(*m, referenceConfig()));
+      reference.setStepLimit(1 << 22);
+      vm::Vm threaded(vm::compileModule(*m, threadedConfig()));
+      threaded.setStepLimit(1 << 22);
+      const std::array<RtValue, 2> argStorage{RtValue::makeInt(a),
+                                              RtValue::makeInt(b)};
+      const std::span<const RtValue> args{argStorage};
+      EXPECT_EQ(reference.run("f", args).i, threaded.run("f", args).i)
+          << "seed " << seed << " inputs (" << a << ", " << b << ")";
+      EXPECT_EQ(reference.stats().instructionsExecuted,
+                threaded.stats().instructionsExecuted);
+      EXPECT_EQ(reference.stats().blocksEntered, threaded.stats().blocksEntered);
+      EXPECT_EQ(reference.stats().internalCalls, threaded.stats().internalCalls);
+    }
+  }
+}
+
+QuantumRun runQuantumVmWith(const ir::Module& m, std::uint64_t seed,
+                            const vm::CompileOptions& options) {
+  vm::Vm machine(vm::compileModule(m, options));
+  runtime::QuantumRuntime rt(seed);
+  rt.bind(machine);
+  machine.runEntryPoint();
+  return {rt.recordedOutput(), rt.stats(), machine.stats()};
+}
+
+TEST(VmDispatchDifferential, QuantumProgramsBitCompatible) {
+  ir::Context ctx;
+  const auto ghz = qir::exportCircuit(ctx, circuit::ghz(5, true), {});
+  const auto qft = qir::exportCircuit(ctx, circuit::qft(4, true), {});
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const ir::Module* m : {ghz.get(), qft.get()}) {
+      const QuantumRun a = runQuantumVmWith(*m, seed, referenceConfig());
+      const QuantumRun b = runQuantumVmWith(*m, seed, threadedConfig());
+      EXPECT_EQ(a.output, b.output) << "seed " << seed;
+      EXPECT_EQ(a.runtimeStats.gatesApplied, b.runtimeStats.gatesApplied);
+      EXPECT_EQ(a.runtimeStats.measurements, b.runtimeStats.measurements);
+      EXPECT_EQ(a.engineStats.instructionsExecuted,
+                b.engineStats.instructionsExecuted);
+      EXPECT_EQ(a.engineStats.externalCalls, b.engineStats.externalCalls);
+      EXPECT_EQ(a.engineStats.blocksEntered, b.engineStats.blocksEntered);
+    }
+  }
+}
+
+TEST(VmDispatchDifferential, StepBudgetParityIncludingProbeStrides) {
+  const std::string program = ProgramGenerator(11).generate();
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, program);
+  const std::array<RtValue, 2> argStorage{RtValue::makeInt(13),
+                                          RtValue::makeInt(-5)};
+  const std::span<const RtValue> args{argStorage};
+
+  vm::Vm probe(vm::compileModule(*m, referenceConfig()));
+  probe.setStepLimit(1 << 22);
+  probe.run("f", args);
+  const std::uint64_t steps = probe.stats().instructionsExecuted;
+  ASSERT_GT(steps, 10U);
+
+  // Limits straddling superinstruction pairs and the credit-refresh
+  // boundaries: the trap must fire on the identical instruction with the
+  // identical message, and the stats must agree on how many retired.
+  for (const std::uint64_t limit :
+       {steps, steps - 1, steps - 2, steps / 2, steps / 2 + 1, std::uint64_t{1}}) {
+    vm::Vm reference(vm::compileModule(*m, referenceConfig()));
+    reference.setStepLimit(limit);
+    vm::Vm threaded(vm::compileModule(*m, threadedConfig()));
+    threaded.setStepLimit(limit);
+    std::string referenceError;
+    std::string threadedError;
+    try {
+      reference.run("f", args);
+    } catch (const interp::TrapError& e) {
+      referenceError = e.what();
+    }
+    try {
+      threaded.run("f", args);
+    } catch (const interp::TrapError& e) {
+      threadedError = e.what();
+    }
+    EXPECT_EQ(referenceError, threadedError) << "limit " << limit;
+    EXPECT_EQ(reference.stats().instructionsExecuted,
+              threaded.stats().instructionsExecuted)
+        << "limit " << limit;
+    if (limit < steps) {
+      EXPECT_EQ(threadedError,
+                "step limit exceeded (" + std::to_string(limit) + ")");
+    }
+  }
+}
+
+TEST(VmDispatchDifferential, CancelledRunsTrapOnBothLoops) {
+  // An already-expired deadline must stop both loops at a cancellation
+  // checkpoint. The threaded loop hoists the probe to stride boundaries;
+  // expiry is still observed (just never later than a stride's worth of
+  // steps after the switch loop would have seen it).
+  // Checkpoints are strided (every kCancelStrideSteps steps), so the
+  // program must spin long enough inside ONE call to cross a stride.
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, R"(
+define i64 @f(i64 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i64 [ 0, %entry ], [ %next, %head ]
+  %next = add i64 %i, 1
+  %c = icmp slt i64 %next, %n
+  br i1 %c, label %head, label %exit
+exit:
+  ret i64 %next
+}
+)");
+  const std::array<RtValue, 1> argStorage{RtValue::makeInt(1 << 20)};
+  const std::span<const RtValue> args{argStorage};
+  for (const vm::CompileOptions& config : {referenceConfig(), threadedConfig()}) {
+    vm::Vm machine(vm::compileModule(*m, config));
+    machine.setStepLimit(1ULL << 40);
+    CancelToken token;
+    token.cancel();
+    machine.setCancelToken(&token);
+    bool cancelled = false;
+    try {
+      machine.run("f", args);
+    } catch (const Error& e) {
+      cancelled = e.code() == ErrorCode::Deadline;
+    }
+    EXPECT_TRUE(cancelled) << "dispatch "
+                           << vm::dispatchModeName(config.dispatch);
+    // Strided polling means the trap lands within one stride of the start.
+    EXPECT_LE(machine.stats().instructionsExecuted, 8U * 1024U);
+  }
+}
+
+TEST(VmDispatchDifferential, FaultDrillsAgreeAcrossDispatchModes) {
+  // With injection armed, Threaded modules take the switch loop (its
+  // preamble carries the per-step probes), so a drill must fire on the
+  // same probe and classify the same way regardless of --dispatch.
+  const std::string program = ProgramGenerator(9).generate();
+  ir::Context ctx;
+  const auto m = ir::parseModule(ctx, program);
+  const std::array<RtValue, 2> argStorage{RtValue::makeInt(3),
+                                          RtValue::makeInt(8)};
+  const std::span<const RtValue> args{argStorage};
+  std::array<std::string, 2> errors;
+  std::array<std::uint64_t, 2> probes{};
+  std::size_t slot = 0;
+  for (const vm::CompileOptions& config : {referenceConfig(), threadedConfig()}) {
+    fault::Plan plan;
+    plan.site = fault::Site::VmDispatch;
+    plan.at = 40;
+    const fault::ScopedPlan scoped(plan);
+    vm::Vm machine(vm::compileModule(*m, config));
+    machine.setStepLimit(1 << 22);
+    try {
+      machine.run("f", args);
+    } catch (const Error& e) {
+      errors[slot] = e.what();
+    }
+    probes[slot] = fault::FaultInjector::instance().probeCount(
+        fault::Site::VmDispatch);
+    ++slot;
+  }
+  EXPECT_FALSE(errors[0].empty());
+  EXPECT_EQ(errors[0], errors[1]);
+  EXPECT_EQ(probes[0], probes[1]);
+}
+
+TEST(VmDispatchDifferential, ExecutorHistogramsIdenticalAcrossDispatch) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(4, true), {});
+  vm::ShotOptions options;
+  options.shots = 64;
+  options.seed = 33;
+  options.dispatch = vm::DispatchMode::Switch;
+  const vm::ShotBatchResult reference = vm::runShots(*m, options);
+  options.dispatch = vm::DispatchMode::Threaded;
+  const vm::ShotBatchResult threaded = vm::runShots(*m, options);
+  EXPECT_EQ(reference.histogram, threaded.histogram);
+  EXPECT_EQ(reference.lastShotEngineStats.instructionsExecuted,
+            threaded.lastShotEngineStats.instructionsExecuted);
+}
+
+TEST(VmDispatchDifferential, DeadlineYieldsPartialResultsOnBothModes) {
+  ir::Context ctx;
+  const auto m = qir::exportCircuit(ctx, circuit::ghz(3, true), {});
+  for (const vm::DispatchMode mode :
+       {vm::DispatchMode::Switch, vm::DispatchMode::Threaded}) {
+    CancelToken token;
+    token.cancel(); // expired before the batch starts
+    vm::ShotOptions options;
+    options.shots = 50;
+    options.seed = 3;
+    options.dispatch = mode;
+    options.cancel = &token;
+    const vm::ShotBatchResult result = vm::runShots(*m, options);
+    EXPECT_TRUE(result.deadlineExceeded)
+        << "dispatch " << vm::dispatchModeName(mode);
+    EXPECT_LT(result.completedShots, 50U);
+  }
+}
+
+TEST(VmCompileCache, DispatchFlipNeverReusesAStaleModule) {
+  vm::CompileCache cache;
+  const std::string program = ProgramGenerator(6).generate();
+  ir::Context ctx;
+  const auto parsed = ir::parseModule(ctx, program);
+  const auto reference = cache.getOrCompile(*parsed, referenceConfig());
+  const auto threaded = cache.getOrCompile(*parsed, threadedConfig());
+  // Different dispatch/superinstruction options must occupy distinct
+  // entries — the compiled code shapes differ.
+  EXPECT_NE(reference.get(), threaded.get());
+  EXPECT_EQ(reference->dispatch, vm::DispatchMode::Switch);
+  EXPECT_EQ(threaded->dispatch, vm::DispatchMode::Threaded);
+  EXPECT_EQ(cache.stats().misses, 2U);
+  // Repeating each lookup hits its own entry.
+  EXPECT_EQ(cache.getOrCompile(*parsed, referenceConfig()).get(),
+            reference.get());
+  EXPECT_EQ(cache.getOrCompile(*parsed, threadedConfig()).get(),
+            threaded.get());
+  EXPECT_EQ(cache.stats().hits, 2U);
+}
+
+TEST(VmDispatch, BuildDefaultIsTheBestAvailableLoop) {
+  const vm::DispatchMode mode = vm::defaultDispatchMode();
+  if (vm::threadedDispatchAvailable()) {
+    EXPECT_EQ(mode, vm::DispatchMode::Threaded);
+  } else {
+    EXPECT_EQ(mode, vm::DispatchMode::Switch);
+  }
+  EXPECT_STREQ(vm::dispatchModeName(vm::DispatchMode::Switch), "switch");
+  EXPECT_STREQ(vm::dispatchModeName(vm::DispatchMode::Threaded), "threaded");
 }
 
 } // namespace

@@ -382,6 +382,15 @@ int cmdRun(const Args& args) {
   } else {
     fail("--fusion must be on or off");
   }
+  const std::string dispatch =
+      args.option("dispatch", vm::dispatchModeName(options.dispatch));
+  if (dispatch == "switch") {
+    options.dispatch = vm::DispatchMode::Switch;
+  } else if (dispatch == "threaded") {
+    options.dispatch = vm::DispatchMode::Threaded;
+  } else {
+    fail("--dispatch must be switch or threaded");
+  }
   if (!sim::parsePrecision(args.option("precision", "f64"),
                            options.precision)) {
     fail("--precision must be f64 or f32");
@@ -770,6 +779,15 @@ int cmdSubmit(const Args& args) {
   } else {
     fail("--fusion must be on or off");
   }
+  const std::string dispatch =
+      args.option("dispatch", vm::dispatchModeName(request.dispatch));
+  if (dispatch == "switch") {
+    request.dispatch = vm::DispatchMode::Switch;
+  } else if (dispatch == "threaded") {
+    request.dispatch = vm::DispatchMode::Threaded;
+  } else {
+    fail("--dispatch must be switch or threaded");
+  }
   if (!sim::parsePrecision(args.option("precision", "f64"),
                            request.precision)) {
     fail("--precision must be f64 or f32");
@@ -849,6 +867,8 @@ void usage() {
          "  -o <path>             write primary output to a file\n"
          "run options: --shots N --seed S --engine vm|interp --jobs N\n"
          "             --exec-mode auto|resim|sample --fusion on|off\n"
+         "             --dispatch switch|threaded (VM dispatch loop;\n"
+         "             default: the build's best available)\n"
          "             --precision f64|f32 (f32: half the state memory;\n"
          "             terminal-measurement programs only unless --force-f32)\n"
          "             --retries N --max-failed-shots N --no-fallback\n"
@@ -867,6 +887,7 @@ void usage() {
          "shutdown|cancel>\n"
          "             --socket <path> [--tenant T] [--shots N] [--seed S]\n"
          "             [--engine vm|interp] [--exec-mode M] [--fusion on|off]\n"
+         "             [--dispatch switch|threaded]\n"
          "             [--precision f64|f32] [--force-f32]\n"
          "             [--priority P] [--deadline-ms N] [--request-id ID]\n"
          "             [--connect-retries N] [--json] [--verbose-timing]\n"
@@ -916,7 +937,8 @@ int main(int argc, char** argv) {
     const Args args = parseArgs(
         argc, argv, 2,
         {"profile", "target", "addressing", "shots", "seed", "engine", "jobs",
-         "exec-mode", "fusion", "precision", "max-failed-shots", "retries",
+         "exec-mode", "fusion", "dispatch", "precision", "max-failed-shots",
+         "retries",
          "to", "budget",
          "model", "output", "socket", "tenant", "priority", "runners",
          "cache-capacity", "program-capacity", "queue-capacity",

@@ -74,6 +74,18 @@ cmp -s "$WORK/mode.auto" "$WORK/nofuse" || fail "--fusion on/off disagree"
 rc=0; "$QIRKIT" run "$WORK/bell.ll" --fusion maybe >/dev/null 2>&1 || rc=$?
 [ "$rc" -eq 2 ] || fail "--fusion maybe must exit 2 (got $rc)"
 
+# the VM dispatch loop is transparent: both loops produce identical
+# histograms per seed (threaded falls back to switch on builds without
+# computed goto), and bad values are usage errors
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --dispatch switch \
+  2>/dev/null >"$WORK/disp.switch" || fail "--dispatch switch run"
+"$QIRKIT" run "$WORK/bell.ll" --shots 30 --seed 5 --dispatch threaded \
+  2>/dev/null >"$WORK/disp.threaded" || fail "--dispatch threaded run"
+cmp -s "$WORK/disp.switch" "$WORK/disp.threaded" || fail "dispatch loops disagree"
+cmp -s "$WORK/mode.auto" "$WORK/disp.switch" || fail "--dispatch changed results"
+rc=0; "$QIRKIT" run "$WORK/bell.ll" --dispatch jit >/dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || fail "--dispatch jit must exit 2 (got $rc)"
+
 # forcing sample on a feedback-dependent program is a usage error
 cat > "$WORK/feedback.ll" <<'EOF'
 declare void @__quantum__qis__h__body(ptr)
@@ -143,7 +155,7 @@ COUNT=$(grep -c "__quantum__qis__h__body(ptr" "$WORK/loop.opt.ll" || true)
 # the README documents must appear when qirkit is invoked without args.
 "$QIRKIT" 2>"$WORK/usage" || true
 for doc in --stats QIRKIT_TRACE QIRKIT_FAULT_INJECT --shots --engine \
-    --exec-mode --fusion --precision --force-f32 --target; do
+    --exec-mode --fusion --dispatch --precision --force-f32 --target; do
   grep -q -- "$doc" "$WORK/usage" || fail "usage text does not mention $doc"
 done
 
